@@ -1,0 +1,24 @@
+//! # blobseer-bench
+//!
+//! Benchmark harnesses regenerating every figure of the CLUSTER'08
+//! evaluation (§V), plus ablations for the design choices DESIGN.md calls
+//! out. Each figure has a dedicated binary that prints the paper-style
+//! series and writes a CSV under `results/`:
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `fig3a` | Fig. 3(a): metadata read overhead vs segment size, {10,20,40} providers |
+//! | `fig3b` | Fig. 3(b): metadata write overhead vs segment size, {10,20,40} providers |
+//! | `fig3c` | Fig. 3(c): per-client bandwidth vs number of concurrent clients |
+//! | `ablate_agg` | RPC aggregation on/off (explains Fig. 3(b)) |
+//! | `ablate_lock` | lock-free vs global-lock vs per-page-lock under mixed load |
+//! | `ablate_page` | page-size sweep (striping-vs-overhead tradeoff, §V.A) |
+//! | `sky_e2e` | the supernova pipeline on the simulated cluster |
+//!
+//! Criterion micro-benches live in `benches/micro.rs`.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+
+pub use harness::*;

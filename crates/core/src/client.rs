@@ -1,0 +1,553 @@
+//! `BlobClient` — the public client library: `ALLOC` / `READ` / `WRITE`
+//! exactly as specified in the paper's §II, plus the §VI future-work
+//! features (garbage collection, client-side metadata caching, page
+//! replication) implemented.
+//!
+//! Protocol fidelity (§III.B):
+//! * **READ**: one version-manager round trip for the latest version, then
+//!   a level-by-level descent of the segment tree with *batched, parallel*
+//!   metadata fetches, then *parallel* page downloads — no lock anywhere,
+//!   no interaction with any writer.
+//! * **WRITE**: provider-manager plan → parallel page puts → version +
+//!   border links from the version manager → metadata built **in
+//!   isolation** → batched metadata puts → completion report.
+//!
+//! The client charges its own per-node processing costs (deserialization,
+//! tree descent, buffer stitching) to the virtual clock — the paper notes
+//! "the main limiting factor is actually the performance of the client's
+//! processing power", and reproducing Figure 3(a) depends on it.
+
+use blobseer_dht::{DhtClient, Ring};
+use blobseer_meta::read::{assemble_read, expand, root_key, Visit};
+use blobseer_meta::shape::align_to_pages;
+use blobseer_meta::write::build_write_tree;
+use blobseer_proto::messages::{
+    method, BlobInfo, CompleteWrite, CreateBlob, GcRequest, GetLatest, GetPage, PlanWrite,
+    PublishState, PutPage, RemovePage, RequestVersion, WriteTicket,
+};
+use blobseer_proto::tree::{NodeBody, NodeKey, PageKey, PageLoc};
+use blobseer_proto::{BlobError, BlobId, Geometry, NodeId, ProviderId, Segment, Version};
+use blobseer_rpc::{Ctx, RpcClient};
+use blobseer_simnet::ClientCosts;
+use blobseer_util::{FxHashMap, LruCache};
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+use std::sync::Arc;
+
+/// Virtual-time breakdown of one WRITE (Figure 3(b)'s instrument).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WriteStats {
+    /// Provider-manager plan round trip.
+    pub plan_ns: u64,
+    /// Parallel page puts.
+    pub pages_ns: u64,
+    /// Version + border-link round trip.
+    pub ticket_ns: u64,
+    /// Metadata build + batched DHT puts — the paper's "metadata write".
+    pub meta_ns: u64,
+    /// Completion report round trip.
+    pub publish_ns: u64,
+    /// Tree nodes this write created.
+    pub nodes_built: u64,
+}
+
+impl WriteStats {
+    /// The metadata share (ticket + build + store + publish) — what
+    /// Fig. 3(b) plots.
+    pub fn metadata_ns(&self) -> u64 {
+        self.ticket_ns + self.meta_ns + self.publish_ns
+    }
+
+    /// Total time.
+    pub fn total_ns(&self) -> u64 {
+        self.plan_ns + self.pages_ns + self.ticket_ns + self.meta_ns + self.publish_ns
+    }
+}
+
+/// Virtual-time breakdown of one READ (Figure 3(a)'s instrument).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReadStats {
+    /// Version-manager round trip.
+    pub latest_ns: u64,
+    /// Tree descent with batched metadata fetches — what Fig. 3(a) plots.
+    pub meta_ns: u64,
+    /// Parallel page downloads + buffer assembly.
+    pub data_ns: u64,
+    /// Tree nodes visited.
+    pub nodes_visited: u64,
+}
+
+impl ReadStats {
+    /// The metadata share (latest + descent).
+    pub fn metadata_ns(&self) -> u64 {
+        self.latest_ns + self.meta_ns
+    }
+
+    /// Total time.
+    pub fn total_ns(&self) -> u64 {
+        self.latest_ns + self.meta_ns + self.data_ns
+    }
+}
+
+/// A client of the blob store. One instance per logical client process;
+/// cheap to create, internally synchronized only for its private cache.
+pub struct BlobClient {
+    rpc: RpcClient,
+    vm: NodeId,
+    pm: NodeId,
+    dht: DhtClient,
+    costs: ClientCosts,
+    cache: Option<Mutex<LruCache<NodeKey, NodeBody>>>,
+    geoms: RwLock<FxHashMap<BlobId, Geometry>>,
+    replication: u32,
+}
+
+impl BlobClient {
+    /// Assemble a client. Usually called via
+    /// [`Deployment::client`](crate::Deployment::client).
+    pub fn new(
+        rpc: RpcClient,
+        vm: NodeId,
+        pm: NodeId,
+        ring: Arc<RwLock<Ring>>,
+        costs: ClientCosts,
+        cache_nodes: usize,
+        replication: u32,
+    ) -> Self {
+        let dht = DhtClient::new(rpc.clone(), ring);
+        Self {
+            rpc,
+            vm,
+            pm,
+            dht,
+            costs,
+            cache: (cache_nodes > 0).then(|| Mutex::new(LruCache::new(cache_nodes))),
+            geoms: RwLock::new(FxHashMap::default()),
+            replication,
+        }
+    }
+
+    /// `(hits, misses)` of the metadata cache, if enabled.
+    pub fn cache_stats(&self) -> Option<(u64, u64)> {
+        self.cache.as_ref().map(|c| c.lock().stats())
+    }
+
+    /// `ALLOC`: create a blob, returning its descriptor.
+    pub fn alloc(
+        &self,
+        ctx: &mut Ctx,
+        total_size: u64,
+        page_size: u64,
+    ) -> Result<BlobInfo, BlobError> {
+        let info: BlobInfo =
+            self.rpc.call(ctx, self.vm, method::CREATE_BLOB, &CreateBlob { total_size, page_size })?;
+        self.geoms.write().insert(info.blob, info.geometry());
+        Ok(info)
+    }
+
+    /// Blob descriptor (geometry + latest published version).
+    pub fn info(&self, ctx: &mut Ctx, blob: BlobId) -> Result<BlobInfo, BlobError> {
+        let info: BlobInfo = self.rpc.call(ctx, self.vm, method::GET_BLOB, &GetLatest { blob })?;
+        self.geoms.write().insert(info.blob, info.geometry());
+        Ok(info)
+    }
+
+    /// Latest published version.
+    pub fn latest(&self, ctx: &mut Ctx, blob: BlobId) -> Result<Version, BlobError> {
+        self.rpc.call(ctx, self.vm, method::GET_LATEST, &GetLatest { blob })
+    }
+
+    fn geometry(&self, ctx: &mut Ctx, blob: BlobId) -> Result<Geometry, BlobError> {
+        if let Some(g) = self.geoms.read().get(&blob) {
+            return Ok(*g);
+        }
+        Ok(self.info(ctx, blob)?.geometry())
+    }
+
+    // ------------------------------------------------------------------
+    // WRITE
+    // ------------------------------------------------------------------
+
+    /// `WRITE(id, buffer, offset, size)` for page-aligned segments.
+    /// Returns the snapshot version this write produced (`vw`).
+    pub fn write(
+        &self,
+        ctx: &mut Ctx,
+        blob: BlobId,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<Version, BlobError> {
+        Ok(self.write_with_stats(ctx, blob, offset, data)?.0)
+    }
+
+    /// [`BlobClient::write`] with per-phase virtual-time breakdown — the
+    /// instrument behind Figure 3(b), which reports the *metadata* share
+    /// of a write.
+    pub fn write_with_stats(
+        &self,
+        ctx: &mut Ctx,
+        blob: BlobId,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<(Version, WriteStats), BlobError> {
+        let t0 = ctx.vt;
+        let seg = Segment::new(offset, data.len() as u64);
+        let geom = self.geometry(ctx, blob)?;
+        let range = geom.validate_aligned(&seg)?;
+        let n_pages = range.count();
+
+        // Step 1: provider-manager plan (write id + page placement).
+        let plan: blobseer_proto::messages::WritePlan = self.rpc.call(
+            ctx,
+            self.pm,
+            method::PLAN_WRITE,
+            &PlanWrite { blob, pages: n_pages, replication: self.replication },
+        )?;
+        if plan.targets.len() as u64 != n_pages {
+            return Err(BlobError::Internal("write plan page count mismatch"));
+        }
+        let t_plan = ctx.vt;
+
+        // Step 2: parallel page puts — one call per (page, replica). The
+        // client pays per-page preparation (splitting the buffer into
+        // page-sized send buffers).
+        ctx.advance(self.costs.write_page_ns * n_pages);
+        let mut calls: Vec<(NodeId, u16, PutPage)> = Vec::new();
+        let mut call_page: Vec<usize> = Vec::new();
+        for (i, page_idx) in range.iter().enumerate() {
+            let key = PageKey { blob, write: plan.write, index: page_idx };
+            let start = i * geom.page_size as usize;
+            let page_data = Bytes::copy_from_slice(&data[start..start + geom.page_size as usize]);
+            for &target in &plan.targets[i] {
+                calls.push((
+                    NodeId(target.0),
+                    method::PUT_PAGE,
+                    PutPage { key, data: page_data.clone() },
+                ));
+                call_page.push(i);
+            }
+        }
+        let put_results = self.rpc.fan_out::<PutPage, ()>(ctx, &calls);
+
+        // A page is durable on the replicas that acknowledged; require at
+        // least one per page.
+        let mut ok_replicas: Vec<Vec<ProviderId>> = vec![Vec::new(); n_pages as usize];
+        let mut first_err = None;
+        for (slot, res) in put_results.into_iter().enumerate() {
+            let page_i = call_page[slot];
+            match res {
+                Ok(()) => ok_replicas[page_i].push(ProviderId(calls[slot].0 .0)),
+                Err(e) => first_err = Some(e),
+            }
+        }
+        if ok_replicas.iter().any(|r| r.is_empty()) {
+            return Err(first_err.unwrap_or(BlobError::Internal("page put failed")));
+        }
+        let locs: Vec<PageLoc> = range
+            .iter()
+            .zip(ok_replicas)
+            .map(|(page_idx, replicas)| PageLoc {
+                key: PageKey { blob, write: plan.write, index: page_idx },
+                replicas,
+            })
+            .collect();
+        let t_pages = ctx.vt;
+
+        // Step 3: version number + precomputed border links.
+        let ticket: WriteTicket = self.rpc.call(
+            ctx,
+            self.vm,
+            method::REQUEST_VERSION,
+            &RequestVersion { blob, write: plan.write, offset: seg.offset, size: seg.size },
+        )?;
+        let t_ticket = ctx.vt;
+
+        // Step 4: build metadata in complete isolation, then batched puts.
+        let nodes = build_write_tree(&geom, blob, &seg, &locs, &ticket)?;
+        ctx.advance(self.costs.build_node_ns * nodes.len() as u64);
+        self.dht.put_nodes(ctx, &nodes)?;
+        if let Some(cache) = &self.cache {
+            let mut c = cache.lock();
+            for n in &nodes {
+                c.insert(n.key, n.body.clone());
+            }
+            ctx.advance(self.costs.cache_ns * nodes.len() as u64);
+        }
+
+        let t_meta = ctx.vt;
+
+        // Step 5: report success; the version manager publishes in order.
+        let _publish: PublishState = self.rpc.call(
+            ctx,
+            self.vm,
+            method::COMPLETE_WRITE,
+            &CompleteWrite { blob, version: ticket.version },
+        )?;
+        let stats = WriteStats {
+            plan_ns: t_plan - t0,
+            pages_ns: t_pages - t_plan,
+            ticket_ns: t_ticket - t_pages,
+            meta_ns: t_meta - t_ticket,
+            publish_ns: ctx.vt - t_meta,
+            nodes_built: blobseer_meta::node_count_for_write(&geom, &seg),
+        };
+        Ok((ticket.version, stats))
+    }
+
+    /// `WRITE` for arbitrary segments: read-modify-write of the boundary
+    /// pages against the latest published snapshot. Note the paper's model
+    /// only defines aligned segments (§II); this extension patches at page
+    /// granularity, so two *concurrent* unaligned writers touching the
+    /// same boundary page resolve last-writer-wins on that page.
+    pub fn write_unaligned(
+        &self,
+        ctx: &mut Ctx,
+        blob: BlobId,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<Version, BlobError> {
+        let seg = Segment::new(offset, data.len() as u64);
+        let geom = self.geometry(ctx, blob)?;
+        geom.validate_bounds(&seg)?;
+        let envelope = align_to_pages(&geom, &seg);
+        if envelope == seg {
+            return self.write(ctx, blob, offset, data);
+        }
+        let (mut buf, _latest) = self.read(ctx, blob, None, envelope)?;
+        let start = (seg.offset - envelope.offset) as usize;
+        buf[start..start + data.len()].copy_from_slice(data);
+        self.write(ctx, blob, envelope.offset, &buf)
+    }
+
+    // ------------------------------------------------------------------
+    // READ
+    // ------------------------------------------------------------------
+
+    /// `READ(id, v, buffer, offset, size)`.
+    ///
+    /// * `version: None` reads the latest published snapshot.
+    /// * `version: Some(v)` fails with
+    ///   [`BlobError::VersionNotPublished`] if `v` has not been published —
+    ///   exactly the paper's semantics.
+    ///
+    /// Returns the bytes and `vr`, the latest published version observed
+    /// (`vr >= v` always holds).
+    pub fn read(
+        &self,
+        ctx: &mut Ctx,
+        blob: BlobId,
+        version: Option<Version>,
+        seg: Segment,
+    ) -> Result<(Vec<u8>, Version), BlobError> {
+        let (data, latest, _) = self.read_with_stats(ctx, blob, version, seg)?;
+        Ok((data, latest))
+    }
+
+    /// [`BlobClient::read`] with a virtual-time breakdown — the instrument
+    /// behind Figure 3(a), which reports the *metadata* share of a read.
+    pub fn read_with_stats(
+        &self,
+        ctx: &mut Ctx,
+        blob: BlobId,
+        version: Option<Version>,
+        seg: Segment,
+    ) -> Result<(Vec<u8>, Version, ReadStats), BlobError> {
+        let t0 = ctx.vt;
+        let geom = self.geometry(ctx, blob)?;
+        geom.validate_bounds(&seg)?;
+
+        // Single interaction with the (only) centralized entity.
+        let latest = self.latest(ctx, blob)?;
+        let t_latest = ctx.vt;
+        let v = match version {
+            None => latest,
+            Some(v) if v > latest => {
+                return Err(BlobError::VersionNotPublished { requested: v, latest })
+            }
+            Some(v) => v,
+        };
+        if v == 0 {
+            let stats = ReadStats {
+                latest_ns: t_latest - t0,
+                meta_ns: 0,
+                data_ns: 0,
+                nodes_visited: 0,
+            };
+            return Ok((vec![0u8; seg.size as usize], latest, stats));
+        }
+
+        // Level-by-level descent with batched parallel metadata fetches.
+        let mut nodes_visited = 0u64;
+        let mut frontier = vec![root_key(&geom, blob, v)];
+        let mut zeros: Vec<Segment> = Vec::new();
+        let mut leaves: Vec<(PageLoc, Segment)> = Vec::new();
+        while !frontier.is_empty() {
+            let mut bodies: Vec<Option<NodeBody>> = vec![None; frontier.len()];
+            let mut missing_idx = Vec::new();
+            if let Some(cache) = &self.cache {
+                let mut c = cache.lock();
+                for (i, key) in frontier.iter().enumerate() {
+                    match c.get(key) {
+                        Some(body) => bodies[i] = Some(body.clone()),
+                        None => missing_idx.push(i),
+                    }
+                }
+                ctx.advance(self.costs.cache_ns * frontier.len() as u64);
+            } else {
+                missing_idx = (0..frontier.len()).collect();
+            }
+            if !missing_idx.is_empty() {
+                let keys: Vec<NodeKey> = missing_idx.iter().map(|&i| frontier[i]).collect();
+                let fetched = self.dht.get_nodes(ctx, &keys)?;
+                for (&i, node) in missing_idx.iter().zip(fetched) {
+                    let node = node.ok_or(BlobError::MissingMetadata {
+                        blob,
+                        version: frontier[i].version,
+                    })?;
+                    if let Some(cache) = &self.cache {
+                        cache.lock().insert(node.key, node.body.clone());
+                    }
+                    bodies[i] = Some(node.body);
+                }
+                // Client-side processing of freshly fetched nodes.
+                ctx.advance(self.costs.read_node_ns * missing_idx.len() as u64);
+            }
+            let mut next = Vec::new();
+            nodes_visited += frontier.len() as u64;
+            for (key, body) in frontier.iter().zip(bodies) {
+                let body = body.expect("filled above");
+                for visit in expand(&geom, key, &body, &seg)? {
+                    match visit {
+                        Visit::Descend(k) => next.push(k),
+                        Visit::Zeros(z) => zeros.push(z),
+                        Visit::Page { page, blob_range } => leaves.push((page, blob_range)),
+                    }
+                }
+            }
+            frontier = next;
+        }
+        let t_meta = ctx.vt;
+
+        // Parallel page downloads with replica failover.
+        let pages = self.fetch_pages(ctx, &leaves)?;
+        ctx.advance(self.costs.page_ns * pages.len() as u64);
+        let buf = assemble_read(&geom, &seg, &zeros, &pages)?;
+        let stats = ReadStats {
+            latest_ns: t_latest - t0,
+            meta_ns: t_meta - t_latest,
+            data_ns: ctx.vt - t_meta,
+            nodes_visited,
+        };
+        Ok((buf, latest, stats))
+    }
+
+    /// Fetch every leaf's page, primary replica first, failing over to the
+    /// remaining replicas.
+    fn fetch_pages(
+        &self,
+        ctx: &mut Ctx,
+        leaves: &[(PageLoc, Segment)],
+    ) -> Result<Vec<(PageLoc, Segment, Bytes)>, BlobError> {
+        if leaves.is_empty() {
+            return Ok(Vec::new());
+        }
+        let calls: Vec<(NodeId, u16, GetPage)> = leaves
+            .iter()
+            .map(|(loc, _)| {
+                // Well-formed leaves always carry at least one replica; a
+                // malformed one routes to an impossible node and surfaces
+                // as MissingPage through the normal failover path.
+                let primary = loc.replicas.first().copied().unwrap_or(ProviderId(u32::MAX));
+                (NodeId(primary.0), method::GET_PAGE, GetPage { key: loc.key })
+            })
+            .collect();
+        let results = self.rpc.fan_out::<GetPage, Bytes>(ctx, &calls);
+        let mut out = Vec::with_capacity(leaves.len());
+        for ((loc, range), res) in leaves.iter().zip(results) {
+            let data = match res {
+                Ok(data) => data,
+                Err(_primary_err) => {
+                    // Failover: try the remaining replicas one by one.
+                    let mut found = None;
+                    for &replica in loc.replicas.iter().skip(1) {
+                        let r: Result<Bytes, BlobError> = self.rpc.call(
+                            ctx,
+                            NodeId(replica.0),
+                            method::GET_PAGE,
+                            &GetPage { key: loc.key },
+                        );
+                        if let Ok(data) = r {
+                            found = Some(data);
+                            break;
+                        }
+                    }
+                    found.ok_or_else(|| BlobError::MissingPage {
+                        tried: loc.replicas.clone(),
+                    })?
+                }
+            };
+            out.push((loc.clone(), *range, data));
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Garbage collection (paper §VI future work, implemented)
+    // ------------------------------------------------------------------
+
+    /// Discard every version below `keep_from`. Returns
+    /// `(tree_nodes_removed, pages_removed)`.
+    ///
+    /// The version manager computes the dead set (metadata-only
+    /// reasoning); the client resolves dead leaves to replica locations,
+    /// deletes the pages, then the tree nodes.
+    pub fn gc(
+        &self,
+        ctx: &mut Ctx,
+        blob: BlobId,
+        keep_from: Version,
+    ) -> Result<(u64, u64), BlobError> {
+        let plan: blobseer_proto::messages::GcPlan =
+            self.rpc.call(ctx, self.vm, method::GC_PLAN, &GcRequest { blob, keep_from })?;
+        if plan.dead_nodes.is_empty() {
+            return Ok((0, 0));
+        }
+        // Resolve dead leaves to their replica sets.
+        let geom = self.geometry(ctx, blob)?;
+        let leaf_keys: Vec<NodeKey> = plan
+            .dead_nodes
+            .iter()
+            .copied()
+            .filter(|k| k.size == geom.page_size)
+            .collect();
+        let leaves = self.dht.get_nodes(ctx, &leaf_keys)?;
+        let mut page_calls: Vec<(NodeId, u16, RemovePage)> = Vec::new();
+        for leaf in leaves.into_iter().flatten() {
+            if let NodeBody::Leaf { page } = leaf.body {
+                for &replica in &page.replicas {
+                    page_calls.push((
+                        NodeId(replica.0),
+                        method::REMOVE_PAGE,
+                        RemovePage { key: page.key },
+                    ));
+                }
+            }
+        }
+        let removed_pages: u64 = self
+            .rpc
+            .fan_out::<RemovePage, bool>(ctx, &page_calls)
+            .into_iter()
+            .filter(|r| matches!(r, Ok(true)))
+            .count() as u64;
+
+        // Drop the metadata (all replicas) and purge the local cache.
+        let removed_nodes = self.dht.remove_nodes(ctx, &plan.dead_nodes);
+        if let Some(cache) = &self.cache {
+            let mut c = cache.lock();
+            for k in &plan.dead_nodes {
+                c.remove(k);
+            }
+        }
+        Ok((removed_nodes, removed_pages))
+    }
+}

@@ -1,0 +1,276 @@
+//! Deployment assembly: wire every actor of Figure 1 onto a simulated
+//! cluster.
+//!
+//! The paper's canonical topology (§V.C/D): N nodes each hosting **one
+//! data provider and one metadata provider**, plus two dedicated nodes for
+//! the version manager and the provider manager; clients run on their own
+//! nodes. [`Deployment::build`] reproduces exactly that and returns a
+//! handle from which any number of [`BlobClient`](crate::BlobClient)s can
+//! be spawned.
+
+use crate::client::BlobClient;
+use crate::vm_service::VersionManagerService;
+use blobseer_dht::{DhtNodeService, Ring};
+use blobseer_proto::messages::ProviderStats;
+use blobseer_proto::{NodeId, ProviderId};
+use blobseer_provider::{DataProviderService, ProviderManagerService, Strategy};
+use blobseer_rpc::{dispatch_frame, AggregationPolicy, Frame, RpcClient, ServerCtx, Service};
+use blobseer_simnet::{ClientCosts, CostModel, ServiceCosts, SimCluster};
+use blobseer_version::VersionRegistry;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// One storage node's two co-located services (paper: "each hosting one
+/// data provider and one metadata provider"), routed by method namespace.
+pub struct StorageNodeService {
+    /// The data-provider half.
+    pub data: Arc<DataProviderService>,
+    /// The metadata-provider half.
+    pub meta: Arc<DhtNodeService>,
+}
+
+impl Service for StorageNodeService {
+    fn name(&self) -> &'static str {
+        "storage-node"
+    }
+
+    fn handle(&self, ctx: &mut ServerCtx, frame: &Frame) -> Frame {
+        match frame.method >> 8 {
+            0x01 => dispatch_frame(self.data.as_ref(), ctx, frame),
+            0x03 => dispatch_frame(self.meta.as_ref(), ctx, frame),
+            _ => blobseer_rpc::error_frame(
+                frame.method,
+                blobseer_proto::BlobError::Internal("method not served by storage node"),
+            ),
+        }
+    }
+}
+
+/// Deployment parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DeploymentConfig {
+    /// Number of storage nodes (data + metadata provider each).
+    pub providers: usize,
+    /// Page replica count (1 = the paper's base configuration).
+    pub replication: u32,
+    /// Metadata (DHT) replica count.
+    pub meta_replication: usize,
+    /// Page placement strategy.
+    pub strategy: Strategy,
+    /// RAM capacity per data provider, bytes.
+    pub provider_capacity: u64,
+    /// Transport cost model.
+    pub cost: CostModel,
+    /// Service processing costs.
+    pub service_costs: ServiceCosts,
+    /// Client-side processing costs.
+    pub client_costs: ClientCosts,
+    /// RPC aggregation (the paper's optimization; off for ablations).
+    pub aggregation: AggregationPolicy,
+    /// Client metadata cache capacity in tree nodes (0 disables; the
+    /// paper's experiments use 2^20 when enabled).
+    pub cache_nodes: usize,
+    /// Placement/ring seed.
+    pub seed: u64,
+}
+
+impl DeploymentConfig {
+    /// The paper's §V testbed defaults with `providers` storage nodes.
+    pub fn grid5000(providers: usize) -> Self {
+        Self {
+            providers,
+            replication: 1,
+            meta_replication: 1,
+            strategy: Strategy::LeastLoaded,
+            provider_capacity: 4 << 30, // 4 GB nodes
+            cost: CostModel::grid5000(),
+            service_costs: ServiceCosts::grid5000(),
+            client_costs: ClientCosts::grid5000(),
+            aggregation: AggregationPolicy::Batch,
+            cache_nodes: 0, // paper's worst case: caching disabled
+            seed: 0x5eed,
+        }
+    }
+
+    /// Zero-cost deployment for functional tests: logic identical, all
+    /// virtual-time charges zero.
+    pub fn functional(providers: usize) -> Self {
+        Self {
+            providers,
+            replication: 1,
+            meta_replication: 1,
+            strategy: Strategy::LeastLoaded,
+            provider_capacity: u64::MAX,
+            cost: CostModel::zero(),
+            service_costs: ServiceCosts::zero(),
+            client_costs: ClientCosts::zero(),
+            aggregation: AggregationPolicy::Batch,
+            cache_nodes: 0,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// A fully wired system on a simulated cluster.
+pub struct Deployment {
+    /// The cluster (also the transport).
+    pub cluster: Arc<SimCluster>,
+    /// Configuration used to build it.
+    pub config: DeploymentConfig,
+    /// Version manager node.
+    pub vm_node: NodeId,
+    /// Provider manager node.
+    pub pm_node: NodeId,
+    /// Storage nodes, in creation order.
+    pub storage_nodes: Vec<NodeId>,
+    /// The version registry (for white-box assertions in tests).
+    pub registry: Arc<VersionRegistry>,
+    /// Storage node service handles (for white-box assertions).
+    pub storage: Vec<Arc<StorageNodeService>>,
+    /// Provider manager handle.
+    pub manager: Arc<ProviderManagerService>,
+    /// The shared metadata ring.
+    pub ring: Arc<RwLock<Ring>>,
+}
+
+impl Deployment {
+    /// Build the paper's topology on a fresh simulated cluster.
+    pub fn build(config: DeploymentConfig) -> Self {
+        assert!(config.providers >= 1, "need at least one storage node");
+        let cluster = Arc::new(SimCluster::new(config.cost));
+
+        // Dedicated manager nodes (paper: "deployed on separate,
+        // dedicated nodes").
+        let vm_node = cluster.add_node();
+        let pm_node = cluster.add_node();
+
+        let registry = Arc::new(VersionRegistry::default());
+        cluster.bind(
+            vm_node,
+            Arc::new(VersionManagerService::new(Arc::clone(&registry), config.service_costs)),
+        );
+
+        let manager = Arc::new(ProviderManagerService::new(
+            config.strategy,
+            config.seed,
+            config.service_costs,
+        ));
+        cluster.bind(pm_node, manager.clone() as Arc<dyn Service>);
+
+        // Storage nodes.
+        let mut storage_nodes = Vec::with_capacity(config.providers);
+        let mut storage = Vec::with_capacity(config.providers);
+        for _ in 0..config.providers {
+            let node = cluster.add_node();
+            let svc = Arc::new(StorageNodeService {
+                data: Arc::new(DataProviderService::new(
+                    config.provider_capacity,
+                    config.service_costs,
+                )),
+                meta: Arc::new(DhtNodeService::new(config.service_costs)),
+            });
+            cluster.bind(node, svc.clone() as Arc<dyn Service>);
+            // Register with the provider manager (in a real run this is an
+            // RPC from the provider at startup; the registration content is
+            // identical).
+            manager.register(ProviderId(node.0), config.provider_capacity);
+            storage_nodes.push(node);
+            storage.push(svc);
+        }
+
+        let ring = Arc::new(RwLock::new(Ring::new(
+            &storage_nodes,
+            128,
+            config.meta_replication,
+            config.seed,
+        )));
+
+        Self {
+            cluster,
+            config,
+            vm_node,
+            pm_node,
+            storage_nodes,
+            registry,
+            storage,
+            manager,
+            ring,
+        }
+    }
+
+    /// Spawn a client on its own fresh node.
+    pub fn client(&self) -> BlobClient {
+        let node = self.cluster.add_node();
+        let rpc = RpcClient::new(Arc::clone(&self.cluster) as _, node)
+            .with_aggregation(self.config.aggregation);
+        BlobClient::new(
+            rpc,
+            self.vm_node,
+            self.pm_node,
+            Arc::clone(&self.ring),
+            self.config.client_costs,
+            self.config.cache_nodes,
+            self.config.replication,
+        )
+    }
+
+    /// Kill storage node `i` (both of its services become unreachable).
+    pub fn kill_storage(&self, i: usize) {
+        self.cluster.kill(self.storage_nodes[i]);
+        self.manager.mark_dead(ProviderId(self.storage_nodes[i].0));
+    }
+
+    /// Revive storage node `i` and re-register it.
+    pub fn revive_storage(&self, i: usize) {
+        self.cluster.revive(self.storage_nodes[i]);
+        self.manager.register(
+            ProviderId(self.storage_nodes[i].0),
+            self.config.provider_capacity,
+        );
+    }
+
+    /// Send a heartbeat for storage node `i` with its true current usage
+    /// (drives the least-loaded strategy in long benches).
+    pub fn heartbeat(&self, i: usize) {
+        let stats: ProviderStats = self.storage[i].data.stats();
+        self.manager.heartbeat(ProviderId(self.storage_nodes[i].0), stats);
+    }
+
+    /// Total pages stored across the cluster.
+    pub fn total_pages(&self) -> usize {
+        self.storage.iter().map(|s| s.data.page_count()).sum()
+    }
+
+    /// Total metadata tree nodes stored across the cluster.
+    pub fn total_tree_nodes(&self) -> usize {
+        self.storage.iter().map(|s| s.meta.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_paper_topology() {
+        let d = Deployment::build(DeploymentConfig::functional(5));
+        assert_eq!(d.storage_nodes.len(), 5);
+        assert_eq!(d.cluster.len(), 2 + 5);
+        assert_eq!(d.manager.provider_count(), 5);
+        assert_eq!(d.total_pages(), 0);
+    }
+
+    #[test]
+    fn composite_routing_by_namespace() {
+        use blobseer_proto::messages::{method, GetLatest};
+        let d = Deployment::build(DeploymentConfig::functional(1));
+        // A version-manager method sent to a storage node must be refused.
+        let frame = Frame::from_msg(
+            method::GET_LATEST,
+            &GetLatest { blob: blobseer_proto::BlobId(1) },
+        );
+        let mut ctx = ServerCtx::new(0);
+        let resp = d.storage[0].handle(&mut ctx, &frame);
+        assert!(blobseer_rpc::parse_response::<u64>(&resp).is_err());
+    }
+}

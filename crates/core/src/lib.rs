@@ -1,0 +1,37 @@
+//! # blobseer-core
+//!
+//! The paper's system, assembled: version-manager service, deployment
+//! builder reproducing the Figure 1 topology on the simulated cluster, and
+//! the [`BlobClient`] implementing `ALLOC` / `READ` / `WRITE` with
+//! parallel fan-out, client-side metadata caching, page/metadata
+//! replication and garbage collection.
+//!
+//! ```
+//! use blobseer_core::{Deployment, DeploymentConfig};
+//! use blobseer_rpc::Ctx;
+//! use blobseer_proto::Segment;
+//!
+//! let d = Deployment::build(DeploymentConfig::functional(4));
+//! let client = d.client();
+//! let mut ctx = Ctx::start();
+//! let info = client.alloc(&mut ctx, 1 << 20, 4096).unwrap();
+//! let v = client.write(&mut ctx, info.blob, 0, &[7u8; 8192]).unwrap();
+//! assert_eq!(v, 1);
+//! let (data, latest) = client
+//!     .read(&mut ctx, info.blob, Some(v), Segment::new(0, 8192))
+//!     .unwrap();
+//! assert_eq!(latest, 1);
+//! assert!(data.iter().all(|&b| b == 7));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod deployment;
+pub mod local;
+pub mod vm_service;
+
+pub use client::BlobClient;
+pub use deployment::{Deployment, DeploymentConfig, StorageNodeService};
+pub use local::LocalEngine;
+pub use vm_service::VersionManagerService;

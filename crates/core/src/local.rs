@@ -1,0 +1,281 @@
+//! `LocalEngine` — the embedded, in-process, thread-safe deployment.
+//!
+//! The full BlobSeer protocol (version assignment, border links, weaving,
+//! publication) with every network hop replaced by a shared-memory map
+//! access. This is:
+//!
+//! * the **embedded mode** for users who want versioned-snapshot semantics
+//!   inside one process (many concurrent threads, zero serialization on
+//!   the data path);
+//! * the fair **lock-free comparator** for the lock-based baselines in
+//!   `blobseer-baseline` (same memory regime, same thread model — the only
+//!   variable is the concurrency control design);
+//! * the workhorse of wall-clock stress tests.
+
+use blobseer_meta::read::{assemble_read, expand, root_key, Visit};
+use blobseer_meta::shape::align_to_pages;
+use blobseer_meta::write::build_write_tree;
+use blobseer_proto::tree::{NodeBody, NodeKey, PageKey, PageLoc};
+use blobseer_proto::{BlobError, BlobId, Geometry, ProviderId, Segment, Version, WriteId};
+use blobseer_util::ShardedMap;
+use blobseer_version::{BlobState, VersionRegistry};
+use bytes::Bytes;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An in-process, concurrent, versioned blob store (the paper's semantics
+/// without the network).
+pub struct LocalEngine {
+    registry: VersionRegistry,
+    nodes: ShardedMap<NodeKey, NodeBody>,
+    pages: ShardedMap<PageKey, Bytes>,
+    next_write: AtomicU64,
+}
+
+impl Default for LocalEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LocalEngine {
+    /// Empty engine.
+    pub fn new() -> Self {
+        Self {
+            registry: VersionRegistry::default(),
+            nodes: ShardedMap::with_shards(128),
+            pages: ShardedMap::with_shards(128),
+            next_write: AtomicU64::new(1),
+        }
+    }
+
+    /// `ALLOC`: create a blob.
+    pub fn alloc(&self, total_size: u64, page_size: u64) -> Result<BlobId, BlobError> {
+        let geom = Geometry::new(total_size, page_size)?;
+        Ok(self.registry.create_blob(geom).blob)
+    }
+
+    fn state(&self, blob: BlobId) -> Result<Arc<BlobState>, BlobError> {
+        self.registry.get(blob)
+    }
+
+    /// Latest published version.
+    pub fn latest(&self, blob: BlobId) -> Result<Version, BlobError> {
+        Ok(self.state(blob)?.latest())
+    }
+
+    /// Blob geometry.
+    pub fn geometry(&self, blob: BlobId) -> Result<Geometry, BlobError> {
+        Ok(self.state(blob)?.geom)
+    }
+
+    /// Stored tree nodes (white-box metric).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Stored pages (white-box metric).
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// `WRITE` (page-aligned). Fully concurrent: the only serialization is
+    /// the version manager's microsecond assignment step.
+    pub fn write(&self, blob: BlobId, offset: u64, data: &[u8]) -> Result<Version, BlobError> {
+        let state = self.state(blob)?;
+        let geom = state.geom;
+        let seg = Segment::new(offset, data.len() as u64);
+        let range = geom.validate_aligned(&seg)?;
+
+        // Phase 1: store pages under a fresh write id.
+        let wid = WriteId(self.next_write.fetch_add(1, Ordering::Relaxed));
+        let mut locs = Vec::with_capacity(range.count() as usize);
+        for (i, page_idx) in range.iter().enumerate() {
+            let key = PageKey { blob, write: wid, index: page_idx };
+            let start = i * geom.page_size as usize;
+            self.pages.insert(
+                key,
+                Bytes::copy_from_slice(&data[start..start + geom.page_size as usize]),
+            );
+            locs.push(PageLoc { key, replicas: vec![ProviderId(0)] });
+        }
+
+        // Phase 2: version + border links (the serialization point).
+        let ticket = state.request_version(wid, seg)?;
+
+        // Phase 3: weave metadata in isolation.
+        let tree = build_write_tree(&geom, blob, &seg, &locs, &ticket)?;
+        for n in tree {
+            self.nodes.insert(n.key, n.body);
+        }
+
+        // Phase 4: publish.
+        state.complete_write(ticket.version)?;
+        Ok(ticket.version)
+    }
+
+    /// `WRITE` for unaligned segments (read-modify-write envelope).
+    pub fn write_unaligned(
+        &self,
+        blob: BlobId,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<Version, BlobError> {
+        let geom = self.geometry(blob)?;
+        let seg = Segment::new(offset, data.len() as u64);
+        geom.validate_bounds(&seg)?;
+        let envelope = align_to_pages(&geom, &seg);
+        if envelope == seg {
+            return self.write(blob, offset, data);
+        }
+        let latest = self.latest(blob)?;
+        let mut buf = self.read(blob, Some(latest), envelope)?.0;
+        let start = (seg.offset - envelope.offset) as usize;
+        buf[start..start + data.len()].copy_from_slice(data);
+        self.write(blob, envelope.offset, &buf)
+    }
+
+    /// `READ` at `version` (or the latest when `None`); returns the bytes
+    /// and the latest-version witness.
+    pub fn read(
+        &self,
+        blob: BlobId,
+        version: Option<Version>,
+        seg: Segment,
+    ) -> Result<(Vec<u8>, Version), BlobError> {
+        let state = self.state(blob)?;
+        let geom = state.geom;
+        geom.validate_bounds(&seg)?;
+        let latest = state.latest();
+        let v = match version {
+            None => latest,
+            Some(v) if v > latest => {
+                return Err(BlobError::VersionNotPublished { requested: v, latest })
+            }
+            Some(v) => v,
+        };
+        if v == 0 {
+            return Ok((vec![0u8; seg.size as usize], latest));
+        }
+        let mut frontier = vec![root_key(&geom, blob, v)];
+        let mut zeros = Vec::new();
+        let mut hits = Vec::new();
+        while let Some(key) = frontier.pop() {
+            let body = self
+                .nodes
+                .get_cloned(&key)
+                .ok_or(BlobError::MissingMetadata { blob, version: key.version })?;
+            for visit in expand(&geom, &key, &body, &seg)? {
+                match visit {
+                    Visit::Descend(k) => frontier.push(k),
+                    Visit::Zeros(z) => zeros.push(z),
+                    Visit::Page { page, blob_range } => {
+                        let data = self
+                            .pages
+                            .get_cloned(&page.key)
+                            .ok_or(BlobError::MissingPage { tried: page.replicas.clone() })?;
+                        hits.push((page, blob_range, data));
+                    }
+                }
+            }
+        }
+        Ok((assemble_read(&geom, &seg, &zeros, &hits)?, latest))
+    }
+
+    /// Garbage-collect versions below `keep_from`; returns
+    /// `(nodes_removed, pages_removed)`.
+    pub fn gc(&self, blob: BlobId, keep_from: Version) -> Result<(u64, u64), BlobError> {
+        let state = self.state(blob)?;
+        let plan = state.gc_plan(keep_from);
+        let mut pages_removed = 0u64;
+        for key in &plan.dead_nodes {
+            if key.size == state.geom.page_size {
+                if let Some(NodeBody::Leaf { page }) = self.nodes.get_cloned(key) {
+                    if self.pages.remove(&page.key).is_some() {
+                        pages_removed += 1;
+                    }
+                }
+            }
+        }
+        let mut nodes_removed = 0u64;
+        for key in &plan.dead_nodes {
+            if self.nodes.remove(key).is_some() {
+                nodes_removed += 1;
+            }
+        }
+        Ok((nodes_removed, pages_removed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    const PAGE: u64 = 512;
+    const TOTAL: u64 = PAGE * 16;
+
+    #[test]
+    fn basic_cycle() {
+        let e = LocalEngine::new();
+        let blob = e.alloc(TOTAL, PAGE).unwrap();
+        assert_eq!(e.latest(blob).unwrap(), 0);
+        let v = e.write(blob, 0, &vec![9u8; PAGE as usize]).unwrap();
+        assert_eq!(v, 1);
+        let (data, latest) = e.read(blob, Some(1), Segment::new(0, PAGE)).unwrap();
+        assert_eq!(latest, 1);
+        assert!(data.iter().all(|&b| b == 9));
+        // Unallocated space reads zero.
+        let (z, _) = e.read(blob, None, Segment::new(PAGE, PAGE)).unwrap();
+        assert!(z.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn unaligned_and_gc() {
+        let e = LocalEngine::new();
+        let blob = e.alloc(TOTAL, PAGE).unwrap();
+        e.write(blob, 0, &vec![1u8; TOTAL as usize]).unwrap();
+        e.write_unaligned(blob, 10, &[2u8; 5]).unwrap();
+        let (buf, _) = e.read(blob, None, Segment::new(0, 20)).unwrap();
+        assert_eq!(&buf[10..15], &[2u8; 5]);
+        e.write(blob, 0, &vec![3u8; PAGE as usize]).unwrap();
+        let (n, p) = e.gc(blob, 3).unwrap();
+        assert!(n > 0 && p > 0);
+        let (buf, _) = e.read(blob, Some(3), Segment::new(0, TOTAL)).unwrap();
+        assert!(buf[..PAGE as usize].iter().all(|&b| b == 3));
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers() {
+        let e = Arc::new(LocalEngine::new());
+        let blob = e.alloc(TOTAL, PAGE).unwrap();
+        e.write(blob, 0, &vec![7u8; TOTAL as usize]).unwrap();
+
+        let writer = {
+            let e = Arc::clone(&e);
+            thread::spawn(move || {
+                for i in 0..100u64 {
+                    let off = (i % 16) * PAGE;
+                    e.write(blob, off, &vec![(i % 250) as u8 + 1; PAGE as usize]).unwrap();
+                }
+            })
+        };
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let e = Arc::clone(&e);
+                thread::spawn(move || {
+                    for _ in 0..200 {
+                        // Version 1 is immutable forever.
+                        let (buf, _) = e.read(blob, Some(1), Segment::new(0, TOTAL)).unwrap();
+                        assert!(buf.iter().all(|&b| b == 7));
+                    }
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(e.latest(blob).unwrap(), 101);
+    }
+}

@@ -1,0 +1,176 @@
+//! The version manager as an RPC service (paper §III.A: "the key actor of
+//! the system").
+//!
+//! All state lives in [`blobseer_version::VersionRegistry`]; this wrapper
+//! adds wire dispatch and simulated processing costs. Note what is *not*
+//! here: no locks around reads of the latest version (atomic load), no
+//! serialization between completion reports (lock-free publish window) —
+//! only version assignment takes the per-blob mutex, for microseconds.
+
+use blobseer_proto::messages::{
+    method, CompleteWrite, CreateBlob, GcRequest, GetLatest, PublishState, RequestVersion,
+};
+use blobseer_proto::{BlobError, Geometry};
+use blobseer_rpc::{error_frame, respond, Frame, ServerCtx, Service};
+use blobseer_simnet::ServiceCosts;
+use blobseer_version::VersionRegistry;
+use std::sync::Arc;
+
+/// RPC facade over the version registry.
+pub struct VersionManagerService {
+    registry: Arc<VersionRegistry>,
+    costs: ServiceCosts,
+}
+
+impl VersionManagerService {
+    /// Wrap a registry.
+    pub fn new(registry: Arc<VersionRegistry>, costs: ServiceCosts) -> Self {
+        Self { registry, costs }
+    }
+
+    /// The underlying registry (shared with tests/recovery tooling).
+    pub fn registry(&self) -> &Arc<VersionRegistry> {
+        &self.registry
+    }
+}
+
+impl Service for VersionManagerService {
+    fn name(&self) -> &'static str {
+        "version-manager"
+    }
+
+    fn handle(&self, ctx: &mut ServerCtx, frame: &Frame) -> Frame {
+        match frame.method {
+            method::CREATE_BLOB => {
+                ctx.charge(self.costs.manager_query_ns);
+                respond(frame, |m: CreateBlob| {
+                    let geom = Geometry::new(m.total_size, m.page_size)?;
+                    let state = self.registry.create_blob(geom);
+                    Ok(state.info())
+                })
+            }
+            method::GET_BLOB => {
+                ctx.charge(self.costs.manager_query_ns);
+                respond(frame, |m: GetLatest| Ok(self.registry.get(m.blob)?.info()))
+            }
+            method::GET_LATEST => {
+                ctx.charge(self.costs.manager_query_ns);
+                respond(frame, |m: GetLatest| Ok(self.registry.get(m.blob)?.latest()))
+            }
+            method::REQUEST_VERSION => {
+                ctx.charge(self.costs.version_assign_ns);
+                respond(frame, |m: RequestVersion| {
+                    let state = self.registry.get(m.blob)?;
+                    state.request_version(m.write, m.segment())
+                })
+            }
+            method::COMPLETE_WRITE => {
+                ctx.charge(self.costs.manager_query_ns);
+                respond(frame, |m: CompleteWrite| {
+                    let state = self.registry.get(m.blob)?;
+                    Ok(PublishState { latest: state.complete_write(m.version)? })
+                })
+            }
+            method::GC_PLAN => {
+                ctx.charge(self.costs.version_assign_ns);
+                respond(frame, |m: GcRequest| {
+                    let state = self.registry.get(m.blob)?;
+                    Ok(state.gc_plan(m.keep_from))
+                })
+            }
+            other => error_frame(other, BlobError::Internal("unknown version-manager method")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blobseer_proto::messages::{BlobInfo, BorderLink, WriteTicket};
+    use blobseer_proto::WriteId;
+    use blobseer_rpc::parse_response;
+
+    fn svc() -> VersionManagerService {
+        VersionManagerService::new(
+            Arc::new(VersionRegistry::default()),
+            ServiceCosts::zero(),
+        )
+    }
+
+    #[test]
+    fn create_and_query_blob() {
+        let s = svc();
+        let mut ctx = ServerCtx::new(0);
+        let resp = s.handle(
+            &mut ctx,
+            &Frame::from_msg(method::CREATE_BLOB, &CreateBlob { total_size: 4096, page_size: 1024 }),
+        );
+        let info = parse_response::<BlobInfo>(&resp).unwrap();
+        assert_eq!(info.latest, 0);
+        let resp = s.handle(
+            &mut ctx,
+            &Frame::from_msg(method::GET_LATEST, &GetLatest { blob: info.blob }),
+        );
+        assert_eq!(parse_response::<u64>(&resp).unwrap(), 0);
+    }
+
+    #[test]
+    fn bad_geometry_rejected() {
+        let s = svc();
+        let mut ctx = ServerCtx::new(0);
+        let resp = s.handle(
+            &mut ctx,
+            &Frame::from_msg(method::CREATE_BLOB, &CreateBlob { total_size: 100, page_size: 10 }),
+        );
+        assert!(parse_response::<BlobInfo>(&resp).is_err());
+    }
+
+    #[test]
+    fn full_write_cycle_over_rpc() {
+        let s = svc();
+        let mut ctx = ServerCtx::new(0);
+        let resp = s.handle(
+            &mut ctx,
+            &Frame::from_msg(method::CREATE_BLOB, &CreateBlob { total_size: 4096, page_size: 1024 }),
+        );
+        let info = parse_response::<BlobInfo>(&resp).unwrap();
+
+        let resp = s.handle(
+            &mut ctx,
+            &Frame::from_msg(
+                method::REQUEST_VERSION,
+                &RequestVersion { blob: info.blob, write: WriteId(1), offset: 1024, size: 1024 },
+            ),
+        );
+        let ticket = parse_response::<WriteTicket>(&resp).unwrap();
+        assert_eq!(ticket.version, 1);
+        // First write: every border links to version 0.
+        assert!(ticket
+            .borders
+            .iter()
+            .all(|b: &BorderLink| b.left.or(b.right) == Some(0)));
+
+        let resp = s.handle(
+            &mut ctx,
+            &Frame::from_msg(
+                method::COMPLETE_WRITE,
+                &CompleteWrite { blob: info.blob, version: 1 },
+            ),
+        );
+        assert_eq!(parse_response::<PublishState>(&resp).unwrap().latest, 1);
+    }
+
+    #[test]
+    fn unknown_blob_errors() {
+        let s = svc();
+        let mut ctx = ServerCtx::new(0);
+        let resp = s.handle(
+            &mut ctx,
+            &Frame::from_msg(method::GET_LATEST, &GetLatest { blob: blobseer_proto::BlobId(99) }),
+        );
+        assert!(matches!(
+            parse_response::<u64>(&resp),
+            Err(BlobError::UnknownBlob(_))
+        ));
+    }
+}

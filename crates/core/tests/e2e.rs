@@ -1,0 +1,333 @@
+//! End-to-end functional tests of the full distributed stack (zero-cost
+//! transport: logic identical to the costed runs, instant).
+
+use blobseer_core::{Deployment, DeploymentConfig};
+use blobseer_meta::ReferenceStore;
+use blobseer_proto::{BlobError, Segment};
+use blobseer_rpc::{AggregationPolicy, Ctx};
+use blobseer_util::rng::rng_for;
+use rand::Rng;
+
+const PAGE: u64 = 1024;
+const PAGES: u64 = 32;
+const TOTAL: u64 = PAGE * PAGES;
+
+fn seg(o: u64, s: u64) -> Segment {
+    Segment::new(o, s)
+}
+
+#[test]
+fn alloc_write_read_roundtrip() {
+    let d = Deployment::build(DeploymentConfig::functional(4));
+    let c = d.client();
+    let mut ctx = Ctx::start();
+    let info = c.alloc(&mut ctx, TOTAL, PAGE).unwrap();
+    assert_eq!(info.latest, 0);
+
+    let data: Vec<u8> = (0..2 * PAGE).map(|i| (i % 251) as u8).collect();
+    let v = c.write(&mut ctx, info.blob, PAGE, &data).unwrap();
+    assert_eq!(v, 1);
+
+    let (got, latest) = c.read(&mut ctx, info.blob, Some(1), seg(PAGE, 2 * PAGE)).unwrap();
+    assert_eq!(latest, 1);
+    assert_eq!(got, data);
+
+    // Unwritten space reads as zeros (allocate-on-write).
+    let (z, _) = c.read(&mut ctx, info.blob, Some(1), seg(4 * PAGE, PAGE)).unwrap();
+    assert!(z.iter().all(|&b| b == 0));
+
+    // Data and metadata really are distributed.
+    assert_eq!(d.total_pages(), 2);
+    assert!(d.total_tree_nodes() > 0);
+}
+
+#[test]
+fn matches_reference_store_on_random_workload() {
+    let d = Deployment::build(DeploymentConfig::functional(5));
+    let c = d.client();
+    let mut ctx = Ctx::start();
+    let info = c.alloc(&mut ctx, TOTAL, PAGE).unwrap();
+    let geom = info.geometry();
+    let mut oracle = ReferenceStore::new(geom);
+    let mut rng = rng_for(2024, 0);
+
+    for i in 0..40u64 {
+        let start = rng.gen_range(0..PAGES);
+        let len = rng.gen_range(1..=(PAGES - start).min(6));
+        let s = seg(start * PAGE, len * PAGE);
+        let data: Vec<u8> =
+            (0..s.size).map(|j| (i as u8).wrapping_mul(37).wrapping_add(j as u8)).collect();
+        let v1 = c.write(&mut ctx, info.blob, s.offset, &data).unwrap();
+        let v2 = oracle.write(s, &data).unwrap();
+        assert_eq!(v1, v2);
+    }
+
+    // Every version, full-blob and random unaligned sub-reads.
+    for v in 0..=oracle.latest() {
+        let (got, _) = c.read(&mut ctx, info.blob, Some(v), seg(0, TOTAL)).unwrap();
+        assert_eq!(got, oracle.read(v, seg(0, TOTAL)).unwrap(), "version {v}");
+    }
+    for _ in 0..50 {
+        let v = rng.gen_range(0..=oracle.latest());
+        let off = rng.gen_range(0..TOTAL - 1);
+        let len = rng.gen_range(1..=(TOTAL - off).min(5000));
+        let s = seg(off, len);
+        let (got, _) = c.read(&mut ctx, info.blob, Some(v), s).unwrap();
+        assert_eq!(got, oracle.read(v, s).unwrap(), "v{v} {s:?}");
+    }
+}
+
+#[test]
+fn unpublished_version_read_fails() {
+    let d = Deployment::build(DeploymentConfig::functional(2));
+    let c = d.client();
+    let mut ctx = Ctx::start();
+    let info = c.alloc(&mut ctx, TOTAL, PAGE).unwrap();
+    let err = c.read(&mut ctx, info.blob, Some(3), seg(0, PAGE)).unwrap_err();
+    assert!(matches!(err, BlobError::VersionNotPublished { requested: 3, latest: 0 }));
+}
+
+#[test]
+fn unaligned_write_read_modify_write() {
+    let d = Deployment::build(DeploymentConfig::functional(3));
+    let c = d.client();
+    let mut ctx = Ctx::start();
+    let info = c.alloc(&mut ctx, TOTAL, PAGE).unwrap();
+    c.write(&mut ctx, info.blob, 0, &vec![7u8; (2 * PAGE) as usize]).unwrap();
+    let v = c.write_unaligned(&mut ctx, info.blob, 100, &[9u8; 50]).unwrap();
+    assert_eq!(v, 2);
+    let (buf, _) = c.read(&mut ctx, info.blob, Some(2), seg(0, 2 * PAGE)).unwrap();
+    assert!(buf[..100].iter().all(|&b| b == 7));
+    assert!(buf[100..150].iter().all(|&b| b == 9));
+    assert!(buf[150..].iter().all(|&b| b == 7));
+    // v1 unchanged (snapshot isolation).
+    let (old, _) = c.read(&mut ctx, info.blob, Some(1), seg(0, PAGE)).unwrap();
+    assert!(old.iter().all(|&b| b == 7));
+}
+
+#[test]
+fn metadata_cache_hits_and_consistency() {
+    let mut cfg = DeploymentConfig::functional(4);
+    cfg.cache_nodes = 1 << 16;
+    let d = Deployment::build(cfg);
+    let c = d.client();
+    let mut ctx = Ctx::start();
+    let info = c.alloc(&mut ctx, TOTAL, PAGE).unwrap();
+    let data = vec![5u8; TOTAL as usize];
+    c.write(&mut ctx, info.blob, 0, &data).unwrap();
+
+    // First read misses (nodes were cached during the write actually — the
+    // writer caches what it builds; use a *second* client to see misses).
+    let c2 = d.client();
+    let (r1, _) = c2.read(&mut ctx, info.blob, Some(1), seg(0, TOTAL)).unwrap();
+    let (h1, m1) = c2.cache_stats().unwrap();
+    assert!(m1 > 0, "cold cache must miss");
+    let (r2, _) = c2.read(&mut ctx, info.blob, Some(1), seg(0, TOTAL)).unwrap();
+    let (h2, m2) = c2.cache_stats().unwrap();
+    assert_eq!(m2, m1, "warm cache must not miss again");
+    assert!(h2 > h1);
+    assert_eq!(r1, r2);
+    assert_eq!(r1, data);
+
+    // Writer-side caching: the writing client reads without any metadata
+    // fetch at all.
+    let before_msgs = d.cluster.message_count();
+    let (r3, _) = c.read(&mut ctx, info.blob, Some(1), seg(0, TOTAL)).unwrap();
+    assert_eq!(r3, data);
+    let (h3, m3) = c.cache_stats().unwrap();
+    assert!(h3 > 0 && m3 == 0, "writer's cache serves its own tree");
+    let _ = before_msgs;
+}
+
+#[test]
+fn aggregation_cuts_message_count() {
+    let run = |policy: AggregationPolicy| -> u64 {
+        let mut cfg = DeploymentConfig::functional(4);
+        cfg.aggregation = policy;
+        let d = Deployment::build(cfg);
+        let c = d.client();
+        let mut ctx = Ctx::start();
+        let info = c.alloc(&mut ctx, TOTAL, PAGE).unwrap();
+        let before = d.cluster.message_count();
+        c.write(&mut ctx, info.blob, 0, &vec![1u8; (16 * PAGE) as usize]).unwrap();
+        d.cluster.message_count() - before
+    };
+    let batched = run(AggregationPolicy::Batch);
+    let per_call = run(AggregationPolicy::PerCall);
+    assert!(
+        batched * 2 <= per_call,
+        "aggregation must at least halve messages: batched={batched} per_call={per_call}"
+    );
+}
+
+#[test]
+fn page_replication_survives_provider_failure() {
+    let mut cfg = DeploymentConfig::functional(4);
+    cfg.replication = 2;
+    cfg.meta_replication = 2;
+    let d = Deployment::build(cfg);
+    let c = d.client();
+    let mut ctx = Ctx::start();
+    let info = c.alloc(&mut ctx, TOTAL, PAGE).unwrap();
+    let data: Vec<u8> = (0..TOTAL).map(|i| (i % 199) as u8).collect();
+    c.write(&mut ctx, info.blob, 0, &data).unwrap();
+
+    // Kill each storage node in turn; every read must still succeed.
+    for i in 0..4 {
+        d.kill_storage(i);
+        let (got, _) = c.read(&mut ctx, info.blob, Some(1), seg(0, TOTAL)).unwrap();
+        assert_eq!(got, data, "after killing storage node {i}");
+        d.revive_storage(i);
+    }
+}
+
+#[test]
+fn unreplicated_deployment_loses_data_on_failure() {
+    // Negative control: with replication=1 a dead provider must surface as
+    // an error, not silent corruption.
+    let d = Deployment::build(DeploymentConfig::functional(3));
+    let c = d.client();
+    let mut ctx = Ctx::start();
+    let info = c.alloc(&mut ctx, TOTAL, PAGE).unwrap();
+    c.write(&mut ctx, info.blob, 0, &vec![3u8; TOTAL as usize]).unwrap();
+    d.kill_storage(0);
+    let res = c.read(&mut ctx, info.blob, Some(1), seg(0, TOTAL));
+    assert!(res.is_err(), "some pages/metadata lived on the dead node");
+}
+
+#[test]
+fn gc_end_to_end() {
+    let d = Deployment::build(DeploymentConfig::functional(4));
+    let c = d.client();
+    let mut ctx = Ctx::start();
+    let info = c.alloc(&mut ctx, TOTAL, PAGE).unwrap();
+
+    // v1: full write; v2, v3: rewrite page 0.
+    c.write(&mut ctx, info.blob, 0, &vec![1u8; TOTAL as usize]).unwrap();
+    c.write(&mut ctx, info.blob, 0, &vec![2u8; PAGE as usize]).unwrap();
+    c.write(&mut ctx, info.blob, 0, &vec![3u8; PAGE as usize]).unwrap();
+
+    let pages_before = d.total_pages();
+    let nodes_before = d.total_tree_nodes();
+    let (nodes_gone, pages_gone) = c.gc(&mut ctx, info.blob, 3).unwrap();
+    assert_eq!(pages_gone, 2, "page 0 of v1 and v2");
+    assert!(nodes_gone > 0);
+    assert_eq!(d.total_pages(), pages_before - 2);
+    assert_eq!(d.total_tree_nodes(), nodes_before - nodes_gone as usize);
+
+    // Kept version fully readable.
+    let (got, _) = c.read(&mut ctx, info.blob, Some(3), seg(0, TOTAL)).unwrap();
+    assert!(got[..PAGE as usize].iter().all(|&b| b == 3));
+    assert!(got[PAGE as usize..].iter().all(|&b| b == 1));
+    // Collected versions are no longer traversable (their superseded path
+    // nodes — including the root — were reclaimed).
+    assert!(c.read(&mut ctx, info.blob, Some(1), seg(0, PAGE)).is_err());
+    // But v1's untouched *pages* survive, shared through v3's tree.
+    let (tail, _) = c.read(&mut ctx, info.blob, Some(3), seg(PAGE, PAGE)).unwrap();
+    assert!(tail.iter().all(|&b| b == 1));
+
+    // Idempotent: second GC finds nothing.
+    assert_eq!(c.gc(&mut ctx, info.blob, 3).unwrap(), (0, 0));
+}
+
+#[test]
+fn concurrent_clients_full_stack() {
+    // Real threads through the whole distributed stack: the lock-free
+    // claims of §IV exercised end to end.
+    let d = std::sync::Arc::new(Deployment::build(DeploymentConfig::functional(6)));
+    let setup = d.client();
+    let mut ctx = Ctx::start();
+    let info = setup.alloc(&mut ctx, TOTAL, PAGE).unwrap();
+    let blob = info.blob;
+
+    let writers = 6;
+    let per = 15;
+    let handles: Vec<_> = (0..writers)
+        .map(|t| {
+            let d = std::sync::Arc::clone(&d);
+            std::thread::spawn(move || {
+                let c = d.client();
+                let mut ctx = Ctx::start();
+                let mut rng = rng_for(55, t as u64);
+                let mut produced = Vec::new();
+                for _ in 0..per {
+                    let start = rng.gen_range(0..PAGES);
+                    let len = rng.gen_range(1..=(PAGES - start).min(4));
+                    let s = seg(start * PAGE, len * PAGE);
+                    let fill: u8 = rng.gen();
+                    let data: Vec<u8> =
+                        (0..s.size).map(|j| fill.wrapping_add(j as u8)).collect();
+                    let v = c.write(&mut ctx, blob, s.offset, &data).unwrap();
+                    produced.push((v, s, fill));
+                }
+                produced
+            })
+        })
+        .collect();
+
+    let mut all: Vec<(u64, Segment, u8)> = Vec::new();
+    for h in handles {
+        all.extend(h.join().unwrap());
+    }
+    all.sort_by_key(|(v, _, _)| *v);
+    // Dense unique versions.
+    for (i, (v, _, _)) in all.iter().enumerate() {
+        assert_eq!(*v, i as u64 + 1);
+    }
+
+    // Global serializability: each version equals prefix application.
+    let reader = d.client();
+    let mut rctx = Ctx::start();
+    let mut model = vec![0u8; TOTAL as usize];
+    for (v, s, fill) in &all {
+        let data: Vec<u8> = (0..s.size).map(|j| fill.wrapping_add(j as u8)).collect();
+        model[s.offset as usize..s.end() as usize].copy_from_slice(&data);
+        let (got, _) = reader.read(&mut rctx, blob, Some(*v), seg(0, TOTAL)).unwrap();
+        assert_eq!(got, model, "version {v}");
+    }
+}
+
+#[test]
+fn multiple_blobs_are_isolated() {
+    let d = Deployment::build(DeploymentConfig::functional(3));
+    let c = d.client();
+    let mut ctx = Ctx::start();
+    let a = c.alloc(&mut ctx, TOTAL, PAGE).unwrap();
+    let b = c.alloc(&mut ctx, TOTAL, 2 * PAGE).unwrap();
+    assert_ne!(a.blob, b.blob);
+    c.write(&mut ctx, a.blob, 0, &vec![0xA; PAGE as usize]).unwrap();
+    c.write(&mut ctx, b.blob, 0, &vec![0xB; (2 * PAGE) as usize]).unwrap();
+    let (ra, _) = c.read(&mut ctx, a.blob, None, seg(0, PAGE)).unwrap();
+    let (rb, _) = c.read(&mut ctx, b.blob, None, seg(0, PAGE)).unwrap();
+    assert!(ra.iter().all(|&x| x == 0xA));
+    assert!(rb.iter().all(|&x| x == 0xB));
+}
+
+#[test]
+fn rejects_misaligned_and_oversized_segments() {
+    let d = Deployment::build(DeploymentConfig::functional(2));
+    let c = d.client();
+    let mut ctx = Ctx::start();
+    let info = c.alloc(&mut ctx, TOTAL, PAGE).unwrap();
+    assert!(c.write(&mut ctx, info.blob, 10, &vec![0u8; PAGE as usize]).is_err());
+    assert!(c.write(&mut ctx, info.blob, 0, &vec![0u8; 100]).is_err());
+    assert!(c
+        .write(&mut ctx, info.blob, TOTAL - PAGE, &vec![0u8; (2 * PAGE) as usize])
+        .is_err());
+    assert!(c.read(&mut ctx, info.blob, None, seg(TOTAL, 1)).is_err());
+    // Bad geometry at alloc.
+    assert!(c.alloc(&mut ctx, 1000, 100).is_err());
+}
+
+#[test]
+fn read_returns_latest_version_witness() {
+    let d = Deployment::build(DeploymentConfig::functional(2));
+    let c = d.client();
+    let mut ctx = Ctx::start();
+    let info = c.alloc(&mut ctx, TOTAL, PAGE).unwrap();
+    c.write(&mut ctx, info.blob, 0, &vec![1u8; PAGE as usize]).unwrap();
+    c.write(&mut ctx, info.blob, 0, &vec![2u8; PAGE as usize]).unwrap();
+    // Reading version 1 still reports vr = 2 (paper: "vr >= v holds").
+    let (_, vr) = c.read(&mut ctx, info.blob, Some(1), seg(0, PAGE)).unwrap();
+    assert_eq!(vr, 2);
+}

@@ -1,0 +1,370 @@
+//! Client-side DHT access: routing, batching, replication, failover.
+//!
+//! Tree nodes are dispersed over the metadata providers by routing key
+//! (paper §III.C: "the metadata tree nodes are uniformly dispersed among
+//! the metadata providers through the underlying DHT"). Puts go to all
+//! replicas; gets try the primary first and fail over to the remaining
+//! replicas on miss or node death — the paper's §VI points at the DHT's
+//! off-the-shelf fault tolerance, which this reproduces.
+
+use crate::ring::Ring;
+use blobseer_proto::messages::{
+    method, MetaGetBatch, MetaGetBatchResp, MetaPut, MetaPutBatch, MetaRemoveBatch,
+};
+use blobseer_proto::tree::{NodeKey, TreeNode};
+use blobseer_proto::{BlobError, NodeId};
+use blobseer_rpc::{Ctx, RpcClient};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A replicated, batching DHT client.
+pub struct DhtClient {
+    rpc: RpcClient,
+    ring: Arc<RwLock<Ring>>,
+}
+
+impl DhtClient {
+    /// Create a client over an existing ring (shared so membership changes
+    /// propagate to every client holding it).
+    pub fn new(rpc: RpcClient, ring: Arc<RwLock<Ring>>) -> Self {
+        Self { rpc, ring }
+    }
+
+    /// Convenience: build a ring over `providers` and wrap it.
+    pub fn with_members(
+        rpc: RpcClient,
+        providers: &[NodeId],
+        replication: usize,
+        seed: u64,
+    ) -> Self {
+        let ring = Ring::new(providers, 128, replication, seed);
+        Self::new(rpc, Arc::new(RwLock::new(ring)))
+    }
+
+    /// The shared ring handle.
+    pub fn ring(&self) -> &Arc<RwLock<Ring>> {
+        &self.ring
+    }
+
+    /// Store nodes on every replica. Succeeds if **every node** reached at
+    /// least one replica; the error carries the first failure otherwise.
+    ///
+    /// With aggregation enabled (the default), all nodes bound for one
+    /// provider travel in a single `META_PUT_BATCH` message — the paper's
+    /// streamed-RPC optimization. With `AggregationPolicy::PerCall`, every
+    /// node is its own `META_PUT` message (the `ablate-agg` baseline).
+    pub fn put_nodes(&self, ctx: &mut Ctx, nodes: &[TreeNode]) -> Result<(), BlobError> {
+        if nodes.is_empty() {
+            return Ok(());
+        }
+        if self.rpc.aggregation() == blobseer_rpc::AggregationPolicy::PerCall {
+            return self.put_nodes_per_item(ctx, nodes);
+        }
+        // (destination, node indices) for every replica of every node.
+        let assignments: Vec<(NodeId, Vec<usize>)> = {
+            let ring = self.ring.read();
+            let mut groups: Vec<(NodeId, Vec<usize>)> = Vec::new();
+            for (i, n) in nodes.iter().enumerate() {
+                for dest in ring.replicas(n.key.routing_key()) {
+                    match groups.iter_mut().find(|(d, _)| *d == dest) {
+                        Some((_, idxs)) => idxs.push(i),
+                        None => groups.push((dest, vec![i])),
+                    }
+                }
+            }
+            groups
+        };
+        let calls: Vec<(NodeId, u16, MetaPutBatch)> = assignments
+            .iter()
+            .map(|(dest, idxs)| {
+                (
+                    *dest,
+                    method::META_PUT_BATCH,
+                    MetaPutBatch { nodes: idxs.iter().map(|&i| nodes[i].clone()).collect() },
+                )
+            })
+            .collect();
+        let results = self.rpc.fan_out::<MetaPutBatch, ()>(ctx, &calls);
+        // A node is stored iff at least one of its replica batches landed.
+        let mut stored = vec![false; nodes.len()];
+        let mut first_err = None;
+        for ((_, idxs), res) in assignments.iter().zip(results) {
+            match res {
+                Ok(()) => {
+                    for &i in idxs {
+                        stored[i] = true;
+                    }
+                }
+                Err(e) => first_err = Some(e),
+            }
+        }
+        if stored.iter().all(|&s| s) {
+            Ok(())
+        } else {
+            Err(first_err.unwrap_or(BlobError::Internal("metadata put failed")))
+        }
+    }
+
+    /// Unaggregated puts: one `META_PUT` call per (node, replica).
+    fn put_nodes_per_item(&self, ctx: &mut Ctx, nodes: &[TreeNode]) -> Result<(), BlobError> {
+        let calls: Vec<(NodeId, u16, MetaPut)> = {
+            let ring = self.ring.read();
+            nodes
+                .iter()
+                .flat_map(|n| {
+                    ring.replicas(n.key.routing_key())
+                        .into_iter()
+                        .map(|dest| (dest, method::META_PUT, MetaPut { node: n.clone() }))
+                        .collect::<Vec<_>>()
+                })
+                .collect()
+        };
+        let replication = self.ring.read().replication();
+        let results = self.rpc.fan_out::<MetaPut, ()>(ctx, &calls);
+        // Node i's replicas occupy results[i*R .. (i+1)*R].
+        let mut first_err = None;
+        for (i, chunk) in results.chunks(replication).enumerate() {
+            if !chunk.iter().any(|r| r.is_ok()) {
+                first_err = chunk.iter().find_map(|r| r.as_ref().err().cloned());
+                let _ = i;
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Fetch nodes by key, in key order (`None` = definitely missing on
+    /// every reachable replica). Fails only if some key's replicas were
+    /// all unreachable.
+    pub fn get_nodes(
+        &self,
+        ctx: &mut Ctx,
+        keys: &[NodeKey],
+    ) -> Result<Vec<Option<TreeNode>>, BlobError> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        let replication = self.ring.read().replication();
+        let mut out: Vec<Option<TreeNode>> = vec![None; keys.len()];
+        // Indices still to resolve.
+        let mut pending: Vec<usize> = (0..keys.len()).collect();
+        let mut last_err = None;
+
+        for attempt in 0..replication {
+            if pending.is_empty() {
+                break;
+            }
+            // Group pending keys by their `attempt`-th replica.
+            let groups: Vec<(NodeId, Vec<usize>)> = {
+                let ring = self.ring.read();
+                let mut groups: Vec<(NodeId, Vec<usize>)> = Vec::new();
+                for &i in &pending {
+                    let reps = ring.replicas(keys[i].routing_key());
+                    let Some(&dest) = reps.get(attempt) else { continue };
+                    match groups.iter_mut().find(|(d, _)| *d == dest) {
+                        Some((_, idxs)) => idxs.push(i),
+                        None => groups.push((dest, vec![i])),
+                    }
+                }
+                groups
+            };
+            let calls: Vec<(NodeId, u16, MetaGetBatch)> = groups
+                .iter()
+                .map(|(dest, idxs)| {
+                    (
+                        *dest,
+                        method::META_GET_BATCH,
+                        MetaGetBatch { keys: idxs.iter().map(|&i| keys[i]).collect() },
+                    )
+                })
+                .collect();
+            let results = self.rpc.fan_out::<MetaGetBatch, MetaGetBatchResp>(ctx, &calls);
+            let mut unresolved = Vec::new();
+            for ((_, idxs), res) in groups.iter().zip(results) {
+                match res {
+                    Ok(resp) if resp.nodes.len() == idxs.len() => {
+                        for (&i, node) in idxs.iter().zip(resp.nodes) {
+                            match node {
+                                Some(n) => out[i] = Some(n),
+                                // Missing on this replica: retry next.
+                                None => unresolved.push(i),
+                            }
+                        }
+                    }
+                    Ok(_) => {
+                        last_err = Some(BlobError::Internal("malformed batch get response"));
+                        unresolved.extend_from_slice(idxs);
+                    }
+                    Err(e) => {
+                        last_err = Some(e);
+                        unresolved.extend_from_slice(idxs);
+                    }
+                }
+            }
+            pending = unresolved;
+            // If this was the last attempt and keys are simply absent (not
+            // unreachable), they stay None — callers distinguish absence
+            // from transport failure via last_err.
+            if attempt + 1 == replication && !pending.is_empty() {
+                if let Some(e) = last_err.take() {
+                    // Only report failure if something was unreachable;
+                    // pure misses are a legitimate None.
+                    if matches!(e, BlobError::Unreachable(_)) {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Remove keys from every replica (best effort; returns how many
+    /// removals the reachable replicas acknowledged).
+    pub fn remove_nodes(&self, ctx: &mut Ctx, keys: &[NodeKey]) -> u64 {
+        if keys.is_empty() {
+            return 0;
+        }
+        let groups: Vec<(NodeId, Vec<NodeKey>)> = {
+            let ring = self.ring.read();
+            let mut groups: Vec<(NodeId, Vec<NodeKey>)> = Vec::new();
+            for &k in keys {
+                for dest in ring.replicas(k.routing_key()) {
+                    match groups.iter_mut().find(|(d, _)| *d == dest) {
+                        Some((_, ks)) => ks.push(k),
+                        None => groups.push((dest, vec![k])),
+                    }
+                }
+            }
+            groups
+        };
+        let calls: Vec<(NodeId, u16, MetaRemoveBatch)> = groups
+            .into_iter()
+            .map(|(dest, keys)| (dest, method::META_REMOVE_BATCH, MetaRemoveBatch { keys }))
+            .collect();
+        self.rpc
+            .fan_out::<MetaRemoveBatch, u64>(ctx, &calls)
+            .into_iter()
+            .filter_map(|r| r.ok())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::DhtNodeService;
+    use blobseer_proto::tree::NodeBody;
+    use blobseer_proto::BlobId;
+    use blobseer_rpc::InProcTransport;
+    use blobseer_simnet::ServiceCosts;
+
+    fn setup(n_providers: u32, replication: usize) -> (DhtClient, Vec<Arc<DhtNodeService>>) {
+        let t = Arc::new(InProcTransport::new());
+        let client_node = t.add_node();
+        let mut services = Vec::new();
+        let mut provider_ids = Vec::new();
+        for _ in 0..n_providers {
+            let id = t.add_node();
+            let svc = Arc::new(DhtNodeService::new(ServiceCosts::zero()));
+            t.bind(id, svc.clone());
+            services.push(svc);
+            provider_ids.push(id);
+        }
+        let rpc = RpcClient::new(t, client_node);
+        (DhtClient::with_members(rpc, &provider_ids, replication, 7), services)
+    }
+
+    fn tree_node(v: u64, offset: u64) -> TreeNode {
+        TreeNode {
+            key: NodeKey { blob: BlobId(1), version: v, offset, size: 4096 },
+            body: NodeBody::Inner { left_version: v, right_version: v },
+        }
+    }
+
+    #[test]
+    fn put_then_get_across_providers() {
+        let (client, services) = setup(4, 1);
+        let nodes: Vec<TreeNode> = (0..40).map(|i| tree_node(1, i * 4096)).collect();
+        let mut ctx = Ctx::start();
+        client.put_nodes(&mut ctx, &nodes).unwrap();
+        // Nodes dispersed over all providers.
+        let counts: Vec<usize> = services.iter().map(|s| s.len()).collect();
+        assert_eq!(counts.iter().sum::<usize>(), 40);
+        assert!(counts.iter().all(|&c| c > 0), "dispersal: {counts:?}");
+
+        let keys: Vec<NodeKey> = nodes.iter().map(|n| n.key).collect();
+        let got = client.get_nodes(&mut ctx, &keys).unwrap();
+        for (want, got) in nodes.iter().zip(got) {
+            assert_eq!(got.as_ref(), Some(want));
+        }
+    }
+
+    #[test]
+    fn missing_keys_are_none() {
+        let (client, _svcs) = setup(3, 1);
+        let mut ctx = Ctx::start();
+        let got = client.get_nodes(&mut ctx, &[tree_node(9, 0).key]).unwrap();
+        assert_eq!(got, vec![None]);
+    }
+
+    #[test]
+    fn replication_stores_copies_and_survives_failover() {
+        let (client, services) = setup(3, 2);
+        let nodes: Vec<TreeNode> = (0..30).map(|i| tree_node(1, i * 4096)).collect();
+        let mut ctx = Ctx::start();
+        client.put_nodes(&mut ctx, &nodes).unwrap();
+        let total: usize = services.iter().map(|s| s.len()).sum();
+        assert_eq!(total, 60, "each node stored twice");
+        // Empty the primary copies by brute force: clear one provider
+        // entirely; every key must still be resolvable via its other
+        // replica.
+        let victim = &services[0];
+        let removed_any = victim.len() > 0;
+        // simulate loss by removing through the service API
+        let keys: Vec<NodeKey> = nodes.iter().map(|n| n.key).collect();
+        for k in &keys {
+            if victim.contains(k) {
+                let mut ctx2 = blobseer_rpc::ServerCtx::new(0);
+                blobseer_rpc::Service::handle(
+                    victim.as_ref(),
+                    &mut ctx2,
+                    &Frame::from_msg(
+                        method::META_REMOVE_BATCH,
+                        &MetaRemoveBatch { keys: vec![*k] },
+                    ),
+                );
+            }
+        }
+        assert!(removed_any);
+        let got = client.get_nodes(&mut ctx, &keys).unwrap();
+        assert!(got.iter().all(|g| g.is_some()), "failover to surviving replicas");
+    }
+
+    use blobseer_rpc::Frame;
+
+    #[test]
+    fn remove_nodes_deletes_all_replicas() {
+        let (client, services) = setup(3, 2);
+        let nodes: Vec<TreeNode> = (0..10).map(|i| tree_node(2, i * 4096)).collect();
+        let mut ctx = Ctx::start();
+        client.put_nodes(&mut ctx, &nodes).unwrap();
+        let keys: Vec<NodeKey> = nodes.iter().map(|n| n.key).collect();
+        let removed = client.remove_nodes(&mut ctx, &keys);
+        assert_eq!(removed, 20, "both replicas of each node removed");
+        assert!(services.iter().all(|s| s.is_empty()));
+        let got = client.get_nodes(&mut ctx, &keys).unwrap();
+        assert!(got.iter().all(|g| g.is_none()));
+    }
+
+    #[test]
+    fn empty_batches_are_noops() {
+        let (client, _svcs) = setup(2, 1);
+        let mut ctx = Ctx::start();
+        client.put_nodes(&mut ctx, &[]).unwrap();
+        assert_eq!(client.get_nodes(&mut ctx, &[]).unwrap().len(), 0);
+        assert_eq!(client.remove_nodes(&mut ctx, &[]), 0);
+        assert_eq!(ctx.vt, 0, "no messages sent");
+    }
+}

@@ -1,0 +1,23 @@
+//! # blobseer-dht
+//!
+//! The metadata-provider substrate: a from-scratch distributed hash table
+//! replacing the paper's BambooDHT/OpenDHT dependency (§V.A). Three
+//! pieces:
+//!
+//! * [`ring`] — consistent hashing with virtual nodes: uniform dispersal
+//!   of tree nodes over metadata providers, bounded key movement on
+//!   membership change;
+//! * [`node`] — the per-node storage service (single + batched
+//!   put/get/remove of immutable tree nodes, with BambooDHT-calibrated
+//!   processing costs);
+//! * [`client`] — replicated, batching client-side access with failover.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod node;
+pub mod ring;
+
+pub use client::DhtClient;
+pub use node::DhtNodeService;
+pub use ring::Ring;

@@ -1,0 +1,41 @@
+//! # blobseer-meta
+//!
+//! Pure algorithms over the **distributed segment tree** metadata scheme of
+//! the paper (§III.C): no I/O, no locks — every function here is a
+//! deterministic computation over intervals, so the whole core of the
+//! paper's contribution is property-testable in isolation.
+//!
+//! The tree, per blob version, is a full binary tree over the blob's byte
+//! space: the root covers `[0, total_size)`, children halve their parent's
+//! interval, leaves cover exactly one page. A node is identified by
+//! `(blob, version, offset, size)` ([`blobseer_proto::NodeKey`]) and inner
+//! nodes store the *versions* of their children — weaving a new version's
+//! partial tree into history is nothing more than recording an older
+//! version number for an untouched half.
+//!
+//! Modules:
+//! * [`shape`] — interval arithmetic: which tree intervals intersect a
+//!   segment, expected node counts, alignment helpers.
+//! * [`write`] — what a WRITE must build: the new node set, the border
+//!   nodes, and [`write::build_write_tree`] which assembles the final
+//!   [`TreeNode`](blobseer_proto::tree::TreeNode) batch from a
+//!   [`WriteTicket`](blobseer_proto::messages::WriteTicket).
+//! * [`read`] — the step function of the READ traversal
+//!   ([`read::expand`]), which the client drives level by level with
+//!   batched metadata fetches.
+//! * [`reference`] — a single-process in-memory reference implementation
+//!   of the whole blob engine built on the pure algorithms; used as the
+//!   correctness oracle by tests across the workspace and usable as an
+//!   embedded (non-distributed) mode of the library.
+
+#![warn(missing_docs)]
+
+pub mod read;
+pub mod reference;
+pub mod shape;
+pub mod write;
+
+pub use read::{expand, root_key, Visit};
+pub use reference::ReferenceStore;
+pub use shape::{node_count_for_write, write_intervals};
+pub use write::{border_specs, build_write_tree, BorderSpec};

@@ -1,0 +1,236 @@
+//! READ-side traversal (paper §III.B, §IV.A).
+//!
+//! Reads descend the segment tree of the requested version from the root,
+//! visiting only nodes whose interval intersects the requested segment.
+//! Because the client must *fetch* a node before it can descend, the
+//! traversal is an interactive loop: this module provides the pure step
+//! function [`expand`], and the client drives it level by level with
+//! batched metadata fetches (one parallel round trip per tree level, as in
+//! the paper).
+
+use blobseer_proto::tree::{NodeBody, NodeKey, PageLoc};
+use blobseer_proto::{BlobError, BlobId, Geometry, Segment, Version};
+
+/// One step outcome of the traversal.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Visit {
+    /// Fetch this node next (an inner child intersecting the read).
+    Descend(NodeKey),
+    /// This byte range of the read is all zeros (version-0 subtree —
+    /// storage was never allocated; paper: "the system allocates on
+    /// write").
+    Zeros(Segment),
+    /// A leaf was reached: bytes `blob_range` of the blob come from
+    /// `page`, at page-internal offset `blob_range.offset % page_size`.
+    Page {
+        /// Locator of the page holding the data.
+        page: PageLoc,
+        /// The byte range (clipped to the read segment) this page serves.
+        blob_range: Segment,
+    },
+}
+
+/// Key of the tree root for `(blob, version)`.
+pub fn root_key(geom: &Geometry, blob: BlobId, version: Version) -> NodeKey {
+    NodeKey { blob, version, offset: 0, size: geom.total_size }
+}
+
+/// Expand one fetched node: classify every child (or the node itself, for
+/// leaves) against the read segment.
+///
+/// Returns an error if the node shape is inconsistent with the geometry —
+/// that would indicate metadata corruption.
+pub fn expand(
+    geom: &Geometry,
+    key: &NodeKey,
+    body: &NodeBody,
+    read_seg: &Segment,
+) -> Result<Vec<Visit>, BlobError> {
+    let iv = key.segment();
+    if !iv.intersects(read_seg) {
+        return Err(BlobError::Internal("expanded node does not intersect read"));
+    }
+    match body {
+        NodeBody::Leaf { page } => {
+            if iv.size != geom.page_size {
+                return Err(BlobError::Internal("leaf at non-page interval"));
+            }
+            let blob_range = iv
+                .intersection(read_seg)
+                .ok_or(BlobError::Internal("leaf intersection empty"))?;
+            Ok(vec![Visit::Page { page: page.clone(), blob_range }])
+        }
+        NodeBody::Inner { left_version, right_version } => {
+            if iv.size <= geom.page_size {
+                return Err(BlobError::Internal("inner node at page interval"));
+            }
+            let mut out = Vec::with_capacity(2);
+            let half = iv.size / 2;
+            let halves = [
+                (Segment::new(iv.offset, half), *left_version, true),
+                (Segment::new(iv.offset + half, half), *right_version, false),
+            ];
+            for (child, cv, is_left) in halves {
+                let Some(overlap) = child.intersection(read_seg) else {
+                    continue;
+                };
+                if cv == 0 {
+                    out.push(Visit::Zeros(overlap));
+                } else {
+                    let ck = if is_left { key.left_child(cv) } else { key.right_child(cv) };
+                    out.push(Visit::Descend(ck));
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Assemble a read buffer from leaf hits and zero ranges.
+///
+/// `fetch` resolves a page locator to its bytes. Bytes are copied into a
+/// buffer covering exactly `read_seg`.
+pub fn assemble_read(
+    geom: &Geometry,
+    read_seg: &Segment,
+    zeros: &[Segment],
+    pages: &[(PageLoc, Segment, bytes::Bytes)],
+) -> Result<Vec<u8>, BlobError> {
+    let mut buf = vec![0u8; read_seg.size as usize];
+    // Zero ranges need no action (buffer is pre-zeroed) but validate them.
+    for z in zeros {
+        if !read_seg.contains(z) {
+            return Err(BlobError::Internal("zero range outside read"));
+        }
+    }
+    for (_loc, blob_range, data) in pages {
+        if !read_seg.contains(blob_range) {
+            return Err(BlobError::Internal("page range outside read"));
+        }
+        if data.len() as u64 != geom.page_size {
+            return Err(BlobError::Internal("short page"));
+        }
+        let in_page = (blob_range.offset % geom.page_size) as usize;
+        let dst = (blob_range.offset - read_seg.offset) as usize;
+        let len = blob_range.size as usize;
+        buf[dst..dst + len].copy_from_slice(&data[in_page..in_page + len]);
+    }
+    Ok(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blobseer_proto::tree::PageKey;
+    use blobseer_proto::{ProviderId, WriteId};
+    use bytes::Bytes;
+
+    fn geom() -> Geometry {
+        Geometry::new(4096, 1024).unwrap()
+    }
+
+    fn loc(i: u64) -> PageLoc {
+        PageLoc {
+            key: PageKey { blob: BlobId(1), write: WriteId(1), index: i },
+            replicas: vec![ProviderId(0)],
+        }
+    }
+
+    #[test]
+    fn root_key_shape() {
+        let k = root_key(&geom(), BlobId(5), 3);
+        assert_eq!(k, NodeKey { blob: BlobId(5), version: 3, offset: 0, size: 4096 });
+    }
+
+    #[test]
+    fn expand_inner_mixed_children() {
+        let g = geom();
+        let key = root_key(&g, BlobId(1), 2);
+        let body = NodeBody::Inner { left_version: 2, right_version: 0 };
+        // Read the whole blob: left half descends at v2, right half zeros.
+        let visits = expand(&g, &key, &body, &g.full_segment()).unwrap();
+        assert_eq!(
+            visits,
+            vec![
+                Visit::Descend(NodeKey { blob: BlobId(1), version: 2, offset: 0, size: 2048 }),
+                Visit::Zeros(Segment::new(2048, 2048)),
+            ]
+        );
+    }
+
+    #[test]
+    fn expand_prunes_non_intersecting_children() {
+        let g = geom();
+        let key = root_key(&g, BlobId(1), 1);
+        let body = NodeBody::Inner { left_version: 1, right_version: 1 };
+        // Read only page 3: left child pruned.
+        let visits = expand(&g, &key, &body, &Segment::new(3072, 1024)).unwrap();
+        assert_eq!(
+            visits,
+            vec![Visit::Descend(NodeKey {
+                blob: BlobId(1),
+                version: 1,
+                offset: 2048,
+                size: 2048
+            })]
+        );
+    }
+
+    #[test]
+    fn expand_leaf_clips_to_read() {
+        let g = geom();
+        let key = NodeKey { blob: BlobId(1), version: 1, offset: 1024, size: 1024 };
+        let body = NodeBody::Leaf { page: loc(1) };
+        // Unaligned read [1500, 1800).
+        let visits = expand(&g, &key, &body, &Segment::new(1500, 300)).unwrap();
+        assert_eq!(
+            visits,
+            vec![Visit::Page { page: loc(1), blob_range: Segment::new(1500, 300) }]
+        );
+    }
+
+    #[test]
+    fn expand_detects_corrupt_shapes() {
+        let g = geom();
+        // Leaf body at an inner interval.
+        let key = NodeKey { blob: BlobId(1), version: 1, offset: 0, size: 2048 };
+        assert!(expand(&g, &key, &NodeBody::Leaf { page: loc(0) }, &g.full_segment()).is_err());
+        // Inner body at a leaf interval.
+        let key = NodeKey { blob: BlobId(1), version: 1, offset: 0, size: 1024 };
+        let body = NodeBody::Inner { left_version: 1, right_version: 1 };
+        assert!(expand(&g, &key, &body, &g.full_segment()).is_err());
+        // Node that does not intersect the read at all.
+        let key = NodeKey { blob: BlobId(1), version: 1, offset: 0, size: 1024 };
+        assert!(expand(&g, &key, &NodeBody::Leaf { page: loc(0) }, &Segment::new(2048, 512))
+            .is_err());
+    }
+
+    #[test]
+    fn assemble_copies_and_zero_fills() {
+        let g = geom();
+        let read = Segment::new(512, 2048); // spans pages 0..3 partially
+        let page1 = Bytes::from(vec![7u8; 1024]);
+        let buf = assemble_read(
+            &g,
+            &read,
+            &[Segment::new(512, 512)], // tail of page 0 is zeros
+            &[(loc(1), Segment::new(1024, 1024), page1), // full page 1
+              (loc(2), Segment::new(2048, 512), Bytes::from(vec![9u8; 1024]))],
+        )
+        .unwrap();
+        assert_eq!(buf.len(), 2048);
+        assert!(buf[..512].iter().all(|&b| b == 0));
+        assert!(buf[512..1536].iter().all(|&b| b == 7));
+        assert!(buf[1536..].iter().all(|&b| b == 9));
+    }
+
+    #[test]
+    fn assemble_rejects_out_of_range_pieces() {
+        let g = geom();
+        let read = Segment::new(0, 1024);
+        assert!(assemble_read(&g, &read, &[Segment::new(1024, 10)], &[]).is_err());
+        let short_page = Bytes::from(vec![1u8; 10]);
+        assert!(assemble_read(&g, &read, &[], &[(loc(0), Segment::new(0, 10), short_page)])
+            .is_err());
+    }
+}

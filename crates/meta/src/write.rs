@@ -1,0 +1,327 @@
+//! WRITE-side tree construction: border nodes and weaving (paper §III.C,
+//! §IV.C).
+//!
+//! A WRITE of segment `seg` producing version `v` creates a new node for
+//! every tree interval intersecting `seg`. Children of those nodes that
+//! *also* intersect `seg` are version-`v` nodes created by the same write;
+//! children that do not are the **missing halves of border nodes** and must
+//! link to the newest older version that wrote them — the
+//! [`BorderLink`](blobseer_proto::messages::BorderLink)s precomputed by the
+//! version manager, which is what lets concurrent writers weave in complete
+//! isolation.
+
+use crate::shape::write_intervals;
+use blobseer_proto::messages::{BorderLink, WriteTicket};
+use blobseer_proto::tree::{NodeBody, NodeKey, PageLoc, TreeNode};
+use blobseer_proto::{BlobError, BlobId, Geometry, Segment, Version};
+use blobseer_util::FxHashMap;
+
+/// A border node of a write: the tree interval and which child half the
+/// write does not cover. Exactly one half is always missing (a node whose
+/// both halves intersect the write is interior, not border).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BorderSpec {
+    /// The border node's interval.
+    pub interval: Segment,
+    /// True if the *left* child is the missing (uncovered) half.
+    pub missing_left: bool,
+}
+
+impl BorderSpec {
+    /// The missing child's interval.
+    pub fn missing_child(&self) -> Segment {
+        let half = self.interval.size / 2;
+        if self.missing_left {
+            Segment::new(self.interval.offset, half)
+        } else {
+            Segment::new(self.interval.offset + half, half)
+        }
+    }
+}
+
+/// Enumerate the border nodes of a write of `seg` in `O(tree_height)`.
+///
+/// Walks only partially-covered intervals: a fully-covered subtree cannot
+/// contain border nodes, and an untouched subtree is not created at all.
+pub fn border_specs(geom: &Geometry, seg: &Segment) -> Vec<BorderSpec> {
+    let mut out = Vec::new();
+    if seg.is_empty() {
+        return out;
+    }
+    let mut stack = vec![geom.full_segment()];
+    while let Some(iv) = stack.pop() {
+        if iv.size == geom.page_size || seg.contains(&iv) || !iv.intersects(seg) {
+            continue;
+        }
+        let half = iv.size / 2;
+        let left = Segment::new(iv.offset, half);
+        let right = Segment::new(iv.offset + half, half);
+        let li = left.intersects(seg);
+        let ri = right.intersects(seg);
+        debug_assert!(li || ri, "visited node must intersect the write");
+        if !li {
+            out.push(BorderSpec { interval: iv, missing_left: true });
+        } else if !ri {
+            out.push(BorderSpec { interval: iv, missing_left: false });
+        }
+        // Only partially-covered children can host further border nodes.
+        if li && !seg.contains(&left) {
+            stack.push(left);
+        }
+        if ri && !seg.contains(&right) {
+            stack.push(right);
+        }
+    }
+    out
+}
+
+/// Build the complete batch of new tree nodes for a write.
+///
+/// * `pages` — the page locators, one per written page in ascending page
+///   order (produced from the provider manager's
+///   [`WritePlan`](blobseer_proto::messages::WritePlan)).
+/// * `ticket` — the version manager's answer carrying the assigned version
+///   and the border links.
+///
+/// Returns the nodes in pre-order (root first). Fails if the ticket's
+/// border links do not cover every border node of `seg` — that would mean
+/// the version manager and client disagree on geometry.
+pub fn build_write_tree(
+    geom: &Geometry,
+    blob: BlobId,
+    seg: &Segment,
+    pages: &[PageLoc],
+    ticket: &WriteTicket,
+) -> Result<Vec<TreeNode>, BlobError> {
+    let v = ticket.version;
+    let first_page = geom.page_of(seg.offset);
+    let expected_pages = geom.pages_touching(seg).count();
+    if pages.len() as u64 != expected_pages {
+        return Err(BlobError::Internal("page locator count mismatch"));
+    }
+
+    let borders: FxHashMap<(u64, u64), &BorderLink> =
+        ticket.borders.iter().map(|b| ((b.offset, b.size), b)).collect();
+
+    let mut nodes = Vec::with_capacity(write_intervals(geom, seg).len());
+    for iv in write_intervals(geom, seg) {
+        let key = NodeKey { blob, version: v, offset: iv.offset, size: iv.size };
+        let body = if iv.size == geom.page_size {
+            let idx = geom.page_of(iv.offset) - first_page;
+            NodeBody::Leaf { page: pages[idx as usize].clone() }
+        } else {
+            let half = iv.size / 2;
+            let left = Segment::new(iv.offset, half);
+            let right = Segment::new(iv.offset + half, half);
+            let link = borders.get(&(iv.offset, iv.size));
+            let left_version = if left.intersects(seg) {
+                v
+            } else {
+                link.and_then(|b| b.left)
+                    .ok_or(BlobError::Internal("missing left border link"))?
+            };
+            let right_version = if right.intersects(seg) {
+                v
+            } else {
+                link.and_then(|b| b.right)
+                    .ok_or(BlobError::Internal("missing right border link"))?
+            };
+            NodeBody::Inner { left_version, right_version }
+        };
+        nodes.push(TreeNode { key, body });
+    }
+    Ok(nodes)
+}
+
+/// Convert border specs plus a `latest intersecting writer` oracle into
+/// wire [`BorderLink`]s. The oracle is the version manager's version index
+/// (`IntervalMap::range_max`); `None` means nothing wrote the interval yet,
+/// which links to the implicit all-zero version 0.
+pub fn borders_to_links(
+    specs: &[BorderSpec],
+    mut latest_writer: impl FnMut(Segment) -> Option<Version>,
+) -> Vec<BorderLink> {
+    specs
+        .iter()
+        .map(|spec| {
+            let child = spec.missing_child();
+            let w = latest_writer(child).unwrap_or(0);
+            BorderLink {
+                offset: spec.interval.offset,
+                size: spec.interval.size,
+                left: spec.missing_left.then_some(w),
+                right: (!spec.missing_left).then_some(w),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blobseer_proto::tree::PageKey;
+    use blobseer_proto::{ProviderId, WriteId};
+
+    fn geom_4_pages() -> Geometry {
+        Geometry::new(4096, 1024).unwrap()
+    }
+
+    fn loc(i: u64) -> PageLoc {
+        PageLoc {
+            key: PageKey { blob: BlobId(1), write: WriteId(9), index: i },
+            replicas: vec![ProviderId(0)],
+        }
+    }
+
+    #[test]
+    fn border_specs_full_write_has_none() {
+        let g = geom_4_pages();
+        assert!(border_specs(&g, &g.full_segment()).is_empty());
+        assert!(border_specs(&g, &Segment::new(0, 0)).is_empty());
+    }
+
+    #[test]
+    fn border_specs_single_page() {
+        // Write page 1 (paper Figure 2(b), version 2 = grey).
+        let g = geom_4_pages();
+        let mut specs = border_specs(&g, &Segment::new(1024, 1024));
+        specs.sort_by_key(|s| s.interval.size);
+        assert_eq!(
+            specs,
+            vec![
+                // B2 misses its left child (page 0).
+                BorderSpec { interval: Segment::new(0, 2048), missing_left: true },
+                // A2 misses its right child ([2048, 4096)).
+                BorderSpec { interval: Segment::new(0, 4096), missing_left: false },
+            ]
+        );
+        assert_eq!(specs[0].missing_child(), Segment::new(0, 1024));
+        assert_eq!(specs[1].missing_child(), Segment::new(2048, 2048));
+    }
+
+    #[test]
+    fn border_specs_middle_straddling_write() {
+        // Write pages 1-2: the root has both halves intersecting (no
+        // border at the root), each half is partially covered.
+        let g = geom_4_pages();
+        let mut specs = border_specs(&g, &Segment::new(1024, 2048));
+        specs.sort_by_key(|s| s.interval.offset);
+        assert_eq!(
+            specs,
+            vec![
+                BorderSpec { interval: Segment::new(0, 2048), missing_left: true },
+                BorderSpec { interval: Segment::new(2048, 2048), missing_left: false },
+            ]
+        );
+    }
+
+    #[test]
+    fn border_count_is_logarithmic() {
+        let g = Geometry::new(1 << 30, 4096).unwrap(); // 2^18 pages
+        let seg = Segment::new(4096 * 12345, 4096 * 1000);
+        let specs = border_specs(&g, &seg);
+        assert!(
+            specs.len() as u32 <= 2 * g.tree_height(),
+            "{} borders for height {}",
+            specs.len(),
+            g.tree_height()
+        );
+    }
+
+    #[test]
+    fn weaving_matches_paper_figure2() {
+        let g = geom_4_pages();
+        let blob = BlobId(1);
+
+        // Version 1 (white): full write — no borders.
+        let t1 = WriteTicket { version: 1, borders: vec![] };
+        let full = g.full_segment();
+        let n1 =
+            build_write_tree(&g, blob, &full, &[loc(0), loc(1), loc(2), loc(3)], &t1).unwrap();
+        assert_eq!(n1.len(), 7);
+        // Root's children are both version 1.
+        assert_eq!(
+            n1[0].body,
+            NodeBody::Inner { left_version: 1, right_version: 1 }
+        );
+
+        // Version 2 (grey) writes page 1. The paper: "the missing left
+        // child of B2 is set to D1 and the missing right child of A2 is
+        // set to C1".
+        let seg2 = Segment::new(1024, 1024);
+        let specs = border_specs(&g, &seg2);
+        let links = borders_to_links(&specs, |_child| Some(1));
+        let t2 = WriteTicket { version: 2, borders: links };
+        let n2 = build_write_tree(&g, blob, &seg2, &[loc(1)], &t2).unwrap();
+        assert_eq!(n2.len(), 3);
+        let a2 = n2.iter().find(|n| n.key.size == 4096).unwrap();
+        let b2 = n2.iter().find(|n| n.key.size == 2048).unwrap();
+        let e2 = n2.iter().find(|n| n.key.size == 1024).unwrap();
+        assert_eq!(a2.body, NodeBody::Inner { left_version: 2, right_version: 1 });
+        assert_eq!(b2.body, NodeBody::Inner { left_version: 1, right_version: 2 });
+        assert!(matches!(e2.body, NodeBody::Leaf { .. }));
+
+        // Version 3 (black) writes page 2: "setting the right child of C3
+        // to G1 and the left child of A3 to B2".
+        let seg3 = Segment::new(2048, 1024);
+        let specs = border_specs(&g, &seg3);
+        let links = borders_to_links(&specs, |child| {
+            // Version index after v1 (full) and v2 (page 1):
+            // page 3 → 1; [0,2048) → 2 (v2 intersects).
+            if child.offset == 3072 {
+                Some(1)
+            } else {
+                Some(2)
+            }
+        });
+        let t3 = WriteTicket { version: 3, borders: links };
+        let n3 = build_write_tree(&g, blob, &seg3, &[loc(2)], &t3).unwrap();
+        let a3 = n3.iter().find(|n| n.key.size == 4096).unwrap();
+        let c3 = n3.iter().find(|n| n.key.size == 2048).unwrap();
+        assert_eq!(a3.body, NodeBody::Inner { left_version: 2, right_version: 3 });
+        assert_eq!(c3.body, NodeBody::Inner { left_version: 3, right_version: 1 });
+    }
+
+    #[test]
+    fn first_write_links_to_zero_version() {
+        // Writing page 0 of a fresh blob: every missing half links to the
+        // implicit all-zero version 0.
+        let g = geom_4_pages();
+        let seg = Segment::new(0, 1024);
+        let specs = border_specs(&g, &seg);
+        let links = borders_to_links(&specs, |_child| None);
+        let t = WriteTicket { version: 1, borders: links };
+        let nodes = build_write_tree(&g, BlobId(1), &seg, &[loc(0)], &t).unwrap();
+        let root = nodes.iter().find(|n| n.key.size == 4096).unwrap();
+        assert_eq!(root.body, NodeBody::Inner { left_version: 1, right_version: 0 });
+        let b = nodes.iter().find(|n| n.key.size == 2048).unwrap();
+        assert_eq!(b.body, NodeBody::Inner { left_version: 1, right_version: 0 });
+    }
+
+    #[test]
+    fn build_rejects_wrong_page_count() {
+        let g = geom_4_pages();
+        let t = WriteTicket { version: 1, borders: vec![] };
+        let err = build_write_tree(&g, BlobId(1), &g.full_segment(), &[loc(0)], &t);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn build_rejects_missing_border_link() {
+        let g = geom_4_pages();
+        // Write page 1 but hand an empty ticket.
+        let t = WriteTicket { version: 2, borders: vec![] };
+        let err = build_write_tree(&g, BlobId(1), &Segment::new(1024, 1024), &[loc(1)], &t);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn single_page_blob_write() {
+        // Degenerate geometry: the root is the only (leaf) node.
+        let g = Geometry::new(1024, 1024).unwrap();
+        let t = WriteTicket { version: 1, borders: vec![] };
+        let nodes = build_write_tree(&g, BlobId(1), &g.full_segment(), &[loc(0)], &t).unwrap();
+        assert_eq!(nodes.len(), 1);
+        assert!(matches!(nodes[0].body, NodeBody::Leaf { .. }));
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests: the segment-tree engine against a flat snapshot model.
+//!
+//! This is the paper's core correctness claim — "all READ operations on
+//! the same version v and same offset and size will yield the same
+//! substring ... obtained by successively applying the first v patches to
+//! the initial string" (global serializability, §II) — checked over random
+//! write sequences.
+
+use blobseer_meta::ReferenceStore;
+use blobseer_proto::{Geometry, Segment};
+use proptest::prelude::*;
+
+const PAGE: u64 = 256;
+const PAGES: u64 = 16;
+const TOTAL: u64 = PAGE * PAGES;
+
+/// Flat model: a snapshot of the whole string per version.
+struct FlatModel {
+    snapshots: Vec<Vec<u8>>,
+}
+
+impl FlatModel {
+    fn new() -> Self {
+        Self { snapshots: vec![vec![0u8; TOTAL as usize]] }
+    }
+
+    fn write(&mut self, seg: Segment, data: &[u8]) {
+        let mut next = self.snapshots.last().unwrap().clone();
+        next[seg.offset as usize..seg.end() as usize].copy_from_slice(data);
+        self.snapshots.push(next);
+    }
+
+    fn read(&self, v: u64, seg: Segment) -> &[u8] {
+        &self.snapshots[v as usize][seg.offset as usize..seg.end() as usize]
+    }
+}
+
+fn aligned_write_strategy() -> impl Strategy<Value = (Segment, u8)> {
+    (0..PAGES, 1..=PAGES, any::<u8>()).prop_map(|(start, len, fill)| {
+        let start = start.min(PAGES - 1);
+        let len = len.min(PAGES - start);
+        (Segment::new(start * PAGE, len * PAGE), fill)
+    })
+}
+
+fn unaligned_seg_strategy() -> impl Strategy<Value = Segment> {
+    (0..TOTAL, 1..TOTAL).prop_map(|(off, len)| {
+        let off = off.min(TOTAL - 1);
+        let len = len.min(TOTAL - off);
+        Segment::new(off, len)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_version_matches_flat_model(
+        writes in proptest::collection::vec(aligned_write_strategy(), 1..24),
+        reads in proptest::collection::vec((0usize..24, unaligned_seg_strategy()), 1..32),
+    ) {
+        let geom = Geometry::new(TOTAL, PAGE).unwrap();
+        let mut store = ReferenceStore::new(geom);
+        let mut model = FlatModel::new();
+
+        for (i, (seg, fill)) in writes.iter().enumerate() {
+            // Distinct fill pattern per write so aliasing bugs can't hide.
+            let data: Vec<u8> = (0..seg.size).map(|j| fill.wrapping_add(j as u8).wrapping_add(i as u8)).collect();
+            let v = store.write(*seg, &data).unwrap();
+            model.write(*seg, &data);
+            prop_assert_eq!(v, (i + 1) as u64, "versions must be dense");
+        }
+
+        // Full-blob check of every version (snapshot isolation).
+        for v in 0..=writes.len() as u64 {
+            let got = store.read(v, Segment::new(0, TOTAL)).unwrap();
+            prop_assert_eq!(&got[..], model.read(v, Segment::new(0, TOTAL)));
+        }
+
+        // Random fine-grain (possibly unaligned) reads at random versions.
+        for (vi, seg) in reads {
+            let v = (vi as u64) % (writes.len() as u64 + 1);
+            let got = store.read(v, seg).unwrap();
+            prop_assert_eq!(&got[..], model.read(v, seg));
+        }
+    }
+
+    #[test]
+    fn unaligned_writes_match_flat_model(
+        writes in proptest::collection::vec((unaligned_seg_strategy(), any::<u8>()), 1..16),
+    ) {
+        let geom = Geometry::new(TOTAL, PAGE).unwrap();
+        let mut store = ReferenceStore::new(geom);
+        let mut model = FlatModel::new();
+        for (seg, fill) in &writes {
+            let data = vec![*fill; seg.size as usize];
+            store.write_unaligned(*seg, &data).unwrap();
+            // The RMW write enlarges the physical segment, but the logical
+            // effect on the latest snapshot is exactly the user's patch.
+            let mut next = model.snapshots.last().unwrap().clone();
+            next[seg.offset as usize..seg.end() as usize].copy_from_slice(&data);
+            model.snapshots.push(next);
+        }
+        let latest = store.latest();
+        let got = store.read(latest, Segment::new(0, TOTAL)).unwrap();
+        prop_assert_eq!(&got[..], model.snapshots.last().unwrap().as_slice());
+    }
+
+    #[test]
+    fn gc_preserves_kept_versions(
+        writes in proptest::collection::vec(aligned_write_strategy(), 2..16),
+        keep_quantile in 0.0f64..=1.0,
+    ) {
+        let geom = Geometry::new(TOTAL, PAGE).unwrap();
+        let mut store = ReferenceStore::new(geom);
+        let mut model = FlatModel::new();
+        for (i, (seg, fill)) in writes.iter().enumerate() {
+            let data: Vec<u8> = (0..seg.size).map(|j| fill.wrapping_add(j as u8).wrapping_add(i as u8)).collect();
+            store.write(*seg, &data).unwrap();
+            model.write(*seg, &data);
+        }
+        let latest = store.latest();
+        let keep_from = 1 + ((latest - 1) as f64 * keep_quantile) as u64;
+        store.gc(keep_from);
+        // Every kept version must read back exactly.
+        for v in keep_from..=latest {
+            let got = store.read(v, Segment::new(0, TOTAL)).unwrap();
+            prop_assert_eq!(&got[..], model.read(v, Segment::new(0, TOTAL)), "version {}", v);
+        }
+    }
+
+    #[test]
+    fn structural_sharing_node_count_is_exact(
+        writes in proptest::collection::vec(aligned_write_strategy(), 1..16),
+    ) {
+        // The number of stored nodes must equal the sum over writes of the
+        // analytic per-write node count — i.e., perfect sharing, zero
+        // duplication (keys are (version, interval): unique per write).
+        let geom = Geometry::new(TOTAL, PAGE).unwrap();
+        let mut store = ReferenceStore::new(geom);
+        let mut expected = 0u64;
+        for (seg, fill) in &writes {
+            let data = vec![*fill; seg.size as usize];
+            store.write(*seg, &data).unwrap();
+            expected += blobseer_meta::node_count_for_write(&geom, seg);
+        }
+        prop_assert_eq!(store.node_count() as u64, expected);
+    }
+}

@@ -1,0 +1,156 @@
+//! Error types shared across the workspace.
+
+use crate::geometry::Segment;
+use crate::ids::{BlobId, ProviderId, Version};
+use std::fmt;
+
+/// Errors surfaced by the public blob API (`ALLOC` / `READ` / `WRITE`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlobError {
+    /// The blob id is not known to the version manager.
+    UnknownBlob(BlobId),
+    /// A segment was rejected by geometry validation.
+    BadSegment {
+        /// The offending segment.
+        segment: Segment,
+        /// Human-readable reason (misalignment, out of bounds, ...).
+        reason: &'static str,
+    },
+    /// `READ` asked for a version that has not been published yet — the
+    /// paper specifies the read **fails** in this case.
+    VersionNotPublished {
+        /// Requested version.
+        requested: Version,
+        /// Latest published version at the time of the request.
+        latest: Version,
+    },
+    /// A required metadata tree node was missing from the metadata
+    /// provider (metadata corruption or GC raced the reader).
+    MissingMetadata {
+        /// Blob the node belongs to.
+        blob: BlobId,
+        /// Version of the missing node.
+        version: Version,
+    },
+    /// A page could not be fetched from any replica.
+    MissingPage {
+        /// Providers that were tried.
+        tried: Vec<ProviderId>,
+    },
+    /// The remote node is dead or unreachable (fault injection).
+    Unreachable(&'static str),
+    /// Codec failure on a wire message.
+    Codec(CodecError),
+    /// Catch-all for internal invariant violations surfaced as errors.
+    Internal(&'static str),
+}
+
+impl fmt::Display for BlobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlobError::UnknownBlob(b) => write!(f, "unknown blob {b}"),
+            BlobError::BadSegment { segment, reason } => {
+                write!(f, "bad segment {segment:?}: {reason}")
+            }
+            BlobError::VersionNotPublished { requested, latest } => write!(
+                f,
+                "version {requested} not published (latest published is {latest})"
+            ),
+            BlobError::MissingMetadata { blob, version } => {
+                write!(f, "missing metadata for blob {blob} version {version}")
+            }
+            BlobError::MissingPage { tried } => {
+                write!(f, "page unavailable on all {} replica(s)", tried.len())
+            }
+            BlobError::Unreachable(who) => write!(f, "{who} unreachable"),
+            BlobError::Codec(e) => write!(f, "codec error: {e}"),
+            BlobError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BlobError {}
+
+impl From<CodecError> for BlobError {
+    fn from(e: CodecError) -> Self {
+        BlobError::Codec(e)
+    }
+}
+
+/// Errors produced by the binary wire codec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// Fewer bytes remained than the decoder needed.
+    UnexpectedEof {
+        /// Bytes the decoder asked for.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// An enum discriminant byte had no corresponding variant.
+    BadTag {
+        /// The unknown tag value.
+        tag: u8,
+        /// The type being decoded.
+        ty: &'static str,
+    },
+    /// A declared length prefix exceeded the sanity limit.
+    LengthOverflow {
+        /// The declared length.
+        declared: u64,
+    },
+    /// Bytes remained after a complete top-level decode.
+    TrailingBytes {
+        /// How many bytes were left over.
+        remaining: usize,
+    },
+    /// A UTF-8 string field contained invalid UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof { needed, remaining } => {
+                write!(f, "unexpected EOF: needed {needed} bytes, had {remaining}")
+            }
+            CodecError::BadTag { tag, ty } => write!(f, "bad tag {tag} for {ty}"),
+            CodecError::LengthOverflow { declared } => {
+                write!(f, "length prefix {declared} exceeds sanity limit")
+            }
+            CodecError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after decode")
+            }
+            CodecError::BadUtf8 => write!(f, "invalid UTF-8 in string field"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = BlobError::VersionNotPublished { requested: 9, latest: 4 };
+        let s = e.to_string();
+        assert!(s.contains('9') && s.contains('4'));
+
+        let e = BlobError::BadSegment {
+            segment: Segment { offset: 1, size: 2 },
+            reason: "unaligned",
+        };
+        assert!(e.to_string().contains("unaligned"));
+
+        let c = CodecError::UnexpectedEof { needed: 8, remaining: 3 };
+        assert!(c.to_string().contains('8'));
+    }
+
+    #[test]
+    fn codec_error_converts() {
+        let b: BlobError = CodecError::BadUtf8.into();
+        assert!(matches!(b, BlobError::Codec(CodecError::BadUtf8)));
+    }
+}

@@ -1,0 +1,221 @@
+//! Metadata-tree node types (paper §III.C).
+//!
+//! Metadata is organized as a *distributed segment tree*, one per blob
+//! version: a full binary tree whose root covers the whole blob and whose
+//! leaves cover single pages. A node is identified by
+//! `(blob, version, offset, size)` and its body is **immutable once
+//! written** — the property that makes lock-free concurrent sharing and
+//! unbounded client-side caching sound.
+//!
+//! Inner nodes store the *versions* of their two children (the child
+//! intervals are implied by halving), which is exactly how "weaving"
+//! works: a border node of version `v` simply records an older version
+//! number for the half that `v` did not rewrite.
+
+use crate::geometry::Segment;
+use crate::ids::{BlobId, ProviderId, Version, WriteId};
+use crate::{wire_newtype, wire_struct};
+
+wire_newtype!(BlobId);
+wire_newtype!(crate::ids::NodeId);
+wire_newtype!(ProviderId);
+wire_newtype!(WriteId);
+
+/// Identity of one metadata tree node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct NodeKey {
+    /// Owning blob.
+    pub blob: BlobId,
+    /// Version whose tree this node belongs to.
+    pub version: Version,
+    /// Byte offset of the covered interval.
+    pub offset: u64,
+    /// Byte size of the covered interval (power of two multiple of the
+    /// page size).
+    pub size: u64,
+}
+
+wire_struct!(NodeKey { blob, version, offset, size });
+
+impl NodeKey {
+    /// The covered byte interval as a [`Segment`].
+    pub fn segment(&self) -> Segment {
+        Segment::new(self.offset, self.size)
+    }
+
+    /// Key of the left child at version `v` (first half of the interval).
+    pub fn left_child(&self, v: Version) -> NodeKey {
+        debug_assert!(self.size >= 2);
+        NodeKey { blob: self.blob, version: v, offset: self.offset, size: self.size / 2 }
+    }
+
+    /// Key of the right child at version `v` (second half).
+    pub fn right_child(&self, v: Version) -> NodeKey {
+        debug_assert!(self.size >= 2);
+        NodeKey {
+            blob: self.blob,
+            version: v,
+            offset: self.offset + self.size / 2,
+            size: self.size / 2,
+        }
+    }
+
+    /// Stable routing hash used to disperse nodes over the metadata
+    /// providers (DHT key).
+    pub fn routing_key(&self) -> u64 {
+        use blobseer_util::fxhash::mix64;
+        mix64(self.blob.0 ^ mix64(self.version) ^ mix64(self.offset) ^ mix64(self.size ^ 0xb10b))
+    }
+}
+
+/// Where a page physically lives.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PageLoc {
+    /// The page's storage key.
+    pub key: PageKey,
+    /// Providers holding a replica, in preference order. The first entry
+    /// is the primary chosen by the provider manager.
+    pub replicas: Vec<ProviderId>,
+}
+
+wire_struct!(PageLoc { key, replicas });
+
+/// Storage key of one written page.
+///
+/// Pages are written *before* the write knows its version number (paper
+/// §III.B), so the key is `(blob, write_id, page_index)` with `write_id`
+/// issued by the provider manager; the version label is attached when the
+/// metadata is built.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PageKey {
+    /// Owning blob.
+    pub blob: BlobId,
+    /// The WRITE operation that produced this page.
+    pub write: WriteId,
+    /// Page index within the blob.
+    pub index: u64,
+}
+
+wire_struct!(PageKey { blob, write, index });
+
+/// Body of a metadata tree node.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum NodeBody {
+    /// Non-leaf: versions of the two children. A version of 0 denotes the
+    /// implicit all-zero subtree (nothing stored — "allocate on write").
+    Inner {
+        /// Version of the left-child node.
+        left_version: Version,
+        /// Version of the right-child node.
+        right_version: Version,
+    },
+    /// Leaf: locator of the single page this node covers.
+    Leaf {
+        /// Physical page location.
+        page: PageLoc,
+    },
+}
+
+impl crate::wire::Wire for NodeBody {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            NodeBody::Inner { left_version, right_version } => {
+                out.push(0);
+                left_version.encode(out);
+                right_version.encode(out);
+            }
+            NodeBody::Leaf { page } => {
+                out.push(1);
+                page.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut crate::wire::Reader<'_>) -> Result<Self, crate::error::CodecError> {
+        match r.take(1)?[0] {
+            0 => Ok(NodeBody::Inner {
+                left_version: Version::decode(r)?,
+                right_version: Version::decode(r)?,
+            }),
+            1 => Ok(NodeBody::Leaf { page: PageLoc::decode(r)? }),
+            tag => Err(crate::error::CodecError::BadTag { tag, ty: "NodeBody" }),
+        }
+    }
+
+    fn wire_hint(&self) -> usize {
+        match self {
+            NodeBody::Inner { .. } => 17,
+            NodeBody::Leaf { page } => 1 + page.wire_hint(),
+        }
+    }
+}
+
+/// A fully-specified tree node ready to be stored: key plus body.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TreeNode {
+    /// Node identity.
+    pub key: NodeKey,
+    /// Node contents.
+    pub body: NodeBody,
+}
+
+wire_struct!(TreeNode { key, body });
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::Wire;
+
+    fn key(v: Version, offset: u64, size: u64) -> NodeKey {
+        NodeKey { blob: BlobId(3), version: v, offset, size }
+    }
+
+    #[test]
+    fn child_keys_halve_interval() {
+        let root = key(5, 0, 1024);
+        let l = root.left_child(5);
+        let r = root.right_child(2);
+        assert_eq!((l.offset, l.size, l.version), (0, 512, 5));
+        assert_eq!((r.offset, r.size, r.version), (512, 512, 2));
+        assert_eq!(l.segment(), Segment::new(0, 512));
+    }
+
+    #[test]
+    fn routing_keys_disperse() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for v in 0..10 {
+            for off in 0..10 {
+                seen.insert(key(v, off * 4096, 4096).routing_key());
+            }
+        }
+        assert_eq!(seen.len(), 100, "no collisions on a small set");
+    }
+
+    #[test]
+    fn node_roundtrips() {
+        let inner = TreeNode {
+            key: key(7, 0, 65536),
+            body: NodeBody::Inner { left_version: 7, right_version: 3 },
+        };
+        assert_eq!(TreeNode::from_wire(&inner.to_wire()).unwrap(), inner);
+
+        let leaf = TreeNode {
+            key: key(7, 65536, 65536),
+            body: NodeBody::Leaf {
+                page: PageLoc {
+                    key: PageKey { blob: BlobId(3), write: WriteId(9), index: 1 },
+                    replicas: vec![ProviderId(2), ProviderId(5)],
+                },
+            },
+        };
+        assert_eq!(TreeNode::from_wire(&leaf.to_wire()).unwrap(), leaf);
+    }
+
+    #[test]
+    fn bad_body_tag_rejected() {
+        let mut bytes = vec![9u8];
+        bytes.extend_from_slice(&[0; 16]);
+        assert!(NodeBody::from_wire(&bytes).is_err());
+    }
+}

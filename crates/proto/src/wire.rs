@@ -1,0 +1,391 @@
+//! The binary wire codec.
+//!
+//! The original system serialized RPC arguments with Boost.Serialization;
+//! we use a hand-written little-endian format: fixed-width integers,
+//! `u32` length prefixes, one tag byte for enums. Every message type in
+//! [`crate::messages`] implements [`Wire`]; the RPC layer frames encoded
+//! messages on the (simulated) wire, so message *sizes* — which drive the
+//! bandwidth model — are faithful to what a real deployment would send.
+
+use crate::error::CodecError;
+use bytes::Bytes;
+
+/// Sanity cap on any single length prefix (1 GiB) — prevents a corrupt
+/// length from causing an absurd allocation.
+pub const MAX_LEN: u64 = 1 << 30;
+
+/// A cursor over a byte slice with checked reads.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap a buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consume exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof { needed: n, remaining: self.remaining() });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Error unless the buffer was fully consumed.
+    pub fn finish(self) -> Result<(), CodecError> {
+        if self.remaining() != 0 {
+            Err(CodecError::TrailingBytes { remaining: self.remaining() })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Types that can be encoded to / decoded from the wire format.
+pub trait Wire: Sized {
+    /// Append the encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decode a value, advancing the reader.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError>;
+
+    /// Encode into a fresh buffer.
+    fn to_wire(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_hint());
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decode from a complete buffer, requiring full consumption.
+    fn from_wire(buf: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(buf);
+        let v = Self::decode(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+
+    /// Optional capacity hint for `to_wire`.
+    fn wire_hint(&self) -> usize {
+        16
+    }
+}
+
+macro_rules! wire_int {
+    ($ty:ty, $n:expr) => {
+        impl Wire for $ty {
+            #[inline]
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+
+            #[inline]
+            fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+                let b = r.take($n)?;
+                Ok(<$ty>::from_le_bytes(b.try_into().unwrap()))
+            }
+
+            fn wire_hint(&self) -> usize {
+                $n
+            }
+        }
+    };
+}
+
+wire_int!(u8, 1);
+wire_int!(u16, 2);
+wire_int!(u32, 4);
+wire_int!(u64, 8);
+wire_int!(i64, 8);
+
+impl Wire for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.take(1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(CodecError::BadTag { tag, ty: "bool" }),
+        }
+    }
+}
+
+fn decode_len(r: &mut Reader<'_>) -> Result<usize, CodecError> {
+    let n = u32::decode(r)? as u64;
+    if n > MAX_LEN {
+        return Err(CodecError::LengthOverflow { declared: n });
+    }
+    Ok(n as usize)
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let n = decode_len(r)?;
+        // Guard against hostile prefixes: cap the pre-allocation.
+        let mut v = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            v.push(T::decode(r)?);
+        }
+        Ok(v)
+    }
+
+    fn wire_hint(&self) -> usize {
+        4 + self.iter().map(Wire::wire_hint).sum::<usize>()
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.take(1)?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            tag => Err(CodecError::BadTag { tag, ty: "Option" }),
+        }
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let n = decode_len(r)?;
+        let b = r.take(n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| CodecError::BadUtf8)
+    }
+
+    fn wire_hint(&self) -> usize {
+        4 + self.len()
+    }
+}
+
+impl Wire for Bytes {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        out.extend_from_slice(self);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let n = decode_len(r)?;
+        let b = r.take(n)?;
+        Ok(Bytes::copy_from_slice(b))
+    }
+
+    fn wire_hint(&self) -> usize {
+        4 + self.len()
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+
+    fn wire_hint(&self) -> usize {
+        self.0.wire_hint() + self.1.wire_hint()
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+        self.2.encode(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+
+    fn wire_hint(&self) -> usize {
+        self.0.wire_hint() + self.1.wire_hint() + self.2.wire_hint()
+    }
+}
+
+impl Wire for () {
+    fn encode(&self, _out: &mut Vec<u8>) {}
+
+    fn decode(_r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(())
+    }
+
+    fn wire_hint(&self) -> usize {
+        0
+    }
+}
+
+/// Derive-like helper: implement `Wire` for a struct by field order.
+#[macro_export]
+macro_rules! wire_struct {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::wire::Wire for $ty {
+            fn encode(&self, out: &mut Vec<u8>) {
+                $( self.$field.encode(out); )+
+            }
+
+            fn decode(r: &mut $crate::wire::Reader<'_>) -> Result<Self, $crate::error::CodecError> {
+                Ok(Self { $( $field: $crate::wire::Wire::decode(r)?, )+ })
+            }
+
+            fn wire_hint(&self) -> usize {
+                0 $( + self.$field.wire_hint() )+
+            }
+        }
+    };
+}
+
+/// Implement `Wire` for an id newtype wrapping a `Wire` integer.
+#[macro_export]
+macro_rules! wire_newtype {
+    ($ty:ty) => {
+        impl $crate::wire::Wire for $ty {
+            fn encode(&self, out: &mut Vec<u8>) {
+                self.0.encode(out);
+            }
+
+            fn decode(r: &mut $crate::wire::Reader<'_>) -> Result<Self, $crate::error::CodecError> {
+                Ok(Self($crate::wire::Wire::decode(r)?))
+            }
+
+            fn wire_hint(&self) -> usize {
+                self.0.wire_hint()
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_wire();
+        let back = T::from_wire(&bytes).expect("decode");
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(0xdeadu16);
+        roundtrip(0xdead_beefu32);
+        roundtrip(u64::MAX);
+        roundtrip(-42i64);
+        roundtrip(true);
+        roundtrip(false);
+    }
+
+    #[test]
+    fn container_roundtrips() {
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip(Some(7u64));
+        roundtrip(Option::<u64>::None);
+        roundtrip("hello blobseer".to_string());
+        roundtrip(String::new());
+        roundtrip(Bytes::from_static(b"page data"));
+        roundtrip((1u32, 2u64));
+        roundtrip(vec![(1u64, Bytes::from_static(b"x"))]);
+    }
+
+    #[test]
+    fn eof_detected() {
+        let bytes = 0xdead_beefu32.to_wire();
+        assert!(matches!(
+            u64::from_wire(&bytes),
+            Err(CodecError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut bytes = 1u32.to_wire();
+        bytes.push(0);
+        assert!(matches!(
+            u32::from_wire(&bytes),
+            Err(CodecError::TrailingBytes { remaining: 1 })
+        ));
+    }
+
+    #[test]
+    fn bad_bool_tag() {
+        assert!(matches!(
+            bool::from_wire(&[7]),
+            Err(CodecError::BadTag { tag: 7, ty: "bool" })
+        ));
+    }
+
+    #[test]
+    fn hostile_length_prefix_rejected() {
+        // Declared length of u32::MAX elements must not allocate.
+        let mut bytes = Vec::new();
+        (u32::MAX).encode(&mut bytes);
+        assert!(matches!(
+            Vec::<u64>::from_wire(&bytes),
+            Err(CodecError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_vec_fails_cleanly() {
+        let mut bytes = Vec::new();
+        3u32.encode(&mut bytes); // declares 3 elements
+        1u64.encode(&mut bytes); // provides 1
+        assert!(matches!(
+            Vec::<u64>::from_wire(&bytes),
+            Err(CodecError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut bytes = Vec::new();
+        2u32.encode(&mut bytes);
+        bytes.extend_from_slice(&[0xff, 0xfe]);
+        assert!(matches!(String::from_wire(&bytes), Err(CodecError::BadUtf8)));
+    }
+
+    #[test]
+    fn wire_hint_close_to_actual() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(v.wire_hint(), v.to_wire().len());
+        let s = "abcd".to_string();
+        assert_eq!(s.wire_hint(), s.to_wire().len());
+    }
+}

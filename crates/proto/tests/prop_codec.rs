@@ -1,0 +1,118 @@
+//! Property tests for the wire codec: arbitrary-value round trips and
+//! robustness of the decoder against corrupted bytes.
+
+use blobseer_proto::messages::*;
+use blobseer_proto::tree::{NodeBody, NodeKey, PageKey, PageLoc, TreeNode};
+use blobseer_proto::{BlobId, ProviderId, Wire, WriteId};
+use bytes::Bytes;
+use proptest::prelude::*;
+
+fn arb_node_key() -> impl Strategy<Value = NodeKey> {
+    (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(b, v, o, s)| NodeKey {
+        blob: BlobId(b),
+        version: v,
+        offset: o,
+        size: s,
+    })
+}
+
+fn arb_page_loc() -> impl Strategy<Value = PageLoc> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        proptest::collection::vec(any::<u32>(), 0..4),
+    )
+        .prop_map(|(b, w, i, reps)| PageLoc {
+            key: PageKey { blob: BlobId(b), write: WriteId(w), index: i },
+            replicas: reps.into_iter().map(ProviderId).collect(),
+        })
+}
+
+fn arb_tree_node() -> impl Strategy<Value = TreeNode> {
+    (
+        arb_node_key(),
+        prop_oneof![
+            (any::<u64>(), any::<u64>())
+                .prop_map(|(l, r)| NodeBody::Inner { left_version: l, right_version: r }),
+            arb_page_loc().prop_map(|page| NodeBody::Leaf { page }),
+        ],
+    )
+        .prop_map(|(key, body)| TreeNode { key, body })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn tree_nodes_roundtrip(node in arb_tree_node()) {
+        prop_assert_eq!(TreeNode::from_wire(&node.to_wire()).unwrap(), node);
+    }
+
+    #[test]
+    fn batches_roundtrip(nodes in proptest::collection::vec(arb_tree_node(), 0..20)) {
+        let msg = MetaPutBatch { nodes };
+        prop_assert_eq!(MetaPutBatch::from_wire(&msg.to_wire()).unwrap(), msg);
+    }
+
+    #[test]
+    fn tickets_roundtrip(
+        version in any::<u64>(),
+        borders in proptest::collection::vec(
+            (any::<u64>(), any::<u64>(), any::<bool>(), proptest::option::of(any::<u64>())),
+            0..32
+        )
+    ) {
+        let borders: Vec<BorderLink> = borders
+            .into_iter()
+            .map(|(offset, size, left_side, v)| BorderLink {
+                offset,
+                size,
+                left: if left_side { v } else { None },
+                right: if left_side { None } else { v },
+            })
+            .collect();
+        let t = WriteTicket { version, borders };
+        prop_assert_eq!(WriteTicket::from_wire(&t.to_wire()).unwrap(), t);
+    }
+
+    #[test]
+    fn pages_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let msg = PutPage {
+            key: PageKey { blob: BlobId(1), write: WriteId(2), index: 3 },
+            data: Bytes::from(data),
+        };
+        prop_assert_eq!(PutPage::from_wire(&msg.to_wire()).unwrap(), msg);
+    }
+
+    #[test]
+    fn truncation_never_panics(node in arb_tree_node(), cut in 0usize..64) {
+        // Decoding any prefix must fail cleanly, never panic or loop.
+        let bytes = node.to_wire();
+        let cut = cut.min(bytes.len());
+        let prefix = &bytes[..bytes.len() - cut];
+        let _ = TreeNode::from_wire(prefix); // Ok(_) only when cut == 0
+        if cut > 0 {
+            prop_assert!(TreeNode::from_wire(prefix).is_err());
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic(node in arb_tree_node(), pos in any::<prop::sample::Index>(), bit in 0u8..8) {
+        // A single flipped bit must at worst produce a decode error or a
+        // different (valid) value — never a panic or huge allocation.
+        let mut bytes = node.to_wire();
+        let i = pos.index(bytes.len());
+        bytes[i] ^= 1 << bit;
+        let _ = TreeNode::from_wire(&bytes);
+    }
+
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = TreeNode::from_wire(&bytes);
+        let _ = WriteTicket::from_wire(&bytes);
+        let _ = MetaGetBatchResp::from_wire(&bytes);
+        let _ = GcPlan::from_wire(&bytes);
+        let _ = WritePlan::from_wire(&bytes);
+    }
+}

@@ -1,0 +1,225 @@
+//! The data provider: RAM-based page storage (paper §III.A).
+//!
+//! "Data providers physically store in their local memory the pages
+//! created by the WRITE operations." Pages are immutable once stored —
+//! a WRITE always creates fresh pages under a fresh write id — so the
+//! store needs no versioned cells, just a concurrent map plus memory
+//! accounting for the provider manager's load balancing.
+
+use blobseer_proto::messages::{method, GetPage, ProviderStats, PutPage, RemovePage};
+use blobseer_proto::tree::PageKey;
+use blobseer_proto::BlobError;
+use blobseer_rpc::{error_frame, respond, Frame, ServerCtx, Service};
+use blobseer_simnet::ServiceCosts;
+use blobseer_util::ShardedMap;
+use bytes::Bytes;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One data provider's in-memory page store.
+pub struct DataProviderService {
+    store: ShardedMap<PageKey, Bytes>,
+    bytes: AtomicU64,
+    capacity: u64,
+    costs: ServiceCosts,
+}
+
+impl DataProviderService {
+    /// Provider with `capacity` bytes of RAM (paper nodes: 4 GB).
+    pub fn new(capacity: u64, costs: ServiceCosts) -> Self {
+        Self {
+            store: ShardedMap::with_shards(64),
+            bytes: AtomicU64::new(0),
+            capacity,
+            costs,
+        }
+    }
+
+    /// Pages currently stored.
+    pub fn page_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Bytes currently stored.
+    pub fn bytes_used(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Usage snapshot.
+    pub fn stats(&self) -> ProviderStats {
+        ProviderStats { pages: self.store.len() as u64, bytes: self.bytes_used() }
+    }
+
+    /// Direct probe (tests/GC verification).
+    pub fn contains(&self, key: &PageKey) -> bool {
+        self.store.contains_key(key)
+    }
+
+    fn put(&self, key: PageKey, data: Bytes) -> Result<(), BlobError> {
+        let len = data.len() as u64;
+        if self.bytes_used() + len > self.capacity {
+            return Err(BlobError::Internal("provider out of memory"));
+        }
+        if let Some(old) = self.store.insert(key, data) {
+            // Idempotent re-put of the same immutable page (client retry).
+            self.bytes.fetch_sub(old.len() as u64, Ordering::Relaxed);
+        }
+        self.bytes.fetch_add(len, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn get(&self, key: &PageKey) -> Result<Bytes, BlobError> {
+        self.store
+            .get_cloned(key)
+            .ok_or(BlobError::MissingPage { tried: vec![] })
+    }
+
+    fn remove(&self, key: &PageKey) -> bool {
+        match self.store.remove(key) {
+            Some(old) => {
+                self.bytes.fetch_sub(old.len() as u64, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl Service for DataProviderService {
+    fn name(&self) -> &'static str {
+        "data-provider"
+    }
+
+    fn handle(&self, ctx: &mut ServerCtx, frame: &Frame) -> Frame {
+        match frame.method {
+            method::PUT_PAGE => {
+                ctx.charge(self.costs.page_store_ns);
+                respond(frame, |m: PutPage| self.put(m.key, m.data))
+            }
+            method::GET_PAGE => {
+                ctx.charge(self.costs.page_fetch_ns);
+                respond(frame, |m: GetPage| self.get(&m.key))
+            }
+            method::REMOVE_PAGE => {
+                ctx.charge(self.costs.page_fetch_ns);
+                respond(frame, |m: RemovePage| Ok(self.remove(&m.key)))
+            }
+            method::PROVIDER_STATS => {
+                ctx.charge(self.costs.manager_query_ns);
+                respond(frame, |_: ()| Ok(self.stats()))
+            }
+            other => error_frame(other, BlobError::Internal("unknown data-provider method")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blobseer_proto::{BlobId, WriteId};
+    use blobseer_rpc::parse_response;
+
+    fn key(w: u64, i: u64) -> PageKey {
+        PageKey { blob: BlobId(1), write: WriteId(w), index: i }
+    }
+
+    fn svc() -> DataProviderService {
+        DataProviderService::new(1 << 20, ServiceCosts::zero())
+    }
+
+    #[test]
+    fn put_get_remove_cycle() {
+        let p = svc();
+        let mut ctx = ServerCtx::new(0);
+        let data = Bytes::from(vec![7u8; 4096]);
+        let resp = p.handle(
+            &mut ctx,
+            &Frame::from_msg(method::PUT_PAGE, &PutPage { key: key(1, 0), data: data.clone() }),
+        );
+        parse_response::<()>(&resp).unwrap();
+        assert_eq!(p.page_count(), 1);
+        assert_eq!(p.bytes_used(), 4096);
+
+        let resp =
+            p.handle(&mut ctx, &Frame::from_msg(method::GET_PAGE, &GetPage { key: key(1, 0) }));
+        assert_eq!(parse_response::<Bytes>(&resp).unwrap(), data);
+
+        let resp = p
+            .handle(&mut ctx, &Frame::from_msg(method::REMOVE_PAGE, &RemovePage { key: key(1, 0) }));
+        assert!(parse_response::<bool>(&resp).unwrap());
+        assert_eq!(p.bytes_used(), 0);
+        // Second remove reports false.
+        let resp = p
+            .handle(&mut ctx, &Frame::from_msg(method::REMOVE_PAGE, &RemovePage { key: key(1, 0) }));
+        assert!(!parse_response::<bool>(&resp).unwrap());
+    }
+
+    #[test]
+    fn missing_page_is_error() {
+        let p = svc();
+        let mut ctx = ServerCtx::new(0);
+        let resp =
+            p.handle(&mut ctx, &Frame::from_msg(method::GET_PAGE, &GetPage { key: key(9, 9) }));
+        assert!(matches!(
+            parse_response::<Bytes>(&resp),
+            Err(BlobError::MissingPage { .. })
+        ));
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let p = DataProviderService::new(8192, ServiceCosts::zero());
+        let mut ctx = ServerCtx::new(0);
+        for i in 0..2 {
+            let resp = p.handle(
+                &mut ctx,
+                &Frame::from_msg(
+                    method::PUT_PAGE,
+                    &PutPage { key: key(1, i), data: Bytes::from(vec![0u8; 4096]) },
+                ),
+            );
+            parse_response::<()>(&resp).unwrap();
+        }
+        let resp = p.handle(
+            &mut ctx,
+            &Frame::from_msg(
+                method::PUT_PAGE,
+                &PutPage { key: key(1, 2), data: Bytes::from(vec![0u8; 4096]) },
+            ),
+        );
+        assert!(parse_response::<()>(&resp).is_err(), "out of memory");
+    }
+
+    #[test]
+    fn idempotent_re_put_does_not_leak_accounting() {
+        let p = svc();
+        let mut ctx = ServerCtx::new(0);
+        for _ in 0..3 {
+            let resp = p.handle(
+                &mut ctx,
+                &Frame::from_msg(
+                    method::PUT_PAGE,
+                    &PutPage { key: key(1, 0), data: Bytes::from(vec![1u8; 2048]) },
+                ),
+            );
+            parse_response::<()>(&resp).unwrap();
+        }
+        assert_eq!(p.bytes_used(), 2048);
+        assert_eq!(p.page_count(), 1);
+    }
+
+    #[test]
+    fn stats_message() {
+        let p = svc();
+        let mut ctx = ServerCtx::new(0);
+        p.handle(
+            &mut ctx,
+            &Frame::from_msg(
+                method::PUT_PAGE,
+                &PutPage { key: key(2, 5), data: Bytes::from(vec![1u8; 1024]) },
+            ),
+        );
+        let resp = p.handle(&mut ctx, &Frame::from_msg(method::PROVIDER_STATS, &()));
+        let stats = parse_response::<ProviderStats>(&resp).unwrap();
+        assert_eq!(stats, ProviderStats { pages: 1, bytes: 1024 });
+    }
+}

@@ -1,0 +1,17 @@
+//! # blobseer-provider
+//!
+//! The data-plane services of the system (paper §III.A):
+//!
+//! * [`data`] — the **data provider**: RAM-based immutable page storage
+//!   with memory accounting and capacity enforcement;
+//! * [`manager`] — the **provider manager**: provider registration,
+//!   heartbeats, and load-balanced page placement (round-robin /
+//!   least-loaded / random strategies), plus write-id issuance.
+
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod manager;
+
+pub use data::DataProviderService;
+pub use manager::{ProviderManagerService, Strategy};

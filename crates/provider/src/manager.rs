@@ -1,0 +1,341 @@
+//! The provider manager (paper §III.A).
+//!
+//! "On each WRITE request, the provider manager decides which providers
+//! should be used to store the newly generated pages, based on some
+//! strategy that favors global load balancing." It also issues the unique
+//! write ids under which pages are stored before their version exists.
+//!
+//! Three allocation strategies are provided; the default is
+//! [`Strategy::LeastLoaded`], which uses registered capacity, heartbeat
+//! usage reports and an in-flight assignment counter.
+
+use blobseer_proto::messages::{
+    method, Heartbeat, PlanWrite, ProviderStats, RegisterProvider, WritePlan,
+};
+use blobseer_proto::{BlobError, ProviderId, WriteId};
+use blobseer_rpc::{error_frame, respond, Frame, ServerCtx, Service};
+use blobseer_simnet::ServiceCosts;
+use blobseer_util::rng::splitmix64;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Page-to-provider allocation strategy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Strategy {
+    /// Cycle through providers (ignores load).
+    RoundRobin,
+    /// Prefer the provider with the most free capacity, counting both
+    /// heartbeat-reported usage and not-yet-reported in-flight
+    /// assignments.
+    #[default]
+    LeastLoaded,
+    /// Uniform random (seeded; useful as a baseline in ablations).
+    Random,
+}
+
+#[derive(Debug)]
+struct ProviderEntry {
+    id: ProviderId,
+    capacity: u64,
+    reported: ProviderStats,
+    /// Bytes assigned by plans since the last heartbeat.
+    in_flight: u64,
+    alive: bool,
+}
+
+impl ProviderEntry {
+    fn projected_free(&self) -> u64 {
+        self.capacity.saturating_sub(self.reported.bytes + self.in_flight)
+    }
+}
+
+/// The provider manager service.
+pub struct ProviderManagerService {
+    providers: RwLock<Vec<ProviderEntry>>,
+    next_write: AtomicU64,
+    cursor: AtomicUsize,
+    rng_state: AtomicU64,
+    strategy: Strategy,
+    /// Bytes a single page occupies, used to project in-flight load.
+    page_size_hint: AtomicU64,
+    costs: ServiceCosts,
+}
+
+impl ProviderManagerService {
+    /// Empty manager.
+    pub fn new(strategy: Strategy, seed: u64, costs: ServiceCosts) -> Self {
+        Self {
+            providers: RwLock::new(Vec::new()),
+            next_write: AtomicU64::new(1),
+            cursor: AtomicUsize::new(0),
+            rng_state: AtomicU64::new(seed | 1),
+            strategy,
+            page_size_hint: AtomicU64::new(64 * 1024),
+            costs,
+        }
+    }
+
+    /// Tell the manager the page size so in-flight projections are right.
+    pub fn set_page_size_hint(&self, bytes: u64) {
+        self.page_size_hint.store(bytes.max(1), Ordering::Relaxed);
+    }
+
+    /// Registered provider count.
+    pub fn provider_count(&self) -> usize {
+        self.providers.read().len()
+    }
+
+    /// Register (idempotent on re-register with new capacity).
+    pub fn register(&self, provider: ProviderId, capacity: u64) {
+        let mut g = self.providers.write();
+        match g.iter_mut().find(|p| p.id == provider) {
+            Some(p) => {
+                p.capacity = capacity;
+                p.alive = true;
+            }
+            None => g.push(ProviderEntry {
+                id: provider,
+                capacity,
+                reported: ProviderStats::default(),
+                in_flight: 0,
+                alive: true,
+            }),
+        }
+    }
+
+    /// Fold in a heartbeat: reported usage replaces the in-flight
+    /// projection accumulated since the previous report.
+    pub fn heartbeat(&self, provider: ProviderId, stats: ProviderStats) {
+        let mut g = self.providers.write();
+        if let Some(p) = g.iter_mut().find(|p| p.id == provider) {
+            p.reported = stats;
+            p.in_flight = 0;
+            p.alive = true;
+        }
+    }
+
+    /// Mark a provider dead (e.g., failure detector input); it stops
+    /// receiving assignments until it re-registers or heartbeats.
+    pub fn mark_dead(&self, provider: ProviderId) {
+        let mut g = self.providers.write();
+        if let Some(p) = g.iter_mut().find(|p| p.id == provider) {
+            p.alive = false;
+        }
+    }
+
+    /// Plan a write: a fresh write id plus, for each of `pages` pages,
+    /// `replication` distinct providers (primary first).
+    pub fn plan_write(&self, pages: u64, replication: u32) -> Result<WritePlan, BlobError> {
+        let write = WriteId(self.next_write.fetch_add(1, Ordering::Relaxed));
+        let page_bytes = self.page_size_hint.load(Ordering::Relaxed);
+        let mut g = self.providers.write();
+        let alive: Vec<usize> =
+            (0..g.len()).filter(|&i| g[i].alive).collect();
+        if alive.is_empty() {
+            return Err(BlobError::Unreachable("no data providers registered"));
+        }
+        let replication = (replication.max(1) as usize).min(alive.len());
+        let mut targets = Vec::with_capacity(pages as usize);
+        for _ in 0..pages {
+            let mut page_targets = Vec::with_capacity(replication);
+            for _ in 0..replication {
+                let pick = match self.strategy {
+                    Strategy::RoundRobin => {
+                        let mut k = self.cursor.fetch_add(1, Ordering::Relaxed);
+                        // Skip providers already chosen for this page.
+                        let mut tries = 0;
+                        loop {
+                            let idx = alive[k % alive.len()];
+                            if !page_targets.contains(&g[idx].id) || tries >= alive.len() {
+                                break idx;
+                            }
+                            k += 1;
+                            tries += 1;
+                        }
+                    }
+                    Strategy::LeastLoaded => {
+                        let mut best: Option<usize> = None;
+                        for &idx in &alive {
+                            if page_targets.contains(&g[idx].id) {
+                                continue;
+                            }
+                            let better = match best {
+                                None => true,
+                                Some(b) => g[idx].projected_free() > g[b].projected_free(),
+                            };
+                            if better {
+                                best = Some(idx);
+                            }
+                        }
+                        best.ok_or(BlobError::Internal("replication exceeds providers"))?
+                    }
+                    Strategy::Random => {
+                        let mut s = self.rng_state.load(Ordering::Relaxed);
+                        let r = splitmix64(&mut s);
+                        self.rng_state.store(s, Ordering::Relaxed);
+                        let mut k = r as usize;
+                        let mut tries = 0;
+                        loop {
+                            let idx = alive[k % alive.len()];
+                            if !page_targets.contains(&g[idx].id) || tries >= alive.len() {
+                                break idx;
+                            }
+                            k += 1;
+                            tries += 1;
+                        }
+                    }
+                };
+                g[pick].in_flight += page_bytes;
+                page_targets.push(g[pick].id);
+            }
+            targets.push(page_targets);
+        }
+        Ok(WritePlan { write, targets })
+    }
+
+    /// Current provider ids (diagnostics).
+    pub fn provider_ids(&self) -> Vec<ProviderId> {
+        self.providers.read().iter().map(|p| p.id).collect()
+    }
+}
+
+impl Service for ProviderManagerService {
+    fn name(&self) -> &'static str {
+        "provider-manager"
+    }
+
+    fn handle(&self, ctx: &mut ServerCtx, frame: &Frame) -> Frame {
+        ctx.charge(self.costs.manager_query_ns);
+        match frame.method {
+            method::REGISTER_PROVIDER => respond(frame, |m: RegisterProvider| {
+                self.register(m.provider, m.capacity);
+                Ok(())
+            }),
+            method::HEARTBEAT => respond(frame, |m: Heartbeat| {
+                self.heartbeat(m.provider, m.stats);
+                Ok(())
+            }),
+            method::PLAN_WRITE => {
+                respond(frame, |m: PlanWrite| self.plan_write(m.pages, m.replication))
+            }
+            method::LIST_PROVIDERS => respond(frame, |_: ()| Ok(self.provider_ids())),
+            other => error_frame(other, BlobError::Internal("unknown manager method")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr(strategy: Strategy) -> ProviderManagerService {
+        let m = ProviderManagerService::new(strategy, 42, ServiceCosts::zero());
+        for i in 0..4 {
+            m.register(ProviderId(i), 1 << 30);
+        }
+        m
+    }
+
+    #[test]
+    fn plan_issues_unique_write_ids() {
+        let m = mgr(Strategy::RoundRobin);
+        let a = m.plan_write(2, 1).unwrap();
+        let b = m.plan_write(2, 1).unwrap();
+        assert_ne!(a.write, b.write);
+        assert_eq!(a.targets.len(), 2);
+        assert_eq!(a.targets[0].len(), 1);
+    }
+
+    #[test]
+    fn round_robin_spreads_pages() {
+        let m = mgr(Strategy::RoundRobin);
+        let plan = m.plan_write(8, 1).unwrap();
+        let mut counts = [0u32; 4];
+        for t in &plan.targets {
+            counts[t[0].0 as usize] += 1;
+        }
+        assert_eq!(counts, [2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn least_loaded_prefers_free_capacity() {
+        let m = mgr(Strategy::LeastLoaded);
+        m.set_page_size_hint(1024);
+        // Provider 0 reports heavy usage.
+        m.heartbeat(ProviderId(0), ProviderStats { pages: 1000, bytes: 1 << 29 });
+        let plan = m.plan_write(6, 1).unwrap();
+        assert!(
+            plan.targets.iter().all(|t| t[0] != ProviderId(0)),
+            "loaded provider must be avoided: {:?}",
+            plan.targets
+        );
+    }
+
+    #[test]
+    fn in_flight_assignments_count_as_load() {
+        let m = mgr(Strategy::LeastLoaded);
+        m.set_page_size_hint(1 << 20);
+        // Without heartbeats, repeated plans must still spread across
+        // providers because in-flight bytes pile up.
+        let plan = m.plan_write(8, 1).unwrap();
+        let mut counts = [0u32; 4];
+        for t in &plan.targets {
+            counts[t[0].0 as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 2), "{counts:?}");
+    }
+
+    #[test]
+    fn replication_targets_are_distinct() {
+        let m = mgr(Strategy::LeastLoaded);
+        let plan = m.plan_write(5, 3).unwrap();
+        for t in &plan.targets {
+            assert_eq!(t.len(), 3);
+            let mut u = t.clone();
+            u.sort();
+            u.dedup();
+            assert_eq!(u.len(), 3, "replicas must be distinct: {t:?}");
+        }
+    }
+
+    #[test]
+    fn replication_clamped_and_dead_skipped() {
+        let m = mgr(Strategy::LeastLoaded);
+        m.mark_dead(ProviderId(2));
+        m.mark_dead(ProviderId(3));
+        let plan = m.plan_write(2, 4).unwrap();
+        for t in &plan.targets {
+            assert_eq!(t.len(), 2, "clamped to alive providers");
+            assert!(!t.contains(&ProviderId(2)));
+            assert!(!t.contains(&ProviderId(3)));
+        }
+        // Heartbeat revives.
+        m.heartbeat(ProviderId(2), ProviderStats::default());
+        let plan = m.plan_write(1, 3).unwrap();
+        assert_eq!(plan.targets[0].len(), 3);
+    }
+
+    #[test]
+    fn no_providers_is_an_error() {
+        let m = ProviderManagerService::new(Strategy::LeastLoaded, 1, ServiceCosts::zero());
+        assert!(m.plan_write(1, 1).is_err());
+    }
+
+    #[test]
+    fn random_strategy_is_seeded_and_covers() {
+        let m = mgr(Strategy::Random);
+        let plan = m.plan_write(64, 1).unwrap();
+        let mut counts = [0u32; 4];
+        for t in &plan.targets {
+            counts[t[0].0 as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 4), "roughly uniform: {counts:?}");
+    }
+
+    #[test]
+    fn register_is_idempotent() {
+        let m = mgr(Strategy::LeastLoaded);
+        m.register(ProviderId(0), 42);
+        assert_eq!(m.provider_count(), 4);
+    }
+}

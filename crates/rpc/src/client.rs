@@ -1,0 +1,249 @@
+//! Client-side RPC: typed calls, parallel fan-out, and per-destination
+//! aggregation.
+//!
+//! The original system "allows a single client to perform a large number
+//! of concurrent RPCs" and its custom framework "delays RPC calls to a
+//! single machine and streams all of them in a single real RPC call"
+//! (§V.A). Both are first-class here:
+//!
+//! * [`RpcClient::fan_out`] issues many calls that all *start* at the
+//!   caller's current virtual time; the caller's clock then advances to
+//!   the latest response arrival (a parallel join).
+//! * When [`AggregationPolicy::Batch`] is active, fan-out calls to the
+//!   same destination are coalesced into a single batch frame — the
+//!   paper's optimization, togglable so the `ablate-agg` bench can
+//!   quantify it.
+
+use crate::frame::Frame;
+use crate::service::parse_response;
+use crate::transport::{Ctx, Transport};
+use blobseer_proto::wire::Wire;
+use blobseer_proto::{BlobError, NodeId};
+use std::sync::Arc;
+
+/// Whether fan-out calls to one destination are coalesced.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum AggregationPolicy {
+    /// One real message per logical call.
+    PerCall,
+    /// One real message per destination per fan-out (the paper's design).
+    #[default]
+    Batch,
+}
+
+/// A typed RPC endpoint bound to a source node.
+#[derive(Clone)]
+pub struct RpcClient {
+    transport: Arc<dyn Transport>,
+    from: NodeId,
+    aggregation: AggregationPolicy,
+}
+
+impl RpcClient {
+    /// Create a client sending from `from`.
+    pub fn new(transport: Arc<dyn Transport>, from: NodeId) -> Self {
+        Self { transport, from, aggregation: AggregationPolicy::default() }
+    }
+
+    /// Override the aggregation policy (for ablations).
+    pub fn with_aggregation(mut self, policy: AggregationPolicy) -> Self {
+        self.aggregation = policy;
+        self
+    }
+
+    /// The aggregation policy in force. Higher layers that batch at the
+    /// application level (e.g. the DHT client) consult this so the
+    /// `ablate-agg` toggle disables *every* form of aggregation at once.
+    pub fn aggregation(&self) -> AggregationPolicy {
+        self.aggregation
+    }
+
+    /// The node this client sends from.
+    pub fn from_node(&self) -> NodeId {
+        self.from
+    }
+
+    /// The underlying transport.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
+    }
+
+    /// One synchronous call; the context's clock advances to the response
+    /// arrival.
+    pub fn call<Req: Wire, Resp: Wire>(
+        &self,
+        ctx: &mut Ctx,
+        to: NodeId,
+        method: u16,
+        req: &Req,
+    ) -> Result<Resp, BlobError> {
+        let frame = Frame::from_msg(method, req);
+        let (resp, vt) = self.transport.call(self.from, to, ctx.vt, frame)?;
+        ctx.vt = ctx.vt.max(vt);
+        parse_response(&resp)
+    }
+
+    /// Parallel fan-out: every call starts at `ctx.vt`; afterwards
+    /// `ctx.vt` is the maximum response arrival (the join). Responses are
+    /// returned in input order.
+    ///
+    /// With [`AggregationPolicy::Batch`], calls sharing a destination
+    /// travel in one message and their responses in one message back.
+    pub fn fan_out<Req: Wire, Resp: Wire>(
+        &self,
+        ctx: &mut Ctx,
+        calls: &[(NodeId, u16, Req)],
+    ) -> Vec<Result<Resp, BlobError>> {
+        let start = ctx.vt;
+        let mut results: Vec<Option<Result<Resp, BlobError>>> =
+            (0..calls.len()).map(|_| None).collect();
+        let mut join_vt = start;
+
+        match self.aggregation {
+            AggregationPolicy::PerCall => {
+                for (i, (to, method, req)) in calls.iter().enumerate() {
+                    let frame = Frame::from_msg(*method, req);
+                    match self.transport.call(self.from, *to, start, frame) {
+                        Ok((resp, vt)) => {
+                            join_vt = join_vt.max(vt);
+                            results[i] = Some(parse_response(&resp));
+                        }
+                        Err(e) => results[i] = Some(Err(e)),
+                    }
+                }
+            }
+            AggregationPolicy::Batch => {
+                // Group call indices by destination, preserving order.
+                let mut groups: Vec<(NodeId, Vec<usize>)> = Vec::new();
+                for (i, (to, _, _)) in calls.iter().enumerate() {
+                    match groups.iter_mut().find(|(n, _)| n == to) {
+                        Some((_, idxs)) => idxs.push(i),
+                        None => groups.push((*to, vec![i])),
+                    }
+                }
+                for (to, idxs) in groups {
+                    if idxs.len() == 1 {
+                        let i = idxs[0];
+                        let (_, method, req) = &calls[i];
+                        let frame = Frame::from_msg(*method, req);
+                        match self.transport.call(self.from, to, start, frame) {
+                            Ok((resp, vt)) => {
+                                join_vt = join_vt.max(vt);
+                                results[i] = Some(parse_response(&resp));
+                            }
+                            Err(e) => results[i] = Some(Err(e)),
+                        }
+                        continue;
+                    }
+                    let frames: Vec<Frame> = idxs
+                        .iter()
+                        .map(|&i| Frame::from_msg(calls[i].1, &calls[i].2))
+                        .collect();
+                    match self.transport.call(self.from, to, start, Frame::batch(frames)) {
+                        Ok((resp, vt)) => {
+                            join_vt = join_vt.max(vt);
+                            match resp.unbatch() {
+                                Some(Ok(frames)) if frames.len() == idxs.len() => {
+                                    for (slot, frame) in idxs.iter().zip(frames.iter()) {
+                                        results[*slot] = Some(parse_response(frame));
+                                    }
+                                }
+                                _ => {
+                                    for slot in &idxs {
+                                        results[*slot] = Some(Err(BlobError::Internal(
+                                            "malformed batch response",
+                                        )));
+                                    }
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            for slot in &idxs {
+                                results[*slot] = Some(Err(e.clone()));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        ctx.vt = join_vt;
+        results.into_iter().map(|r| r.expect("every slot filled")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{respond, Service, ServerCtx};
+    use crate::transport::InProcTransport;
+
+    struct Echo;
+
+    impl Service for Echo {
+        fn handle(&self, _ctx: &mut ServerCtx, frame: &Frame) -> Frame {
+            respond(frame, |x: u64| Ok(x + 1))
+        }
+    }
+
+    fn setup() -> (Arc<InProcTransport>, NodeId, NodeId, NodeId) {
+        let t = Arc::new(InProcTransport::new());
+        let client = t.add_node();
+        let a = t.add_node();
+        let b = t.add_node();
+        t.bind(a, Arc::new(Echo));
+        t.bind(b, Arc::new(Echo));
+        (t, client, a, b)
+    }
+
+    #[test]
+    fn single_call() {
+        let (t, c, a, _) = setup();
+        let rpc = RpcClient::new(t, c);
+        let mut ctx = Ctx::start();
+        let resp: u64 = rpc.call(&mut ctx, a, 1, &41u64).unwrap();
+        assert_eq!(resp, 42);
+    }
+
+    #[test]
+    fn fan_out_in_order_both_policies() {
+        let (t, c, a, b) = setup();
+        for policy in [AggregationPolicy::PerCall, AggregationPolicy::Batch] {
+            let rpc = RpcClient::new(Arc::clone(&t) as _, c).with_aggregation(policy);
+            let mut ctx = Ctx::start();
+            let calls: Vec<(NodeId, u16, u64)> =
+                (0..10).map(|i| (if i % 2 == 0 { a } else { b }, 1, i as u64)).collect();
+            let resps = rpc.fan_out::<u64, u64>(&mut ctx, &calls);
+            for (i, r) in resps.iter().enumerate() {
+                assert_eq!(*r.as_ref().unwrap(), i as u64 + 1, "policy {policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn aggregation_reduces_message_count() {
+        let (t, c, a, b) = setup();
+        let calls: Vec<(NodeId, u16, u64)> =
+            (0..8).map(|i| (if i < 4 { a } else { b }, 1, i as u64)).collect();
+
+        let rpc =
+            RpcClient::new(Arc::clone(&t) as _, c).with_aggregation(AggregationPolicy::PerCall);
+        let before = t.message_count();
+        rpc.fan_out::<u64, u64>(&mut Ctx::start(), &calls);
+        assert_eq!(t.message_count() - before, 8);
+
+        let rpc =
+            RpcClient::new(Arc::clone(&t) as _, c).with_aggregation(AggregationPolicy::Batch);
+        let before = t.message_count();
+        rpc.fan_out::<u64, u64>(&mut Ctx::start(), &calls);
+        assert_eq!(t.message_count() - before, 2, "one message per destination");
+    }
+
+    #[test]
+    fn calls_to_unbound_node_fail() {
+        let (t, c, _, _) = setup();
+        let ghost = t.add_node(); // no service bound
+        let rpc = RpcClient::new(t, c);
+        let err = rpc.call::<u64, u64>(&mut Ctx::start(), ghost, 1, &1).unwrap_err();
+        assert!(matches!(err, BlobError::Unreachable(_)));
+    }
+}

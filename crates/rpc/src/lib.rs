@@ -1,0 +1,26 @@
+//! # blobseer-rpc
+//!
+//! The lightweight RPC framework of the system (paper §V.A): typed
+//! request/response calls over a pluggable [`Transport`], massive
+//! client-side parallelism via [`RpcClient::fan_out`], and per-destination
+//! **call aggregation** — the original system's custom optimization that
+//! "delays RPC calls to a single machine and streams all of them in a
+//! single real RPC call".
+//!
+//! Virtual time: every call carries the caller's clock ([`Ctx`]) and every
+//! handler runs under a [`ServerCtx`] through which it charges processing
+//! cost; the transport folds queueing/transfer/latency in. See
+//! `blobseer-simnet` for the cluster cost model; the in-process transport
+//! here costs nothing and is used by unit tests and embedded deployments.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod service;
+pub mod transport;
+
+pub use client::{AggregationPolicy, RpcClient};
+pub use frame::{Frame, FRAME_HEADER_BYTES, METHOD_BATCH};
+pub use service::{dispatch_frame, error_frame, ok_frame, parse_response, respond, ServerCtx, Service};
+pub use transport::{Ctx, InProcTransport, Transport, TransportResult};

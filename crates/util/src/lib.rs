@@ -1,0 +1,38 @@
+//! # blobseer-util
+//!
+//! Shared, dependency-light substrates used across the `blobseer-rs`
+//! workspace:
+//!
+//! * [`fxhash`] — the rustc `FxHash` algorithm plus map/set aliases; the
+//!   default hasher for every hot map in the system (tree-node keys, page
+//!   keys, DHT buckets).
+//! * [`sharded`] — a sharded concurrent hash map with short critical
+//!   sections, used where a full lock-free map is not required and no lock
+//!   is ever held across I/O.
+//! * [`lru`] — an intrusive, slab-backed LRU cache, the substrate of the
+//!   client-side metadata-tree cache (the paper's 2^20-node cache).
+//! * [`interval_map`] — a disjoint interval map over `u64` with
+//!   monotone range-assign and range-max queries; backs the version
+//!   manager's *version index* (border-link precomputation) and the GC
+//!   sweep.
+//! * [`stats`] — online statistics and human-readable formatting for the
+//!   benchmark harnesses.
+//! * [`sync`] — tiny synchronization helpers (a parking one-shot slot and a
+//!   spin-then-park waiter) used by the RPC layer and the publish window.
+//! * [`rng`] — splitmix64 and deterministic seeding helpers so every
+//!   simulation and test is reproducible.
+
+#![warn(missing_docs)]
+
+pub mod fxhash;
+pub mod interval_map;
+pub mod lru;
+pub mod rng;
+pub mod sharded;
+pub mod stats;
+pub mod sync;
+
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use interval_map::IntervalMap;
+pub use lru::LruCache;
+pub use sharded::ShardedMap;

@@ -1,0 +1,350 @@
+//! A slab-backed intrusive LRU cache.
+//!
+//! This is the substrate of the client-side metadata cache: the paper's
+//! experiments use a cache that "can accommodate 2^20 tree nodes", and
+//! because tree nodes are immutable the cache never needs invalidation —
+//! only capacity-driven eviction, which an LRU provides.
+//!
+//! Entries live in a slab (`Vec<Option<Entry>>`) threaded by an intrusive
+//! doubly-linked recency list of `u32` indices, so a cache hit is one hash
+//! probe and four index writes — no allocation, no pointer chasing through
+//! separate heap nodes.
+
+use crate::fxhash::FxHashMap;
+use std::hash::Hash;
+
+const NIL: u32 = u32::MAX;
+
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    prev: u32,
+    next: u32,
+}
+
+/// A fixed-capacity least-recently-used cache.
+pub struct LruCache<K, V> {
+    map: FxHashMap<K, u32>,
+    slab: Vec<Option<Entry<K, V>>>,
+    free: Vec<u32>,
+    head: u32, // most recently used
+    tail: u32, // least recently used
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Create a cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` or `capacity >= u32::MAX as usize`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LruCache capacity must be positive");
+        assert!((capacity as u64) < u32::MAX as u64, "capacity too large for u32 indices");
+        Self {
+            map: FxHashMap::default(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// `(hits, misses)` counters since creation.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn entry(&self, idx: u32) -> &Entry<K, V> {
+        self.slab[idx as usize].as_ref().expect("live slot")
+    }
+
+    fn entry_mut(&mut self, idx: u32) -> &mut Entry<K, V> {
+        self.slab[idx as usize].as_mut().expect("live slot")
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let e = self.entry(idx);
+            (e.prev, e.next)
+        };
+        if prev != NIL {
+            self.entry_mut(prev).next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.entry_mut(next).prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: u32) {
+        let old_head = self.head;
+        {
+            let e = self.entry_mut(idx);
+            e.prev = NIL;
+            e.next = old_head;
+        }
+        if old_head != NIL {
+            self.entry_mut(old_head).prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn touch(&mut self, idx: u32) {
+        if self.head != idx {
+            self.unlink(idx);
+            self.push_front(idx);
+        }
+    }
+
+    /// Look up `key`, marking it most recently used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.hits += 1;
+                self.touch(idx);
+                Some(&self.entry(idx).value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Look up without touching recency (for read-mostly probing).
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|&idx| &self.entry(idx).value)
+    }
+
+    /// True if `key` is cached (does not touch recency or counters).
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Insert (or replace) `key -> value`, evicting the LRU entry when at
+    /// capacity. Returns the evicted `(key, value)` pair, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(&idx) = self.map.get(&key) {
+            self.entry_mut(idx).value = value;
+            self.touch(idx);
+            return None;
+        }
+        let mut evicted = None;
+        if self.map.len() >= self.capacity {
+            let tail = self.tail;
+            debug_assert_ne!(tail, NIL, "non-empty cache must have a tail");
+            self.unlink(tail);
+            let old = self.slab[tail as usize].take().expect("live tail");
+            self.map.remove(&old.key);
+            self.free.push(tail);
+            evicted = Some((old.key, old.value));
+        }
+        let entry = Entry { key: key.clone(), value, prev: NIL, next: NIL };
+        let idx = if let Some(slot) = self.free.pop() {
+            self.slab[slot as usize] = Some(entry);
+            slot
+        } else {
+            let slot = self.slab.len() as u32;
+            self.slab.push(Some(entry));
+            slot
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+        evicted
+    }
+
+    /// Remove `key`, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let idx = self.map.remove(key)?;
+        self.unlink(idx);
+        let e = self.slab[idx as usize].take().expect("live slot");
+        self.free.push(idx);
+        Some(e.value)
+    }
+
+    /// Drop every entry, keeping allocations and statistics.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Iterate `(key, value)` pairs from most to least recently used.
+    pub fn iter_mru(&self) -> MruIter<'_, K, V> {
+        MruIter { cache: self, cursor: self.head }
+    }
+}
+
+/// Iterator over cache entries in recency order. See [`LruCache::iter_mru`].
+pub struct MruIter<'a, K, V> {
+    cache: &'a LruCache<K, V>,
+    cursor: u32,
+}
+
+impl<'a, K: Eq + Hash + Clone, V> Iterator for MruIter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let e = self.cache.entry(self.cursor);
+        self.cursor = e.next;
+        Some((&e.key, &e.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_insert_get() {
+        let mut c = LruCache::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        assert_eq!(c.get(&1), Some(&"a"));
+        assert_eq!(c.get(&2), Some(&"b"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        c.get(&1); // 2 becomes LRU
+        let ev = c.insert(3, "c");
+        assert_eq!(ev, Some((2, "b")));
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(&"a"));
+        assert_eq!(c.get(&3), Some(&"c"));
+    }
+
+    #[test]
+    fn reinsert_updates_value_and_recency() {
+        let mut c = LruCache::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        assert_eq!(c.insert(1, "a2"), None); // 1 becomes MRU
+        c.insert(3, "c"); // evicts 2
+        assert_eq!(c.peek(&2), None);
+        assert_eq!(c.peek(&1), Some(&"a2"));
+    }
+
+    #[test]
+    fn remove_frees_slot_for_reuse() {
+        let mut c = LruCache::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        assert_eq!(c.remove(&1), Some("a"));
+        assert_eq!(c.len(), 1);
+        c.insert(3, "c"); // reuses freed slot, no eviction
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.peek(&2), Some(&"b"));
+        assert_eq!(c.peek(&3), Some(&"c"));
+        assert_eq!(c.remove(&42), None);
+    }
+
+    #[test]
+    fn capacity_one_cycles() {
+        let mut c = LruCache::new(1);
+        for i in 0..10 {
+            c.insert(i, i * 2);
+            assert_eq!(c.len(), 1);
+            assert_eq!(c.peek(&i), Some(&(i * 2)));
+        }
+    }
+
+    #[test]
+    fn peek_does_not_touch_recency() {
+        let mut c = LruCache::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        c.peek(&1); // must NOT protect 1
+        c.insert(3, "c");
+        assert_eq!(c.peek(&1), None, "peek must not refresh recency");
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let mut c = LruCache::new(2);
+        c.insert(1, "a");
+        c.get(&1);
+        c.get(&1);
+        c.get(&9);
+        assert_eq!(c.stats(), (2, 1));
+    }
+
+    #[test]
+    fn iter_mru_order() {
+        let mut c = LruCache::new(3);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        c.insert(3, "c");
+        c.get(&1);
+        let order: Vec<i32> = c.iter_mru().map(|(k, _)| *k).collect();
+        assert_eq!(order, vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = LruCache::new(4);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.get(&1), None);
+        c.insert(3, 3);
+        assert_eq!(c.get(&3), Some(&3));
+    }
+
+    #[test]
+    fn heavy_churn_consistency() {
+        let mut c = LruCache::new(64);
+        for i in 0..10_000u64 {
+            c.insert(i % 200, i);
+            if i % 3 == 0 {
+                c.get(&(i % 97));
+            }
+            if i % 7 == 0 {
+                c.remove(&(i % 50));
+            }
+            assert!(c.len() <= 64);
+        }
+        // Every reported entry must be reachable via get.
+        let keys: Vec<u64> = c.iter_mru().map(|(k, _)| *k).collect();
+        assert_eq!(keys.len(), c.len());
+        for k in keys {
+            assert!(c.contains(&k));
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Small synchronization primitives.
+//!
+//! * [`OnceSlot`] — a write-once cell where readers *wait* (spin then park)
+//!   for the value. This is the publication primitive behind the version
+//!   manager's concurrent history: slot `w` is filled exactly once by the
+//!   writer that was assigned version `w`, and any later writer/reader
+//!   needing `history[w]` blocks only for the tiny window between
+//!   assignment and the slot store.
+//! * [`SpinWait`] — a bounded exponential-backoff spinner used by CAS
+//!   loops (NIC/CPU reservation registers, publish watermark).
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+const EMPTY: u8 = 0;
+const WRITING: u8 = 1;
+const READY: u8 = 2;
+
+/// A write-once slot whose readers block until the value arrives.
+///
+/// Unlike `std::sync::OnceLock::wait` (unstable at the time of writing),
+/// this couples the fast path (a single `Acquire` load) with a
+/// condvar-parked slow path.
+pub struct OnceSlot<T> {
+    state: AtomicU8,
+    value: OnceLock<T>,
+    lock: Mutex<()>,
+    cond: Condvar,
+}
+
+impl<T> Default for OnceSlot<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> OnceSlot<T> {
+    /// An empty slot.
+    pub fn new() -> Self {
+        Self {
+            state: AtomicU8::new(EMPTY),
+            value: OnceLock::new(),
+            lock: Mutex::new(()),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Store the value. Returns `false` (and drops `value`) if the slot was
+    /// already set by another thread.
+    pub fn set(&self, value: T) -> bool {
+        if self
+            .state
+            .compare_exchange(EMPTY, WRITING, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return false;
+        }
+        let ok = self.value.set(value).is_ok();
+        debug_assert!(ok, "state machine guarantees single set");
+        self.state.store(READY, Ordering::Release);
+        let _g = self.lock.lock();
+        self.cond.notify_all();
+        true
+    }
+
+    /// Non-blocking read.
+    pub fn try_get(&self) -> Option<&T> {
+        if self.state.load(Ordering::Acquire) == READY {
+            self.value.get()
+        } else {
+            None
+        }
+    }
+
+    /// True once a value has been published.
+    pub fn is_set(&self) -> bool {
+        self.state.load(Ordering::Acquire) == READY
+    }
+
+    /// Blocking read: spins briefly, then parks on a condvar.
+    pub fn wait(&self) -> &T {
+        // Fast path + bounded spin.
+        let mut spin = SpinWait::new();
+        for _ in 0..64 {
+            if let Some(v) = self.try_get() {
+                return v;
+            }
+            spin.spin();
+        }
+        // Park.
+        let mut g = self.lock.lock();
+        loop {
+            if self.state.load(Ordering::Acquire) == READY {
+                drop(g);
+                return self.value.get().expect("READY implies set");
+            }
+            self.cond.wait(&mut g);
+        }
+    }
+}
+
+/// Bounded exponential backoff for CAS retry loops.
+#[derive(Default)]
+pub struct SpinWait {
+    counter: u32,
+}
+
+impl SpinWait {
+    /// Fresh backoff state.
+    pub fn new() -> Self {
+        Self { counter: 0 }
+    }
+
+    /// Spin once; escalates from `spin_loop` hints to `yield_now`.
+    pub fn spin(&mut self) {
+        self.counter = (self.counter + 1).min(10);
+        if self.counter <= 6 {
+            for _ in 0..(1u32 << self.counter) {
+                std::hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Reset to the cheap-spin regime.
+    pub fn reset(&mut self) {
+        self.counter = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn set_then_get() {
+        let s: OnceSlot<u32> = OnceSlot::new();
+        assert!(s.try_get().is_none());
+        assert!(!s.is_set());
+        assert!(s.set(42));
+        assert_eq!(s.try_get(), Some(&42));
+        assert_eq!(*s.wait(), 42);
+        assert!(s.is_set());
+    }
+
+    #[test]
+    fn second_set_rejected() {
+        let s: OnceSlot<String> = OnceSlot::new();
+        assert!(s.set("first".into()));
+        assert!(!s.set("second".into()));
+        assert_eq!(s.try_get().map(String::as_str), Some("first"));
+    }
+
+    #[test]
+    fn waiters_wake_up() {
+        let s: Arc<OnceSlot<u64>> = Arc::new(OnceSlot::new());
+        let seen = Arc::new(AtomicUsize::new(0));
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                let seen = Arc::clone(&seen);
+                thread::spawn(move || {
+                    let v = *s.wait();
+                    assert_eq!(v, 7);
+                    seen.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        thread::sleep(Duration::from_millis(20));
+        assert!(s.set(7));
+        for w in waiters {
+            w.join().unwrap();
+        }
+        assert_eq!(seen.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn racing_setters_exactly_one_wins() {
+        for _ in 0..50 {
+            let s: Arc<OnceSlot<usize>> = Arc::new(OnceSlot::new());
+            let wins = Arc::new(AtomicUsize::new(0));
+            let ts: Vec<_> = (0..4)
+                .map(|i| {
+                    let s = Arc::clone(&s);
+                    let wins = Arc::clone(&wins);
+                    thread::spawn(move || {
+                        if s.set(i) {
+                            wins.fetch_add(1, Ordering::SeqCst);
+                        }
+                    })
+                })
+                .collect();
+            for t in ts {
+                t.join().unwrap();
+            }
+            assert_eq!(wins.load(Ordering::SeqCst), 1);
+            assert!(s.try_get().is_some());
+        }
+    }
+
+    #[test]
+    fn spinwait_escalates_without_panic() {
+        let mut s = SpinWait::new();
+        for _ in 0..100 {
+            s.spin();
+        }
+        s.reset();
+        s.spin();
+    }
+}

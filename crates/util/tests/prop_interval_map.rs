@@ -1,0 +1,128 @@
+//! Property tests: `IntervalMap` against a naive per-byte model.
+
+use blobseer_util::IntervalMap;
+use proptest::prelude::*;
+
+const UNIVERSE: u64 = 256;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Assign { start: u64, end: u64, value: u64 },
+    RangeMax { start: u64, end: u64 },
+    Point { at: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..UNIVERSE, 0..UNIVERSE, 1..100u64).prop_map(|(a, b, value)| Op::Assign {
+            start: a.min(b),
+            end: a.max(b),
+            value,
+        }),
+        (0..UNIVERSE, 0..UNIVERSE).prop_map(|(a, b)| Op::RangeMax { start: a.min(b), end: a.max(b) }),
+        (0..UNIVERSE).prop_map(|at| Op::Point { at }),
+    ]
+}
+
+/// The naive model: one Option<u64> per byte.
+struct Model {
+    bytes: Vec<Option<u64>>,
+}
+
+impl Model {
+    fn new() -> Self {
+        Self { bytes: vec![None; UNIVERSE as usize] }
+    }
+
+    fn assign(&mut self, start: u64, end: u64, v: u64) {
+        for b in &mut self.bytes[start as usize..end as usize] {
+            *b = Some(v);
+        }
+    }
+
+    fn range_max(&self, start: u64, end: u64) -> Option<u64> {
+        self.bytes[start as usize..end as usize].iter().filter_map(|b| *b).max()
+    }
+
+    fn point(&self, at: u64) -> Option<u64> {
+        self.bytes[at as usize]
+    }
+
+    fn covered(&self) -> u64 {
+        self.bytes.iter().filter(|b| b.is_some()).count() as u64
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn interval_map_matches_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut map: IntervalMap<u64> = IntervalMap::new();
+        let mut model = Model::new();
+        for op in ops {
+            match op {
+                Op::Assign { start, end, value } => {
+                    map.assign(start, end, value);
+                    model.assign(start, end, value);
+                }
+                Op::RangeMax { start, end } => {
+                    prop_assert_eq!(map.range_max(start, end), model.range_max(start, end));
+                }
+                Op::Point { at } => {
+                    prop_assert_eq!(map.get(at), model.point(at));
+                }
+            }
+            prop_assert_eq!(map.covered(), model.covered());
+        }
+    }
+
+    #[test]
+    fn runs_are_disjoint_sorted_and_coalesced(
+        ops in proptest::collection::vec(op_strategy(), 1..80)
+    ) {
+        let mut map: IntervalMap<u64> = IntervalMap::new();
+        for op in ops {
+            if let Op::Assign { start, end, value } = op {
+                map.assign(start, end, value);
+            }
+        }
+        let runs: Vec<_> = map.iter().collect();
+        for w in runs.windows(2) {
+            let (s0, e0, v0) = w[0];
+            let (s1, _e1, v1) = w[1];
+            prop_assert!(s0 < e0, "run non-empty");
+            prop_assert!(e0 <= s1, "runs sorted and disjoint");
+            if e0 == s1 {
+                prop_assert_ne!(v0, v1, "adjacent equal runs must be coalesced");
+            }
+        }
+    }
+
+    #[test]
+    fn overlaps_union_equals_range(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+        q in (0..UNIVERSE, 0..UNIVERSE)
+    ) {
+        let (qa, qb) = (q.0.min(q.1), q.0.max(q.1));
+        let mut map: IntervalMap<u64> = IntervalMap::new();
+        let mut model = Model::new();
+        for op in ops {
+            if let Op::Assign { start, end, value } = op {
+                map.assign(start, end, value);
+                model.assign(start, end, value);
+            }
+        }
+        let mut reconstructed = vec![None; UNIVERSE as usize];
+        for (s, e, v) in map.overlaps(qa, qb) {
+            prop_assert!(qa <= s && e <= qb, "clipped to window");
+            for x in s..e {
+                prop_assert!(reconstructed[x as usize].is_none(), "no double cover");
+                reconstructed[x as usize] = Some(v);
+            }
+        }
+        for x in qa..qb {
+            prop_assert_eq!(reconstructed[x as usize], model.point(x));
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Property test: `LruCache` against a vector-backed reference model.
+
+use blobseer_util::LruCache;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, u32),
+    Get(u16),
+    Remove(u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..64u16, any::<u32>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        (0..64u16).prop_map(Op::Get),
+        (0..64u16).prop_map(Op::Remove),
+    ]
+}
+
+/// Reference model: Vec ordered most-recently-used first.
+struct Model {
+    cap: usize,
+    items: Vec<(u16, u32)>,
+}
+
+impl Model {
+    fn new(cap: usize) -> Self {
+        Self { cap, items: Vec::new() }
+    }
+
+    fn insert(&mut self, k: u16, v: u32) -> Option<(u16, u32)> {
+        if let Some(pos) = self.items.iter().position(|(ik, _)| *ik == k) {
+            self.items.remove(pos);
+            self.items.insert(0, (k, v));
+            return None;
+        }
+        let evicted =
+            if self.items.len() >= self.cap { Some(self.items.pop().unwrap()) } else { None };
+        self.items.insert(0, (k, v));
+        evicted
+    }
+
+    fn get(&mut self, k: u16) -> Option<u32> {
+        let pos = self.items.iter().position(|(ik, _)| *ik == k)?;
+        let item = self.items.remove(pos);
+        self.items.insert(0, item);
+        Some(item.1)
+    }
+
+    fn remove(&mut self, k: u16) -> Option<u32> {
+        let pos = self.items.iter().position(|(ik, _)| *ik == k)?;
+        Some(self.items.remove(pos).1)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lru_matches_model(
+        cap in 1usize..16,
+        ops in proptest::collection::vec(op_strategy(), 1..200)
+    ) {
+        let mut lru = LruCache::new(cap);
+        let mut model = Model::new(cap);
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let a = lru.insert(k, v);
+                    let b = model.insert(k, v);
+                    prop_assert_eq!(a, b);
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(lru.get(&k).copied(), model.get(k));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(lru.remove(&k), model.remove(k));
+                }
+            }
+            prop_assert_eq!(lru.len(), model.items.len());
+            let mru: Vec<u16> = lru.iter_mru().map(|(k, _)| *k).collect();
+            let model_order: Vec<u16> = model.items.iter().map(|(k, _)| *k).collect();
+            prop_assert_eq!(mru, model_order, "recency order must match");
+        }
+    }
+}

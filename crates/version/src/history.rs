@@ -1,0 +1,187 @@
+//! Append-only concurrent history of write records.
+//!
+//! `history[v]` is filled exactly once, by whichever thread was assigned
+//! version `v`, and may be awaited by any thread that needs it (readers of
+//! border links, the GC planner, recovery). Slots publish through
+//! [`OnceSlot`] — an acquire load on the fast path — and the chunk table
+//! grows under a short write lock taken only once per `CHUNK` versions.
+
+use blobseer_util::sync::OnceSlot;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Slots per chunk; chosen so chunk-table growth is rare and a chunk
+/// (1024 slots) stays comfortably cache-resident.
+const CHUNK: usize = 1024;
+
+struct Chunk<T> {
+    slots: Vec<OnceSlot<T>>,
+}
+
+impl<T> Chunk<T> {
+    fn new() -> Self {
+        Self { slots: (0..CHUNK).map(|_| OnceSlot::new()).collect() }
+    }
+}
+
+/// A concurrent, append-only, wait-capable vector indexed by version
+/// number (1-based; version 0 is the implicit initial snapshot and has no
+/// record).
+pub struct ConcurrentHistory<T> {
+    chunks: RwLock<Vec<Arc<Chunk<T>>>>,
+}
+
+impl<T> Default for ConcurrentHistory<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> ConcurrentHistory<T> {
+    /// Empty history.
+    pub fn new() -> Self {
+        Self { chunks: RwLock::new(Vec::new()) }
+    }
+
+    fn chunk_for(&self, v: u64) -> Arc<Chunk<T>> {
+        debug_assert!(v >= 1, "version 0 has no history record");
+        let idx = ((v - 1) as usize) / CHUNK;
+        {
+            let g = self.chunks.read();
+            if let Some(c) = g.get(idx) {
+                return Arc::clone(c);
+            }
+        }
+        let mut g = self.chunks.write();
+        while g.len() <= idx {
+            g.push(Arc::new(Chunk::new()));
+        }
+        Arc::clone(&g[idx])
+    }
+
+    fn slot_index(v: u64) -> usize {
+        ((v - 1) as usize) % CHUNK
+    }
+
+    /// Record the entry for version `v`. Returns `false` if already set
+    /// (which would indicate a duplicate assignment — a protocol bug).
+    pub fn set(&self, v: u64, value: T) -> bool {
+        let chunk = self.chunk_for(v);
+        chunk.slots[Self::slot_index(v)].set(value)
+    }
+
+    /// Non-blocking read of version `v`'s record.
+    pub fn get(&self, v: u64) -> Option<T>
+    where
+        T: Clone,
+    {
+        if v == 0 {
+            return None;
+        }
+        let idx = ((v - 1) as usize) / CHUNK;
+        let chunk = {
+            let g = self.chunks.read();
+            g.get(idx).cloned()?
+        };
+        chunk.slots[Self::slot_index(v)].try_get().cloned()
+    }
+
+    /// Blocking read: waits for the record of version `v` to be published.
+    /// Only call for versions that have definitely been assigned.
+    pub fn wait(&self, v: u64) -> T
+    where
+        T: Clone,
+    {
+        let chunk = self.chunk_for(v);
+        chunk.slots[Self::slot_index(v)].wait().clone()
+    }
+
+    /// Iterate over set records in `[1, up_to]`, in version order, calling
+    /// `f(v, &record)` — skips unset slots (in-flight assignments).
+    pub fn for_each_up_to(&self, up_to: u64, mut f: impl FnMut(u64, &T)) {
+        let chunks: Vec<Arc<Chunk<T>>> = self.chunks.read().clone();
+        for v in 1..=up_to {
+            let ci = ((v - 1) as usize) / CHUNK;
+            let Some(chunk) = chunks.get(ci) else { break };
+            if let Some(rec) = chunk.slots[Self::slot_index(v)].try_get() {
+                f(v, rec);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn set_and_get() {
+        let h: ConcurrentHistory<u64> = ConcurrentHistory::new();
+        assert_eq!(h.get(1), None);
+        assert!(h.set(1, 100));
+        assert!(!h.set(1, 200), "duplicate set rejected");
+        assert_eq!(h.get(1), Some(100));
+        assert_eq!(h.get(0), None, "version 0 has no record");
+    }
+
+    #[test]
+    fn sparse_high_versions() {
+        let h: ConcurrentHistory<String> = ConcurrentHistory::new();
+        assert!(h.set(5000, "far".into()));
+        assert_eq!(h.get(5000), Some("far".into()));
+        assert_eq!(h.get(4999), None);
+        assert_eq!(h.get(1), None);
+    }
+
+    #[test]
+    fn wait_blocks_until_set() {
+        let h: Arc<ConcurrentHistory<u32>> = Arc::new(ConcurrentHistory::new());
+        let h2 = Arc::clone(&h);
+        let waiter = thread::spawn(move || h2.wait(3));
+        thread::sleep(std::time::Duration::from_millis(10));
+        h.set(3, 42);
+        assert_eq!(waiter.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn for_each_skips_unset() {
+        let h: ConcurrentHistory<u64> = ConcurrentHistory::new();
+        h.set(1, 10);
+        h.set(3, 30);
+        let mut seen = Vec::new();
+        h.for_each_up_to(5, |v, r| seen.push((v, *r)));
+        assert_eq!(seen, vec![(1, 10), (3, 30)]);
+    }
+
+    #[test]
+    fn concurrent_disjoint_sets() {
+        let h: Arc<ConcurrentHistory<u64>> = Arc::new(ConcurrentHistory::new());
+        let ts: Vec<_> = (0..8u64)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                thread::spawn(move || {
+                    for i in 0..500u64 {
+                        let v = t * 500 + i + 1;
+                        assert!(h.set(v, v * 10));
+                    }
+                })
+            })
+            .collect();
+        for t in ts {
+            t.join().unwrap();
+        }
+        for v in 1..=4000u64 {
+            assert_eq!(h.get(v), Some(v * 10));
+        }
+    }
+
+    #[test]
+    fn chunk_boundaries() {
+        let h: ConcurrentHistory<u64> = ConcurrentHistory::new();
+        for v in [1u64, 1024, 1025, 2048, 2049] {
+            assert!(h.set(v, v));
+            assert_eq!(h.get(v), Some(v));
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! Per-blob version-manager state and the blob registry.
+//!
+//! The **only** serialization point of the whole system (paper §III.B:
+//! "the only serialization occurs when interacting with the version
+//! manager ... reduced to simply requiring a version number") is the
+//! assignment mutex in [`BlobState::request_version`]: a critical section
+//! of `O(log n)` interval-map queries — microseconds — executed once per
+//! WRITE, never across I/O. Everything else (completion, publication,
+//! latest-version reads, history access) is atomics only.
+
+use crate::history::ConcurrentHistory;
+use crate::publish::{PublishWindow, DEFAULT_WINDOW};
+use blobseer_meta::write::{border_specs, borders_to_links};
+use blobseer_meta::write_intervals;
+use blobseer_proto::messages::{BlobInfo, GcPlan, WriteTicket};
+use blobseer_proto::tree::PageKey;
+use blobseer_proto::{BlobError, BlobId, Geometry, Segment, Version, WriteId};
+use blobseer_util::{IntervalMap, ShardedMap};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What the version manager remembers about one assigned write.
+#[derive(Clone, Debug)]
+pub struct WriteRecord {
+    /// The (page-aligned) segment the write patched.
+    pub seg: Segment,
+    /// The write id under which its pages were stored.
+    pub write: WriteId,
+    completed: Arc<AtomicBool>,
+}
+
+impl WriteRecord {
+    /// True once the write reported completion.
+    pub fn is_completed(&self) -> bool {
+        self.completed.load(Ordering::Acquire)
+    }
+}
+
+/// Guarded by the assignment mutex.
+struct AssignState {
+    /// Next version to hand out (versions start at 1).
+    next_version: Version,
+    /// Latest writer per byte range — answers border-link queries.
+    index: IntervalMap<Version>,
+}
+
+/// All version-manager state for one blob.
+pub struct BlobState {
+    /// The blob id.
+    pub blob: BlobId,
+    /// The blob's geometry.
+    pub geom: Geometry,
+    assign: Mutex<AssignState>,
+    window: PublishWindow,
+    history: ConcurrentHistory<WriteRecord>,
+    /// Lowest version whose metadata may still exist (raised by GC).
+    gc_floor: AtomicU64,
+}
+
+impl BlobState {
+    /// Fresh blob state.
+    pub fn new(blob: BlobId, geom: Geometry, window: usize) -> Self {
+        Self {
+            blob,
+            geom,
+            assign: Mutex::new(AssignState { next_version: 1, index: IntervalMap::new() }),
+            window: PublishWindow::new(window),
+            history: ConcurrentHistory::new(),
+            gc_floor: AtomicU64::new(1),
+        }
+    }
+
+    /// Latest published version (atomic load).
+    pub fn latest(&self) -> Version {
+        self.window.latest()
+    }
+
+    /// Blob descriptor.
+    pub fn info(&self) -> BlobInfo {
+        BlobInfo {
+            blob: self.blob,
+            total_size: self.geom.total_size,
+            page_size: self.geom.page_size,
+            latest: self.latest(),
+        }
+    }
+
+    /// The record for version `v`, if assigned.
+    pub fn record(&self, v: Version) -> Option<WriteRecord> {
+        self.history.get(v)
+    }
+
+    /// Assign a version number and precompute border links (paper §IV.C).
+    ///
+    /// The ticket lets the writer weave its metadata **in complete
+    /// isolation** with respect to other writers, even when lower versions
+    /// are still being written: the version index is updated at
+    /// *assignment* time, so a later writer's links already account for
+    /// every in-flight earlier write.
+    pub fn request_version(
+        &self,
+        write: WriteId,
+        seg: Segment,
+    ) -> Result<WriteTicket, BlobError> {
+        self.geom.validate_aligned(&seg)?;
+        let (version, links) = {
+            let mut st = self.assign.lock();
+            let v = st.next_version;
+            if self.window.would_overflow(v) {
+                return Err(BlobError::Internal("too many in-flight writes"));
+            }
+            let specs = border_specs(&self.geom, &seg);
+            let links =
+                borders_to_links(&specs, |child| st.index.range_max(child.offset, child.end()));
+            st.index.assign(seg.offset, seg.end(), v);
+            st.next_version += 1;
+            (v, links)
+        };
+        let rec = WriteRecord { seg, write, completed: Arc::new(AtomicBool::new(false)) };
+        let fresh = self.history.set(version, rec);
+        debug_assert!(fresh, "version numbers are unique");
+        Ok(WriteTicket { version, borders: links })
+    }
+
+    /// A writer reports success; publication advances over the contiguous
+    /// completed prefix. Returns the latest published version.
+    pub fn complete_write(&self, v: Version) -> Result<Version, BlobError> {
+        let rec = self
+            .history
+            .get(v)
+            .ok_or(BlobError::Internal("completion for unassigned version"))?;
+        if rec.completed.swap(true, Ordering::AcqRel) {
+            return Err(BlobError::Internal("duplicate completion"));
+        }
+        Ok(self.window.complete(v))
+    }
+
+    /// Block until version `v` is published (test/QoS helper).
+    pub fn wait_published(&self, v: Version) {
+        self.window.wait_published(v);
+    }
+
+    /// Compute the GC plan discarding versions below `keep_from`
+    /// (clamped to the published watermark). See DESIGN.md §3 for the
+    /// reachability rule. Raises the GC floor so subsequent plans do not
+    /// re-report the same nodes.
+    pub fn gc_plan(&self, keep_from: Version) -> GcPlan {
+        let published = self.latest();
+        let keep_from = keep_from.min(published).max(1);
+        let floor = self.gc_floor.load(Ordering::Acquire);
+        if keep_from <= floor {
+            return GcPlan::default();
+        }
+        // Rebuild the version index as of `keep_from`.
+        let mut at_k: IntervalMap<Version> = IntervalMap::new();
+        self.history.for_each_up_to(keep_from, |v, rec| {
+            at_k.assign(rec.seg.offset, rec.seg.end(), v);
+        });
+        let mut plan = GcPlan::default();
+        self.history.for_each_up_to(keep_from - 1, |v, rec| {
+            if v < floor {
+                return;
+            }
+            for iv in write_intervals(&self.geom, &rec.seg) {
+                let superseded = at_k.range_max(iv.offset, iv.end()).unwrap_or(0) > v;
+                if !superseded {
+                    continue;
+                }
+                plan.dead_nodes.push(blobseer_proto::NodeKey {
+                    blob: self.blob,
+                    version: v,
+                    offset: iv.offset,
+                    size: iv.size,
+                });
+                if iv.size == self.geom.page_size {
+                    let key = PageKey {
+                        blob: self.blob,
+                        write: rec.write,
+                        index: iv.offset / self.geom.page_size,
+                    };
+                    // Replica locations are resolved by the GC executor
+                    // from the dead leaf nodes before removal.
+                    plan.dead_pages.push((key, Vec::new()));
+                }
+            }
+        });
+        self.gc_floor.store(keep_from, Ordering::Release);
+        plan
+    }
+}
+
+/// The version manager's blob table: `ALLOC` creates entries, everything
+/// else looks them up. Lookups are sharded reads; creation is rare.
+pub struct VersionRegistry {
+    blobs: ShardedMap<BlobId, Arc<BlobState>>,
+    next_blob: AtomicU64,
+    window: usize,
+}
+
+impl Default for VersionRegistry {
+    fn default() -> Self {
+        Self::new(DEFAULT_WINDOW)
+    }
+}
+
+impl VersionRegistry {
+    /// Create a registry whose blobs allow `window` in-flight writes.
+    pub fn new(window: usize) -> Self {
+        Self { blobs: ShardedMap::with_shards(16), next_blob: AtomicU64::new(1), window }
+    }
+
+    /// `ALLOC`: create a blob, returning its globally unique id.
+    pub fn create_blob(&self, geom: Geometry) -> Arc<BlobState> {
+        let id = BlobId(self.next_blob.fetch_add(1, Ordering::Relaxed));
+        let state = Arc::new(BlobState::new(id, geom, self.window));
+        self.blobs.insert(id, Arc::clone(&state));
+        state
+    }
+
+    /// Recreate a blob under a known id (snapshot restore). The id
+    /// allocator is advanced past it so future `create_blob` calls never
+    /// collide.
+    pub fn create_blob_with_id(&self, id: BlobId, geom: Geometry) -> Arc<BlobState> {
+        self.next_blob.fetch_max(id.0 + 1, Ordering::Relaxed);
+        let state = Arc::new(BlobState::new(id, geom, self.window));
+        self.blobs.insert(id, Arc::clone(&state));
+        state
+    }
+
+    /// Snapshot of every blob state (ordered by id, for deterministic
+    /// serialization).
+    pub fn states(&self) -> Vec<Arc<BlobState>> {
+        let mut out: Vec<Arc<BlobState>> = Vec::new();
+        for id in self.blobs.keys() {
+            if let Some(s) = self.blobs.get_cloned(&id) {
+                out.push(s);
+            }
+        }
+        out.sort_by_key(|s| s.blob);
+        out
+    }
+
+    /// Look up a blob.
+    pub fn get(&self, blob: BlobId) -> Result<Arc<BlobState>, BlobError> {
+        self.blobs.get_cloned(&blob).ok_or(BlobError::UnknownBlob(blob))
+    }
+
+    /// Number of registered blobs.
+    pub fn len(&self) -> usize {
+        self.blobs.len()
+    }
+
+    /// True when no blob was allocated yet.
+    pub fn is_empty(&self) -> bool {
+        self.blobs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> Geometry {
+        Geometry::new(8192, 1024).unwrap()
+    }
+
+    fn seg(o: u64, s: u64) -> Segment {
+        Segment::new(o, s)
+    }
+
+    #[test]
+    fn alloc_assign_complete_publish() {
+        let reg = VersionRegistry::default();
+        let b = reg.create_blob(geom());
+        assert_eq!(b.latest(), 0);
+        let t = b.request_version(WriteId(1), seg(0, 1024)).unwrap();
+        assert_eq!(t.version, 1);
+        assert_eq!(b.latest(), 0, "not published until complete");
+        assert_eq!(b.complete_write(1).unwrap(), 1);
+        assert_eq!(b.latest(), 1);
+        assert_eq!(b.info().latest, 1);
+    }
+
+    #[test]
+    fn out_of_order_publication() {
+        let reg = VersionRegistry::default();
+        let b = reg.create_blob(geom());
+        let t1 = b.request_version(WriteId(1), seg(0, 1024)).unwrap();
+        let t2 = b.request_version(WriteId(2), seg(1024, 1024)).unwrap();
+        assert_eq!((t1.version, t2.version), (1, 2));
+        // v2 completes first: nothing published (serializability).
+        assert_eq!(b.complete_write(2).unwrap(), 0);
+        assert_eq!(b.latest(), 0);
+        assert_eq!(b.complete_write(1).unwrap(), 2);
+        assert_eq!(b.latest(), 2);
+    }
+
+    #[test]
+    fn border_links_see_in_flight_writes() {
+        // Writer 1 (v1, whole blob) has NOT completed when writer 2 asks
+        // for its ticket — yet v2's links must point at v1 (paper §IV.C:
+        // "even when the previous version is being written concurrently").
+        let reg = VersionRegistry::default();
+        let b = reg.create_blob(geom());
+        let _t1 = b.request_version(WriteId(1), seg(0, 8192)).unwrap();
+        let t2 = b.request_version(WriteId(2), seg(0, 1024)).unwrap();
+        assert_eq!(t2.version, 2);
+        // All missing halves must link to version 1, not 0.
+        for link in &t2.borders {
+            let linked = link.left.or(link.right).unwrap();
+            assert_eq!(linked, 1, "border {link:?} must link to in-flight v1");
+        }
+    }
+
+    #[test]
+    fn first_write_links_to_zero() {
+        let reg = VersionRegistry::default();
+        let b = reg.create_blob(geom());
+        let t = b.request_version(WriteId(1), seg(0, 1024)).unwrap();
+        for link in &t.borders {
+            assert_eq!(link.left.or(link.right).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_segments_and_duplicates() {
+        let reg = VersionRegistry::default();
+        let b = reg.create_blob(geom());
+        assert!(b.request_version(WriteId(1), seg(100, 1024)).is_err());
+        assert!(b.request_version(WriteId(1), seg(0, 0)).is_err());
+        let t = b.request_version(WriteId(1), seg(0, 1024)).unwrap();
+        b.complete_write(t.version).unwrap();
+        assert!(b.complete_write(t.version).is_err(), "duplicate completion");
+        assert!(b.complete_write(99).is_err(), "unassigned version");
+    }
+
+    #[test]
+    fn unknown_blob_lookup() {
+        let reg = VersionRegistry::default();
+        assert!(reg.get(BlobId(42)).is_err());
+        assert!(reg.is_empty());
+        let b = reg.create_blob(geom());
+        assert_eq!(reg.get(b.blob).unwrap().blob, b.blob);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn window_overflow_is_refused() {
+        let reg = VersionRegistry::new(4);
+        let b = reg.create_blob(geom());
+        for i in 0..4 {
+            b.request_version(WriteId(i), seg(0, 1024)).unwrap();
+        }
+        // 5th in-flight write exceeds the window.
+        assert!(b.request_version(WriteId(9), seg(0, 1024)).is_err());
+        // Completing v1 frees space.
+        b.complete_write(1).unwrap();
+        assert!(b.request_version(WriteId(10), seg(0, 1024)).is_ok());
+    }
+
+    #[test]
+    fn gc_plan_marks_superseded_chains() {
+        let reg = VersionRegistry::default();
+        let b = reg.create_blob(geom());
+        // v1 writes everything; v2 and v3 rewrite page 0.
+        for (w, s) in [(1u64, seg(0, 8192)), (2, seg(0, 1024)), (3, seg(0, 1024))] {
+            let t = b.request_version(WriteId(w), s).unwrap();
+            b.complete_write(t.version).unwrap();
+        }
+        let plan = b.gc_plan(3);
+        // Dead pages: page 0 of v1 (write 1) and of v2 (write 2).
+        assert_eq!(plan.dead_pages.len(), 2);
+        let dead_writes: Vec<u64> = plan.dead_pages.iter().map(|(k, _)| k.write.0).collect();
+        assert!(dead_writes.contains(&1) && dead_writes.contains(&2));
+        // v1's interior nodes along page-0 path die too; its right-side
+        // subtree survives.
+        assert!(plan.dead_nodes.iter().all(|k| k.version < 3));
+        assert!(!plan.dead_nodes.iter().any(|k| k.offset >= 1024 && k.size == 1024),
+            "no surviving leaf outside page 0 may be collected");
+        // Second plan with the same floor returns nothing new.
+        assert!(b.gc_plan(3).dead_nodes.is_empty());
+    }
+
+    #[test]
+    fn gc_plan_clamps_to_published() {
+        let reg = VersionRegistry::default();
+        let b = reg.create_blob(geom());
+        let t = b.request_version(WriteId(1), seg(0, 1024)).unwrap();
+        // Not completed yet: nothing may be planned.
+        let plan = b.gc_plan(10);
+        assert!(plan.dead_nodes.is_empty());
+        b.complete_write(t.version).unwrap();
+    }
+}

@@ -1,0 +1,66 @@
+//! # blobseer
+//!
+//! A from-scratch Rust reproduction of
+//! **"Enabling Lock-Free Concurrent Fine-Grain Access to Massive
+//! Distributed Data: Application to Supernovae Detection"**
+//! (Nicolae, Antoniu, Bougé — IEEE CLUSTER 2008), the design that became
+//! the BlobSeer storage system.
+//!
+//! This facade crate re-exports the whole workspace under one roof:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `blobseer-core` | [`Deployment`], [`BlobClient`], [`LocalEngine`] |
+//! | [`meta`] | `blobseer-meta` | segment-tree algorithms, [`ReferenceStore`] |
+//! | [`version`] | `blobseer-version` | version manager internals |
+//! | [`proto`] | `blobseer-proto` | ids, geometry, messages, codec |
+//! | [`rpc`] | `blobseer-rpc` | RPC framework with call aggregation |
+//! | [`simnet`] | `blobseer-simnet` | simulated cluster + cost model |
+//! | [`dht`] | `blobseer-dht` | metadata-provider DHT |
+//! | [`provider`] | `blobseer-provider` | data provider + provider manager |
+//! | [`baseline`] | `blobseer-baseline` | lock-based comparators |
+//! | [`sky`] | `blobseer-sky` | the supernova-detection application |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use blobseer::{Deployment, DeploymentConfig, Ctx, Segment};
+//!
+//! // A 4-storage-node cluster (zero-cost transport for this doc test).
+//! let cluster = Deployment::build(DeploymentConfig::functional(4));
+//! let client = cluster.client();
+//! let mut ctx = Ctx::start();
+//!
+//! // ALLOC a 1 MiB blob with 4 KiB pages.
+//! let blob = client.alloc(&mut ctx, 1 << 20, 4096).unwrap().blob;
+//!
+//! // WRITE produces a new immutable snapshot version.
+//! let v1 = client.write(&mut ctx, blob, 0, &vec![7u8; 8192]).unwrap();
+//! let v2 = client.write(&mut ctx, blob, 4096, &vec![9u8; 4096]).unwrap();
+//! assert_eq!((v1, v2), (1, 2));
+//!
+//! // READ any published version — snapshots never change.
+//! let (old, latest) = client.read(&mut ctx, blob, Some(v1), Segment::new(4096, 4096)).unwrap();
+//! assert_eq!(latest, 2);
+//! assert!(old.iter().all(|&b| b == 7)); // v1 view
+//! let (new, _) = client.read(&mut ctx, blob, Some(v2), Segment::new(4096, 4096)).unwrap();
+//! assert!(new.iter().all(|&b| b == 9)); // v2 view
+//! ```
+
+pub use blobseer_baseline as baseline;
+pub use blobseer_core as core;
+pub use blobseer_dht as dht;
+pub use blobseer_meta as meta;
+pub use blobseer_proto as proto;
+pub use blobseer_provider as provider;
+pub use blobseer_rpc as rpc;
+pub use blobseer_simnet as simnet;
+pub use blobseer_sky as sky;
+pub use blobseer_util as util;
+pub use blobseer_version as version;
+
+pub use blobseer_core::{BlobClient, Deployment, DeploymentConfig, LocalEngine};
+pub use blobseer_meta::ReferenceStore;
+pub use blobseer_proto::{BlobError, BlobId, Geometry, Segment, Version};
+pub use blobseer_rpc::{AggregationPolicy, Ctx};
+pub use blobseer_simnet::{ClientCosts, CostModel, ServiceCosts};
