@@ -56,7 +56,10 @@ pub struct GlobalLockStore {
 impl GlobalLockStore {
     /// Allocate an all-zero string of `size` bytes.
     pub fn new(size: u64) -> Self {
-        Self { data: RwLock::new((vec![0u8; size as usize], 0)), size }
+        Self {
+            data: RwLock::new((vec![0u8; size as usize], 0)),
+            size,
+        }
     }
 }
 
@@ -64,7 +67,10 @@ impl ConcurrentBlob for GlobalLockStore {
     fn write(&self, offset: u64, data: &[u8]) -> Result<u64, BlobError> {
         let seg = Segment::new(offset, data.len() as u64);
         if seg.end() > self.size {
-            return Err(BlobError::BadSegment { segment: seg, reason: "out of bounds" });
+            return Err(BlobError::BadSegment {
+                segment: seg,
+                reason: "out of bounds",
+            });
         }
         let mut g = self.data.write();
         g.0[offset as usize..offset as usize + data.len()].copy_from_slice(data);
@@ -74,7 +80,10 @@ impl ConcurrentBlob for GlobalLockStore {
 
     fn read(&self, _version: Option<u64>, seg: Segment) -> Result<Vec<u8>, BlobError> {
         if seg.end() > self.size {
-            return Err(BlobError::BadSegment { segment: seg, reason: "out of bounds" });
+            return Err(BlobError::BadSegment {
+                segment: seg,
+                reason: "out of bounds",
+            });
         }
         let g = self.data.read();
         Ok(g.0[seg.offset as usize..seg.end() as usize].to_vec())
@@ -101,7 +110,7 @@ pub struct ShardedLockStore {
 impl ShardedLockStore {
     /// Allocate with the given geometry.
     pub fn new(size: u64, page_size: u64) -> Self {
-        assert!(size % page_size == 0);
+        assert!(size.is_multiple_of(page_size));
         let n = (size / page_size) as usize;
         Self {
             pages: (0..n)
@@ -124,7 +133,10 @@ impl ConcurrentBlob for ShardedLockStore {
     fn write(&self, offset: u64, data: &[u8]) -> Result<u64, BlobError> {
         let seg = Segment::new(offset, data.len() as u64);
         if seg.is_empty() || seg.end() > self.size {
-            return Err(BlobError::BadSegment { segment: seg, reason: "out of bounds" });
+            return Err(BlobError::BadSegment {
+                segment: seg,
+                reason: "out of bounds",
+            });
         }
         let (first, last) = self.page_range(&seg);
         // Lock all touched pages in ascending order (atomic multi-page
@@ -147,7 +159,10 @@ impl ConcurrentBlob for ShardedLockStore {
 
     fn read(&self, _version: Option<u64>, seg: Segment) -> Result<Vec<u8>, BlobError> {
         if seg.is_empty() || seg.end() > self.size {
-            return Err(BlobError::BadSegment { segment: seg, reason: "out of bounds" });
+            return Err(BlobError::BadSegment {
+                segment: seg,
+                reason: "out of bounds",
+            });
         }
         let (first, last) = self.page_range(&seg);
         let guards: Vec<_> = (first..=last).map(|i| self.pages[i].read()).collect();
@@ -240,8 +255,16 @@ mod tests {
             let w2 = store.write(PAGE, &vec![2u8; PAGE as usize]).unwrap();
             assert!(w2 > w1, "{}", store.name());
             let got = store.read(None, Segment::new(0, 2 * PAGE)).unwrap();
-            assert!(got[..PAGE as usize].iter().all(|&b| b == 1), "{}", store.name());
-            assert!(got[PAGE as usize..].iter().all(|&b| b == 2), "{}", store.name());
+            assert!(
+                got[..PAGE as usize].iter().all(|&b| b == 1),
+                "{}",
+                store.name()
+            );
+            assert!(
+                got[PAGE as usize..].iter().all(|&b| b == 2),
+                "{}",
+                store.name()
+            );
             assert_eq!(store.latest(), 2);
             assert!(store.read(None, Segment::new(TOTAL, 1)).is_err());
         }
@@ -252,14 +275,26 @@ mod tests {
         let lf = LockFreeStore::new(TOTAL, PAGE);
         lf.write(0, &vec![1u8; PAGE as usize]).unwrap();
         lf.write(0, &vec![2u8; PAGE as usize]).unwrap();
-        assert!(lf.read(Some(1), Segment::new(0, PAGE)).unwrap().iter().all(|&b| b == 1));
-        assert!(lf.read(Some(2), Segment::new(0, PAGE)).unwrap().iter().all(|&b| b == 2));
+        assert!(lf
+            .read(Some(1), Segment::new(0, PAGE))
+            .unwrap()
+            .iter()
+            .all(|&b| b == 1));
+        assert!(lf
+            .read(Some(2), Segment::new(0, PAGE))
+            .unwrap()
+            .iter()
+            .all(|&b| b == 2));
 
         let gl = GlobalLockStore::new(TOTAL);
         gl.write(0, &vec![1u8; PAGE as usize]).unwrap();
         gl.write(0, &vec![2u8; PAGE as usize]).unwrap();
         // Lock-based stores always see the newest state.
-        assert!(gl.read(Some(1), Segment::new(0, PAGE)).unwrap().iter().all(|&b| b == 2));
+        assert!(gl
+            .read(Some(1), Segment::new(0, PAGE))
+            .unwrap()
+            .iter()
+            .all(|&b| b == 2));
     }
 
     #[test]
@@ -290,11 +325,7 @@ mod tests {
                         for _ in 0..300 {
                             let buf = s.read(None, Segment::new(0, 4 * PAGE)).unwrap();
                             let first = buf[0];
-                            assert!(
-                                buf.iter().all(|&b| b == first),
-                                "torn read in {}",
-                                first
-                            );
+                            assert!(buf.iter().all(|&b| b == first), "torn read in {}", first);
                         }
                     })
                 })

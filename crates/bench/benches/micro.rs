@@ -61,15 +61,25 @@ fn bench_tree_algebra(c: &mut Criterion) {
         let blob = BlobId(1);
         let pages: Vec<PageLoc> = (0..256)
             .map(|i| PageLoc {
-                key: PageKey { blob, write: WriteId(1), index: (seg16m.offset >> 16) + i },
+                key: PageKey {
+                    blob,
+                    write: WriteId(1),
+                    index: (seg16m.offset >> 16) + i,
+                },
                 replicas: vec![ProviderId(0)],
             })
             .collect();
         let specs = border_specs(&geom, &seg16m);
-        let ticket =
-            WriteTicket { version: 1, borders: borders_to_links(&specs, |_| Some(0)) };
+        let ticket = WriteTicket {
+            version: 1,
+            borders: borders_to_links(&specs, |_| Some(0)),
+        };
         b.iter(|| {
-            black_box(build_write_tree(&geom, blob, &seg16m, &pages, &ticket).unwrap().len())
+            black_box(
+                build_write_tree(&geom, blob, &seg16m, &pages, &ticket)
+                    .unwrap()
+                    .len(),
+            )
         })
     });
     g.finish();
@@ -77,10 +87,19 @@ fn bench_tree_algebra(c: &mut Criterion) {
 
 fn bench_codec(c: &mut Criterion) {
     let node = TreeNode {
-        key: blobseer_proto::NodeKey { blob: BlobId(3), version: 42, offset: 1 << 30, size: 1 << 20 },
+        key: blobseer_proto::NodeKey {
+            blob: BlobId(3),
+            version: 42,
+            offset: 1 << 30,
+            size: 1 << 20,
+        },
         body: blobseer_proto::NodeBody::Leaf {
             page: PageLoc {
-                key: PageKey { blob: BlobId(3), write: WriteId(7), index: 999 },
+                key: PageKey {
+                    blob: BlobId(3),
+                    write: WriteId(7),
+                    index: 999,
+                },
                 replicas: vec![ProviderId(1), ProviderId(2)],
             },
         },
@@ -88,7 +107,9 @@ fn bench_codec(c: &mut Criterion) {
     let bytes = node.to_wire();
     let mut g = c.benchmark_group("codec");
     g.throughput(Throughput::Bytes(bytes.len() as u64));
-    g.bench_function("encode_tree_node", |b| b.iter(|| black_box(node.to_wire().len())));
+    g.bench_function("encode_tree_node", |b| {
+        b.iter(|| black_box(node.to_wire().len()))
+    });
     g.bench_function("decode_tree_node", |b| {
         b.iter(|| black_box(TreeNode::from_wire(&bytes).unwrap()))
     });
@@ -175,7 +196,12 @@ fn bench_local_engine(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             let off = ((i * 7) % 16) * 4 * PAGE;
-            black_box(e.read(blob, Some(1), Segment::new(off, 4 * PAGE)).unwrap().0.len())
+            black_box(
+                e.read(blob, Some(1), Segment::new(off, 4 * PAGE))
+                    .unwrap()
+                    .0
+                    .len(),
+            )
         })
     });
     g.finish();

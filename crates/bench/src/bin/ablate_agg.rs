@@ -37,11 +37,17 @@ fn run(policy: AggregationPolicy, chatty: bool) -> Vec<(u64, f64, u64)> {
             };
             let offset = (row as u64 * iters + i) * (16 * MB);
             client
-                .write(&mut ctx, info.blob, offset + (1 << 35), &payload(PAPER_PAGE, 3))
+                .write(
+                    &mut ctx,
+                    info.blob,
+                    offset + (1 << 35),
+                    &payload(PAPER_PAGE, 3),
+                )
                 .unwrap();
             let before = d.cluster.message_count();
-            let (_, wstats) =
-                client.write_with_stats(&mut ctx, info.blob, offset, &payload(seg_size, i)).unwrap();
+            let (_, wstats) = client
+                .write_with_stats(&mut ctx, info.blob, offset, &payload(seg_size, i))
+                .unwrap();
             msgs = d.cluster.message_count() - before;
             stats.push(wstats.metadata_ns() as f64);
         }
@@ -52,8 +58,16 @@ fn run(policy: AggregationPolicy, chatty: bool) -> Vec<(u64, f64, u64)> {
 
 fn main() {
     for (chatty, name, title) in [
-        (false, "ablate_agg", "Ablation: RPC aggregation — Grid'5000 LAN costs"),
-        (true, "ablate_agg_wan", "Ablation: RPC aggregation — chatty network (multi-site)"),
+        (
+            false,
+            "ablate_agg",
+            "Ablation: RPC aggregation — Grid'5000 LAN costs",
+        ),
+        (
+            true,
+            "ablate_agg_wan",
+            "Ablation: RPC aggregation — chatty network (multi-site)",
+        ),
     ] {
         let on = run(AggregationPolicy::Batch, chatty);
         let off = run(AggregationPolicy::PerCall, chatty);

@@ -122,7 +122,12 @@ fn main() {
                 format!("{:.0}", o.write_mbps),
                 o.max_read_us.to_string(),
                 o.max_write_us.to_string(),
-                (name == "blobseer-lockfree").then_some("yes").unwrap_or("no").to_string(),
+                if name == "blobseer-lockfree" {
+                    "yes"
+                } else {
+                    "no"
+                }
+                .to_string(),
             ]);
             println!(
                 "{r}r+{w}w {name}: read {:.0} MB/s (max {} µs), write {:.0} MB/s (max {} µs)",
@@ -130,7 +135,11 @@ fn main() {
             );
         }
     }
-    emit("ablate_lock", "Ablation: lock-free vs lock-based stores (wall clock)", &table);
+    emit(
+        "ablate_lock",
+        "Ablation: lock-free vs lock-based stores (wall clock)",
+        &table,
+    );
     println!(
         "\nwhat to look for: under mixed load the lock-based stores show inflated worst-case \
          latencies (readers stall behind multi-MB write holds; writers starve behind reader \

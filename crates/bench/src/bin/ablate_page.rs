@@ -29,14 +29,22 @@ fn main() {
         let info = client.alloc(&mut ctx, 1 << 36, page).unwrap();
 
         // Warm connections.
-        client.write(&mut ctx, info.blob, 1 << 33, &payload(page, 1)).unwrap();
+        client
+            .write(&mut ctx, info.blob, 1 << 33, &payload(page, 1))
+            .unwrap();
 
-        let (_, wstats) =
-            client.write_with_stats(&mut ctx, info.blob, 0, &payload(ACCESS, 2)).unwrap();
+        let (_, wstats) = client
+            .write_with_stats(&mut ctx, info.blob, 0, &payload(ACCESS, 2))
+            .unwrap();
         let reader = d.client();
         let mut rctx = Ctx::at(d.cluster.horizon());
         let (_, _, rstats) = reader
-            .read_with_stats(&mut rctx, info.blob, None, blobseer_proto::Segment::new(0, ACCESS))
+            .read_with_stats(
+                &mut rctx,
+                info.blob,
+                None,
+                blobseer_proto::Segment::new(0, ACCESS),
+            )
             .unwrap();
 
         table.row(&[
@@ -57,6 +65,10 @@ fn main() {
             wstats.nodes_built
         );
     }
-    emit("ablate_page", "Ablation: page-size sweep (8 MiB accesses, 20 providers)", &table);
+    emit(
+        "ablate_page",
+        "Ablation: page-size sweep (8 MiB accesses, 20 providers)",
+        &table,
+    );
     println!("shape checks: metadata cost shrinks as pages grow; data path flattens");
 }

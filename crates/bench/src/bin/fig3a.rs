@@ -21,8 +21,10 @@ fn main() {
         "20 providers (s)",
         "40 providers (s)",
     ]);
-    let mut rows: Vec<Vec<String>> =
-        fig3ab_segments().iter().map(|s| vec![format!("{} KiB", s / KB)]).collect();
+    let mut rows: Vec<Vec<String>> = fig3ab_segments()
+        .iter()
+        .map(|s| vec![format!("{} KiB", s / KB)])
+        .collect();
 
     for &providers in &fig3ab_providers() {
         let d = paper_deployment(providers);
@@ -36,8 +38,10 @@ fn main() {
             // the *data path* cannot leak between runs.
             let mut stats = OnlineStats::new();
             for i in 0..iters {
-                let offset = (row as u64 * iters + i) * (16 * MB) + 1 * (1 << 30);
-                writer.write(&mut wctx, info.blob, offset, &payload(seg_size, i)).unwrap();
+                let offset = (row as u64 * iters + i) * (16 * MB) + (1 << 30);
+                writer
+                    .write(&mut wctx, info.blob, offset, &payload(seg_size, i))
+                    .unwrap();
 
                 // Fresh client per measurement: cold connections and no
                 // metadata cache — the paper's worst case. The reader is
@@ -62,8 +66,10 @@ fn main() {
     for row in rows {
         table.row(&row);
     }
-    emit("fig3a", "Fig. 3(a): metadata overhead, single client — reads", &table);
-    println!(
-        "shape checks: rising with segment size; flat-to-slightly-rising with provider count"
+    emit(
+        "fig3a",
+        "Fig. 3(a): metadata overhead, single client — reads",
+        &table,
     );
+    println!("shape checks: rising with segment size; flat-to-slightly-rising with provider count");
 }

@@ -20,8 +20,10 @@ fn main() {
         "20 providers (s)",
         "40 providers (s)",
     ]);
-    let mut rows: Vec<Vec<String>> =
-        fig3ab_segments().iter().map(|s| vec![format!("{} KiB", s / KB)]).collect();
+    let mut rows: Vec<Vec<String>> = fig3ab_segments()
+        .iter()
+        .map(|s| vec![format!("{} KiB", s / KB)])
+        .collect();
 
     for &providers in &fig3ab_providers() {
         let d = paper_deployment(providers);
@@ -44,7 +46,12 @@ fn main() {
                 // connection setup (measured by fig3a's read side too)
                 // does not dominate the metadata phase under test.
                 client
-                    .write(&mut ctx, info.blob, offset + (1 << 35), &payload(PAPER_PAGE, 9))
+                    .write(
+                        &mut ctx,
+                        info.blob,
+                        offset + (1 << 35),
+                        &payload(PAPER_PAGE, 9),
+                    )
                     .unwrap();
                 let (_, wstats) = client
                     .write_with_stats(&mut ctx, info.blob, offset, &payload(seg_size, i))
@@ -58,6 +65,10 @@ fn main() {
     for row in rows {
         table.row(&row);
     }
-    emit("fig3b", "Fig. 3(b): metadata overhead, single client — writes", &table);
+    emit(
+        "fig3b",
+        "Fig. 3(b): metadata overhead, single client — writes",
+        &table,
+    );
     println!("shape checks: rising with segment size; improving with provider count");
 }

@@ -113,10 +113,14 @@ fn main() {
             format!("{write:.1}"),
             format!("{cached:.1}"),
         ]);
-        println!("clients={n}: read {read:.1} MB/s, write {write:.1} MB/s, cached {cached:.1} MB/s");
+        println!(
+            "clients={n}: read {read:.1} MB/s, write {write:.1} MB/s, cached {cached:.1} MB/s"
+        );
     }
-    emit("fig3c", "Fig. 3(c): average bandwidth per client under concurrency", &table);
-    println!(
-        "shape checks: gentle decline with client count; Read > Write; cached Read > Read"
+    emit(
+        "fig3c",
+        "Fig. 3(c): average bandwidth per client under concurrency",
+        &table,
     );
+    println!("shape checks: gentle decline with client count; Read > Write; cached Read > Read");
 }

@@ -27,7 +27,12 @@ fn run(n_clients: usize) {
                 let mut ctx = Ctx::at(base);
                 // warm
                 client
-                    .read(&mut ctx, blob, None, disjoint_segment(0, REGION, SEG, k as u64 * ITERS))
+                    .read(
+                        &mut ctx,
+                        blob,
+                        None,
+                        disjoint_segment(0, REGION, SEG, k as u64 * ITERS),
+                    )
                     .unwrap();
                 let t0 = ctx.vt;
                 let (mut lat, mut meta, mut data) = (0u64, 0u64, 0u64);

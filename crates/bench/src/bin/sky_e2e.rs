@@ -23,7 +23,9 @@ fn main() {
 
     let setup = d.client();
     let mut sctx = Ctx::start();
-    let info = setup.alloc(&mut sctx, geom.blob_size(epochs), geom.page_size).unwrap();
+    let info = setup
+        .alloc(&mut sctx, geom.blob_size(epochs), geom.page_size)
+        .unwrap();
     let blob = info.blob;
 
     // Two telescopes split the sky; they run as concurrent writer threads.
@@ -35,7 +37,10 @@ fn main() {
             let model = Arc::clone(&model);
             std::thread::spawn(move || {
                 let backend = Arc::new(SimBackend::new(d.client(), blob));
-                let t = Telescope { model: &model, backend: backend.clone() as Arc<dyn SkyBackend> };
+                let t = Telescope {
+                    model: &model,
+                    backend: backend.clone() as Arc<dyn SkyBackend>,
+                };
                 for e in 0..epochs {
                     t.capture_epoch_tiles(e, first, count).unwrap();
                 }
@@ -43,7 +48,11 @@ fn main() {
             })
         })
         .collect();
-    let ingest_vt = ingest_handles.into_iter().map(|h| h.join().unwrap()).max().unwrap();
+    let ingest_vt = ingest_handles
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .max()
+        .unwrap();
     let total = geom.epoch_bytes() * epochs as u64;
     println!(
         "ingest: {} over {} epochs in {} virtual time ({:.1} MB/s/telescope)",
@@ -69,9 +78,7 @@ fn main() {
                 };
                 let mut cands = Vec::new();
                 for e in 1..epochs {
-                    cands.extend(
-                        det.scan_epoch_tiles(None, e, k * quarter, quarter).unwrap(),
-                    );
+                    cands.extend(det.scan_epoch_tiles(None, e, k * quarter, quarter).unwrap());
                 }
                 (cands, backend.vt())
             })
@@ -95,15 +102,25 @@ fn main() {
     let report = score(&model, &cfg, candidates);
     let mut table = Table::new(&["metric", "value"]);
     table.row(&["epochs".into(), epochs.to_string()]);
-    table.row(&["injected transients".into(), model.transients.len().to_string()]);
+    table.row(&[
+        "injected transients".into(),
+        model.transients.len().to_string(),
+    ]);
     table.row(&["candidates".into(), report.candidates.len().to_string()]);
     table.row(&["light curves".into(), report.curves.len().to_string()]);
-    table.row(&["classified supernovae".into(), report.supernovae.len().to_string()]);
+    table.row(&[
+        "classified supernovae".into(),
+        report.supernovae.len().to_string(),
+    ]);
     table.row(&["recovered".into(), report.recovered.to_string()]);
     table.row(&["missed".into(), report.missed.to_string()]);
     table.row(&["false positives".into(), report.false_positives.to_string()]);
     table.row(&["recall".into(), format!("{:.2}", report.recall())]);
     table.row(&["ingest vt".into(), blobseer_util::stats::fmt_ns(ingest_vt)]);
     table.row(&["scan vt".into(), blobseer_util::stats::fmt_ns(scan_vt)]);
-    emit("sky_e2e", "Application: supernova survey on the simulated cluster", &table);
+    emit(
+        "sky_e2e",
+        "Application: supernova survey on the simulated cluster",
+        &table,
+    );
 }

@@ -18,7 +18,7 @@
 //! processing power", and reproducing Figure 3(a) depends on it.
 
 use blobseer_dht::{DhtClient, Ring};
-use blobseer_meta::read::{assemble_read, expand, root_key, Visit};
+use blobseer_meta::read::{assemble_read, assemble_read_into, expand, root_key, Visit};
 use blobseer_meta::shape::align_to_pages;
 use blobseer_meta::write::build_write_tree;
 use blobseer_proto::messages::{
@@ -26,11 +26,10 @@ use blobseer_proto::messages::{
     PublishState, PutPage, RemovePage, RequestVersion, WriteTicket,
 };
 use blobseer_proto::tree::{NodeBody, NodeKey, PageKey, PageLoc};
-use blobseer_proto::{BlobError, BlobId, Geometry, NodeId, ProviderId, Segment, Version};
+use blobseer_proto::{BlobError, BlobId, Geometry, NodeId, PageBuf, ProviderId, Segment, Version};
 use blobseer_rpc::{Ctx, RpcClient};
 use blobseer_simnet::ClientCosts;
 use blobseer_util::{FxHashMap, LruCache};
-use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use std::sync::Arc;
 
@@ -89,6 +88,18 @@ impl ReadStats {
     }
 }
 
+/// The resolved pieces of one READ, ready for assembly. `pieces` is
+/// `None` for a version-0 (all-zero) read; otherwise it holds the zero
+/// ranges and the fetched pages (shared buffers) with their clipped
+/// blob ranges.
+struct ReadPlan {
+    geom: Geometry,
+    latest: Version,
+    stats: ReadStats,
+    #[allow(clippy::type_complexity)]
+    pieces: Option<(Vec<Segment>, Vec<(PageLoc, Segment, PageBuf)>)>,
+}
+
 /// A client of the blob store. One instance per logical client process;
 /// cheap to create, internally synchronized only for its private cache.
 pub struct BlobClient {
@@ -97,7 +108,7 @@ pub struct BlobClient {
     pm: NodeId,
     dht: DhtClient,
     costs: ClientCosts,
-    cache: Option<Mutex<LruCache<NodeKey, NodeBody>>>,
+    cache: Option<Mutex<LruCache<NodeKey, Arc<NodeBody>>>>,
     geoms: RwLock<FxHashMap<BlobId, Geometry>>,
     replication: u32,
 }
@@ -139,22 +150,32 @@ impl BlobClient {
         total_size: u64,
         page_size: u64,
     ) -> Result<BlobInfo, BlobError> {
-        let info: BlobInfo =
-            self.rpc.call(ctx, self.vm, method::CREATE_BLOB, &CreateBlob { total_size, page_size })?;
+        let info: BlobInfo = self.rpc.call(
+            ctx,
+            self.vm,
+            method::CREATE_BLOB,
+            &CreateBlob {
+                total_size,
+                page_size,
+            },
+        )?;
         self.geoms.write().insert(info.blob, info.geometry());
         Ok(info)
     }
 
     /// Blob descriptor (geometry + latest published version).
     pub fn info(&self, ctx: &mut Ctx, blob: BlobId) -> Result<BlobInfo, BlobError> {
-        let info: BlobInfo = self.rpc.call(ctx, self.vm, method::GET_BLOB, &GetLatest { blob })?;
+        let info: BlobInfo = self
+            .rpc
+            .call(ctx, self.vm, method::GET_BLOB, &GetLatest { blob })?;
         self.geoms.write().insert(info.blob, info.geometry());
         Ok(info)
     }
 
     /// Latest published version.
     pub fn latest(&self, ctx: &mut Ctx, blob: BlobId) -> Result<Version, BlobError> {
-        self.rpc.call(ctx, self.vm, method::GET_LATEST, &GetLatest { blob })
+        self.rpc
+            .call(ctx, self.vm, method::GET_LATEST, &GetLatest { blob })
     }
 
     fn geometry(&self, ctx: &mut Ctx, blob: BlobId) -> Result<Geometry, BlobError> {
@@ -170,6 +191,11 @@ impl BlobClient {
 
     /// `WRITE(id, buffer, offset, size)` for page-aligned segments.
     /// Returns the snapshot version this write produced (`vw`).
+    ///
+    /// The buffer is copied **once** into a shared [`PageBuf`]; page
+    /// splitting, replica fan-out, framing and batching all share that
+    /// single allocation. Callers that already hold a `PageBuf` should
+    /// use [`BlobClient::write_buf`], which performs zero copies.
     pub fn write(
         &self,
         ctx: &mut Ctx,
@@ -178,6 +204,17 @@ impl BlobClient {
         data: &[u8],
     ) -> Result<Version, BlobError> {
         Ok(self.write_with_stats(ctx, blob, offset, data)?.0)
+    }
+
+    /// Zero-copy `WRITE`: the caller's buffer is shared, never copied.
+    pub fn write_buf(
+        &self,
+        ctx: &mut Ctx,
+        blob: BlobId,
+        offset: u64,
+        data: PageBuf,
+    ) -> Result<Version, BlobError> {
+        Ok(self.write_buf_with_stats(ctx, blob, offset, data)?.0)
     }
 
     /// [`BlobClient::write`] with per-phase virtual-time breakdown — the
@@ -190,6 +227,17 @@ impl BlobClient {
         offset: u64,
         data: &[u8],
     ) -> Result<(Version, WriteStats), BlobError> {
+        self.write_buf_with_stats(ctx, blob, offset, PageBuf::copy_from_slice(data))
+    }
+
+    /// [`BlobClient::write_buf`] with per-phase breakdown.
+    pub fn write_buf_with_stats(
+        &self,
+        ctx: &mut Ctx,
+        blob: BlobId,
+        offset: u64,
+        data: PageBuf,
+    ) -> Result<(Version, WriteStats), BlobError> {
         let t0 = ctx.vt;
         let seg = Segment::new(offset, data.len() as u64);
         let geom = self.geometry(ctx, blob)?;
@@ -201,28 +249,41 @@ impl BlobClient {
             ctx,
             self.pm,
             method::PLAN_WRITE,
-            &PlanWrite { blob, pages: n_pages, replication: self.replication },
+            &PlanWrite {
+                blob,
+                pages: n_pages,
+                replication: self.replication,
+            },
         )?;
         if plan.targets.len() as u64 != n_pages {
             return Err(BlobError::Internal("write plan page count mismatch"));
         }
         let t_plan = ctx.vt;
 
-        // Step 2: parallel page puts — one call per (page, replica). The
-        // client pays per-page preparation (splitting the buffer into
-        // page-sized send buffers).
+        // Step 2: parallel page puts — one call per (page, replica).
+        // Splitting the buffer into page-sized send buffers is O(1) per
+        // page (shared slices of the one write buffer), and every replica
+        // of a page shares the same allocation: the fan-out moves
+        // refcounts, not bytes.
         ctx.advance(self.costs.write_page_ns * n_pages);
         let mut calls: Vec<(NodeId, u16, PutPage)> = Vec::new();
         let mut call_page: Vec<usize> = Vec::new();
         for (i, page_idx) in range.iter().enumerate() {
-            let key = PageKey { blob, write: plan.write, index: page_idx };
+            let key = PageKey {
+                blob,
+                write: plan.write,
+                index: page_idx,
+            };
             let start = i * geom.page_size as usize;
-            let page_data = Bytes::copy_from_slice(&data[start..start + geom.page_size as usize]);
+            let page_data = data.slice(start..start + geom.page_size as usize);
             for &target in &plan.targets[i] {
                 calls.push((
                     NodeId(target.0),
                     method::PUT_PAGE,
-                    PutPage { key, data: page_data.clone() },
+                    PutPage {
+                        key,
+                        data: page_data.clone(),
+                    },
                 ));
                 call_page.push(i);
             }
@@ -247,7 +308,11 @@ impl BlobClient {
             .iter()
             .zip(ok_replicas)
             .map(|(page_idx, replicas)| PageLoc {
-                key: PageKey { blob, write: plan.write, index: page_idx },
+                key: PageKey {
+                    blob,
+                    write: plan.write,
+                    index: page_idx,
+                },
                 replicas,
             })
             .collect();
@@ -258,7 +323,12 @@ impl BlobClient {
             ctx,
             self.vm,
             method::REQUEST_VERSION,
-            &RequestVersion { blob, write: plan.write, offset: seg.offset, size: seg.size },
+            &RequestVersion {
+                blob,
+                write: plan.write,
+                offset: seg.offset,
+                size: seg.size,
+            },
         )?;
         let t_ticket = ctx.vt;
 
@@ -269,7 +339,7 @@ impl BlobClient {
         if let Some(cache) = &self.cache {
             let mut c = cache.lock();
             for n in &nodes {
-                c.insert(n.key, n.body.clone());
+                c.insert(n.key, Arc::new(n.body.clone()));
             }
             ctx.advance(self.costs.cache_ns * nodes.len() as u64);
         }
@@ -281,7 +351,10 @@ impl BlobClient {
             ctx,
             self.vm,
             method::COMPLETE_WRITE,
-            &CompleteWrite { blob, version: ticket.version },
+            &CompleteWrite {
+                blob,
+                version: ticket.version,
+            },
         )?;
         let stats = WriteStats {
             plan_ns: t_plan - t0,
@@ -331,7 +404,8 @@ impl BlobClient {
     ///   exactly the paper's semantics.
     ///
     /// Returns the bytes and `vr`, the latest published version observed
-    /// (`vr >= v` always holds).
+    /// (`vr >= v` always holds). Each page is copied exactly once, from
+    /// the (shared) fetched buffer into the result.
     pub fn read(
         &self,
         ctx: &mut Ctx,
@@ -343,6 +417,68 @@ impl BlobClient {
         Ok((data, latest))
     }
 
+    /// Scatter-assembling `READ` into a caller-provided buffer of exactly
+    /// `seg.size` bytes: each page is copied exactly once, directly into
+    /// `out`; no intermediate result buffer exists.
+    pub fn read_into(
+        &self,
+        ctx: &mut Ctx,
+        blob: BlobId,
+        version: Option<Version>,
+        seg: Segment,
+        out: &mut [u8],
+    ) -> Result<Version, BlobError> {
+        if out.len() as u64 != seg.size {
+            return Err(BlobError::BadSegment {
+                segment: seg,
+                reason: "buffer size mismatch",
+            });
+        }
+        let plan = self.read_plan(ctx, blob, version, seg)?;
+        match plan.pieces {
+            None => out.fill(0),
+            Some((zeros, pages)) => {
+                let geom = plan.geom;
+                assemble_read_into(&geom, &seg, &zeros, &pages, out)?;
+            }
+        }
+        Ok(plan.latest)
+    }
+
+    /// Zero-copy `READ` of a single-page-aligned segment: returns the
+    /// fetched page buffer itself (a refcount borrow of the provider's
+    /// stored page under the in-process transports) — **zero** page
+    /// copies end to end. Non-aligned or multi-page segments are
+    /// assembled with exactly one copy per page.
+    pub fn read_buf(
+        &self,
+        ctx: &mut Ctx,
+        blob: BlobId,
+        version: Option<Version>,
+        seg: Segment,
+    ) -> Result<(PageBuf, Version), BlobError> {
+        let plan = self.read_plan(ctx, blob, version, seg)?;
+        let geom = plan.geom;
+        match plan.pieces {
+            None => Ok((PageBuf::zeroed(seg.size as usize), plan.latest)),
+            Some((zeros, pages)) => {
+                // Fast path: the read is exactly one whole page.
+                if zeros.is_empty()
+                    && pages.len() == 1
+                    && seg.size == geom.page_size
+                    && seg.offset.is_multiple_of(geom.page_size)
+                {
+                    let (_, blob_range, data) = &pages[0];
+                    if *blob_range == seg && data.len() as u64 == geom.page_size {
+                        return Ok((data.clone(), plan.latest));
+                    }
+                }
+                let buf = assemble_read(&geom, &seg, &zeros, &pages)?;
+                Ok((PageBuf::from_vec(buf), plan.latest))
+            }
+        }
+    }
+
     /// [`BlobClient::read`] with a virtual-time breakdown — the instrument
     /// behind Figure 3(a), which reports the *metadata* share of a read.
     pub fn read_with_stats(
@@ -352,6 +488,29 @@ impl BlobClient {
         version: Option<Version>,
         seg: Segment,
     ) -> Result<(Vec<u8>, Version, ReadStats), BlobError> {
+        let plan = self.read_plan(ctx, blob, version, seg)?;
+        let stats = plan.stats;
+        let latest = plan.latest;
+        match plan.pieces {
+            None => Ok((vec![0u8; seg.size as usize], latest, stats)),
+            Some((zeros, pages)) => {
+                let geom = plan.geom;
+                let buf = assemble_read(&geom, &seg, &zeros, &pages)?;
+                Ok((buf, latest, stats))
+            }
+        }
+    }
+
+    /// The shared READ engine: version resolution, cached level-by-level
+    /// tree descent, parallel page fetches. Returns the pieces for the
+    /// caller to assemble (`None` pieces = version-0 all-zero read).
+    fn read_plan(
+        &self,
+        ctx: &mut Ctx,
+        blob: BlobId,
+        version: Option<Version>,
+        seg: Segment,
+    ) -> Result<ReadPlan, BlobError> {
         let t0 = ctx.vt;
         let geom = self.geometry(ctx, blob)?;
         geom.validate_bounds(&seg)?;
@@ -362,7 +521,10 @@ impl BlobClient {
         let v = match version {
             None => latest,
             Some(v) if v > latest => {
-                return Err(BlobError::VersionNotPublished { requested: v, latest })
+                return Err(BlobError::VersionNotPublished {
+                    requested: v,
+                    latest,
+                })
             }
             Some(v) => v,
         };
@@ -373,22 +535,29 @@ impl BlobClient {
                 data_ns: 0,
                 nodes_visited: 0,
             };
-            return Ok((vec![0u8; seg.size as usize], latest, stats));
+            return Ok(ReadPlan {
+                geom,
+                latest,
+                stats,
+                pieces: None,
+            });
         }
 
-        // Level-by-level descent with batched parallel metadata fetches.
+        // Level-by-level descent with batched parallel metadata fetches;
+        // cache hits and misses alike hand out refcounted bodies, never
+        // deep clones.
         let mut nodes_visited = 0u64;
         let mut frontier = vec![root_key(&geom, blob, v)];
         let mut zeros: Vec<Segment> = Vec::new();
         let mut leaves: Vec<(PageLoc, Segment)> = Vec::new();
         while !frontier.is_empty() {
-            let mut bodies: Vec<Option<NodeBody>> = vec![None; frontier.len()];
+            let mut bodies: Vec<Option<Arc<NodeBody>>> = vec![None; frontier.len()];
             let mut missing_idx = Vec::new();
             if let Some(cache) = &self.cache {
                 let mut c = cache.lock();
                 for (i, key) in frontier.iter().enumerate() {
                     match c.get(key) {
-                        Some(body) => bodies[i] = Some(body.clone()),
+                        Some(body) => bodies[i] = Some(Arc::clone(body)),
                         None => missing_idx.push(i),
                     }
                 }
@@ -404,10 +573,11 @@ impl BlobClient {
                         blob,
                         version: frontier[i].version,
                     })?;
+                    let body = Arc::new(node.body);
                     if let Some(cache) = &self.cache {
-                        cache.lock().insert(node.key, node.body.clone());
+                        cache.lock().insert(node.key, Arc::clone(&body));
                     }
-                    bodies[i] = Some(node.body);
+                    bodies[i] = Some(body);
                 }
                 // Client-side processing of freshly fetched nodes.
                 ctx.advance(self.costs.read_node_ns * missing_idx.len() as u64);
@@ -431,14 +601,18 @@ impl BlobClient {
         // Parallel page downloads with replica failover.
         let pages = self.fetch_pages(ctx, &leaves)?;
         ctx.advance(self.costs.page_ns * pages.len() as u64);
-        let buf = assemble_read(&geom, &seg, &zeros, &pages)?;
         let stats = ReadStats {
             latest_ns: t_latest - t0,
             meta_ns: t_meta - t_latest,
             data_ns: ctx.vt - t_meta,
             nodes_visited,
         };
-        Ok((buf, latest, stats))
+        Ok(ReadPlan {
+            geom,
+            latest,
+            stats,
+            pieces: Some((zeros, pages)),
+        })
     }
 
     /// Fetch every leaf's page, primary replica first, failing over to the
@@ -447,7 +621,7 @@ impl BlobClient {
         &self,
         ctx: &mut Ctx,
         leaves: &[(PageLoc, Segment)],
-    ) -> Result<Vec<(PageLoc, Segment, Bytes)>, BlobError> {
+    ) -> Result<Vec<(PageLoc, Segment, PageBuf)>, BlobError> {
         if leaves.is_empty() {
             return Ok(Vec::new());
         }
@@ -457,11 +631,19 @@ impl BlobClient {
                 // Well-formed leaves always carry at least one replica; a
                 // malformed one routes to an impossible node and surfaces
                 // as MissingPage through the normal failover path.
-                let primary = loc.replicas.first().copied().unwrap_or(ProviderId(u32::MAX));
-                (NodeId(primary.0), method::GET_PAGE, GetPage { key: loc.key })
+                let primary = loc
+                    .replicas
+                    .first()
+                    .copied()
+                    .unwrap_or(ProviderId(u32::MAX));
+                (
+                    NodeId(primary.0),
+                    method::GET_PAGE,
+                    GetPage { key: loc.key },
+                )
             })
             .collect();
-        let results = self.rpc.fan_out::<GetPage, Bytes>(ctx, &calls);
+        let results = self.rpc.fan_out::<GetPage, PageBuf>(ctx, &calls);
         let mut out = Vec::with_capacity(leaves.len());
         for ((loc, range), res) in leaves.iter().zip(results) {
             let data = match res {
@@ -470,7 +652,7 @@ impl BlobClient {
                     // Failover: try the remaining replicas one by one.
                     let mut found = None;
                     for &replica in loc.replicas.iter().skip(1) {
-                        let r: Result<Bytes, BlobError> = self.rpc.call(
+                        let r: Result<PageBuf, BlobError> = self.rpc.call(
                             ctx,
                             NodeId(replica.0),
                             method::GET_PAGE,
@@ -507,8 +689,12 @@ impl BlobClient {
         blob: BlobId,
         keep_from: Version,
     ) -> Result<(u64, u64), BlobError> {
-        let plan: blobseer_proto::messages::GcPlan =
-            self.rpc.call(ctx, self.vm, method::GC_PLAN, &GcRequest { blob, keep_from })?;
+        let plan: blobseer_proto::messages::GcPlan = self.rpc.call(
+            ctx,
+            self.vm,
+            method::GC_PLAN,
+            &GcRequest { blob, keep_from },
+        )?;
         if plan.dead_nodes.is_empty() {
             return Ok((0, 0));
         }

@@ -147,7 +147,10 @@ impl Deployment {
         let registry = Arc::new(VersionRegistry::default());
         cluster.bind(
             vm_node,
-            Arc::new(VersionManagerService::new(Arc::clone(&registry), config.service_costs)),
+            Arc::new(VersionManagerService::new(
+                Arc::clone(&registry),
+                config.service_costs,
+            )),
         );
 
         let manager = Arc::new(ProviderManagerService::new(
@@ -233,7 +236,8 @@ impl Deployment {
     /// (drives the least-loaded strategy in long benches).
     pub fn heartbeat(&self, i: usize) {
         let stats: ProviderStats = self.storage[i].data.stats();
-        self.manager.heartbeat(ProviderId(self.storage_nodes[i].0), stats);
+        self.manager
+            .heartbeat(ProviderId(self.storage_nodes[i].0), stats);
     }
 
     /// Total pages stored across the cluster.
@@ -267,7 +271,9 @@ mod tests {
         // A version-manager method sent to a storage node must be refused.
         let frame = Frame::from_msg(
             method::GET_LATEST,
-            &GetLatest { blob: blobseer_proto::BlobId(1) },
+            &GetLatest {
+                blob: blobseer_proto::BlobId(1),
+            },
         );
         let mut ctx = ServerCtx::new(0);
         let resp = d.storage[0].handle(&mut ctx, &frame);

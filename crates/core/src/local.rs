@@ -17,9 +17,8 @@ use blobseer_meta::shape::align_to_pages;
 use blobseer_meta::write::build_write_tree;
 use blobseer_proto::tree::{NodeBody, NodeKey, PageKey, PageLoc};
 use blobseer_proto::{BlobError, BlobId, Geometry, ProviderId, Segment, Version, WriteId};
-use blobseer_util::ShardedMap;
+use blobseer_util::{PageBuf, ShardedMap};
 use blobseer_version::{BlobState, VersionRegistry};
-use bytes::Bytes;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -28,7 +27,7 @@ use std::sync::Arc;
 pub struct LocalEngine {
     registry: VersionRegistry,
     nodes: ShardedMap<NodeKey, NodeBody>,
-    pages: ShardedMap<PageKey, Bytes>,
+    pages: ShardedMap<PageKey, PageBuf>,
     next_write: AtomicU64,
 }
 
@@ -81,23 +80,44 @@ impl LocalEngine {
 
     /// `WRITE` (page-aligned). Fully concurrent: the only serialization is
     /// the version manager's microsecond assignment step.
+    ///
+    /// The buffer is copied once into a shared [`PageBuf`]; pages are
+    /// O(1) slices of it. Use [`LocalEngine::write_buf`] to skip even
+    /// that copy.
     pub fn write(&self, blob: BlobId, offset: u64, data: &[u8]) -> Result<Version, BlobError> {
+        self.write_buf(blob, offset, PageBuf::copy_from_slice(data))
+    }
+
+    /// Zero-copy `WRITE` (page-aligned): the caller's buffer is shared,
+    /// never copied.
+    pub fn write_buf(
+        &self,
+        blob: BlobId,
+        offset: u64,
+        data: PageBuf,
+    ) -> Result<Version, BlobError> {
         let state = self.state(blob)?;
         let geom = state.geom;
         let seg = Segment::new(offset, data.len() as u64);
         let range = geom.validate_aligned(&seg)?;
 
-        // Phase 1: store pages under a fresh write id.
+        // Phase 1: store pages under a fresh write id — shared slices of
+        // the one buffer, not copies.
         let wid = WriteId(self.next_write.fetch_add(1, Ordering::Relaxed));
         let mut locs = Vec::with_capacity(range.count() as usize);
         for (i, page_idx) in range.iter().enumerate() {
-            let key = PageKey { blob, write: wid, index: page_idx };
+            let key = PageKey {
+                blob,
+                write: wid,
+                index: page_idx,
+            };
             let start = i * geom.page_size as usize;
-            self.pages.insert(
+            self.pages
+                .insert(key, data.slice(start..start + geom.page_size as usize));
+            locs.push(PageLoc {
                 key,
-                Bytes::copy_from_slice(&data[start..start + geom.page_size as usize]),
-            );
-            locs.push(PageLoc { key, replicas: vec![ProviderId(0)] });
+                replicas: vec![ProviderId(0)],
+            });
         }
 
         // Phase 2: version + border links (the serialization point).
@@ -150,7 +170,10 @@ impl LocalEngine {
         let v = match version {
             None => latest,
             Some(v) if v > latest => {
-                return Err(BlobError::VersionNotPublished { requested: v, latest })
+                return Err(BlobError::VersionNotPublished {
+                    requested: v,
+                    latest,
+                })
             }
             Some(v) => v,
         };
@@ -164,16 +187,21 @@ impl LocalEngine {
             let body = self
                 .nodes
                 .get_cloned(&key)
-                .ok_or(BlobError::MissingMetadata { blob, version: key.version })?;
+                .ok_or(BlobError::MissingMetadata {
+                    blob,
+                    version: key.version,
+                })?;
             for visit in expand(&geom, &key, &body, &seg)? {
                 match visit {
                     Visit::Descend(k) => frontier.push(k),
                     Visit::Zeros(z) => zeros.push(z),
                     Visit::Page { page, blob_range } => {
-                        let data = self
-                            .pages
-                            .get_cloned(&page.key)
-                            .ok_or(BlobError::MissingPage { tried: page.replicas.clone() })?;
+                        let data =
+                            self.pages
+                                .get_cloned(&page.key)
+                                .ok_or(BlobError::MissingPage {
+                                    tried: page.replicas.clone(),
+                                })?;
                         hits.push((page, blob_range, data));
                     }
                 }
@@ -256,7 +284,8 @@ mod tests {
             thread::spawn(move || {
                 for i in 0..100u64 {
                     let off = (i % 16) * PAGE;
-                    e.write(blob, off, &vec![(i % 250) as u8 + 1; PAGE as usize]).unwrap();
+                    e.write(blob, off, &vec![(i % 250) as u8 + 1; PAGE as usize])
+                        .unwrap();
                 }
             })
         };

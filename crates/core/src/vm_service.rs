@@ -55,7 +55,9 @@ impl Service for VersionManagerService {
             }
             method::GET_LATEST => {
                 ctx.charge(self.costs.manager_query_ns);
-                respond(frame, |m: GetLatest| Ok(self.registry.get(m.blob)?.latest()))
+                respond(frame, |m: GetLatest| {
+                    Ok(self.registry.get(m.blob)?.latest())
+                })
             }
             method::REQUEST_VERSION => {
                 ctx.charge(self.costs.version_assign_ns);
@@ -68,7 +70,9 @@ impl Service for VersionManagerService {
                 ctx.charge(self.costs.manager_query_ns);
                 respond(frame, |m: CompleteWrite| {
                     let state = self.registry.get(m.blob)?;
-                    Ok(PublishState { latest: state.complete_write(m.version)? })
+                    Ok(PublishState {
+                        latest: state.complete_write(m.version)?,
+                    })
                 })
             }
             method::GC_PLAN => {
@@ -91,10 +95,7 @@ mod tests {
     use blobseer_rpc::parse_response;
 
     fn svc() -> VersionManagerService {
-        VersionManagerService::new(
-            Arc::new(VersionRegistry::default()),
-            ServiceCosts::zero(),
-        )
+        VersionManagerService::new(Arc::new(VersionRegistry::default()), ServiceCosts::zero())
     }
 
     #[test]
@@ -103,7 +104,13 @@ mod tests {
         let mut ctx = ServerCtx::new(0);
         let resp = s.handle(
             &mut ctx,
-            &Frame::from_msg(method::CREATE_BLOB, &CreateBlob { total_size: 4096, page_size: 1024 }),
+            &Frame::from_msg(
+                method::CREATE_BLOB,
+                &CreateBlob {
+                    total_size: 4096,
+                    page_size: 1024,
+                },
+            ),
         );
         let info = parse_response::<BlobInfo>(&resp).unwrap();
         assert_eq!(info.latest, 0);
@@ -120,7 +127,13 @@ mod tests {
         let mut ctx = ServerCtx::new(0);
         let resp = s.handle(
             &mut ctx,
-            &Frame::from_msg(method::CREATE_BLOB, &CreateBlob { total_size: 100, page_size: 10 }),
+            &Frame::from_msg(
+                method::CREATE_BLOB,
+                &CreateBlob {
+                    total_size: 100,
+                    page_size: 10,
+                },
+            ),
         );
         assert!(parse_response::<BlobInfo>(&resp).is_err());
     }
@@ -131,7 +144,13 @@ mod tests {
         let mut ctx = ServerCtx::new(0);
         let resp = s.handle(
             &mut ctx,
-            &Frame::from_msg(method::CREATE_BLOB, &CreateBlob { total_size: 4096, page_size: 1024 }),
+            &Frame::from_msg(
+                method::CREATE_BLOB,
+                &CreateBlob {
+                    total_size: 4096,
+                    page_size: 1024,
+                },
+            ),
         );
         let info = parse_response::<BlobInfo>(&resp).unwrap();
 
@@ -139,7 +158,12 @@ mod tests {
             &mut ctx,
             &Frame::from_msg(
                 method::REQUEST_VERSION,
-                &RequestVersion { blob: info.blob, write: WriteId(1), offset: 1024, size: 1024 },
+                &RequestVersion {
+                    blob: info.blob,
+                    write: WriteId(1),
+                    offset: 1024,
+                    size: 1024,
+                },
             ),
         );
         let ticket = parse_response::<WriteTicket>(&resp).unwrap();
@@ -154,7 +178,10 @@ mod tests {
             &mut ctx,
             &Frame::from_msg(
                 method::COMPLETE_WRITE,
-                &CompleteWrite { blob: info.blob, version: 1 },
+                &CompleteWrite {
+                    blob: info.blob,
+                    version: 1,
+                },
             ),
         );
         assert_eq!(parse_response::<PublishState>(&resp).unwrap().latest, 1);
@@ -166,7 +193,12 @@ mod tests {
         let mut ctx = ServerCtx::new(0);
         let resp = s.handle(
             &mut ctx,
-            &Frame::from_msg(method::GET_LATEST, &GetLatest { blob: blobseer_proto::BlobId(99) }),
+            &Frame::from_msg(
+                method::GET_LATEST,
+                &GetLatest {
+                    blob: blobseer_proto::BlobId(99),
+                },
+            ),
         );
         assert!(matches!(
             parse_response::<u64>(&resp),

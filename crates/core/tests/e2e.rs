@@ -28,12 +28,16 @@ fn alloc_write_read_roundtrip() {
     let v = c.write(&mut ctx, info.blob, PAGE, &data).unwrap();
     assert_eq!(v, 1);
 
-    let (got, latest) = c.read(&mut ctx, info.blob, Some(1), seg(PAGE, 2 * PAGE)).unwrap();
+    let (got, latest) = c
+        .read(&mut ctx, info.blob, Some(1), seg(PAGE, 2 * PAGE))
+        .unwrap();
     assert_eq!(latest, 1);
     assert_eq!(got, data);
 
     // Unwritten space reads as zeros (allocate-on-write).
-    let (z, _) = c.read(&mut ctx, info.blob, Some(1), seg(4 * PAGE, PAGE)).unwrap();
+    let (z, _) = c
+        .read(&mut ctx, info.blob, Some(1), seg(4 * PAGE, PAGE))
+        .unwrap();
     assert!(z.iter().all(|&b| b == 0));
 
     // Data and metadata really are distributed.
@@ -55,8 +59,9 @@ fn matches_reference_store_on_random_workload() {
         let start = rng.gen_range(0..PAGES);
         let len = rng.gen_range(1..=(PAGES - start).min(6));
         let s = seg(start * PAGE, len * PAGE);
-        let data: Vec<u8> =
-            (0..s.size).map(|j| (i as u8).wrapping_mul(37).wrapping_add(j as u8)).collect();
+        let data: Vec<u8> = (0..s.size)
+            .map(|j| (i as u8).wrapping_mul(37).wrapping_add(j as u8))
+            .collect();
         let v1 = c.write(&mut ctx, info.blob, s.offset, &data).unwrap();
         let v2 = oracle.write(s, &data).unwrap();
         assert_eq!(v1, v2);
@@ -83,8 +88,16 @@ fn unpublished_version_read_fails() {
     let c = d.client();
     let mut ctx = Ctx::start();
     let info = c.alloc(&mut ctx, TOTAL, PAGE).unwrap();
-    let err = c.read(&mut ctx, info.blob, Some(3), seg(0, PAGE)).unwrap_err();
-    assert!(matches!(err, BlobError::VersionNotPublished { requested: 3, latest: 0 }));
+    let err = c
+        .read(&mut ctx, info.blob, Some(3), seg(0, PAGE))
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        BlobError::VersionNotPublished {
+            requested: 3,
+            latest: 0
+        }
+    ));
 }
 
 #[test]
@@ -93,10 +106,15 @@ fn unaligned_write_read_modify_write() {
     let c = d.client();
     let mut ctx = Ctx::start();
     let info = c.alloc(&mut ctx, TOTAL, PAGE).unwrap();
-    c.write(&mut ctx, info.blob, 0, &vec![7u8; (2 * PAGE) as usize]).unwrap();
-    let v = c.write_unaligned(&mut ctx, info.blob, 100, &[9u8; 50]).unwrap();
+    c.write(&mut ctx, info.blob, 0, &vec![7u8; (2 * PAGE) as usize])
+        .unwrap();
+    let v = c
+        .write_unaligned(&mut ctx, info.blob, 100, &[9u8; 50])
+        .unwrap();
     assert_eq!(v, 2);
-    let (buf, _) = c.read(&mut ctx, info.blob, Some(2), seg(0, 2 * PAGE)).unwrap();
+    let (buf, _) = c
+        .read(&mut ctx, info.blob, Some(2), seg(0, 2 * PAGE))
+        .unwrap();
     assert!(buf[..100].iter().all(|&b| b == 7));
     assert!(buf[100..150].iter().all(|&b| b == 9));
     assert!(buf[150..].iter().all(|&b| b == 7));
@@ -119,10 +137,14 @@ fn metadata_cache_hits_and_consistency() {
     // First read misses (nodes were cached during the write actually — the
     // writer caches what it builds; use a *second* client to see misses).
     let c2 = d.client();
-    let (r1, _) = c2.read(&mut ctx, info.blob, Some(1), seg(0, TOTAL)).unwrap();
+    let (r1, _) = c2
+        .read(&mut ctx, info.blob, Some(1), seg(0, TOTAL))
+        .unwrap();
     let (h1, m1) = c2.cache_stats().unwrap();
     assert!(m1 > 0, "cold cache must miss");
-    let (r2, _) = c2.read(&mut ctx, info.blob, Some(1), seg(0, TOTAL)).unwrap();
+    let (r2, _) = c2
+        .read(&mut ctx, info.blob, Some(1), seg(0, TOTAL))
+        .unwrap();
     let (h2, m2) = c2.cache_stats().unwrap();
     assert_eq!(m2, m1, "warm cache must not miss again");
     assert!(h2 > h1);
@@ -149,7 +171,8 @@ fn aggregation_cuts_message_count() {
         let mut ctx = Ctx::start();
         let info = c.alloc(&mut ctx, TOTAL, PAGE).unwrap();
         let before = d.cluster.message_count();
-        c.write(&mut ctx, info.blob, 0, &vec![1u8; (16 * PAGE) as usize]).unwrap();
+        c.write(&mut ctx, info.blob, 0, &vec![1u8; (16 * PAGE) as usize])
+            .unwrap();
         d.cluster.message_count() - before
     };
     let batched = run(AggregationPolicy::Batch);
@@ -189,7 +212,8 @@ fn unreplicated_deployment_loses_data_on_failure() {
     let c = d.client();
     let mut ctx = Ctx::start();
     let info = c.alloc(&mut ctx, TOTAL, PAGE).unwrap();
-    c.write(&mut ctx, info.blob, 0, &vec![3u8; TOTAL as usize]).unwrap();
+    c.write(&mut ctx, info.blob, 0, &vec![3u8; TOTAL as usize])
+        .unwrap();
     d.kill_storage(0);
     let res = c.read(&mut ctx, info.blob, Some(1), seg(0, TOTAL));
     assert!(res.is_err(), "some pages/metadata lived on the dead node");
@@ -203,9 +227,12 @@ fn gc_end_to_end() {
     let info = c.alloc(&mut ctx, TOTAL, PAGE).unwrap();
 
     // v1: full write; v2, v3: rewrite page 0.
-    c.write(&mut ctx, info.blob, 0, &vec![1u8; TOTAL as usize]).unwrap();
-    c.write(&mut ctx, info.blob, 0, &vec![2u8; PAGE as usize]).unwrap();
-    c.write(&mut ctx, info.blob, 0, &vec![3u8; PAGE as usize]).unwrap();
+    c.write(&mut ctx, info.blob, 0, &vec![1u8; TOTAL as usize])
+        .unwrap();
+    c.write(&mut ctx, info.blob, 0, &vec![2u8; PAGE as usize])
+        .unwrap();
+    c.write(&mut ctx, info.blob, 0, &vec![3u8; PAGE as usize])
+        .unwrap();
 
     let pages_before = d.total_pages();
     let nodes_before = d.total_tree_nodes();
@@ -223,7 +250,9 @@ fn gc_end_to_end() {
     // nodes — including the root — were reclaimed).
     assert!(c.read(&mut ctx, info.blob, Some(1), seg(0, PAGE)).is_err());
     // But v1's untouched *pages* survive, shared through v3's tree.
-    let (tail, _) = c.read(&mut ctx, info.blob, Some(3), seg(PAGE, PAGE)).unwrap();
+    let (tail, _) = c
+        .read(&mut ctx, info.blob, Some(3), seg(PAGE, PAGE))
+        .unwrap();
     assert!(tail.iter().all(|&b| b == 1));
 
     // Idempotent: second GC finds nothing.
@@ -255,8 +284,7 @@ fn concurrent_clients_full_stack() {
                     let len = rng.gen_range(1..=(PAGES - start).min(4));
                     let s = seg(start * PAGE, len * PAGE);
                     let fill: u8 = rng.gen();
-                    let data: Vec<u8> =
-                        (0..s.size).map(|j| fill.wrapping_add(j as u8)).collect();
+                    let data: Vec<u8> = (0..s.size).map(|j| fill.wrapping_add(j as u8)).collect();
                     let v = c.write(&mut ctx, blob, s.offset, &data).unwrap();
                     produced.push((v, s, fill));
                 }
@@ -282,7 +310,9 @@ fn concurrent_clients_full_stack() {
     for (v, s, fill) in &all {
         let data: Vec<u8> = (0..s.size).map(|j| fill.wrapping_add(j as u8)).collect();
         model[s.offset as usize..s.end() as usize].copy_from_slice(&data);
-        let (got, _) = reader.read(&mut rctx, blob, Some(*v), seg(0, TOTAL)).unwrap();
+        let (got, _) = reader
+            .read(&mut rctx, blob, Some(*v), seg(0, TOTAL))
+            .unwrap();
         assert_eq!(got, model, "version {v}");
     }
 }
@@ -295,8 +325,10 @@ fn multiple_blobs_are_isolated() {
     let a = c.alloc(&mut ctx, TOTAL, PAGE).unwrap();
     let b = c.alloc(&mut ctx, TOTAL, 2 * PAGE).unwrap();
     assert_ne!(a.blob, b.blob);
-    c.write(&mut ctx, a.blob, 0, &vec![0xA; PAGE as usize]).unwrap();
-    c.write(&mut ctx, b.blob, 0, &vec![0xB; (2 * PAGE) as usize]).unwrap();
+    c.write(&mut ctx, a.blob, 0, &vec![0xA; PAGE as usize])
+        .unwrap();
+    c.write(&mut ctx, b.blob, 0, &vec![0xB; (2 * PAGE) as usize])
+        .unwrap();
     let (ra, _) = c.read(&mut ctx, a.blob, None, seg(0, PAGE)).unwrap();
     let (rb, _) = c.read(&mut ctx, b.blob, None, seg(0, PAGE)).unwrap();
     assert!(ra.iter().all(|&x| x == 0xA));
@@ -309,10 +341,17 @@ fn rejects_misaligned_and_oversized_segments() {
     let c = d.client();
     let mut ctx = Ctx::start();
     let info = c.alloc(&mut ctx, TOTAL, PAGE).unwrap();
-    assert!(c.write(&mut ctx, info.blob, 10, &vec![0u8; PAGE as usize]).is_err());
-    assert!(c.write(&mut ctx, info.blob, 0, &vec![0u8; 100]).is_err());
     assert!(c
-        .write(&mut ctx, info.blob, TOTAL - PAGE, &vec![0u8; (2 * PAGE) as usize])
+        .write(&mut ctx, info.blob, 10, &vec![0u8; PAGE as usize])
+        .is_err());
+    assert!(c.write(&mut ctx, info.blob, 0, &[0u8; 100]).is_err());
+    assert!(c
+        .write(
+            &mut ctx,
+            info.blob,
+            TOTAL - PAGE,
+            &vec![0u8; (2 * PAGE) as usize]
+        )
         .is_err());
     assert!(c.read(&mut ctx, info.blob, None, seg(TOTAL, 1)).is_err());
     // Bad geometry at alloc.
@@ -325,8 +364,10 @@ fn read_returns_latest_version_witness() {
     let c = d.client();
     let mut ctx = Ctx::start();
     let info = c.alloc(&mut ctx, TOTAL, PAGE).unwrap();
-    c.write(&mut ctx, info.blob, 0, &vec![1u8; PAGE as usize]).unwrap();
-    c.write(&mut ctx, info.blob, 0, &vec![2u8; PAGE as usize]).unwrap();
+    c.write(&mut ctx, info.blob, 0, &vec![1u8; PAGE as usize])
+        .unwrap();
+    c.write(&mut ctx, info.blob, 0, &vec![2u8; PAGE as usize])
+        .unwrap();
     // Reading version 1 still reports vr = 2 (paper: "vr >= v holds").
     let (_, vr) = c.read(&mut ctx, info.blob, Some(1), seg(0, PAGE)).unwrap();
     assert_eq!(vr, 2);

@@ -80,7 +80,9 @@ impl DhtClient {
                 (
                     *dest,
                     method::META_PUT_BATCH,
-                    MetaPutBatch { nodes: idxs.iter().map(|&i| nodes[i].clone()).collect() },
+                    MetaPutBatch {
+                        nodes: idxs.iter().map(|&i| nodes[i].clone()).collect(),
+                    },
                 )
             })
             .collect();
@@ -162,7 +164,9 @@ impl DhtClient {
                 let mut groups: Vec<(NodeId, Vec<usize>)> = Vec::new();
                 for &i in &pending {
                     let reps = ring.replicas(keys[i].routing_key());
-                    let Some(&dest) = reps.get(attempt) else { continue };
+                    let Some(&dest) = reps.get(attempt) else {
+                        continue;
+                    };
                     match groups.iter_mut().find(|(d, _)| *d == dest) {
                         Some((_, idxs)) => idxs.push(i),
                         None => groups.push((dest, vec![i])),
@@ -176,11 +180,15 @@ impl DhtClient {
                     (
                         *dest,
                         method::META_GET_BATCH,
-                        MetaGetBatch { keys: idxs.iter().map(|&i| keys[i]).collect() },
+                        MetaGetBatch {
+                            keys: idxs.iter().map(|&i| keys[i]).collect(),
+                        },
                     )
                 })
                 .collect();
-            let results = self.rpc.fan_out::<MetaGetBatch, MetaGetBatchResp>(ctx, &calls);
+            let results = self
+                .rpc
+                .fan_out::<MetaGetBatch, MetaGetBatchResp>(ctx, &calls);
             let mut unresolved = Vec::new();
             for ((_, idxs), res) in groups.iter().zip(results) {
                 match res {
@@ -273,13 +281,24 @@ mod tests {
             provider_ids.push(id);
         }
         let rpc = RpcClient::new(t, client_node);
-        (DhtClient::with_members(rpc, &provider_ids, replication, 7), services)
+        (
+            DhtClient::with_members(rpc, &provider_ids, replication, 7),
+            services,
+        )
     }
 
     fn tree_node(v: u64, offset: u64) -> TreeNode {
         TreeNode {
-            key: NodeKey { blob: BlobId(1), version: v, offset, size: 4096 },
-            body: NodeBody::Inner { left_version: v, right_version: v },
+            key: NodeKey {
+                blob: BlobId(1),
+                version: v,
+                offset,
+                size: 4096,
+            },
+            body: NodeBody::Inner {
+                left_version: v,
+                right_version: v,
+            },
         }
     }
 
@@ -321,7 +340,7 @@ mod tests {
         // entirely; every key must still be resolvable via its other
         // replica.
         let victim = &services[0];
-        let removed_any = victim.len() > 0;
+        let removed_any = !victim.is_empty();
         // simulate loss by removing through the service API
         let keys: Vec<NodeKey> = nodes.iter().map(|n| n.key).collect();
         for k in &keys {
@@ -339,7 +358,10 @@ mod tests {
         }
         assert!(removed_any);
         let got = client.get_nodes(&mut ctx, &keys).unwrap();
-        assert!(got.iter().all(|g| g.is_some()), "failover to surviving replicas");
+        assert!(
+            got.iter().all(|g| g.is_some()),
+            "failover to surviving replicas"
+        );
     }
 
     use blobseer_rpc::Frame;

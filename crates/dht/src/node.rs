@@ -27,7 +27,12 @@ pub struct DhtNodeService {
 impl DhtNodeService {
     /// Empty node with the given processing costs.
     pub fn new(costs: ServiceCosts) -> Self {
-        Self { store: ShardedMap::with_shards(64), costs, puts: AtomicU64::new(0), gets: AtomicU64::new(0) }
+        Self {
+            store: ShardedMap::with_shards(64),
+            costs,
+            puts: AtomicU64::new(0),
+            gets: AtomicU64::new(0),
+        }
     }
 
     /// Number of stored tree nodes.
@@ -42,7 +47,10 @@ impl DhtNodeService {
 
     /// `(puts, gets)` op counters.
     pub fn op_counts(&self) -> (u64, u64) {
-        (self.puts.load(Ordering::Relaxed), self.gets.load(Ordering::Relaxed))
+        (
+            self.puts.load(Ordering::Relaxed),
+            self.gets.load(Ordering::Relaxed),
+        )
     }
 
     /// Direct store access for tests/GC verification.
@@ -59,7 +67,9 @@ impl DhtNodeService {
 
     fn get(&self, key: &NodeKey) -> Option<TreeNode> {
         self.gets.fetch_add(1, Ordering::Relaxed);
-        self.store.get_cloned(key).map(|body| TreeNode { key: *key, body })
+        self.store
+            .get_cloned(key)
+            .map(|body| TreeNode { key: *key, body })
     }
 }
 
@@ -142,8 +152,16 @@ mod tests {
 
     fn node(v: u64, offset: u64) -> TreeNode {
         TreeNode {
-            key: NodeKey { blob: BlobId(1), version: v, offset, size: 4096 },
-            body: NodeBody::Inner { left_version: v, right_version: v },
+            key: NodeKey {
+                blob: BlobId(1),
+                version: v,
+                offset,
+                size: 4096,
+            },
+            body: NodeBody::Inner {
+                left_version: v,
+                right_version: v,
+            },
         }
     }
 
@@ -152,10 +170,15 @@ mod tests {
         let svc = DhtNodeService::new(ServiceCosts::zero());
         let mut ctx = ServerCtx::new(0);
         let n = node(1, 0);
-        let resp = svc.handle(&mut ctx, &Frame::from_msg(method::META_PUT, &MetaPut { node: n.clone() }));
+        let resp = svc.handle(
+            &mut ctx,
+            &Frame::from_msg(method::META_PUT, &MetaPut { node: n.clone() }),
+        );
         parse_response::<()>(&resp).unwrap();
-        let resp =
-            svc.handle(&mut ctx, &Frame::from_msg(method::META_GET, &MetaGet { key: n.key }));
+        let resp = svc.handle(
+            &mut ctx,
+            &Frame::from_msg(method::META_GET, &MetaGet { key: n.key }),
+        );
         assert_eq!(parse_response::<TreeNode>(&resp).unwrap(), n);
         assert_eq!(svc.len(), 1);
     }
@@ -164,8 +187,15 @@ mod tests {
     fn get_missing_is_error() {
         let svc = DhtNodeService::new(ServiceCosts::zero());
         let mut ctx = ServerCtx::new(0);
-        let resp = svc
-            .handle(&mut ctx, &Frame::from_msg(method::META_GET, &MetaGet { key: node(9, 0).key }));
+        let resp = svc.handle(
+            &mut ctx,
+            &Frame::from_msg(
+                method::META_GET,
+                &MetaGet {
+                    key: node(9, 0).key,
+                },
+            ),
+        );
         assert!(matches!(
             parse_response::<TreeNode>(&resp),
             Err(BlobError::MissingMetadata { .. })
@@ -185,11 +215,19 @@ mod tests {
         let mut ctx = ServerCtx::new(0);
         let resp = svc.handle(
             &mut ctx,
-            &Frame::from_msg(method::META_PUT_BATCH, &MetaPutBatch { nodes: nodes.clone() }),
+            &Frame::from_msg(
+                method::META_PUT_BATCH,
+                &MetaPutBatch {
+                    nodes: nodes.clone(),
+                },
+            ),
         );
         parse_response::<()>(&resp).unwrap();
         assert_eq!(ctx.charged, 500, "per-node CPU cost serializes");
-        assert_eq!(ctx.charged_latency, 1000, "store latency paid once per message");
+        assert_eq!(
+            ctx.charged_latency, 1000,
+            "store latency paid once per message"
+        );
 
         let keys: Vec<NodeKey> = nodes.iter().map(|n| n.key).collect();
         let mut ctx = ServerCtx::new(0);
@@ -207,10 +245,15 @@ mod tests {
     fn batch_get_reports_missing_as_none() {
         let svc = DhtNodeService::new(ServiceCosts::zero());
         let mut ctx = ServerCtx::new(0);
-        svc.handle(&mut ctx, &Frame::from_msg(method::META_PUT, &MetaPut { node: node(1, 0) }));
+        svc.handle(
+            &mut ctx,
+            &Frame::from_msg(method::META_PUT, &MetaPut { node: node(1, 0) }),
+        );
         let keys = vec![node(1, 0).key, node(2, 0).key];
-        let resp =
-            svc.handle(&mut ctx, &Frame::from_msg(method::META_GET_BATCH, &MetaGetBatch { keys }));
+        let resp = svc.handle(
+            &mut ctx,
+            &Frame::from_msg(method::META_GET_BATCH, &MetaGetBatch { keys }),
+        );
         let got = parse_response::<MetaGetBatchResp>(&resp).unwrap();
         assert!(got.nodes[0].is_some());
         assert!(got.nodes[1].is_none());
@@ -223,7 +266,12 @@ mod tests {
         for i in 0..4 {
             svc.handle(
                 &mut ctx,
-                &Frame::from_msg(method::META_PUT, &MetaPut { node: node(1, i * 4096) }),
+                &Frame::from_msg(
+                    method::META_PUT,
+                    &MetaPut {
+                        node: node(1, i * 4096),
+                    },
+                ),
             );
         }
         let keys = vec![node(1, 0).key, node(1, 4096).key, node(9, 0).key];
@@ -241,7 +289,10 @@ mod tests {
         let mut ctx = ServerCtx::new(0);
         let n = node(1, 0);
         for _ in 0..3 {
-            svc.handle(&mut ctx, &Frame::from_msg(method::META_PUT, &MetaPut { node: n.clone() }));
+            svc.handle(
+                &mut ctx,
+                &Frame::from_msg(method::META_PUT, &MetaPut { node: n.clone() }),
+            );
         }
         assert_eq!(svc.len(), 1);
         assert_eq!(svc.op_counts().0, 3);

@@ -51,7 +51,8 @@ impl Ring {
         for &m in &self.members {
             let base = child_seed(self.seed, m.0 as u64);
             for v in 0..self.vnodes {
-                self.points.push((mix64(base ^ (v as u64).wrapping_mul(0x9e37)), m));
+                self.points
+                    .push((mix64(base ^ (v as u64).wrapping_mul(0x9e37)), m));
             }
         }
         self.points.sort_unstable();
@@ -165,7 +166,10 @@ mod tests {
         let expect = keys as f64 / 10.0;
         for (m, c) in &counts {
             let ratio = *c as f64 / expect;
-            assert!((0.6..1.4).contains(&ratio), "member {m} has load ratio {ratio}");
+            assert!(
+                (0.6..1.4).contains(&ratio),
+                "member {m} has load ratio {ratio}"
+            );
         }
     }
 
@@ -197,7 +201,10 @@ mod tests {
         for (i, (&k, was)) in keys.iter().zip(&before).enumerate() {
             let now = r.primary(k);
             if *was != NodeId(3) {
-                assert_eq!(now, *was, "key {i} owned by a surviving member must not move");
+                assert_eq!(
+                    now, *was,
+                    "key {i} owned by a surviving member must not move"
+                );
             } else {
                 assert_ne!(now, NodeId(3));
             }

@@ -9,7 +9,8 @@
 //! the paper).
 
 use blobseer_proto::tree::{NodeBody, NodeKey, PageLoc};
-use blobseer_proto::{BlobError, BlobId, Geometry, Segment, Version};
+use blobseer_proto::{BlobError, BlobId, Geometry, PageBuf, Segment, Version};
+use blobseer_util::copymeter;
 
 /// One step outcome of the traversal.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -32,7 +33,12 @@ pub enum Visit {
 
 /// Key of the tree root for `(blob, version)`.
 pub fn root_key(geom: &Geometry, blob: BlobId, version: Version) -> NodeKey {
-    NodeKey { blob, version, offset: 0, size: geom.total_size }
+    NodeKey {
+        blob,
+        version,
+        offset: 0,
+        size: geom.total_size,
+    }
 }
 
 /// Expand one fetched node: classify every child (or the node itself, for
@@ -58,9 +64,15 @@ pub fn expand(
             let blob_range = iv
                 .intersection(read_seg)
                 .ok_or(BlobError::Internal("leaf intersection empty"))?;
-            Ok(vec![Visit::Page { page: page.clone(), blob_range }])
+            Ok(vec![Visit::Page {
+                page: page.clone(),
+                blob_range,
+            }])
         }
-        NodeBody::Inner { left_version, right_version } => {
+        NodeBody::Inner {
+            left_version,
+            right_version,
+        } => {
             if iv.size <= geom.page_size {
                 return Err(BlobError::Internal("inner node at page interval"));
             }
@@ -77,7 +89,11 @@ pub fn expand(
                 if cv == 0 {
                     out.push(Visit::Zeros(overlap));
                 } else {
-                    let ck = if is_left { key.left_child(cv) } else { key.right_child(cv) };
+                    let ck = if is_left {
+                        key.left_child(cv)
+                    } else {
+                        key.right_child(cv)
+                    };
                     out.push(Visit::Descend(ck));
                 }
             }
@@ -88,16 +104,53 @@ pub fn expand(
 
 /// Assemble a read buffer from leaf hits and zero ranges.
 ///
-/// `fetch` resolves a page locator to its bytes. Bytes are copied into a
+/// This is the **single** copy of page bytes on the read path: each
+/// fetched page (shared, refcounted) is copied exactly once into a
 /// buffer covering exactly `read_seg`.
 pub fn assemble_read(
     geom: &Geometry,
     read_seg: &Segment,
     zeros: &[Segment],
-    pages: &[(PageLoc, Segment, bytes::Bytes)],
+    pages: &[(PageLoc, Segment, PageBuf)],
 ) -> Result<Vec<u8>, BlobError> {
+    // vec![0; n] zero-allocates lazily; no extra fill pass needed.
     let mut buf = vec![0u8; read_seg.size as usize];
-    // Zero ranges need no action (buffer is pre-zeroed) but validate them.
+    assemble_pieces(geom, read_seg, zeros, pages, &mut buf)?;
+    Ok(buf)
+}
+
+/// Scatter-assemble a read directly into a caller-provided buffer of
+/// exactly `read_seg.size` bytes. The buffer is cleared first, so
+/// ranges not covered by a page or an explicit zero range read as
+/// zeros — never as the buffer's previous contents.
+pub fn assemble_read_into(
+    geom: &Geometry,
+    read_seg: &Segment,
+    zeros: &[Segment],
+    pages: &[(PageLoc, Segment, PageBuf)],
+    buf: &mut [u8],
+) -> Result<(), BlobError> {
+    if buf.len() as u64 != read_seg.size {
+        return Err(BlobError::Internal("assembly buffer size mismatch"));
+    }
+    // A caller-provided buffer may hold stale bytes, and nothing
+    // guarantees the pieces tile the whole segment (corrupt metadata
+    // validates containment, not coverage): clear everything up front
+    // so uncovered ranges can never leak old contents as blob data.
+    buf.fill(0);
+    assemble_pieces(geom, read_seg, zeros, pages, buf)
+}
+
+/// Shared assembly core over an already-zeroed destination.
+fn assemble_pieces(
+    geom: &Geometry,
+    read_seg: &Segment,
+    zeros: &[Segment],
+    pages: &[(PageLoc, Segment, PageBuf)],
+    buf: &mut [u8],
+) -> Result<(), BlobError> {
+    // Zero ranges need no action (the buffer is pre-zeroed) but are
+    // validated.
     for z in zeros {
         if !read_seg.contains(z) {
             return Err(BlobError::Internal("zero range outside read"));
@@ -114,8 +167,9 @@ pub fn assemble_read(
         let dst = (blob_range.offset - read_seg.offset) as usize;
         let len = blob_range.size as usize;
         buf[dst..dst + len].copy_from_slice(&data[in_page..in_page + len]);
+        copymeter::record_copy(len);
     }
-    Ok(buf)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -123,7 +177,6 @@ mod tests {
     use super::*;
     use blobseer_proto::tree::PageKey;
     use blobseer_proto::{ProviderId, WriteId};
-    use bytes::Bytes;
 
     fn geom() -> Geometry {
         Geometry::new(4096, 1024).unwrap()
@@ -131,7 +184,11 @@ mod tests {
 
     fn loc(i: u64) -> PageLoc {
         PageLoc {
-            key: PageKey { blob: BlobId(1), write: WriteId(1), index: i },
+            key: PageKey {
+                blob: BlobId(1),
+                write: WriteId(1),
+                index: i,
+            },
             replicas: vec![ProviderId(0)],
         }
     }
@@ -139,20 +196,36 @@ mod tests {
     #[test]
     fn root_key_shape() {
         let k = root_key(&geom(), BlobId(5), 3);
-        assert_eq!(k, NodeKey { blob: BlobId(5), version: 3, offset: 0, size: 4096 });
+        assert_eq!(
+            k,
+            NodeKey {
+                blob: BlobId(5),
+                version: 3,
+                offset: 0,
+                size: 4096
+            }
+        );
     }
 
     #[test]
     fn expand_inner_mixed_children() {
         let g = geom();
         let key = root_key(&g, BlobId(1), 2);
-        let body = NodeBody::Inner { left_version: 2, right_version: 0 };
+        let body = NodeBody::Inner {
+            left_version: 2,
+            right_version: 0,
+        };
         // Read the whole blob: left half descends at v2, right half zeros.
         let visits = expand(&g, &key, &body, &g.full_segment()).unwrap();
         assert_eq!(
             visits,
             vec![
-                Visit::Descend(NodeKey { blob: BlobId(1), version: 2, offset: 0, size: 2048 }),
+                Visit::Descend(NodeKey {
+                    blob: BlobId(1),
+                    version: 2,
+                    offset: 0,
+                    size: 2048
+                }),
                 Visit::Zeros(Segment::new(2048, 2048)),
             ]
         );
@@ -162,7 +235,10 @@ mod tests {
     fn expand_prunes_non_intersecting_children() {
         let g = geom();
         let key = root_key(&g, BlobId(1), 1);
-        let body = NodeBody::Inner { left_version: 1, right_version: 1 };
+        let body = NodeBody::Inner {
+            left_version: 1,
+            right_version: 1,
+        };
         // Read only page 3: left child pruned.
         let visits = expand(&g, &key, &body, &Segment::new(3072, 1024)).unwrap();
         assert_eq!(
@@ -179,13 +255,21 @@ mod tests {
     #[test]
     fn expand_leaf_clips_to_read() {
         let g = geom();
-        let key = NodeKey { blob: BlobId(1), version: 1, offset: 1024, size: 1024 };
+        let key = NodeKey {
+            blob: BlobId(1),
+            version: 1,
+            offset: 1024,
+            size: 1024,
+        };
         let body = NodeBody::Leaf { page: loc(1) };
         // Unaligned read [1500, 1800).
         let visits = expand(&g, &key, &body, &Segment::new(1500, 300)).unwrap();
         assert_eq!(
             visits,
-            vec![Visit::Page { page: loc(1), blob_range: Segment::new(1500, 300) }]
+            vec![Visit::Page {
+                page: loc(1),
+                blob_range: Segment::new(1500, 300)
+            }]
         );
     }
 
@@ -193,29 +277,64 @@ mod tests {
     fn expand_detects_corrupt_shapes() {
         let g = geom();
         // Leaf body at an inner interval.
-        let key = NodeKey { blob: BlobId(1), version: 1, offset: 0, size: 2048 };
-        assert!(expand(&g, &key, &NodeBody::Leaf { page: loc(0) }, &g.full_segment()).is_err());
+        let key = NodeKey {
+            blob: BlobId(1),
+            version: 1,
+            offset: 0,
+            size: 2048,
+        };
+        assert!(expand(
+            &g,
+            &key,
+            &NodeBody::Leaf { page: loc(0) },
+            &g.full_segment()
+        )
+        .is_err());
         // Inner body at a leaf interval.
-        let key = NodeKey { blob: BlobId(1), version: 1, offset: 0, size: 1024 };
-        let body = NodeBody::Inner { left_version: 1, right_version: 1 };
+        let key = NodeKey {
+            blob: BlobId(1),
+            version: 1,
+            offset: 0,
+            size: 1024,
+        };
+        let body = NodeBody::Inner {
+            left_version: 1,
+            right_version: 1,
+        };
         assert!(expand(&g, &key, &body, &g.full_segment()).is_err());
         // Node that does not intersect the read at all.
-        let key = NodeKey { blob: BlobId(1), version: 1, offset: 0, size: 1024 };
-        assert!(expand(&g, &key, &NodeBody::Leaf { page: loc(0) }, &Segment::new(2048, 512))
-            .is_err());
+        let key = NodeKey {
+            blob: BlobId(1),
+            version: 1,
+            offset: 0,
+            size: 1024,
+        };
+        assert!(expand(
+            &g,
+            &key,
+            &NodeBody::Leaf { page: loc(0) },
+            &Segment::new(2048, 512)
+        )
+        .is_err());
     }
 
     #[test]
     fn assemble_copies_and_zero_fills() {
         let g = geom();
         let read = Segment::new(512, 2048); // spans pages 0..3 partially
-        let page1 = Bytes::from(vec![7u8; 1024]);
+        let page1 = PageBuf::from_vec(vec![7u8; 1024]);
         let buf = assemble_read(
             &g,
             &read,
             &[Segment::new(512, 512)], // tail of page 0 is zeros
-            &[(loc(1), Segment::new(1024, 1024), page1), // full page 1
-              (loc(2), Segment::new(2048, 512), Bytes::from(vec![9u8; 1024]))],
+            &[
+                (loc(1), Segment::new(1024, 1024), page1), // full page 1
+                (
+                    loc(2),
+                    Segment::new(2048, 512),
+                    PageBuf::from_vec(vec![9u8; 1024]),
+                ),
+            ],
         )
         .unwrap();
         assert_eq!(buf.len(), 2048);
@@ -229,8 +348,9 @@ mod tests {
         let g = geom();
         let read = Segment::new(0, 1024);
         assert!(assemble_read(&g, &read, &[Segment::new(1024, 10)], &[]).is_err());
-        let short_page = Bytes::from(vec![1u8; 10]);
-        assert!(assemble_read(&g, &read, &[], &[(loc(0), Segment::new(0, 10), short_page)])
-            .is_err());
+        let short_page = PageBuf::from_vec(vec![1u8; 10]);
+        assert!(
+            assemble_read(&g, &read, &[], &[(loc(0), Segment::new(0, 10), short_page)]).is_err()
+        );
     }
 }

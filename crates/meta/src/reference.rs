@@ -20,15 +20,14 @@ use crate::write::{border_specs, borders_to_links, build_write_tree};
 use blobseer_proto::messages::WriteTicket;
 use blobseer_proto::tree::{NodeBody, NodeKey, PageKey, PageLoc};
 use blobseer_proto::{BlobError, BlobId, Geometry, ProviderId, Segment, Version, WriteId};
-use blobseer_util::{FxHashMap, IntervalMap};
-use bytes::Bytes;
+use blobseer_util::{FxHashMap, IntervalMap, PageBuf};
 
 /// In-memory reference blob store (single blob, single thread).
 pub struct ReferenceStore {
     geom: Geometry,
     blob: BlobId,
     nodes: FxHashMap<NodeKey, NodeBody>,
-    pages: FxHashMap<PageKey, Bytes>,
+    pages: FxHashMap<PageKey, PageBuf>,
     index: IntervalMap<Version>,
     /// `history[v - 1]` = segment written by version `v`.
     history: Vec<Segment>,
@@ -71,7 +70,9 @@ impl ReferenceStore {
 
     /// The segment written by version `v` (if `1 <= v <= latest`).
     pub fn written_segment(&self, v: Version) -> Option<Segment> {
-        (v >= 1).then(|| self.history.get(v as usize - 1).copied()).flatten()
+        (v >= 1)
+            .then(|| self.history.get(v as usize - 1).copied())
+            .flatten()
     }
 
     /// `WRITE(id, buffer, offset, size)` — page-aligned fast path.
@@ -80,18 +81,31 @@ impl ReferenceStore {
     pub fn write(&mut self, seg: Segment, data: &[u8]) -> Result<Version, BlobError> {
         let pages = self.geom.validate_aligned(&seg)?;
         if data.len() as u64 != seg.size {
-            return Err(BlobError::BadSegment { segment: seg, reason: "buffer size mismatch" });
+            return Err(BlobError::BadSegment {
+                segment: seg,
+                reason: "buffer size mismatch",
+            });
         }
         // Phase 1 (paper §III.B): store the pages under a fresh write id.
         let write_id = WriteId(self.next_write);
         self.next_write += 1;
+        // One copy of the caller's buffer; every page is an O(1) slice of
+        // that single allocation.
+        let buf = PageBuf::copy_from_slice(data);
         let mut locs = Vec::with_capacity(pages.count() as usize);
         for (i, page_idx) in pages.iter().enumerate() {
-            let key = PageKey { blob: self.blob, write: write_id, index: page_idx };
+            let key = PageKey {
+                blob: self.blob,
+                write: write_id,
+                index: page_idx,
+            };
             let start = i * self.geom.page_size as usize;
             let end = start + self.geom.page_size as usize;
-            self.pages.insert(key, Bytes::copy_from_slice(&data[start..end]));
-            locs.push(PageLoc { key, replicas: vec![ProviderId(0)] });
+            self.pages.insert(key, buf.slice(start..end));
+            locs.push(PageLoc {
+                key,
+                replicas: vec![ProviderId(0)],
+            });
         }
         // Phase 2: version assignment + border links (the version manager's
         // role, played here by the local version index).
@@ -100,7 +114,10 @@ impl ReferenceStore {
         let links = borders_to_links(&specs, |child| {
             self.index.range_max(child.offset, child.end())
         });
-        let ticket = WriteTicket { version, borders: links };
+        let ticket = WriteTicket {
+            version,
+            borders: links,
+        };
         // Phase 3: build and store the metadata tree.
         let nodes = build_write_tree(&self.geom, self.blob, &seg, &locs, &ticket)?;
         for n in nodes {
@@ -117,7 +134,10 @@ impl ReferenceStore {
     pub fn write_unaligned(&mut self, seg: Segment, data: &[u8]) -> Result<Version, BlobError> {
         self.geom.validate_bounds(&seg)?;
         if data.len() as u64 != seg.size {
-            return Err(BlobError::BadSegment { segment: seg, reason: "buffer size mismatch" });
+            return Err(BlobError::BadSegment {
+                segment: seg,
+                reason: "buffer size mismatch",
+            });
         }
         let envelope = crate::shape::align_to_pages(&self.geom, &seg);
         if envelope == seg {
@@ -135,7 +155,10 @@ impl ReferenceStore {
     pub fn read(&self, v: Version, seg: Segment) -> Result<Vec<u8>, BlobError> {
         self.geom.validate_bounds(&seg)?;
         if v > self.latest() {
-            return Err(BlobError::VersionNotPublished { requested: v, latest: self.latest() });
+            return Err(BlobError::VersionNotPublished {
+                requested: v,
+                latest: self.latest(),
+            });
         }
         if v == 0 {
             return Ok(vec![0u8; seg.size as usize]);
@@ -144,10 +167,10 @@ impl ReferenceStore {
         let mut zeros = Vec::new();
         let mut hits = Vec::new();
         while let Some(key) = frontier.pop() {
-            let body = self
-                .nodes
-                .get(&key)
-                .ok_or(BlobError::MissingMetadata { blob: key.blob, version: key.version })?;
+            let body = self.nodes.get(&key).ok_or(BlobError::MissingMetadata {
+                blob: key.blob,
+                version: key.version,
+            })?;
             for visit in expand(&self.geom, &key, body, &seg)? {
                 match visit {
                     Visit::Descend(k) => frontier.push(k),
@@ -156,7 +179,9 @@ impl ReferenceStore {
                         let data = self
                             .pages
                             .get(&page.key)
-                            .ok_or(BlobError::MissingPage { tried: page.replicas.clone() })?
+                            .ok_or(BlobError::MissingPage {
+                                tried: page.replicas.clone(),
+                            })?
                             .clone();
                         hits.push((page, blob_range, data));
                     }
@@ -188,7 +213,11 @@ impl ReferenceStore {
             if key.version >= keep_from {
                 continue;
             }
-            if at_k.range_max(key.offset, key.offset + key.size).unwrap_or(0) > key.version {
+            if at_k
+                .range_max(key.offset, key.offset + key.size)
+                .unwrap_or(0)
+                > key.version
+            {
                 dead_nodes.push(*key);
             }
         }
@@ -236,7 +265,13 @@ mod tests {
     fn read_unpublished_version_fails() {
         let store = ReferenceStore::new(geom());
         let err = store.read(1, seg(0, 1024)).unwrap_err();
-        assert!(matches!(err, BlobError::VersionNotPublished { requested: 1, latest: 0 }));
+        assert!(matches!(
+            err,
+            BlobError::VersionNotPublished {
+                requested: 1,
+                latest: 0
+            }
+        ));
     }
 
     #[test]
@@ -248,7 +283,11 @@ mod tests {
         assert_eq!(store.read(1, seg(1024, 2048)).unwrap(), data);
         // Rest of the blob is still zeros.
         assert!(store.read(1, seg(0, 1024)).unwrap().iter().all(|&b| b == 0));
-        assert!(store.read(1, seg(4096, 4096)).unwrap().iter().all(|&b| b == 0));
+        assert!(store
+            .read(1, seg(4096, 4096))
+            .unwrap()
+            .iter()
+            .all(|&b| b == 0));
     }
 
     #[test]

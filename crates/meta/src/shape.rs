@@ -14,7 +14,7 @@ pub fn is_tree_interval(geom: &Geometry, offset: u64, size: u64) -> bool {
         && size <= geom.total_size
         && (size / geom.page_size).is_power_of_two()
         && size.is_power_of_two()
-        && offset % size == 0
+        && offset.is_multiple_of(size)
         && offset + size <= geom.total_size
 }
 
@@ -96,7 +96,10 @@ mod tests {
         assert!(is_tree_interval(&g, 1024, 1024));
         assert!(!is_tree_interval(&g, 1024, 2048), "offset not size-aligned");
         assert!(!is_tree_interval(&g, 0, 512), "smaller than a page");
-        assert!(!is_tree_interval(&g, 0, 3072), "not a power-of-two multiple");
+        assert!(
+            !is_tree_interval(&g, 0, 3072),
+            "not a power-of-two multiple"
+        );
         assert!(!is_tree_interval(&g, 4096, 1024), "out of bounds");
     }
 
@@ -121,8 +124,8 @@ mod tests {
         assert_eq!(
             ivs,
             vec![
-                Segment::new(0, 4096), // A
-                Segment::new(0, 2048), // B
+                Segment::new(0, 4096),    // A
+                Segment::new(0, 2048),    // B
                 Segment::new(1024, 1024), // E (leaf)
             ]
         );
@@ -134,8 +137,10 @@ mod tests {
         // is (0,4),(0,2),(2,2),(1,1),(2,1)" — in pages.
         let g = geom_4_pages();
         let ivs = write_intervals(&g, &Segment::new(1024, 2048));
-        let as_pages: Vec<(u64, u64)> =
-            ivs.iter().map(|s| (s.offset / 1024, s.size / 1024)).collect();
+        let as_pages: Vec<(u64, u64)> = ivs
+            .iter()
+            .map(|s| (s.offset / 1024, s.size / 1024))
+            .collect();
         assert_eq!(as_pages.len(), 5);
         for expected in [(0, 4), (0, 2), (2, 2), (1, 1), (2, 1)] {
             assert!(as_pages.contains(&expected), "missing {expected:?}");
@@ -171,15 +176,24 @@ mod tests {
         // the leaves' subtree + full subtree of 511 nodes... just sanity
         // bounds: between 2*256 and 2*256 + 2*24 nodes.
         let n = node_count_for_write(&g, &seg);
-        assert!(n >= 511 && n <= 511 + 2 * 24, "n = {n}");
+        assert!((511..=511 + 2 * 24).contains(&n), "n = {n}");
     }
 
     #[test]
     fn alignment_envelope() {
         let g = geom_4_pages();
-        assert_eq!(align_to_pages(&g, &Segment::new(100, 50)), Segment::new(0, 1024));
-        assert_eq!(align_to_pages(&g, &Segment::new(1000, 100)), Segment::new(0, 2048));
-        assert_eq!(align_to_pages(&g, &Segment::new(1024, 1024)), Segment::new(1024, 1024));
+        assert_eq!(
+            align_to_pages(&g, &Segment::new(100, 50)),
+            Segment::new(0, 1024)
+        );
+        assert_eq!(
+            align_to_pages(&g, &Segment::new(1000, 100)),
+            Segment::new(0, 2048)
+        );
+        assert_eq!(
+            align_to_pages(&g, &Segment::new(1024, 1024)),
+            Segment::new(1024, 1024)
+        );
         let empty = Segment::new(10, 0);
         assert_eq!(align_to_pages(&g, &empty), empty);
     }

@@ -60,9 +60,15 @@ pub fn border_specs(geom: &Geometry, seg: &Segment) -> Vec<BorderSpec> {
         let ri = right.intersects(seg);
         debug_assert!(li || ri, "visited node must intersect the write");
         if !li {
-            out.push(BorderSpec { interval: iv, missing_left: true });
+            out.push(BorderSpec {
+                interval: iv,
+                missing_left: true,
+            });
         } else if !ri {
-            out.push(BorderSpec { interval: iv, missing_left: false });
+            out.push(BorderSpec {
+                interval: iv,
+                missing_left: false,
+            });
         }
         // Only partially-covered children can host further border nodes.
         if li && !seg.contains(&left) {
@@ -100,15 +106,25 @@ pub fn build_write_tree(
         return Err(BlobError::Internal("page locator count mismatch"));
     }
 
-    let borders: FxHashMap<(u64, u64), &BorderLink> =
-        ticket.borders.iter().map(|b| ((b.offset, b.size), b)).collect();
+    let borders: FxHashMap<(u64, u64), &BorderLink> = ticket
+        .borders
+        .iter()
+        .map(|b| ((b.offset, b.size), b))
+        .collect();
 
     let mut nodes = Vec::with_capacity(write_intervals(geom, seg).len());
     for iv in write_intervals(geom, seg) {
-        let key = NodeKey { blob, version: v, offset: iv.offset, size: iv.size };
+        let key = NodeKey {
+            blob,
+            version: v,
+            offset: iv.offset,
+            size: iv.size,
+        };
         let body = if iv.size == geom.page_size {
             let idx = geom.page_of(iv.offset) - first_page;
-            NodeBody::Leaf { page: pages[idx as usize].clone() }
+            NodeBody::Leaf {
+                page: pages[idx as usize].clone(),
+            }
         } else {
             let half = iv.size / 2;
             let left = Segment::new(iv.offset, half);
@@ -126,7 +142,10 @@ pub fn build_write_tree(
                 link.and_then(|b| b.right)
                     .ok_or(BlobError::Internal("missing right border link"))?
             };
-            NodeBody::Inner { left_version, right_version }
+            NodeBody::Inner {
+                left_version,
+                right_version,
+            }
         };
         nodes.push(TreeNode { key, body });
     }
@@ -168,7 +187,11 @@ mod tests {
 
     fn loc(i: u64) -> PageLoc {
         PageLoc {
-            key: PageKey { blob: BlobId(1), write: WriteId(9), index: i },
+            key: PageKey {
+                blob: BlobId(1),
+                write: WriteId(9),
+                index: i,
+            },
             replicas: vec![ProviderId(0)],
         }
     }
@@ -190,9 +213,15 @@ mod tests {
             specs,
             vec![
                 // B2 misses its left child (page 0).
-                BorderSpec { interval: Segment::new(0, 2048), missing_left: true },
+                BorderSpec {
+                    interval: Segment::new(0, 2048),
+                    missing_left: true
+                },
                 // A2 misses its right child ([2048, 4096)).
-                BorderSpec { interval: Segment::new(0, 4096), missing_left: false },
+                BorderSpec {
+                    interval: Segment::new(0, 4096),
+                    missing_left: false
+                },
             ]
         );
         assert_eq!(specs[0].missing_child(), Segment::new(0, 1024));
@@ -209,8 +238,14 @@ mod tests {
         assert_eq!(
             specs,
             vec![
-                BorderSpec { interval: Segment::new(0, 2048), missing_left: true },
-                BorderSpec { interval: Segment::new(2048, 2048), missing_left: false },
+                BorderSpec {
+                    interval: Segment::new(0, 2048),
+                    missing_left: true
+                },
+                BorderSpec {
+                    interval: Segment::new(2048, 2048),
+                    missing_left: false
+                },
             ]
         );
     }
@@ -234,15 +269,20 @@ mod tests {
         let blob = BlobId(1);
 
         // Version 1 (white): full write — no borders.
-        let t1 = WriteTicket { version: 1, borders: vec![] };
+        let t1 = WriteTicket {
+            version: 1,
+            borders: vec![],
+        };
         let full = g.full_segment();
-        let n1 =
-            build_write_tree(&g, blob, &full, &[loc(0), loc(1), loc(2), loc(3)], &t1).unwrap();
+        let n1 = build_write_tree(&g, blob, &full, &[loc(0), loc(1), loc(2), loc(3)], &t1).unwrap();
         assert_eq!(n1.len(), 7);
         // Root's children are both version 1.
         assert_eq!(
             n1[0].body,
-            NodeBody::Inner { left_version: 1, right_version: 1 }
+            NodeBody::Inner {
+                left_version: 1,
+                right_version: 1
+            }
         );
 
         // Version 2 (grey) writes page 1. The paper: "the missing left
@@ -251,14 +291,29 @@ mod tests {
         let seg2 = Segment::new(1024, 1024);
         let specs = border_specs(&g, &seg2);
         let links = borders_to_links(&specs, |_child| Some(1));
-        let t2 = WriteTicket { version: 2, borders: links };
+        let t2 = WriteTicket {
+            version: 2,
+            borders: links,
+        };
         let n2 = build_write_tree(&g, blob, &seg2, &[loc(1)], &t2).unwrap();
         assert_eq!(n2.len(), 3);
         let a2 = n2.iter().find(|n| n.key.size == 4096).unwrap();
         let b2 = n2.iter().find(|n| n.key.size == 2048).unwrap();
         let e2 = n2.iter().find(|n| n.key.size == 1024).unwrap();
-        assert_eq!(a2.body, NodeBody::Inner { left_version: 2, right_version: 1 });
-        assert_eq!(b2.body, NodeBody::Inner { left_version: 1, right_version: 2 });
+        assert_eq!(
+            a2.body,
+            NodeBody::Inner {
+                left_version: 2,
+                right_version: 1
+            }
+        );
+        assert_eq!(
+            b2.body,
+            NodeBody::Inner {
+                left_version: 1,
+                right_version: 2
+            }
+        );
         assert!(matches!(e2.body, NodeBody::Leaf { .. }));
 
         // Version 3 (black) writes page 2: "setting the right child of C3
@@ -274,12 +329,27 @@ mod tests {
                 Some(2)
             }
         });
-        let t3 = WriteTicket { version: 3, borders: links };
+        let t3 = WriteTicket {
+            version: 3,
+            borders: links,
+        };
         let n3 = build_write_tree(&g, blob, &seg3, &[loc(2)], &t3).unwrap();
         let a3 = n3.iter().find(|n| n.key.size == 4096).unwrap();
         let c3 = n3.iter().find(|n| n.key.size == 2048).unwrap();
-        assert_eq!(a3.body, NodeBody::Inner { left_version: 2, right_version: 3 });
-        assert_eq!(c3.body, NodeBody::Inner { left_version: 3, right_version: 1 });
+        assert_eq!(
+            a3.body,
+            NodeBody::Inner {
+                left_version: 2,
+                right_version: 3
+            }
+        );
+        assert_eq!(
+            c3.body,
+            NodeBody::Inner {
+                left_version: 3,
+                right_version: 1
+            }
+        );
     }
 
     #[test]
@@ -290,18 +360,36 @@ mod tests {
         let seg = Segment::new(0, 1024);
         let specs = border_specs(&g, &seg);
         let links = borders_to_links(&specs, |_child| None);
-        let t = WriteTicket { version: 1, borders: links };
+        let t = WriteTicket {
+            version: 1,
+            borders: links,
+        };
         let nodes = build_write_tree(&g, BlobId(1), &seg, &[loc(0)], &t).unwrap();
         let root = nodes.iter().find(|n| n.key.size == 4096).unwrap();
-        assert_eq!(root.body, NodeBody::Inner { left_version: 1, right_version: 0 });
+        assert_eq!(
+            root.body,
+            NodeBody::Inner {
+                left_version: 1,
+                right_version: 0
+            }
+        );
         let b = nodes.iter().find(|n| n.key.size == 2048).unwrap();
-        assert_eq!(b.body, NodeBody::Inner { left_version: 1, right_version: 0 });
+        assert_eq!(
+            b.body,
+            NodeBody::Inner {
+                left_version: 1,
+                right_version: 0
+            }
+        );
     }
 
     #[test]
     fn build_rejects_wrong_page_count() {
         let g = geom_4_pages();
-        let t = WriteTicket { version: 1, borders: vec![] };
+        let t = WriteTicket {
+            version: 1,
+            borders: vec![],
+        };
         let err = build_write_tree(&g, BlobId(1), &g.full_segment(), &[loc(0)], &t);
         assert!(err.is_err());
     }
@@ -310,7 +398,10 @@ mod tests {
     fn build_rejects_missing_border_link() {
         let g = geom_4_pages();
         // Write page 1 but hand an empty ticket.
-        let t = WriteTicket { version: 2, borders: vec![] };
+        let t = WriteTicket {
+            version: 2,
+            borders: vec![],
+        };
         let err = build_write_tree(&g, BlobId(1), &Segment::new(1024, 1024), &[loc(1)], &t);
         assert!(err.is_err());
     }
@@ -319,7 +410,10 @@ mod tests {
     fn single_page_blob_write() {
         // Degenerate geometry: the root is the only (leaf) node.
         let g = Geometry::new(1024, 1024).unwrap();
-        let t = WriteTicket { version: 1, borders: vec![] };
+        let t = WriteTicket {
+            version: 1,
+            borders: vec![],
+        };
         let nodes = build_write_tree(&g, BlobId(1), &g.full_segment(), &[loc(0)], &t).unwrap();
         assert_eq!(nodes.len(), 1);
         assert!(matches!(nodes[0].body, NodeBody::Leaf { .. }));

@@ -21,7 +21,9 @@ struct FlatModel {
 
 impl FlatModel {
     fn new() -> Self {
-        Self { snapshots: vec![vec![0u8; TOTAL as usize]] }
+        Self {
+            snapshots: vec![vec![0u8; TOTAL as usize]],
+        }
     }
 
     fn write(&mut self, seg: Segment, data: &[u8]) {

@@ -134,7 +134,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = BlobError::VersionNotPublished { requested: 9, latest: 4 };
+        let e = BlobError::VersionNotPublished {
+            requested: 9,
+            latest: 4,
+        };
         let s = e.to_string();
         assert!(s.contains('9') && s.contains('4'));
 
@@ -144,7 +147,10 @@ mod tests {
         };
         assert!(e.to_string().contains("unaligned"));
 
-        let c = CodecError::UnexpectedEof { needed: 8, remaining: 3 };
+        let c = CodecError::UnexpectedEof {
+            needed: 8,
+            remaining: 3,
+        };
         assert!(c.to_string().contains('8'));
     }
 

@@ -121,7 +121,10 @@ impl Geometry {
                 reason: "page_size must not exceed total_size",
             });
         }
-        Ok(Self { total_size, page_size })
+        Ok(Self {
+            total_size,
+            page_size,
+        })
     }
 
     /// Number of pages in the blob.
@@ -165,12 +168,18 @@ impl Geometry {
     /// operate on segments = whole pages).
     pub fn validate_aligned(&self, seg: &Segment) -> Result<PageRange, BlobError> {
         if seg.is_empty() {
-            return Err(BlobError::BadSegment { segment: *seg, reason: "empty segment" });
+            return Err(BlobError::BadSegment {
+                segment: *seg,
+                reason: "empty segment",
+            });
         }
         if seg.end() > self.total_size {
-            return Err(BlobError::BadSegment { segment: *seg, reason: "out of bounds" });
+            return Err(BlobError::BadSegment {
+                segment: *seg,
+                reason: "out of bounds",
+            });
         }
-        if seg.offset % self.page_size != 0 || seg.size % self.page_size != 0 {
+        if !seg.offset.is_multiple_of(self.page_size) || !seg.size.is_multiple_of(self.page_size) {
             return Err(BlobError::BadSegment {
                 segment: *seg,
                 reason: "segment must be page-aligned",
@@ -185,10 +194,16 @@ impl Geometry {
     /// Validate bounds only (for the unaligned read-modify-write path).
     pub fn validate_bounds(&self, seg: &Segment) -> Result<(), BlobError> {
         if seg.is_empty() {
-            return Err(BlobError::BadSegment { segment: *seg, reason: "empty segment" });
+            return Err(BlobError::BadSegment {
+                segment: *seg,
+                reason: "empty segment",
+            });
         }
         if seg.end() > self.total_size {
-            return Err(BlobError::BadSegment { segment: *seg, reason: "out of bounds" });
+            return Err(BlobError::BadSegment {
+                segment: *seg,
+                reason: "out of bounds",
+            });
         }
         Ok(())
     }
@@ -227,7 +242,10 @@ mod tests {
         assert!(Geometry::new(1 << 20, 64 * KB).is_ok());
         assert!(Geometry::new(0, 64).is_err());
         assert!(Geometry::new(100, 64).is_err(), "non power of two total");
-        assert!(Geometry::new(1 << 20, 1000).is_err(), "non power of two page");
+        assert!(
+            Geometry::new(1 << 20, 1000).is_err(),
+            "non power of two page"
+        );
         assert!(Geometry::new(64, 128).is_err(), "page larger than blob");
         // page_size == total_size is legal: a single-page blob.
         let g = Geometry::new(64, 64).unwrap();
@@ -262,14 +280,17 @@ mod tests {
     #[test]
     fn aligned_validation() {
         let g = Geometry::new(1 << 20, 64 * KB).unwrap();
-        let ok = g.validate_aligned(&Segment::new(64 * KB, 128 * KB)).unwrap();
+        let ok = g
+            .validate_aligned(&Segment::new(64 * KB, 128 * KB))
+            .unwrap();
         assert_eq!((ok.start, ok.end), (1, 3));
         assert!(g.validate_aligned(&Segment::new(1, 64 * KB)).is_err());
         assert!(g.validate_aligned(&Segment::new(0, 1)).is_err());
         assert!(g.validate_aligned(&Segment::new(0, 0)).is_err());
-        assert!(g
-            .validate_aligned(&Segment::new(1 << 20, 64 * KB))
-            .is_err(), "out of bounds");
+        assert!(
+            g.validate_aligned(&Segment::new(1 << 20, 64 * KB)).is_err(),
+            "out of bounds"
+        );
         // Whole blob is valid.
         assert!(g.validate_aligned(&g.full_segment()).is_ok());
     }

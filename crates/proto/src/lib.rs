@@ -18,8 +18,9 @@ pub mod messages;
 pub mod tree;
 pub mod wire;
 
+pub use blobseer_util::PageBuf;
 pub use error::{BlobError, CodecError};
 pub use geometry::{Geometry, PageRange, Segment};
 pub use ids::{BlobId, NodeId, ProviderId, Version, WriteId, ZERO_VERSION};
-pub use tree::{NodeBody, NodeKey, PageKey, PageLoc};
-pub use wire::{Reader, Wire};
+pub use tree::{NodeBody, NodeKey, PageKey, PageLoc, TreeNode};
+pub use wire::{ByteChain, Reader, Wire, WireBuf};

@@ -10,9 +10,9 @@ use crate::error::{BlobError, CodecError};
 use crate::geometry::{Geometry, Segment};
 use crate::ids::{BlobId, ProviderId, Version, WriteId};
 use crate::tree::{NodeKey, PageKey, TreeNode};
-use crate::wire::{Reader, Wire};
+use crate::wire::{Reader, Wire, WireBuf};
 use crate::wire_struct;
-use bytes::Bytes;
+use blobseer_util::PageBuf;
 
 // ---------------------------------------------------------------------------
 // Method ids
@@ -72,8 +72,9 @@ pub mod method {
 pub struct PutPage {
     /// Storage key.
     pub key: PageKey,
-    /// Page contents (exactly `page_size` bytes).
-    pub data: Bytes,
+    /// Page contents (exactly `page_size` bytes); cheap-clone and
+    /// shared by refcount through framing, batching and storage.
+    pub data: PageBuf,
 }
 wire_struct!(PutPage { key, data });
 
@@ -138,7 +139,11 @@ pub struct PlanWrite {
     /// Desired number of replicas per page (1 = no replication).
     pub replication: u32,
 }
-wire_struct!(PlanWrite { blob, pages, replication });
+wire_struct!(PlanWrite {
+    blob,
+    pages,
+    replication
+});
 
 /// The provider manager's answer: a fresh write id and, for each page, the
 /// providers that should store its replicas.
@@ -215,7 +220,10 @@ pub struct CreateBlob {
     /// Page size (power of two).
     pub page_size: u64,
 }
-wire_struct!(CreateBlob { total_size, page_size });
+wire_struct!(CreateBlob {
+    total_size,
+    page_size
+});
 
 /// Blob descriptor returned by `GET_BLOB`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -229,12 +237,20 @@ pub struct BlobInfo {
     /// Latest published version.
     pub latest: Version,
 }
-wire_struct!(BlobInfo { blob, total_size, page_size, latest });
+wire_struct!(BlobInfo {
+    blob,
+    total_size,
+    page_size,
+    latest
+});
 
 impl BlobInfo {
     /// The geometry as a typed value.
     pub fn geometry(&self) -> Geometry {
-        Geometry { total_size: self.total_size, page_size: self.page_size }
+        Geometry {
+            total_size: self.total_size,
+            page_size: self.page_size,
+        }
     }
 }
 
@@ -260,7 +276,12 @@ pub struct RequestVersion {
     /// Byte size of the written segment (page aligned).
     pub size: u64,
 }
-wire_struct!(RequestVersion { blob, write, offset, size });
+wire_struct!(RequestVersion {
+    blob,
+    write,
+    offset,
+    size
+});
 
 impl RequestVersion {
     /// The written segment.
@@ -283,7 +304,12 @@ pub struct BorderLink {
     /// Version for the *right* child if it is the missing half.
     pub right: Option<Version>,
 }
-wire_struct!(BorderLink { offset, size, left, right });
+wire_struct!(BorderLink {
+    offset,
+    size,
+    left,
+    right
+});
 
 /// The version manager's answer to [`RequestVersion`]: the assigned
 /// version and every border link the writer needs to weave its subtree in
@@ -335,20 +361,26 @@ pub struct GcPlan {
     /// Dead pages with the providers holding them.
     pub dead_pages: Vec<(PageKey, Vec<ProviderId>)>,
 }
-wire_struct!(GcPlan { dead_nodes, dead_pages });
+wire_struct!(GcPlan {
+    dead_nodes,
+    dead_pages
+});
 
 // ---------------------------------------------------------------------------
 // Wire impls for cross-cutting types
 // ---------------------------------------------------------------------------
 
 impl Wire for Segment {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut WireBuf) {
         self.offset.encode(out);
         self.size.encode(out);
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        Ok(Segment { offset: u64::decode(r)?, size: u64::decode(r)? })
+        Ok(Segment {
+            offset: u64::decode(r)?,
+            size: u64::decode(r)?,
+        })
     }
 
     fn wire_hint(&self) -> usize {
@@ -357,7 +389,7 @@ impl Wire for Segment {
 }
 
 impl Wire for BlobError {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut WireBuf) {
         match self {
             BlobError::UnknownBlob(b) => {
                 out.push(0);
@@ -416,18 +448,23 @@ impl Wire for BlobError {
                 blob: BlobId::decode(r)?,
                 version: Version::decode(r)?,
             }),
-            4 => Ok(BlobError::MissingPage { tried: Vec::decode(r)? }),
+            4 => Ok(BlobError::MissingPage {
+                tried: Vec::decode(r)?,
+            }),
             5 => Ok(BlobError::Unreachable(intern(String::decode(r)?))),
             6 => Ok(BlobError::Internal("remote codec error")),
             7 => Ok(BlobError::Internal(intern(String::decode(r)?))),
-            tag => Err(CodecError::BadTag { tag, ty: "BlobError" }),
+            tag => Err(CodecError::BadTag {
+                tag,
+                ty: "BlobError",
+            }),
         }
     }
 }
 
 /// A wire-encodable `Result` used as the body of every RPC response.
 impl<T: Wire> Wire for Result<T, BlobError> {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut WireBuf) {
         match self {
             Ok(v) => {
                 out.push(0);
@@ -461,17 +498,37 @@ mod tests {
     #[test]
     fn provider_messages_roundtrip() {
         roundtrip(PutPage {
-            key: PageKey { blob: BlobId(1), write: WriteId(2), index: 3 },
-            data: Bytes::from(vec![7u8; 128]),
+            key: PageKey {
+                blob: BlobId(1),
+                write: WriteId(2),
+                index: 3,
+            },
+            data: PageBuf::from_vec(vec![7u8; 128]),
         });
-        roundtrip(GetPage { key: PageKey { blob: BlobId(1), write: WriteId(2), index: 3 } });
-        roundtrip(ProviderStats { pages: 10, bytes: 655360 });
+        roundtrip(GetPage {
+            key: PageKey {
+                blob: BlobId(1),
+                write: WriteId(2),
+                index: 3,
+            },
+        });
+        roundtrip(ProviderStats {
+            pages: 10,
+            bytes: 655360,
+        });
     }
 
     #[test]
     fn manager_messages_roundtrip() {
-        roundtrip(RegisterProvider { provider: ProviderId(4), capacity: 1 << 30 });
-        roundtrip(PlanWrite { blob: BlobId(1), pages: 256, replication: 2 });
+        roundtrip(RegisterProvider {
+            provider: ProviderId(4),
+            capacity: 1 << 30,
+        });
+        roundtrip(PlanWrite {
+            blob: BlobId(1),
+            pages: 256,
+            replication: 2,
+        });
         roundtrip(WritePlan {
             write: WriteId(77),
             targets: vec![vec![ProviderId(1), ProviderId(2)], vec![ProviderId(3)]],
@@ -481,33 +538,85 @@ mod tests {
     #[test]
     fn meta_messages_roundtrip() {
         let node = TreeNode {
-            key: NodeKey { blob: BlobId(1), version: 4, offset: 0, size: 1 << 20 },
-            body: NodeBody::Inner { left_version: 4, right_version: 2 },
+            key: NodeKey {
+                blob: BlobId(1),
+                version: 4,
+                offset: 0,
+                size: 1 << 20,
+            },
+            body: NodeBody::Inner {
+                left_version: 4,
+                right_version: 2,
+            },
         };
-        roundtrip(MetaPutBatch { nodes: vec![node.clone(), node.clone()] });
-        roundtrip(MetaGetBatch { keys: vec![node.key] });
-        roundtrip(MetaGetBatchResp { nodes: vec![Some(node), None] });
+        roundtrip(MetaPutBatch {
+            nodes: vec![node.clone(), node.clone()],
+        });
+        roundtrip(MetaGetBatch {
+            keys: vec![node.key],
+        });
+        roundtrip(MetaGetBatchResp {
+            nodes: vec![Some(node), None],
+        });
     }
 
     #[test]
     fn version_messages_roundtrip() {
-        roundtrip(CreateBlob { total_size: 1 << 40, page_size: 1 << 16 });
-        roundtrip(BlobInfo { blob: BlobId(9), total_size: 1 << 40, page_size: 1 << 16, latest: 3 });
-        roundtrip(RequestVersion { blob: BlobId(9), write: WriteId(5), offset: 0, size: 1 << 16 });
+        roundtrip(CreateBlob {
+            total_size: 1 << 40,
+            page_size: 1 << 16,
+        });
+        roundtrip(BlobInfo {
+            blob: BlobId(9),
+            total_size: 1 << 40,
+            page_size: 1 << 16,
+            latest: 3,
+        });
+        roundtrip(RequestVersion {
+            blob: BlobId(9),
+            write: WriteId(5),
+            offset: 0,
+            size: 1 << 16,
+        });
         roundtrip(WriteTicket {
             version: 12,
             borders: vec![
-                BorderLink { offset: 0, size: 1 << 20, left: Some(3), right: None },
-                BorderLink { offset: 0, size: 1 << 19, left: None, right: Some(0) },
+                BorderLink {
+                    offset: 0,
+                    size: 1 << 20,
+                    left: Some(3),
+                    right: None,
+                },
+                BorderLink {
+                    offset: 0,
+                    size: 1 << 19,
+                    left: None,
+                    right: Some(0),
+                },
             ],
         });
-        roundtrip(CompleteWrite { blob: BlobId(9), version: 12 });
+        roundtrip(CompleteWrite {
+            blob: BlobId(9),
+            version: 12,
+        });
         roundtrip(PublishState { latest: 12 });
-        roundtrip(GcRequest { blob: BlobId(9), keep_from: 5 });
+        roundtrip(GcRequest {
+            blob: BlobId(9),
+            keep_from: 5,
+        });
         roundtrip(GcPlan {
-            dead_nodes: vec![NodeKey { blob: BlobId(9), version: 1, offset: 0, size: 4096 }],
+            dead_nodes: vec![NodeKey {
+                blob: BlobId(9),
+                version: 1,
+                offset: 0,
+                size: 4096,
+            }],
             dead_pages: vec![(
-                PageKey { blob: BlobId(9), write: WriteId(1), index: 0 },
+                PageKey {
+                    blob: BlobId(9),
+                    write: WriteId(1),
+                    index: 0,
+                },
                 vec![ProviderId(3)],
             )],
         });
@@ -517,8 +626,10 @@ mod tests {
     fn results_roundtrip() {
         let ok: Result<u64, BlobError> = Ok(17);
         roundtrip(ok);
-        let err: Result<u64, BlobError> =
-            Err(BlobError::VersionNotPublished { requested: 5, latest: 2 });
+        let err: Result<u64, BlobError> = Err(BlobError::VersionNotPublished {
+            requested: 5,
+            latest: 2,
+        });
         roundtrip(err);
         let err: Result<(), BlobError> = Err(BlobError::MissingPage {
             tried: vec![ProviderId(1), ProviderId(2)],
@@ -528,7 +639,12 @@ mod tests {
 
     #[test]
     fn blob_info_geometry() {
-        let info = BlobInfo { blob: BlobId(1), total_size: 1 << 30, page_size: 1 << 16, latest: 0 };
+        let info = BlobInfo {
+            blob: BlobId(1),
+            total_size: 1 << 30,
+            page_size: 1 << 16,
+            latest: 0,
+        };
         assert_eq!(info.geometry().page_count(), 1 << 14);
     }
 }

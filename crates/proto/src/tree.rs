@@ -35,7 +35,12 @@ pub struct NodeKey {
     pub size: u64,
 }
 
-wire_struct!(NodeKey { blob, version, offset, size });
+wire_struct!(NodeKey {
+    blob,
+    version,
+    offset,
+    size
+});
 
 impl NodeKey {
     /// The covered byte interval as a [`Segment`].
@@ -46,7 +51,12 @@ impl NodeKey {
     /// Key of the left child at version `v` (first half of the interval).
     pub fn left_child(&self, v: Version) -> NodeKey {
         debug_assert!(self.size >= 2);
-        NodeKey { blob: self.blob, version: v, offset: self.offset, size: self.size / 2 }
+        NodeKey {
+            blob: self.blob,
+            version: v,
+            offset: self.offset,
+            size: self.size / 2,
+        }
     }
 
     /// Key of the right child at version `v` (second half).
@@ -117,9 +127,12 @@ pub enum NodeBody {
 }
 
 impl crate::wire::Wire for NodeBody {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut crate::wire::WireBuf) {
         match self {
-            NodeBody::Inner { left_version, right_version } => {
+            NodeBody::Inner {
+                left_version,
+                right_version,
+            } => {
                 out.push(0);
                 left_version.encode(out);
                 right_version.encode(out);
@@ -137,8 +150,13 @@ impl crate::wire::Wire for NodeBody {
                 left_version: Version::decode(r)?,
                 right_version: Version::decode(r)?,
             }),
-            1 => Ok(NodeBody::Leaf { page: PageLoc::decode(r)? }),
-            tag => Err(crate::error::CodecError::BadTag { tag, ty: "NodeBody" }),
+            1 => Ok(NodeBody::Leaf {
+                page: PageLoc::decode(r)?,
+            }),
+            tag => Err(crate::error::CodecError::BadTag {
+                tag,
+                ty: "NodeBody",
+            }),
         }
     }
 
@@ -167,7 +185,12 @@ mod tests {
     use crate::wire::Wire;
 
     fn key(v: Version, offset: u64, size: u64) -> NodeKey {
-        NodeKey { blob: BlobId(3), version: v, offset, size }
+        NodeKey {
+            blob: BlobId(3),
+            version: v,
+            offset,
+            size,
+        }
     }
 
     #[test]
@@ -196,7 +219,10 @@ mod tests {
     fn node_roundtrips() {
         let inner = TreeNode {
             key: key(7, 0, 65536),
-            body: NodeBody::Inner { left_version: 7, right_version: 3 },
+            body: NodeBody::Inner {
+                left_version: 7,
+                right_version: 3,
+            },
         };
         assert_eq!(TreeNode::from_wire(&inner.to_wire()).unwrap(), inner);
 
@@ -204,7 +230,11 @@ mod tests {
             key: key(7, 65536, 65536),
             body: NodeBody::Leaf {
                 page: PageLoc {
-                    key: PageKey { blob: BlobId(3), write: WriteId(9), index: 1 },
+                    key: PageKey {
+                        blob: BlobId(3),
+                        write: WriteId(9),
+                        index: 1,
+                    },
                     replicas: vec![ProviderId(2), ProviderId(5)],
                 },
             },

@@ -1,72 +1,581 @@
-//! The binary wire codec.
+//! The binary wire codec, with a zero-copy payload path.
 //!
 //! The original system serialized RPC arguments with Boost.Serialization;
 //! we use a hand-written little-endian format: fixed-width integers,
 //! `u32` length prefixes, one tag byte for enums. Every message type in
-//! [`crate::messages`] implements [`Wire`]; the RPC layer frames encoded
-//! messages on the (simulated) wire, so message *sizes* — which drive the
-//! bandwidth model — are faithful to what a real deployment would send.
+//! [`crate::messages`] implements [`Wire`].
+//!
+//! # Copy discipline
+//!
+//! Encoding appends to a [`WireBuf`] — an iovec-style builder that keeps
+//! small header fields in a contiguous tail but attaches page-sized
+//! [`PageBuf`] payloads as *shared segments* (a refcount bump, no copy).
+//! The finished message is a [`ByteChain`]: an ordered list of shared
+//! segments whose concatenation is the wire encoding. A real network
+//! transport would gather-write the chain (`writev`); the in-process and
+//! simulated transports hand the chain to the receiver as-is.
+//!
+//! Decoding reads from a [`Reader`] over any of: a plain `&[u8]` (the
+//! "bytes arrived from a socket" case), a [`PageBuf`] (a received frame
+//! whose sub-slices can be lent out by refcount), or a [`ByteChain`]
+//! (in-process delivery). [`Reader::take_buf`] returns payload bytes as
+//! a `PageBuf` **borrowed from the source by refcount** whenever the
+//! source supports it; only the plain-slice source has to copy.
+//!
+//! The message *sizes* on the (simulated) wire are unchanged by all of
+//! this: [`ByteChain::len`] is exactly the number of bytes a socket
+//! would carry, which is what drives the bandwidth cost model.
 
 use crate::error::CodecError;
-use bytes::Bytes;
+use blobseer_util::{copymeter, PageBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Sanity cap on any single length prefix (1 GiB) — prevents a corrupt
 /// length from causing an absurd allocation.
 pub const MAX_LEN: u64 = 1 << 30;
 
-/// A cursor over a byte slice with checked reads.
+/// Payloads at or above this size are attached to frames as shared
+/// segments; smaller ones are cheaper to copy into the contiguous tail
+/// than to track as separate segments.
+pub const SHARE_THRESHOLD: usize = 512;
+
+/// Cap on tail pre-allocation in [`WireBuf::with_capacity`]: message
+/// `wire_hint`s include shared-payload bytes that never touch the
+/// tail, and pre-allocating for them would strand a payload-sized
+/// buffer on every frame.
+const MAX_TAIL_HINT: usize = 1024;
+
+/// Global switch for the zero-copy payload path. On (the default),
+/// page payloads move through encode/decode by refcount. Off, every
+/// payload is copied at each hop — the seed's behaviour, kept as a
+/// runtime toggle so `bench/pr1` can measure the difference honestly.
+static ZERO_COPY: AtomicBool = AtomicBool::new(true);
+
+/// Enable or disable the zero-copy payload path (benchmarks only).
+pub fn set_zero_copy(enabled: bool) {
+    ZERO_COPY.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether the zero-copy payload path is enabled.
+pub fn zero_copy() -> bool {
+    ZERO_COPY.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// ByteChain
+// ---------------------------------------------------------------------------
+
+/// An ordered list of shared byte segments whose concatenation is one
+/// wire-format byte string. Cloning is O(segments); no payload moves.
+#[derive(Clone, Default)]
+pub struct ByteChain {
+    chunks: Vec<PageBuf>,
+    len: usize,
+}
+
+impl ByteChain {
+    /// An empty chain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total byte length (what a socket would carry).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the chain carries no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of segments (white-box metric for sharing assertions).
+    pub fn segment_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// The segments.
+    pub fn segments(&self) -> &[PageBuf] {
+        &self.chunks
+    }
+
+    /// Append a segment (refcount bump). Empty segments are dropped.
+    pub fn push(&mut self, seg: PageBuf) {
+        if !seg.is_empty() {
+            self.len += seg.len();
+            self.chunks.push(seg);
+        }
+    }
+
+    /// Flatten into one contiguous vector (copies; metered).
+    pub fn to_vec(&self) -> Vec<u8> {
+        copymeter::record_copy(self.len);
+        let mut out = Vec::with_capacity(self.len);
+        for c in &self.chunks {
+            out.extend_from_slice(c);
+        }
+        out
+    }
+
+    /// Flatten into one contiguous [`PageBuf`]. O(1) when the chain is a
+    /// single segment; copies (metered) otherwise.
+    pub fn to_buf(&self) -> PageBuf {
+        match self.chunks.len() {
+            0 => PageBuf::new(),
+            1 => self.chunks[0].clone(),
+            _ => PageBuf::from_vec(self.to_vec()),
+        }
+    }
+
+    /// O(segments) sub-chain `[start, start + len)` sharing every
+    /// overlapped segment by refcount.
+    ///
+    /// # Panics
+    /// If the range exceeds the chain.
+    pub fn subchain(&self, start: usize, len: usize) -> ByteChain {
+        assert!(start + len <= self.len, "subchain out of range");
+        let mut out = ByteChain::new();
+        if len == 0 {
+            return out;
+        }
+        let mut pos = 0usize;
+        let (mut want_start, mut want_len) = (start, len);
+        for c in &self.chunks {
+            let clen = c.len();
+            if want_start >= pos + clen {
+                pos += clen;
+                continue;
+            }
+            let begin = want_start - pos;
+            let take = (clen - begin).min(want_len);
+            out.push(c.slice(begin..begin + take));
+            want_len -= take;
+            if want_len == 0 {
+                break;
+            }
+            want_start = pos + clen;
+            pos += clen;
+        }
+        debug_assert_eq!(out.len(), len);
+        out
+    }
+}
+
+impl From<Vec<u8>> for ByteChain {
+    fn from(v: Vec<u8>) -> Self {
+        let mut c = ByteChain::new();
+        c.push(PageBuf::from_vec(v));
+        c
+    }
+}
+
+impl From<PageBuf> for ByteChain {
+    fn from(b: PageBuf) -> Self {
+        let mut c = ByteChain::new();
+        c.push(b);
+        c
+    }
+}
+
+impl PartialEq for ByteChain {
+    fn eq(&self, other: &Self) -> bool {
+        if self.len != other.len {
+            return false;
+        }
+        // Compare without flattening: walk both segment lists.
+        let mut a = self.chunks.iter().flat_map(|c| c.iter());
+        let mut b = other.chunks.iter().flat_map(|c| c.iter());
+        loop {
+            match (a.next(), b.next()) {
+                (None, None) => return true,
+                (x, y) if x == y => continue,
+                _ => return false,
+            }
+        }
+    }
+}
+
+impl Eq for ByteChain {}
+
+impl std::fmt::Debug for ByteChain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ByteChain({} bytes, {} segs)",
+            self.len,
+            self.chunks.len()
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WireBuf
+// ---------------------------------------------------------------------------
+
+/// Encode-side builder: a contiguous tail for small fields plus shared
+/// segments for page payloads.
+#[derive(Default)]
+pub struct WireBuf {
+    chain: ByteChain,
+    tail: Vec<u8>,
+}
+
+impl WireBuf {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty builder with a tail capacity hint.
+    ///
+    /// The hint is clamped: the tail only ever holds header-scale
+    /// fields, because payloads at or above [`SHARE_THRESHOLD`] are
+    /// attached as shared segments. Passing a payload-inclusive
+    /// `wire_hint()` here must not allocate (and then strand) a
+    /// payload-sized tail.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            chain: ByteChain::new(),
+            tail: Vec::with_capacity(n.min(MAX_TAIL_HINT)),
+        }
+    }
+
+    /// Bytes appended so far.
+    pub fn len(&self) -> usize {
+        self.chain.len() + self.tail.len()
+    }
+
+    /// True when nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append one byte.
+    #[inline]
+    pub fn push(&mut self, b: u8) {
+        self.tail.push(b);
+    }
+
+    /// Append a small byte slice (copied into the contiguous tail).
+    #[inline]
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.tail.extend_from_slice(s);
+    }
+
+    fn flush_tail(&mut self) {
+        if !self.tail.is_empty() {
+            let tail = std::mem::take(&mut self.tail);
+            self.chain.push(PageBuf::from_vec(tail));
+        }
+    }
+
+    /// Append a payload buffer. Large buffers are attached as shared
+    /// segments (no copy); sub-threshold ones fold into the contiguous
+    /// tail — a structural move of header-scale bytes, not counted as a
+    /// payload copy. With the zero-copy path disabled, every payload is
+    /// copied here and the copy is metered.
+    pub fn put_shared(&mut self, buf: &PageBuf) {
+        if buf.len() >= SHARE_THRESHOLD && zero_copy() {
+            self.flush_tail();
+            self.chain.push(buf.clone());
+        } else {
+            if !zero_copy() {
+                copymeter::record_copy(buf.len());
+            }
+            self.tail.extend_from_slice(buf);
+        }
+    }
+
+    /// Append a whole chain, preserving the sharing of its segments.
+    pub fn put_chain(&mut self, chain: &ByteChain) {
+        for seg in chain.segments() {
+            self.put_shared(seg);
+        }
+    }
+
+    /// Finish, yielding the encoded chain.
+    pub fn finish(mut self) -> ByteChain {
+        self.flush_tail();
+        self.chain
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+enum Source<'a> {
+    /// Borrowed plain bytes (network receive path, tests).
+    Slice(&'a [u8]),
+    /// A shared buffer whose sub-slices can be lent by refcount.
+    Buf(&'a PageBuf),
+    /// An in-process chain; payload segments are lent by refcount.
+    Chain {
+        chain: &'a ByteChain,
+        /// Index of the chunk holding the next byte.
+        chunk: usize,
+        /// Offset of the next byte within that chunk.
+        off: usize,
+    },
+}
+
+/// A cursor with checked reads over a slice, buffer, or chain.
 pub struct Reader<'a> {
-    buf: &'a [u8],
+    src: Source<'a>,
+    /// Bytes consumed so far.
     pos: usize,
+    /// Total bytes in the source.
+    total: usize,
 }
 
 impl<'a> Reader<'a> {
-    /// Wrap a buffer.
+    /// Read from plain bytes.
     pub fn new(buf: &'a [u8]) -> Self {
-        Self { buf, pos: 0 }
+        Self {
+            src: Source::Slice(buf),
+            pos: 0,
+            total: buf.len(),
+        }
+    }
+
+    /// Read from a shared buffer; `take_buf` lends sub-slices by
+    /// refcount.
+    pub fn from_buf(buf: &'a PageBuf) -> Self {
+        Self {
+            src: Source::Buf(buf),
+            pos: 0,
+            total: buf.len(),
+        }
+    }
+
+    /// Read from a chain; `take_buf` lends whole-segment ranges by
+    /// refcount.
+    pub fn from_chain(chain: &'a ByteChain) -> Self {
+        Self {
+            src: Source::Chain {
+                chain,
+                chunk: 0,
+                off: 0,
+            },
+            pos: 0,
+            total: chain.len(),
+        }
     }
 
     /// Bytes not yet consumed.
     pub fn remaining(&self) -> usize {
-        self.buf.len() - self.pos
+        self.total - self.pos
     }
 
-    /// Consume exactly `n` bytes.
+    /// Consume exactly `n` bytes, borrowing them from the source.
+    ///
+    /// On a chain source the bytes must lie within one segment — true by
+    /// construction for every message this codec encodes, because
+    /// fixed-width fields are always written to a contiguous tail.
     pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
         if self.remaining() < n {
-            return Err(CodecError::UnexpectedEof { needed: n, remaining: self.remaining() });
+            return Err(CodecError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
         }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
+        match &mut self.src {
+            Source::Slice(buf) => {
+                let s = &buf[self.pos..self.pos + n];
+                self.pos += n;
+                Ok(s)
+            }
+            Source::Buf(buf) => {
+                let s = &buf.as_slice()[self.pos..self.pos + n];
+                self.pos += n;
+                Ok(s)
+            }
+            Source::Chain { chain, chunk, off } => {
+                if n == 0 {
+                    return Ok(&[]);
+                }
+                // Copy the long-lived chain reference out of the cursor so
+                // the returned slice borrows `'a`, not this `&mut self`.
+                let chain: &'a ByteChain = chain;
+                // Skip to the chunk holding the next byte.
+                while *chunk < chain.segments().len() && *off >= chain.segments()[*chunk].len() {
+                    *chunk += 1;
+                    *off = 0;
+                }
+                let seg = &chain.segments()[*chunk];
+                let avail = seg.len() - *off;
+                if avail < n {
+                    // A fixed-width field straddling a segment boundary
+                    // means the bytes were not produced by this encoder;
+                    // refuse cleanly rather than stitching.
+                    return Err(CodecError::UnexpectedEof {
+                        needed: n,
+                        remaining: avail,
+                    });
+                }
+                let s = &seg.as_slice()[*off..*off + n];
+                *off += n;
+                self.pos += n;
+                Ok(s)
+            }
+        }
     }
 
-    /// Error unless the buffer was fully consumed.
+    /// Consume exactly `n` payload bytes as a [`PageBuf`].
+    ///
+    /// Zero-copy (a refcount bump on the source allocation) for buffer
+    /// sources always, and for chain sources when the range lies within
+    /// one segment — which is how every payload this codec encodes is
+    /// laid out. Falls back to a metered copy otherwise (plain-slice
+    /// sources, straddling ranges, or zero-copy disabled).
+    pub fn take_buf(&mut self, n: usize) -> Result<PageBuf, CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        if n == 0 {
+            return Ok(PageBuf::new());
+        }
+        let share = zero_copy() && n >= SHARE_THRESHOLD;
+        let pos = self.pos;
+        match &mut self.src {
+            Source::Slice(buf) => {
+                let out = PageBuf::copy_from_slice(&buf[pos..pos + n]);
+                self.pos += n;
+                Ok(out)
+            }
+            Source::Buf(buf) => {
+                let out = if share {
+                    buf.slice(pos..pos + n)
+                } else {
+                    PageBuf::copy_from_slice(&buf.as_slice()[pos..pos + n])
+                };
+                self.pos += n;
+                Ok(out)
+            }
+            Source::Chain { chain, chunk, off } => {
+                while *chunk < chain.segments().len() && *off >= chain.segments()[*chunk].len() {
+                    *chunk += 1;
+                    *off = 0;
+                }
+                let seg = &chain.segments()[*chunk];
+                if share && seg.len() - *off >= n {
+                    let out = seg.slice(*off..*off + n);
+                    *off += n;
+                    self.pos += n;
+                    Ok(out)
+                } else {
+                    // Straddles segments (or sharing disabled): stitch.
+                    let mut v = Vec::with_capacity(n);
+                    let mut left = n;
+                    while left > 0 {
+                        while *off >= chain.segments()[*chunk].len() {
+                            *chunk += 1;
+                            *off = 0;
+                        }
+                        let seg = &chain.segments()[*chunk];
+                        let take = (seg.len() - *off).min(left);
+                        v.extend_from_slice(&seg.as_slice()[*off..*off + take]);
+                        *off += take;
+                        left -= take;
+                    }
+                    self.pos += n;
+                    copymeter::record_copy(n);
+                    Ok(PageBuf::from_vec(v))
+                }
+            }
+        }
+    }
+
+    /// Consume exactly `n` bytes as a sub-chain, sharing the source's
+    /// segments by refcount (used for nested frame bodies).
+    pub fn take_chain(&mut self, n: usize) -> Result<ByteChain, CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let pos = self.pos;
+        match &mut self.src {
+            Source::Slice(buf) => {
+                let out = ByteChain::from(PageBuf::copy_from_slice(&buf[pos..pos + n]));
+                self.pos += n;
+                Ok(out)
+            }
+            Source::Buf(buf) => {
+                let out = ByteChain::from(buf.slice(pos..pos + n));
+                self.pos += n;
+                Ok(out)
+            }
+            Source::Chain { chain, chunk, off } => {
+                // `self.pos` already tracks the absolute chain offset.
+                let out = chain.subchain(pos, n);
+                // Advance the cursor by n.
+                let mut left = n;
+                while left > 0 {
+                    while *off >= chain.segments()[*chunk].len() {
+                        *chunk += 1;
+                        *off = 0;
+                    }
+                    let seg_left = chain.segments()[*chunk].len() - *off;
+                    let step = seg_left.min(left);
+                    *off += step;
+                    left -= step;
+                }
+                self.pos += n;
+                Ok(out)
+            }
+        }
+    }
+
+    /// Error unless the source was fully consumed.
     pub fn finish(self) -> Result<(), CodecError> {
         if self.remaining() != 0 {
-            Err(CodecError::TrailingBytes { remaining: self.remaining() })
+            Err(CodecError::TrailingBytes {
+                remaining: self.remaining(),
+            })
         } else {
             Ok(())
         }
     }
 }
 
+// ---------------------------------------------------------------------------
+// Wire trait
+// ---------------------------------------------------------------------------
+
 /// Types that can be encoded to / decoded from the wire format.
 pub trait Wire: Sized {
     /// Append the encoding of `self` to `out`.
-    fn encode(&self, out: &mut Vec<u8>);
+    fn encode(&self, out: &mut WireBuf);
 
     /// Decode a value, advancing the reader.
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError>;
 
-    /// Encode into a fresh buffer.
-    fn to_wire(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.wire_hint());
+    /// Encode into a segment chain (payloads shared, not copied).
+    fn to_chain(&self) -> ByteChain {
+        let mut out = WireBuf::with_capacity(self.wire_hint());
         self.encode(&mut out);
-        out
+        out.finish()
     }
 
-    /// Decode from a complete buffer, requiring full consumption.
+    /// Encode into one contiguous buffer (flattens; payload copies are
+    /// metered). Prefer [`Wire::to_chain`] on hot paths.
+    fn to_wire(&self) -> Vec<u8> {
+        let chain = self.to_chain();
+        match chain.segments() {
+            // Single owned segment: the chain's vector *is* the wire
+            // encoding of a payload-free message; avoid double-counting
+            // a copy for the common tiny-message case.
+            [only] => only.as_slice().to_vec(),
+            _ => chain.to_vec(),
+        }
+    }
+
+    /// Decode from a complete byte slice, requiring full consumption.
     fn from_wire(buf: &[u8]) -> Result<Self, CodecError> {
         let mut r = Reader::new(buf);
         let v = Self::decode(&mut r)?;
@@ -74,7 +583,23 @@ pub trait Wire: Sized {
         Ok(v)
     }
 
-    /// Optional capacity hint for `to_wire`.
+    /// Decode from a complete shared buffer (payloads lent by refcount).
+    fn from_buf(buf: &PageBuf) -> Result<Self, CodecError> {
+        let mut r = Reader::from_buf(buf);
+        let v = Self::decode(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+
+    /// Decode from a complete chain (payload segments lent by refcount).
+    fn from_chain(chain: &ByteChain) -> Result<Self, CodecError> {
+        let mut r = Reader::from_chain(chain);
+        let v = Self::decode(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+
+    /// Optional capacity hint for encoding.
     fn wire_hint(&self) -> usize {
         16
     }
@@ -84,7 +609,7 @@ macro_rules! wire_int {
     ($ty:ty, $n:expr) => {
         impl Wire for $ty {
             #[inline]
-            fn encode(&self, out: &mut Vec<u8>) {
+            fn encode(&self, out: &mut WireBuf) {
                 out.extend_from_slice(&self.to_le_bytes());
             }
 
@@ -108,7 +633,7 @@ wire_int!(u64, 8);
 wire_int!(i64, 8);
 
 impl Wire for bool {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut WireBuf) {
         out.push(*self as u8);
     }
 
@@ -130,7 +655,7 @@ fn decode_len(r: &mut Reader<'_>) -> Result<usize, CodecError> {
 }
 
 impl<T: Wire> Wire for Vec<T> {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut WireBuf) {
         (self.len() as u32).encode(out);
         for item in self {
             item.encode(out);
@@ -153,7 +678,7 @@ impl<T: Wire> Wire for Vec<T> {
 }
 
 impl<T: Wire> Wire for Option<T> {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut WireBuf) {
         match self {
             None => out.push(0),
             Some(v) => {
@@ -173,7 +698,7 @@ impl<T: Wire> Wire for Option<T> {
 }
 
 impl Wire for String {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut WireBuf) {
         (self.len() as u32).encode(out);
         out.extend_from_slice(self.as_bytes());
     }
@@ -189,16 +714,18 @@ impl Wire for String {
     }
 }
 
-impl Wire for Bytes {
-    fn encode(&self, out: &mut Vec<u8>) {
+/// Length-prefixed payload bytes: the zero-copy carrier. Encoding
+/// attaches the buffer as a shared segment; decoding lends a sub-slice
+/// of the source by refcount.
+impl Wire for PageBuf {
+    fn encode(&self, out: &mut WireBuf) {
         (self.len() as u32).encode(out);
-        out.extend_from_slice(self);
+        out.put_shared(self);
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         let n = decode_len(r)?;
-        let b = r.take(n)?;
-        Ok(Bytes::copy_from_slice(b))
+        r.take_buf(n)
     }
 
     fn wire_hint(&self) -> usize {
@@ -207,7 +734,7 @@ impl Wire for Bytes {
 }
 
 impl<A: Wire, B: Wire> Wire for (A, B) {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut WireBuf) {
         self.0.encode(out);
         self.1.encode(out);
     }
@@ -222,7 +749,7 @@ impl<A: Wire, B: Wire> Wire for (A, B) {
 }
 
 impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut WireBuf) {
         self.0.encode(out);
         self.1.encode(out);
         self.2.encode(out);
@@ -238,7 +765,7 @@ impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
 }
 
 impl Wire for () {
-    fn encode(&self, _out: &mut Vec<u8>) {}
+    fn encode(&self, _out: &mut WireBuf) {}
 
     fn decode(_r: &mut Reader<'_>) -> Result<Self, CodecError> {
         Ok(())
@@ -254,7 +781,7 @@ impl Wire for () {
 macro_rules! wire_struct {
     ($ty:ty { $($field:ident),+ $(,)? }) => {
         impl $crate::wire::Wire for $ty {
-            fn encode(&self, out: &mut Vec<u8>) {
+            fn encode(&self, out: &mut $crate::wire::WireBuf) {
                 $( self.$field.encode(out); )+
             }
 
@@ -274,7 +801,7 @@ macro_rules! wire_struct {
 macro_rules! wire_newtype {
     ($ty:ty) => {
         impl $crate::wire::Wire for $ty {
-            fn encode(&self, out: &mut Vec<u8>) {
+            fn encode(&self, out: &mut $crate::wire::WireBuf) {
                 self.0.encode(out);
             }
 
@@ -296,6 +823,11 @@ mod tests {
     fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
         let bytes = v.to_wire();
         let back = T::from_wire(&bytes).expect("decode");
+        assert_eq!(v, back);
+        // The chain path must agree with the flat path.
+        let chain = v.to_chain();
+        assert_eq!(chain.to_vec(), bytes);
+        let back = T::from_chain(&chain).expect("chain decode");
         assert_eq!(v, back);
     }
 
@@ -319,9 +851,70 @@ mod tests {
         roundtrip(Option::<u64>::None);
         roundtrip("hello blobseer".to_string());
         roundtrip(String::new());
-        roundtrip(Bytes::from_static(b"page data"));
+        roundtrip(PageBuf::copy_from_slice(b"page data"));
+        roundtrip(PageBuf::from_vec(vec![9u8; 4096]));
         roundtrip((1u32, 2u64));
-        roundtrip(vec![(1u64, Bytes::from_static(b"x"))]);
+        roundtrip(vec![(1u64, PageBuf::copy_from_slice(b"x"))]);
+    }
+
+    #[test]
+    fn large_payload_encodes_without_copy() {
+        let page = PageBuf::from_vec(vec![7u8; 8192]);
+        let before = copymeter::thread_snapshot();
+        let chain = page.to_chain();
+        assert_eq!(before.bytes_since(), 0, "encode must not copy the payload");
+        assert_eq!(chain.len(), 4 + 8192);
+        assert_eq!(chain.segment_count(), 2, "length prefix + shared payload");
+        assert!(chain.segments()[1].same_allocation(&page));
+
+        // Chain decode lends the payload back by refcount.
+        let decoded = PageBuf::from_chain(&chain).unwrap();
+        assert_eq!(
+            before.bytes_since(),
+            0,
+            "chain decode must not copy the payload"
+        );
+        assert!(decoded.same_allocation(&page));
+    }
+
+    #[test]
+    fn buf_decode_shares_with_received_frame() {
+        // The "contiguous bytes arrived" case: decoding a payload from a
+        // PageBuf source lends a sub-slice of the receive buffer.
+        let page = PageBuf::from_vec(vec![3u8; 2048]);
+        let wire = PageBuf::from_vec(page.to_wire());
+        let before = copymeter::thread_snapshot();
+        let decoded = PageBuf::from_buf(&wire).unwrap();
+        assert_eq!(before.bytes_since(), 0, "from_buf must slice, not copy");
+        assert!(decoded.same_allocation(&wire));
+        assert_eq!(decoded, page);
+    }
+
+    #[test]
+    fn small_payloads_fold_into_tail() {
+        let small = PageBuf::copy_from_slice(b"tiny");
+        let chain = small.to_chain();
+        assert_eq!(
+            chain.segment_count(),
+            1,
+            "sub-threshold payloads stay contiguous"
+        );
+    }
+
+    // The `set_zero_copy` ablation toggle is process global, so its test
+    // lives in its own test binary: `tests/copy_mode.rs`.
+
+    #[test]
+    fn subchain_slices_across_segments() {
+        let mut chain = ByteChain::new();
+        chain.push(PageBuf::from_vec((0..10u8).collect()));
+        chain.push(PageBuf::from_vec((10..20u8).collect()));
+        chain.push(PageBuf::from_vec((20..30u8).collect()));
+        assert_eq!(chain.len(), 30);
+        let sub = chain.subchain(5, 20);
+        assert_eq!(sub.to_vec(), (5..25u8).collect::<Vec<_>>());
+        assert_eq!(chain.subchain(0, 0).len(), 0);
+        assert_eq!(chain.subchain(29, 1).to_vec(), vec![29]);
     }
 
     #[test]
@@ -355,18 +948,28 @@ mod tests {
     fn hostile_length_prefix_rejected() {
         // Declared length of u32::MAX elements must not allocate.
         let mut bytes = Vec::new();
-        (u32::MAX).encode(&mut bytes);
+        {
+            let mut wb = WireBuf::new();
+            (u32::MAX).encode(&mut wb);
+            bytes.extend_from_slice(&wb.finish().to_vec());
+        }
         assert!(matches!(
             Vec::<u64>::from_wire(&bytes),
+            Err(CodecError::LengthOverflow { .. })
+        ));
+        // Same for a payload length prefix.
+        assert!(matches!(
+            PageBuf::from_wire(&bytes),
             Err(CodecError::LengthOverflow { .. })
         ));
     }
 
     #[test]
     fn truncated_vec_fails_cleanly() {
-        let mut bytes = Vec::new();
-        3u32.encode(&mut bytes); // declares 3 elements
-        1u64.encode(&mut bytes); // provides 1
+        let mut wb = WireBuf::new();
+        3u32.encode(&mut wb); // declares 3 elements
+        1u64.encode(&mut wb); // provides 1
+        let bytes = wb.finish().to_vec();
         assert!(matches!(
             Vec::<u64>::from_wire(&bytes),
             Err(CodecError::UnexpectedEof { .. })
@@ -375,10 +978,14 @@ mod tests {
 
     #[test]
     fn invalid_utf8_rejected() {
-        let mut bytes = Vec::new();
-        2u32.encode(&mut bytes);
-        bytes.extend_from_slice(&[0xff, 0xfe]);
-        assert!(matches!(String::from_wire(&bytes), Err(CodecError::BadUtf8)));
+        let mut wb = WireBuf::new();
+        2u32.encode(&mut wb);
+        wb.extend_from_slice(&[0xff, 0xfe]);
+        let bytes = wb.finish().to_vec();
+        assert!(matches!(
+            String::from_wire(&bytes),
+            Err(CodecError::BadUtf8)
+        ));
     }
 
     #[test]
@@ -387,5 +994,7 @@ mod tests {
         assert_eq!(v.wire_hint(), v.to_wire().len());
         let s = "abcd".to_string();
         assert_eq!(s.wire_hint(), s.to_wire().len());
+        let p = PageBuf::from_vec(vec![0u8; 600]);
+        assert_eq!(p.wire_hint(), p.to_chain().len());
     }
 }

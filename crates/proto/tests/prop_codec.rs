@@ -3,8 +3,8 @@
 
 use blobseer_proto::messages::*;
 use blobseer_proto::tree::{NodeBody, NodeKey, PageKey, PageLoc, TreeNode};
+use blobseer_proto::PageBuf;
 use blobseer_proto::{BlobId, ProviderId, Wire, WriteId};
-use bytes::Bytes;
 use proptest::prelude::*;
 
 fn arb_node_key() -> impl Strategy<Value = NodeKey> {
@@ -24,7 +24,11 @@ fn arb_page_loc() -> impl Strategy<Value = PageLoc> {
         proptest::collection::vec(any::<u32>(), 0..4),
     )
         .prop_map(|(b, w, i, reps)| PageLoc {
-            key: PageKey { blob: BlobId(b), write: WriteId(w), index: i },
+            key: PageKey {
+                blob: BlobId(b),
+                write: WriteId(w),
+                index: i,
+            },
             replicas: reps.into_iter().map(ProviderId).collect(),
         })
 }
@@ -33,8 +37,10 @@ fn arb_tree_node() -> impl Strategy<Value = TreeNode> {
     (
         arb_node_key(),
         prop_oneof![
-            (any::<u64>(), any::<u64>())
-                .prop_map(|(l, r)| NodeBody::Inner { left_version: l, right_version: r }),
+            (any::<u64>(), any::<u64>()).prop_map(|(l, r)| NodeBody::Inner {
+                left_version: l,
+                right_version: r
+            }),
             arb_page_loc().prop_map(|page| NodeBody::Leaf { page }),
         ],
     )
@@ -80,9 +86,41 @@ proptest! {
     fn pages_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
         let msg = PutPage {
             key: PageKey { blob: BlobId(1), write: WriteId(2), index: 3 },
-            data: Bytes::from(data),
+            data: PageBuf::from_vec(data),
         };
         prop_assert_eq!(PutPage::from_wire(&msg.to_wire()).unwrap(), msg);
+        // The zero-copy chain path must agree with the flat path.
+        prop_assert_eq!(PutPage::from_chain(&msg.to_chain()).unwrap(), msg);
+    }
+
+    #[test]
+    fn sliced_pages_roundtrip_shared(
+        backing in proptest::collection::vec(any::<u8>(), 1..6000),
+        start_frac in 0u64..1000,
+        len_frac in 0u64..1000,
+    ) {
+        // A page that is an arbitrary sub-slice of a larger allocation
+        // (the client splitting a write buffer) must round-trip through
+        // the codec, and large slices must come back shared, not copied.
+        let backing = PageBuf::from_vec(backing);
+        let start = (start_frac as usize * backing.len() / 1000).min(backing.len());
+        let len = (len_frac as usize * (backing.len() - start) / 1000).min(backing.len() - start);
+        let page = backing.slice(start..start + len);
+        let msg = PutPage {
+            key: PageKey { blob: BlobId(9), write: WriteId(9), index: 0 },
+            data: page.clone(),
+        };
+        let chain = msg.to_chain();
+        let back = PutPage::from_chain(&chain).unwrap();
+        prop_assert_eq!(&back, &msg);
+        if len >= blobseer_proto::wire::SHARE_THRESHOLD {
+            prop_assert!(
+                back.data.same_allocation(&backing),
+                "large payloads must be lent by refcount"
+            );
+        }
+        // Flat (socket-style) bytes decode to the same value too.
+        prop_assert_eq!(PutPage::from_wire(&chain.to_vec()).unwrap(), msg);
     }
 
     #[test]

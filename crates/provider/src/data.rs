@@ -5,19 +5,32 @@
 //! a WRITE always creates fresh pages under a fresh write id — so the
 //! store needs no versioned cells, just a concurrent map plus memory
 //! accounting for the provider manager's load balancing.
+//!
+//! Pages arrive and leave as [`PageBuf`]s: a `PUT_PAGE` stores the very
+//! allocation the RPC frame lent out (no receive-side copy), and a
+//! `GET_PAGE` serves a refcount bump of the stored buffer. Accounting is
+//! by *logical* bytes stored — two keys sharing one allocation still
+//! count twice, since capacity planning is about what the provider has
+//! promised to retain, not the allocator's luck.
+//!
+//! Sharing cuts the other way on removal: a stored page may be a slice
+//! pinning a larger write-segment allocation, which stays resident
+//! until the *last* sibling slice is removed. Pages of one write are
+//! almost always reclaimed together (GC names dead pages per write id),
+//! so the transient gap between logical accounting and resident memory
+//! is bounded by one write segment per partially-collected write.
 
 use blobseer_proto::messages::{method, GetPage, ProviderStats, PutPage, RemovePage};
 use blobseer_proto::tree::PageKey;
 use blobseer_proto::BlobError;
 use blobseer_rpc::{error_frame, respond, Frame, ServerCtx, Service};
 use blobseer_simnet::ServiceCosts;
-use blobseer_util::ShardedMap;
-use bytes::Bytes;
+use blobseer_util::{PageBuf, ShardedMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One data provider's in-memory page store.
 pub struct DataProviderService {
-    store: ShardedMap<PageKey, Bytes>,
+    store: ShardedMap<PageKey, PageBuf>,
     bytes: AtomicU64,
     capacity: u64,
     costs: ServiceCosts,
@@ -46,7 +59,10 @@ impl DataProviderService {
 
     /// Usage snapshot.
     pub fn stats(&self) -> ProviderStats {
-        ProviderStats { pages: self.store.len() as u64, bytes: self.bytes_used() }
+        ProviderStats {
+            pages: self.store.len() as u64,
+            bytes: self.bytes_used(),
+        }
     }
 
     /// Direct probe (tests/GC verification).
@@ -54,9 +70,13 @@ impl DataProviderService {
         self.store.contains_key(key)
     }
 
-    fn put(&self, key: PageKey, data: Bytes) -> Result<(), BlobError> {
+    fn put(&self, key: PageKey, data: PageBuf) -> Result<(), BlobError> {
         let len = data.len() as u64;
-        if self.bytes_used() + len > self.capacity {
+        // Credit the bytes a replaced entry would release before the
+        // capacity check, so an idempotent re-put (client retry after a
+        // lost ack) never fails on a full-but-consistent provider.
+        let replaced = self.store.with(&key, |old| old.len() as u64).unwrap_or(0);
+        if self.bytes_used().saturating_sub(replaced) + len > self.capacity {
             return Err(BlobError::Internal("provider out of memory"));
         }
         if let Some(old) = self.store.insert(key, data) {
@@ -67,7 +87,7 @@ impl DataProviderService {
         Ok(())
     }
 
-    fn get(&self, key: &PageKey) -> Result<Bytes, BlobError> {
+    fn get(&self, key: &PageKey) -> Result<PageBuf, BlobError> {
         self.store
             .get_cloned(key)
             .ok_or(BlobError::MissingPage { tried: vec![] })
@@ -119,7 +139,11 @@ mod tests {
     use blobseer_rpc::parse_response;
 
     fn key(w: u64, i: u64) -> PageKey {
-        PageKey { blob: BlobId(1), write: WriteId(w), index: i }
+        PageKey {
+            blob: BlobId(1),
+            write: WriteId(w),
+            index: i,
+        }
     }
 
     fn svc() -> DataProviderService {
@@ -130,26 +154,38 @@ mod tests {
     fn put_get_remove_cycle() {
         let p = svc();
         let mut ctx = ServerCtx::new(0);
-        let data = Bytes::from(vec![7u8; 4096]);
+        let data = PageBuf::from_vec(vec![7u8; 4096]);
         let resp = p.handle(
             &mut ctx,
-            &Frame::from_msg(method::PUT_PAGE, &PutPage { key: key(1, 0), data: data.clone() }),
+            &Frame::from_msg(
+                method::PUT_PAGE,
+                &PutPage {
+                    key: key(1, 0),
+                    data: data.clone(),
+                },
+            ),
         );
         parse_response::<()>(&resp).unwrap();
         assert_eq!(p.page_count(), 1);
         assert_eq!(p.bytes_used(), 4096);
 
-        let resp =
-            p.handle(&mut ctx, &Frame::from_msg(method::GET_PAGE, &GetPage { key: key(1, 0) }));
-        assert_eq!(parse_response::<Bytes>(&resp).unwrap(), data);
+        let resp = p.handle(
+            &mut ctx,
+            &Frame::from_msg(method::GET_PAGE, &GetPage { key: key(1, 0) }),
+        );
+        assert_eq!(parse_response::<PageBuf>(&resp).unwrap(), data);
 
-        let resp = p
-            .handle(&mut ctx, &Frame::from_msg(method::REMOVE_PAGE, &RemovePage { key: key(1, 0) }));
+        let resp = p.handle(
+            &mut ctx,
+            &Frame::from_msg(method::REMOVE_PAGE, &RemovePage { key: key(1, 0) }),
+        );
         assert!(parse_response::<bool>(&resp).unwrap());
         assert_eq!(p.bytes_used(), 0);
         // Second remove reports false.
-        let resp = p
-            .handle(&mut ctx, &Frame::from_msg(method::REMOVE_PAGE, &RemovePage { key: key(1, 0) }));
+        let resp = p.handle(
+            &mut ctx,
+            &Frame::from_msg(method::REMOVE_PAGE, &RemovePage { key: key(1, 0) }),
+        );
         assert!(!parse_response::<bool>(&resp).unwrap());
     }
 
@@ -157,10 +193,12 @@ mod tests {
     fn missing_page_is_error() {
         let p = svc();
         let mut ctx = ServerCtx::new(0);
-        let resp =
-            p.handle(&mut ctx, &Frame::from_msg(method::GET_PAGE, &GetPage { key: key(9, 9) }));
+        let resp = p.handle(
+            &mut ctx,
+            &Frame::from_msg(method::GET_PAGE, &GetPage { key: key(9, 9) }),
+        );
         assert!(matches!(
-            parse_response::<Bytes>(&resp),
+            parse_response::<PageBuf>(&resp),
             Err(BlobError::MissingPage { .. })
         ));
     }
@@ -174,7 +212,10 @@ mod tests {
                 &mut ctx,
                 &Frame::from_msg(
                     method::PUT_PAGE,
-                    &PutPage { key: key(1, i), data: Bytes::from(vec![0u8; 4096]) },
+                    &PutPage {
+                        key: key(1, i),
+                        data: PageBuf::from_vec(vec![0u8; 4096]),
+                    },
                 ),
             );
             parse_response::<()>(&resp).unwrap();
@@ -183,10 +224,29 @@ mod tests {
             &mut ctx,
             &Frame::from_msg(
                 method::PUT_PAGE,
-                &PutPage { key: key(1, 2), data: Bytes::from(vec![0u8; 4096]) },
+                &PutPage {
+                    key: key(1, 2),
+                    data: PageBuf::from_vec(vec![0u8; 4096]),
+                },
             ),
         );
         assert!(parse_response::<()>(&resp).is_err(), "out of memory");
+
+        // Idempotent re-put of an existing key on a full provider must
+        // succeed: the replaced entry's bytes are credited before the
+        // capacity check (client retry after a lost ack).
+        let resp = p.handle(
+            &mut ctx,
+            &Frame::from_msg(
+                method::PUT_PAGE,
+                &PutPage {
+                    key: key(1, 0),
+                    data: PageBuf::from_vec(vec![9u8; 4096]),
+                },
+            ),
+        );
+        parse_response::<()>(&resp).unwrap();
+        assert_eq!(p.bytes_used(), 8192, "full provider stays full, not over");
     }
 
     #[test]
@@ -198,13 +258,80 @@ mod tests {
                 &mut ctx,
                 &Frame::from_msg(
                     method::PUT_PAGE,
-                    &PutPage { key: key(1, 0), data: Bytes::from(vec![1u8; 2048]) },
+                    &PutPage {
+                        key: key(1, 0),
+                        data: PageBuf::from_vec(vec![1u8; 2048]),
+                    },
                 ),
             );
             parse_response::<()>(&resp).unwrap();
         }
         assert_eq!(p.bytes_used(), 2048);
         assert_eq!(p.page_count(), 1);
+    }
+
+    #[test]
+    fn accounting_correct_when_pages_share_one_allocation() {
+        // Replica fan-out hands the same PageBuf to several providers (or,
+        // via distinct keys, to one provider twice). Accounting must track
+        // logical bytes per key, unaffected by allocation sharing.
+        let p = svc();
+        let mut ctx = ServerCtx::new(0);
+        let shared = PageBuf::from_vec(vec![5u8; 4096]);
+        for i in 0..3 {
+            let resp = p.handle(
+                &mut ctx,
+                &Frame::from_msg(
+                    method::PUT_PAGE,
+                    &PutPage {
+                        key: key(1, i),
+                        data: shared.clone(),
+                    },
+                ),
+            );
+            parse_response::<()>(&resp).unwrap();
+        }
+        assert_eq!(p.page_count(), 3);
+        assert_eq!(p.bytes_used(), 3 * 4096, "logical bytes, not allocations");
+
+        // A get serves a refcount bump of the stored buffer, and the
+        // accounting is untouched by reads.
+        let resp = p.handle(
+            &mut ctx,
+            &Frame::from_msg(method::GET_PAGE, &GetPage { key: key(1, 0) }),
+        );
+        let got = parse_response::<PageBuf>(&resp).unwrap();
+        assert!(
+            got.same_allocation(&shared),
+            "get must serve the shared allocation"
+        );
+        assert_eq!(p.bytes_used(), 3 * 4096);
+
+        // Removing one key releases exactly its logical bytes; the other
+        // keys (same allocation) are unaffected.
+        let resp = p.handle(
+            &mut ctx,
+            &Frame::from_msg(method::REMOVE_PAGE, &RemovePage { key: key(1, 1) }),
+        );
+        assert!(parse_response::<bool>(&resp).unwrap());
+        assert_eq!(p.page_count(), 2);
+        assert_eq!(p.bytes_used(), 2 * 4096);
+        assert!(p.contains(&key(1, 0)) && p.contains(&key(1, 2)));
+
+        // Re-putting an existing key with a sliced view of the same data
+        // stays idempotent in accounting.
+        let resp = p.handle(
+            &mut ctx,
+            &Frame::from_msg(
+                method::PUT_PAGE,
+                &PutPage {
+                    key: key(1, 0),
+                    data: shared.slice(0..4096),
+                },
+            ),
+        );
+        parse_response::<()>(&resp).unwrap();
+        assert_eq!(p.bytes_used(), 2 * 4096);
     }
 
     #[test]
@@ -215,11 +342,20 @@ mod tests {
             &mut ctx,
             &Frame::from_msg(
                 method::PUT_PAGE,
-                &PutPage { key: key(2, 5), data: Bytes::from(vec![1u8; 1024]) },
+                &PutPage {
+                    key: key(2, 5),
+                    data: PageBuf::from_vec(vec![1u8; 1024]),
+                },
             ),
         );
         let resp = p.handle(&mut ctx, &Frame::from_msg(method::PROVIDER_STATS, &()));
         let stats = parse_response::<ProviderStats>(&resp).unwrap();
-        assert_eq!(stats, ProviderStats { pages: 1, bytes: 1024 });
+        assert_eq!(
+            stats,
+            ProviderStats {
+                pages: 1,
+                bytes: 1024
+            }
+        );
     }
 }

@@ -45,7 +45,8 @@ struct ProviderEntry {
 
 impl ProviderEntry {
     fn projected_free(&self) -> u64 {
-        self.capacity.saturating_sub(self.reported.bytes + self.in_flight)
+        self.capacity
+            .saturating_sub(self.reported.bytes + self.in_flight)
     }
 }
 
@@ -129,8 +130,7 @@ impl ProviderManagerService {
         let write = WriteId(self.next_write.fetch_add(1, Ordering::Relaxed));
         let page_bytes = self.page_size_hint.load(Ordering::Relaxed);
         let mut g = self.providers.write();
-        let alive: Vec<usize> =
-            (0..g.len()).filter(|&i| g[i].alive).collect();
+        let alive: Vec<usize> = (0..g.len()).filter(|&i| g[i].alive).collect();
         if alive.is_empty() {
             return Err(BlobError::Unreachable("no data providers registered"));
         }
@@ -215,9 +215,9 @@ impl Service for ProviderManagerService {
                 self.heartbeat(m.provider, m.stats);
                 Ok(())
             }),
-            method::PLAN_WRITE => {
-                respond(frame, |m: PlanWrite| self.plan_write(m.pages, m.replication))
-            }
+            method::PLAN_WRITE => respond(frame, |m: PlanWrite| {
+                self.plan_write(m.pages, m.replication)
+            }),
             method::LIST_PROVIDERS => respond(frame, |_: ()| Ok(self.provider_ids())),
             other => error_frame(other, BlobError::Internal("unknown manager method")),
         }
@@ -262,7 +262,13 @@ mod tests {
         let m = mgr(Strategy::LeastLoaded);
         m.set_page_size_hint(1024);
         // Provider 0 reports heavy usage.
-        m.heartbeat(ProviderId(0), ProviderStats { pages: 1000, bytes: 1 << 29 });
+        m.heartbeat(
+            ProviderId(0),
+            ProviderStats {
+                pages: 1000,
+                bytes: 1 << 29,
+            },
+        );
         let plan = m.plan_write(6, 1).unwrap();
         assert!(
             plan.targets.iter().all(|t| t[0] != ProviderId(0)),

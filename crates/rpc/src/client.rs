@@ -42,7 +42,11 @@ pub struct RpcClient {
 impl RpcClient {
     /// Create a client sending from `from`.
     pub fn new(transport: Arc<dyn Transport>, from: NodeId) -> Self {
-        Self { transport, from, aggregation: AggregationPolicy::default() }
+        Self {
+            transport,
+            from,
+            aggregation: AggregationPolicy::default(),
+        }
     }
 
     /// Override the aggregation policy (for ablations).
@@ -139,7 +143,10 @@ impl RpcClient {
                         .iter()
                         .map(|&i| Frame::from_msg(calls[i].1, &calls[i].2))
                         .collect();
-                    match self.transport.call(self.from, to, start, Frame::batch(frames)) {
+                    match self
+                        .transport
+                        .call(self.from, to, start, Frame::batch(frames))
+                    {
                         Ok((resp, vt)) => {
                             join_vt = join_vt.max(vt);
                             match resp.unbatch() {
@@ -167,14 +174,17 @@ impl RpcClient {
             }
         }
         ctx.vt = join_vt;
-        results.into_iter().map(|r| r.expect("every slot filled")).collect()
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::service::{respond, Service, ServerCtx};
+    use crate::service::{respond, ServerCtx, Service};
     use crate::transport::InProcTransport;
 
     struct Echo;
@@ -210,8 +220,9 @@ mod tests {
         for policy in [AggregationPolicy::PerCall, AggregationPolicy::Batch] {
             let rpc = RpcClient::new(Arc::clone(&t) as _, c).with_aggregation(policy);
             let mut ctx = Ctx::start();
-            let calls: Vec<(NodeId, u16, u64)> =
-                (0..10).map(|i| (if i % 2 == 0 { a } else { b }, 1, i as u64)).collect();
+            let calls: Vec<(NodeId, u16, u64)> = (0..10)
+                .map(|i| (if i % 2 == 0 { a } else { b }, 1, i as u64))
+                .collect();
             let resps = rpc.fan_out::<u64, u64>(&mut ctx, &calls);
             for (i, r) in resps.iter().enumerate() {
                 assert_eq!(*r.as_ref().unwrap(), i as u64 + 1, "policy {policy:?}");
@@ -222,8 +233,9 @@ mod tests {
     #[test]
     fn aggregation_reduces_message_count() {
         let (t, c, a, b) = setup();
-        let calls: Vec<(NodeId, u16, u64)> =
-            (0..8).map(|i| (if i < 4 { a } else { b }, 1, i as u64)).collect();
+        let calls: Vec<(NodeId, u16, u64)> = (0..8)
+            .map(|i| (if i < 4 { a } else { b }, 1, i as u64))
+            .collect();
 
         let rpc =
             RpcClient::new(Arc::clone(&t) as _, c).with_aggregation(AggregationPolicy::PerCall);
@@ -231,8 +243,7 @@ mod tests {
         rpc.fan_out::<u64, u64>(&mut Ctx::start(), &calls);
         assert_eq!(t.message_count() - before, 8);
 
-        let rpc =
-            RpcClient::new(Arc::clone(&t) as _, c).with_aggregation(AggregationPolicy::Batch);
+        let rpc = RpcClient::new(Arc::clone(&t) as _, c).with_aggregation(AggregationPolicy::Batch);
         let before = t.message_count();
         rpc.fan_out::<u64, u64>(&mut Ctx::start(), &calls);
         assert_eq!(t.message_count() - before, 2, "one message per destination");
@@ -243,7 +254,9 @@ mod tests {
         let (t, c, _, _) = setup();
         let ghost = t.add_node(); // no service bound
         let rpc = RpcClient::new(t, c);
-        let err = rpc.call::<u64, u64>(&mut Ctx::start(), ghost, 1, &1).unwrap_err();
+        let err = rpc
+            .call::<u64, u64>(&mut Ctx::start(), ghost, 1, &1)
+            .unwrap_err();
         assert!(matches!(err, BlobError::Unreachable(_)));
     }
 }

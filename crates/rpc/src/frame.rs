@@ -1,12 +1,16 @@
 //! Wire frames.
 //!
 //! A frame is `(method, body)`; the body is the `Wire`-encoded request or
-//! response. Batches — the paper's RPC aggregation ("delays RPC calls to a
-//! single machine and streams all of them in a single real RPC call",
-//! §V.A) — are themselves ordinary frames whose method is
-//! [`METHOD_BATCH`] and whose body is a `Vec<Frame>`.
+//! response, held as a [`ByteChain`] — an iovec-style segment list in
+//! which page payloads are *shared* segments (refcount bumps), so
+//! building, batching and unpacking frames never copies page bytes.
+//! Batches — the paper's RPC aggregation ("delays RPC calls to a single
+//! machine and streams all of them in a single real RPC call", §V.A) —
+//! are themselves ordinary frames whose method is [`METHOD_BATCH`] and
+//! whose body is a `Vec<Frame>`; sub-frame payload segments pass through
+//! the batch encoding intact.
 
-use blobseer_proto::wire::{Reader, Wire};
+use blobseer_proto::wire::{ByteChain, Reader, Wire, WireBuf};
 use blobseer_proto::CodecError;
 
 /// Reserved method id for aggregated frames.
@@ -21,19 +25,24 @@ pub const FRAME_HEADER_BYTES: usize = 6;
 pub struct Frame {
     /// Method id (see `blobseer_proto::messages::method`).
     pub method: u16,
-    /// Encoded request or response body.
-    pub body: Vec<u8>,
+    /// Encoded request or response body (payload segments shared).
+    pub body: ByteChain,
 }
 
 impl Frame {
-    /// Build a frame from a typed message.
+    /// Build a frame from a typed message. Page payloads inside `msg`
+    /// are attached as shared segments, not copied.
     pub fn from_msg<M: Wire>(method: u16, msg: &M) -> Self {
-        Self { method, body: msg.to_wire() }
+        Self {
+            method,
+            body: msg.to_chain(),
+        }
     }
 
-    /// Decode the body as a typed message.
+    /// Decode the body as a typed message. Page payloads decode as
+    /// refcount borrows of this frame's segments.
     pub fn parse<M: Wire>(&self) -> Result<M, CodecError> {
-        M::from_wire(&self.body)
+        M::from_chain(&self.body)
     }
 
     /// Total bytes this frame occupies on the wire.
@@ -41,29 +50,34 @@ impl Frame {
         FRAME_HEADER_BYTES + self.body.len()
     }
 
-    /// Wrap frames into one aggregated batch frame.
+    /// Wrap frames into one aggregated batch frame. Sub-frame bodies are
+    /// chained by reference — a batched page payload is the same
+    /// allocation the caller handed to [`Frame::from_msg`].
     pub fn batch(frames: Vec<Frame>) -> Frame {
-        let body = frames.to_wire();
-        Frame { method: METHOD_BATCH, body }
+        Frame {
+            method: METHOD_BATCH,
+            body: frames.to_chain(),
+        }
     }
 
-    /// If this is a batch frame, unpack the contained frames.
+    /// If this is a batch frame, unpack the contained frames. Sub-frame
+    /// bodies are sub-chains sharing this frame's segments.
     pub fn unbatch(&self) -> Option<Result<Vec<Frame>, CodecError>> {
-        (self.method == METHOD_BATCH).then(|| Vec::<Frame>::from_wire(&self.body))
+        (self.method == METHOD_BATCH).then(|| Vec::<Frame>::from_chain(&self.body))
     }
 }
 
 impl Wire for Frame {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut WireBuf) {
         self.method.encode(out);
         (self.body.len() as u32).encode(out);
-        out.extend_from_slice(&self.body);
+        out.put_chain(&self.body);
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         let method = u16::decode(r)?;
         let len = u32::decode(r)? as usize;
-        let body = r.take(len)?.to_vec();
+        let body = r.take_chain(len)?;
         Ok(Frame { method, body })
     }
 
@@ -75,6 +89,7 @@ impl Wire for Frame {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use blobseer_proto::PageBuf;
 
     #[test]
     fn frame_roundtrip() {
@@ -117,5 +132,50 @@ mod tests {
         let mut bytes = f.to_wire();
         bytes.truncate(bytes.len() - 1);
         assert!(Frame::from_wire(&bytes).is_err());
+    }
+
+    #[test]
+    fn page_payload_is_shared_through_framing_and_batching() {
+        use blobseer_util::copymeter;
+        let page = PageBuf::from_vec(vec![9u8; 16384]);
+        let before = copymeter::thread_snapshot();
+
+        // Framing a payload-carrying message: no page copy.
+        let f1 = Frame::from_msg(1, &page);
+        let f2 = Frame::from_msg(1, &page);
+        assert_eq!(before.bytes_since(), 0, "framing must not copy the page");
+        assert_eq!(page.ref_count(), 3, "two frames share the one allocation");
+
+        // Batching both frames: header chunks consolidate (a few bytes),
+        // page segments pass through by reference.
+        let b = Frame::batch(vec![f1, f2]);
+        assert!(
+            before.bytes_since() < 64,
+            "batching must not copy page bytes (copied {})",
+            before.bytes_since()
+        );
+
+        // Unbatching and parsing lends the same allocation back out.
+        let frames = b.unbatch().unwrap().unwrap();
+        let got: PageBuf = frames[1].parse().unwrap();
+        assert!(
+            before.bytes_since() < 64,
+            "unbatch + parse must not copy page bytes (copied {})",
+            before.bytes_since()
+        );
+        assert!(got.same_allocation(&page));
+        assert_eq!(got, page);
+    }
+
+    #[test]
+    fn chained_frames_flatten_identically() {
+        // A frame carrying shared segments must serialize to the same
+        // bytes a contiguous encoder would produce (what a socket sends).
+        let page = PageBuf::from_vec((0u16..2048).map(|x| x as u8).collect());
+        let f = Frame::from_msg(0x0101, &page);
+        let flat = f.to_wire();
+        let back = Frame::from_wire(&flat).unwrap();
+        assert_eq!(back, f);
+        assert_eq!(back.parse::<PageBuf>().unwrap(), page);
     }
 }

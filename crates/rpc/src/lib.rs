@@ -22,5 +22,7 @@ pub mod transport;
 
 pub use client::{AggregationPolicy, RpcClient};
 pub use frame::{Frame, FRAME_HEADER_BYTES, METHOD_BATCH};
-pub use service::{dispatch_frame, error_frame, ok_frame, parse_response, respond, ServerCtx, Service};
+pub use service::{
+    dispatch_frame, error_frame, ok_frame, parse_response, respond, ServerCtx, Service,
+};
 pub use transport::{Ctx, InProcTransport, Transport, TransportResult};

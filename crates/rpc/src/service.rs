@@ -36,7 +36,11 @@ pub struct ServerCtx {
 impl ServerCtx {
     /// Context for a message arriving at `vt`.
     pub fn new(vt: u64) -> Self {
-        Self { vt, charged: 0, charged_latency: 0 }
+        Self {
+            vt,
+            charged: 0,
+            charged_latency: 0,
+        }
     }
 
     /// Charge `ns` of server CPU to this request (serializing).
@@ -66,8 +70,10 @@ pub fn dispatch_frame(svc: &dyn Service, ctx: &mut ServerCtx, frame: &Frame) -> 
     match frame.unbatch() {
         None => svc.handle(ctx, frame),
         Some(Ok(subframes)) => {
-            let responses: Vec<Frame> =
-                subframes.iter().map(|f| dispatch_frame(svc, ctx, f)).collect();
+            let responses: Vec<Frame> = subframes
+                .iter()
+                .map(|f| dispatch_frame(svc, ctx, f))
+                .collect();
             Frame::batch(responses)
         }
         Some(Err(_)) => error_frame(frame.method, BlobError::Internal("corrupt batch frame")),
@@ -76,24 +82,29 @@ pub fn dispatch_frame(svc: &dyn Service, ctx: &mut ServerCtx, frame: &Frame) -> 
 
 /// Build a response frame carrying `Ok(value)`.
 pub fn ok_frame<T: Wire>(method: u16, value: &T) -> Frame {
-    let body: Result<&T, BlobError> = Ok(value);
-    // Result<T, E> encodes by reference via a manual tag to avoid cloning.
-    let mut out = Vec::with_capacity(1 + value.wire_hint());
+    // Result<T, E> encodes by reference via a manual tag to avoid
+    // cloning; payload segments inside `value` stay shared.
+    let mut out = blobseer_proto::wire::WireBuf::with_capacity(1 + value.wire_hint());
     out.push(0u8);
     value.encode(&mut out);
-    let _ = body;
-    Frame { method, body: out }
+    Frame {
+        method,
+        body: out.finish(),
+    }
 }
 
 /// Build a response frame carrying `Err(err)`.
 pub fn error_frame(method: u16, err: BlobError) -> Frame {
     let body: Result<(), BlobError> = Err(err);
-    Frame { method, body: body.to_wire() }
+    Frame {
+        method,
+        body: body.to_chain(),
+    }
 }
 
 /// Decode a response frame into `Result<T, BlobError>`.
 pub fn parse_response<T: Wire>(frame: &Frame) -> Result<T, BlobError> {
-    let res: Result<T, BlobError> = Wire::from_wire(&frame.body).map_err(BlobError::Codec)?;
+    let res: Result<T, BlobError> = Wire::from_chain(&frame.body).map_err(BlobError::Codec)?;
     res
 }
 
@@ -162,17 +173,27 @@ mod tests {
     fn bad_request_body_is_codec_error() {
         let svc = Doubler;
         let mut ctx = ServerCtx::new(0);
-        let resp = dispatch_frame(&svc, &mut ctx, &Frame { method: 1, body: vec![1, 2] });
+        let resp = dispatch_frame(
+            &svc,
+            &mut ctx,
+            &Frame {
+                method: 1,
+                body: vec![1, 2].into(),
+            },
+        );
         let err = parse_response::<u64>(&resp).unwrap_err();
         // The codec error is carried as a diagnostic: the wire encoding of
         // `BlobError::Codec` intentionally decodes to `Internal`.
-        assert!(matches!(err, BlobError::Codec(_) | BlobError::Internal(_)), "{err:?}");
+        assert!(
+            matches!(err, BlobError::Codec(_) | BlobError::Internal(_)),
+            "{err:?}"
+        );
     }
 
     #[test]
     fn ok_frame_matches_result_encoding() {
         // ok_frame must produce exactly what Result::encode would.
         let direct: Result<u64, BlobError> = Ok(7);
-        assert_eq!(ok_frame(1, &7u64).body, direct.to_wire());
+        assert_eq!(ok_frame(1, &7u64).body.to_vec(), direct.to_wire());
     }
 }

@@ -72,7 +72,10 @@ impl Default for InProcTransport {
 impl InProcTransport {
     /// Empty transport.
     pub fn new() -> Self {
-        Self { services: RwLock::new(Vec::new()), messages: AtomicU64::new(0) }
+        Self {
+            services: RwLock::new(Vec::new()),
+            messages: AtomicU64::new(0),
+        }
     }
 
     /// Add a node (returns its id). Nodes without a bound service reject

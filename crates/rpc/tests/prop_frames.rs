@@ -1,0 +1,123 @@
+//! Property tests: frames and aggregated batch frames carrying payload
+//! buffers round-trip through both the chain (in-process) and flat
+//! (socket) representations, with payload sharing preserved on the
+//! chain path.
+
+use blobseer_proto::wire::{ByteChain, Wire, SHARE_THRESHOLD};
+use blobseer_proto::PageBuf;
+use blobseer_rpc::Frame;
+use proptest::prelude::*;
+
+fn arb_payload() -> impl Strategy<Value = PageBuf> {
+    proptest::collection::vec(any::<u8>(), 0..4096).prop_map(PageBuf::from_vec)
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    (any::<u16>(), arb_payload()).prop_map(|(method, data)| Frame::from_msg(method, &data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn frames_roundtrip_flat_and_chained(frame in arb_frame()) {
+        // Socket path: flatten to contiguous bytes and decode.
+        let flat = frame.to_wire();
+        prop_assert_eq!(Frame::from_wire(&flat).unwrap(), frame.clone());
+        // In-process path: decode from the chain.
+        prop_assert_eq!(Frame::from_chain(&frame.to_chain()).unwrap(), frame);
+    }
+
+    #[test]
+    fn batches_roundtrip_with_shared_payloads(
+        payloads in proptest::collection::vec(arb_payload(), 0..12),
+    ) {
+        let frames: Vec<Frame> =
+            payloads.iter().map(|p| Frame::from_msg(0x0101, p)).collect();
+        let batch = Frame::batch(frames.clone());
+
+        // Unbatching the in-process representation returns equal frames,
+        // and large payloads come back sharing the original allocations.
+        let unpacked = batch.unbatch().unwrap().unwrap();
+        prop_assert_eq!(unpacked.len(), frames.len());
+        for (orig, (got, payload)) in
+            frames.iter().zip(unpacked.iter().zip(&payloads))
+        {
+            prop_assert_eq!(got, orig);
+            let back: PageBuf = got.parse().unwrap();
+            prop_assert_eq!(&back, payload);
+            if payload.len() >= SHARE_THRESHOLD {
+                prop_assert!(
+                    back.same_allocation(payload),
+                    "batched payload must be lent by refcount"
+                );
+            }
+        }
+
+        // The flattened batch (what a socket would carry) decodes to the
+        // same frames.
+        let flat = batch.to_wire();
+        prop_assert_eq!(flat.len(), batch.wire_size());
+        let reparsed = Frame::from_wire(&flat).unwrap();
+        let unpacked2 = reparsed.unbatch().unwrap().unwrap();
+        prop_assert_eq!(unpacked2, frames);
+    }
+
+    #[test]
+    fn truncated_batches_fail_cleanly(
+        payloads in proptest::collection::vec(arb_payload(), 1..6),
+        cut in 1usize..64,
+    ) {
+        let frames: Vec<Frame> =
+            payloads.iter().map(|p| Frame::from_msg(7, p)).collect();
+        let mut flat = Frame::batch(frames).to_wire();
+        let cut = cut.min(flat.len() - 1);
+        flat.truncate(flat.len() - cut);
+        prop_assert!(Frame::from_wire(&flat).is_err());
+    }
+
+    #[test]
+    fn nested_batches_roundtrip(
+        inner_payload in arb_payload(),
+        n_inner in 1usize..4,
+    ) {
+        // Batches of batches (a relay aggregating already-aggregated
+        // traffic) keep working; sharing survives one more level.
+        let leaf = Frame::from_msg(1, &inner_payload);
+        let inner = Frame::batch(vec![leaf; n_inner]);
+        let outer = Frame::batch(vec![inner.clone(), inner.clone()]);
+        let unpacked = outer.unbatch().unwrap().unwrap();
+        prop_assert_eq!(unpacked.len(), 2);
+        let inner_back = unpacked[0].unbatch().unwrap().unwrap();
+        prop_assert_eq!(inner_back.len(), n_inner);
+        let payload_back: PageBuf = inner_back[0].parse().unwrap();
+        prop_assert_eq!(&payload_back, &inner_payload);
+        if inner_payload.len() >= SHARE_THRESHOLD {
+            prop_assert!(payload_back.same_allocation(&inner_payload));
+        }
+    }
+
+    #[test]
+    fn subchain_equals_flat_slicing(
+        bytes in proptest::collection::vec(any::<u8>(), 1..2048),
+        splits in proptest::collection::vec(1usize..2048, 0..4),
+        window in (0usize..2048, 0usize..2048),
+    ) {
+        // A chain assembled from arbitrary splits of a byte string is
+        // indistinguishable from the flat string under subchain/to_vec.
+        let mut chain = ByteChain::new();
+        let mut rest: &[u8] = &bytes;
+        for s in splits {
+            let cut = s.min(rest.len());
+            let (a, b) = rest.split_at(cut);
+            chain.push(PageBuf::copy_from_slice(a));
+            rest = b;
+        }
+        chain.push(PageBuf::copy_from_slice(rest));
+        prop_assert_eq!(chain.len(), bytes.len());
+        prop_assert_eq!(chain.to_vec(), bytes.clone());
+        let start = window.0.min(bytes.len());
+        let len = window.1.min(bytes.len() - start);
+        prop_assert_eq!(chain.subchain(start, len).to_vec(), bytes[start..start + len].to_vec());
+    }
+}

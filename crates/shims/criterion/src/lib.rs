@@ -1,0 +1,215 @@
+//! Minimal stand-in for the `criterion` crate.
+//!
+//! Supports the `criterion_group! { name, config, targets }` /
+//! `criterion_main!` layout with benchmark groups, throughput
+//! annotations, and wall-clock ns/iter reporting. No statistics beyond
+//! a trimmed mean — this exists so `cargo bench` produces usable
+//! numbers in an offline build, not to replace criterion's analysis.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Set the number of samples.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one free-standing benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(
+            name,
+            self.warm_up,
+            self.measurement,
+            self.sample_size,
+            None,
+            f,
+        );
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation for a group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_bench(
+            &full,
+            self.parent.warm_up,
+            self.parent.measurement,
+            self.parent.sample_size,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` over this sample's iteration count.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench(
+    name: &str,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Calibrate: find an iteration count that takes ~1 ms, warming up along
+    // the way.
+    let mut iters = 1u64;
+    let calibrate_until = Instant::now() + warm_up;
+    let per_iter;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let sample = b.elapsed.max(Duration::from_nanos(1)) / iters as u32;
+        if Instant::now() >= calibrate_until {
+            per_iter = sample;
+            break;
+        }
+        let per_iter = sample;
+        let target = Duration::from_millis(1);
+        let next = (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
+        iters = next.max(1);
+    }
+
+    let samples = sample_size.max(1);
+    let budget = measurement.as_nanos() / samples as u128;
+    let iters = (budget / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
+    let mut results: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        results.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    results.sort_by(|a, b| a.total_cmp(b));
+    // Trimmed mean of the middle half.
+    let lo = results.len() / 4;
+    let hi = (results.len() * 3 / 4).max(lo + 1);
+    let mid = &results[lo..hi];
+    let ns = mid.iter().sum::<f64>() / mid.len() as f64;
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(b) => format!("  ({:.1} MiB/s)", b as f64 / ns * 1e9 / (1 << 20) as f64),
+        Throughput::Elements(e) => format!("  ({:.0} elem/s)", e as f64 / ns * 1e9),
+    });
+    println!(
+        "bench {name:<44} {ns:>12.1} ns/iter{}",
+        rate.unwrap_or_default()
+    );
+}
+
+/// Define a benchmark group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,162 @@
+//! Minimal stand-in for the `rayon` crate.
+//!
+//! Supports the `slice.par_iter().map(f).collect::<Vec<_>>()` shape the
+//! workspace uses. Work is executed on scoped OS threads, one contiguous
+//! chunk per available core, preserving input order in the collected
+//! output — the observable semantics of rayon's indexed parallel
+//! iterators for this usage pattern.
+
+use std::num::NonZeroUsize;
+
+/// The traits users import.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+fn worker_count(items: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(items).max(1)
+}
+
+/// `.par_iter()` on collections borrowing their elements.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element reference type.
+    type Item: Sync + 'a;
+
+    /// Borrow the elements for parallel iteration.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A borrowed parallel iterator.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+/// Operations on parallel iterators (map → collect).
+pub trait ParallelIterator: Sized {
+    /// The element type produced.
+    type Item;
+
+    /// Apply `f` to every element in parallel.
+    fn map<U, F>(self, f: F) -> ParMap<Self, F>
+    where
+        F: Fn(Self::Item) -> U + Sync,
+        U: Send,
+    {
+        ParMap { base: self, f }
+    }
+
+    /// Materialize into a container (only `Vec` is supported).
+    fn collect<C: FromParallel<Self::Item>>(self) -> C
+    where
+        Self::Item: Send,
+    {
+        C::from_run(self.run())
+    }
+
+    /// Execute, returning results in input order.
+    fn run(self) -> Vec<Self::Item>
+    where
+        Self::Item: Send;
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+
+    fn run(self) -> Vec<&'a T> {
+        self.items.iter().collect()
+    }
+}
+
+/// A mapped parallel iterator.
+pub struct ParMap<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<'a, T, U, F> ParallelIterator for ParMap<ParIter<'a, T>, F>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&'a T) -> U + Sync,
+{
+    type Item = U;
+
+    fn run(self) -> Vec<U> {
+        let items = self.base.items;
+        let f = &self.f;
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let workers = worker_count(items.len());
+        if workers == 1 {
+            return items.iter().map(f).collect();
+        }
+        let chunk = items.len().div_ceil(workers);
+        let mut out: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (slots, part) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
+                scope.spawn(move || {
+                    for (slot, item) in slots.iter_mut().zip(part) {
+                        *slot = Some(f(item));
+                    }
+                });
+            }
+        });
+        out.into_iter()
+            .map(|v| v.expect("worker filled slot"))
+            .collect()
+    }
+}
+
+/// Containers constructible from a parallel run.
+pub trait FromParallel<T> {
+    /// Build from the ordered results.
+    fn from_run(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallel<T> for Vec<T> {
+    fn from_run(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}

@@ -11,8 +11,8 @@
 
 use crate::cost::CostModel;
 use crate::node::SimNode;
-use blobseer_rpc::{dispatch_frame, Frame, ServerCtx, Transport, TransportResult};
 use blobseer_proto::{BlobError, NodeId};
+use blobseer_rpc::{dispatch_frame, Frame, ServerCtx, Transport, TransportResult};
 use blobseer_util::{FxHashSet, ShardedMap};
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -78,7 +78,10 @@ impl SimCluster {
     /// Bind a service to a node. Panics if the node already has one.
     pub fn bind(&self, node: NodeId, svc: Arc<dyn blobseer_rpc::Service>) {
         let n = self.node(node).expect("bind: node exists");
-        n.service.set(svc).ok().expect("bind: node already has a service");
+        n.service
+            .set(svc)
+            .ok()
+            .expect("bind: node already has a service");
     }
 
     /// Kill a node: subsequent calls to it fail with `Unreachable`.
@@ -139,7 +142,10 @@ impl SimCluster {
         }
         if a.site != b.site {
             let g = self.site_latency.read();
-            if let Some(l) = g.get(a.site as usize).and_then(|row| row.get(b.site as usize)) {
+            if let Some(l) = g
+                .get(a.site as usize)
+                .and_then(|row| row.get(b.site as usize))
+            {
                 return *l;
             }
         }
@@ -149,7 +155,9 @@ impl SimCluster {
     /// One direction of a message: sender send-CPU → egress NIC → wire →
     /// ingress NIC. Returns the arrival time at the receiver.
     fn ship(&self, src: &SimNode, dst: &SimNode, vt: u64, payload: usize, setup: u64) -> u64 {
-        let cpu_done = src.cpu_send.reserve(vt, self.cost.endpoint_cpu_ns(payload) + setup);
+        let cpu_done = src
+            .cpu_send
+            .reserve(vt, self.cost.endpoint_cpu_ns(payload) + setup);
         let xfer = self.cost.transfer_ns(payload);
         let egress_done = src.egress.reserve(cpu_done, xfer);
         let latency = self.latency(src, dst);
@@ -162,15 +170,23 @@ impl SimCluster {
 
 impl Transport for SimCluster {
     fn call(&self, from: NodeId, to: NodeId, vt: u64, frame: Frame) -> TransportResult {
-        let src = self.node(from).ok_or(BlobError::Unreachable("unknown source node"))?;
-        let dst = self.node(to).ok_or(BlobError::Unreachable("unknown destination node"))?;
+        let src = self
+            .node(from)
+            .ok_or(BlobError::Unreachable("unknown source node"))?;
+        let dst = self
+            .node(to)
+            .ok_or(BlobError::Unreachable("unknown destination node"))?;
         if !src.is_alive() {
             return Err(BlobError::Unreachable("source node is down"));
         }
         if !dst.is_alive() {
             return Err(BlobError::Unreachable("destination node is down"));
         }
-        let svc = dst.service.get().ok_or(BlobError::Unreachable("no service bound"))?.clone();
+        let svc = dst
+            .service
+            .get()
+            .ok_or(BlobError::Unreachable("no service bound"))?
+            .clone();
 
         // First contact between this pair pays connection setup.
         let setup = if self.connected.insert((from.0, to.0), ()).is_none() {
@@ -183,16 +199,22 @@ impl Transport for SimCluster {
         self.messages.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(req_bytes as u64, Ordering::Relaxed);
         src.metrics.msgs_out.fetch_add(1, Ordering::Relaxed);
-        src.metrics.bytes_out.fetch_add(req_bytes as u64, Ordering::Relaxed);
+        src.metrics
+            .bytes_out
+            .fetch_add(req_bytes as u64, Ordering::Relaxed);
         dst.metrics.msgs_in.fetch_add(1, Ordering::Relaxed);
-        dst.metrics.bytes_in.fetch_add(req_bytes as u64, Ordering::Relaxed);
+        dst.metrics
+            .bytes_in
+            .fetch_add(req_bytes as u64, Ordering::Relaxed);
 
         // Request: client → server.
         let arrival = self.ship(&src, &dst, vt, req_bytes, setup);
 
         // Server receive path, then service work: CPU charges serialize on
         // the work calendar; latency charges delay this response only.
-        let recv_done = dst.cpu_recv.reserve(arrival, self.cost.endpoint_cpu_ns(req_bytes));
+        let recv_done = dst
+            .cpu_recv
+            .reserve(arrival, self.cost.endpoint_cpu_ns(req_bytes));
         let mut sctx = ServerCtx::new(recv_done);
         let resp = dispatch_frame(svc.as_ref(), &mut sctx, &frame);
         let served = dst.work.reserve(recv_done, sctx.charged) + sctx.charged_latency;
@@ -208,13 +230,19 @@ impl Transport for SimCluster {
         self.messages.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(resp_bytes as u64, Ordering::Relaxed);
         dst.metrics.msgs_out.fetch_add(1, Ordering::Relaxed);
-        dst.metrics.bytes_out.fetch_add(resp_bytes as u64, Ordering::Relaxed);
+        dst.metrics
+            .bytes_out
+            .fetch_add(resp_bytes as u64, Ordering::Relaxed);
         src.metrics.msgs_in.fetch_add(1, Ordering::Relaxed);
-        src.metrics.bytes_in.fetch_add(resp_bytes as u64, Ordering::Relaxed);
+        src.metrics
+            .bytes_in
+            .fetch_add(resp_bytes as u64, Ordering::Relaxed);
         let back = self.ship(&dst, &src, served, resp_bytes, 0);
 
         // Client receive path.
-        let done = src.cpu_recv.reserve(back, self.cost.endpoint_cpu_ns(resp_bytes));
+        let done = src
+            .cpu_recv
+            .reserve(back, self.cost.endpoint_cpu_ns(resp_bytes));
         Ok((resp, done))
     }
 }
@@ -317,10 +345,14 @@ mod tests {
         let (c, client, servers) = cluster_with_echo(1);
         let rpc = RpcClient::new(Arc::clone(&c) as _, client);
         c.kill(servers[0]);
-        let err = rpc.call::<u64, u64>(&mut Ctx::start(), servers[0], 1, &1).unwrap_err();
+        let err = rpc
+            .call::<u64, u64>(&mut Ctx::start(), servers[0], 1, &1)
+            .unwrap_err();
         assert!(matches!(err, BlobError::Unreachable(_)));
         c.revive(servers[0]);
-        assert!(rpc.call::<u64, u64>(&mut Ctx::start(), servers[0], 1, &1).is_ok());
+        assert!(rpc
+            .call::<u64, u64>(&mut Ctx::start(), servers[0], 1, &1)
+            .is_ok());
     }
 
     #[test]
@@ -349,7 +381,11 @@ mod tests {
         let (_r1, t1) = c.call(c1, servers[0], 0, f1).unwrap();
         let (_r2, t2) = c.call(c2, servers[0], 0, f2).unwrap();
         let later = t1.max(t2);
-        assert!(later >= 2 * xfer, "ingress must serialize: {later} < {}", 2 * xfer);
+        assert!(
+            later >= 2 * xfer,
+            "ingress must serialize: {later} < {}",
+            2 * xfer
+        );
     }
 
     #[test]
@@ -360,7 +396,10 @@ mod tests {
         c.bind(b, Arc::new(Echo));
         c.set_site_latency(vec![vec![0, 10_000_000], vec![10_000_000, 0]]);
         let (_resp, vt) = c.call(a, b, 0, Frame::from_msg(1, &1u64)).unwrap();
-        assert!(vt > 20_000_000, "cross-site RTT must include 2x 10 ms: {vt}");
+        assert!(
+            vt > 20_000_000,
+            "cross-site RTT must include 2x 10 ms: {vt}"
+        );
     }
 
     #[test]

@@ -33,11 +33,11 @@ impl CostModel {
     pub fn grid5000() -> Self {
         Self {
             bandwidth_bps: 117.5e6,
-            latency_ns: 50_000,       // 0.1 ms measured RTT => ~50 µs one-way
-            rpc_overhead_ns: 30_000,  // 2008-era kernel/network stack + Boost RPC
-            per_byte_cpu_ns: 2.0,     // ~500 MB/s endpoint copy/serialize
+            latency_ns: 50_000,      // 0.1 ms measured RTT => ~50 µs one-way
+            rpc_overhead_ns: 30_000, // 2008-era kernel/network stack + Boost RPC
+            per_byte_cpu_ns: 2.0,    // ~500 MB/s endpoint copy/serialize
             connection_setup_ns: 250_000,
-            envelope_bytes: 66,       // Ethernet + IP + TCP headers
+            envelope_bytes: 66, // Ethernet + IP + TCP headers
         }
     }
 
@@ -156,7 +156,13 @@ impl ClientCosts {
 
     /// Zero costs for logic-only tests.
     pub fn zero() -> Self {
-        Self { read_node_ns: 0, build_node_ns: 0, page_ns: 0, write_page_ns: 0, cache_ns: 0 }
+        Self {
+            read_node_ns: 0,
+            build_node_ns: 0,
+            page_ns: 0,
+            write_page_ns: 0,
+            cache_ns: 0,
+        }
     }
 }
 

@@ -241,7 +241,7 @@ mod tests {
         let c = Calendar::new();
         c.reserve(0, 100); // [0,100)
         c.reserve(200, 100); // [200,300)
-        // A 100-ns request fits exactly in [100,200).
+                             // A 100-ns request fits exactly in [100,200).
         assert_eq!(c.reserve(0, 100), 200);
     }
 

@@ -50,7 +50,12 @@ pub struct DetectConfig {
 
 impl Default for DetectConfig {
     fn default() -> Self {
-        Self { k_sigma: 5.0, min_pixels: 4, match_radius: 3.0, min_epochs: 3 }
+        Self {
+            k_sigma: 5.0,
+            min_pixels: 4,
+            match_radius: 3.0,
+            min_epochs: 3,
+        }
     }
 }
 
@@ -70,8 +75,11 @@ pub fn detect_tile(
     debug_assert_eq!(newer.len(), n * n);
 
     // Difference image (new - old): brightening objects are positive.
-    let diff: Vec<f32> =
-        newer.iter().zip(older).map(|(&a, &b)| a as f32 - b as f32).collect();
+    let diff: Vec<f32> = newer
+        .iter()
+        .zip(older)
+        .map(|(&a, &b)| a as f32 - b as f32)
+        .collect();
 
     // Robust noise estimate: 1.4826 * MAD.
     let mut abs: Vec<f32> = diff.iter().map(|d| d.abs()).collect();
@@ -252,7 +260,14 @@ mod tests {
     #[test]
     fn transient_is_detected_near_truth() {
         let t = Transient {
-            tx: 0, ty: 0, x: 30.0, y: 20.0, onset: 1, peak: 4000.0, rise: 1, decay: 3.0,
+            tx: 0,
+            ty: 0,
+            x: 30.0,
+            y: 20.0,
+            onset: 1,
+            peak: 4000.0,
+            rise: 1,
+            decay: 3.0,
         };
         let m = model_with(vec![t]);
         let cfg = DetectConfig::default();
@@ -261,7 +276,10 @@ mod tests {
         let cands = detect_tile(&geom(), &cfg, 0, 0, 2, &before, &at_peak);
         assert_eq!(cands.len(), 1, "{cands:?}");
         let c = cands[0];
-        assert!((c.x - 30.0).abs() < 2.0 && (c.y - 20.0).abs() < 2.0, "{c:?}");
+        assert!(
+            (c.x - 30.0).abs() < 2.0 && (c.y - 20.0).abs() < 2.0,
+            "{c:?}"
+        );
         assert!(c.peak > 1000.0);
     }
 
@@ -269,20 +287,29 @@ mod tests {
     fn light_curve_classification() {
         let cfg = DetectConfig::default();
         let sn = LightCurve {
-            tx: 0, ty: 0, x: 1.0, y: 1.0,
+            tx: 0,
+            ty: 0,
+            x: 1.0,
+            y: 1.0,
             samples: vec![(1, 500.0), (2, 2000.0), (3, 1200.0), (4, 600.0)],
         };
         assert!(sn.is_supernova(&cfg));
         // A flat repeating variable is not a supernova arc... a strictly
         // periodic source fails the monotone-decay test.
         let variable = LightCurve {
-            tx: 0, ty: 0, x: 1.0, y: 1.0,
+            tx: 0,
+            ty: 0,
+            x: 1.0,
+            y: 1.0,
             samples: vec![(1, 1000.0), (2, 200.0), (3, 1000.0), (4, 200.0)],
         };
         assert!(!variable.is_supernova(&cfg));
         // Too short.
         let short = LightCurve {
-            tx: 0, ty: 0, x: 1.0, y: 1.0,
+            tx: 0,
+            ty: 0,
+            x: 1.0,
+            y: 1.0,
             samples: vec![(1, 1000.0), (2, 500.0)],
         };
         assert!(!short.is_supernova(&cfg));
@@ -292,15 +319,50 @@ mod tests {
     fn association_merges_same_position() {
         let cfg = DetectConfig::default();
         let cands = vec![
-            Candidate { tx: 0, ty: 0, x: 10.0, y: 10.0, epoch: 1, flux: 10.0, peak: 100.0 },
-            Candidate { tx: 0, ty: 0, x: 10.5, y: 9.8, epoch: 2, flux: 30.0, peak: 400.0 },
-            Candidate { tx: 0, ty: 0, x: 10.2, y: 10.1, epoch: 3, flux: 20.0, peak: 200.0 },
+            Candidate {
+                tx: 0,
+                ty: 0,
+                x: 10.0,
+                y: 10.0,
+                epoch: 1,
+                flux: 10.0,
+                peak: 100.0,
+            },
+            Candidate {
+                tx: 0,
+                ty: 0,
+                x: 10.5,
+                y: 9.8,
+                epoch: 2,
+                flux: 30.0,
+                peak: 400.0,
+            },
+            Candidate {
+                tx: 0,
+                ty: 0,
+                x: 10.2,
+                y: 10.1,
+                epoch: 3,
+                flux: 20.0,
+                peak: 200.0,
+            },
             // A different object far away.
-            Candidate { tx: 0, ty: 0, x: 50.0, y: 50.0, epoch: 2, flux: 15.0, peak: 150.0 },
+            Candidate {
+                tx: 0,
+                ty: 0,
+                x: 50.0,
+                y: 50.0,
+                epoch: 2,
+                flux: 15.0,
+                peak: 150.0,
+            },
         ];
         let curves = build_light_curves(&cfg, &cands);
         assert_eq!(curves.len(), 2);
-        let main = curves.iter().find(|c| c.samples.len() == 3).expect("3-epoch curve");
+        let main = curves
+            .iter()
+            .find(|c| c.samples.len() == 3)
+            .expect("3-epoch curve");
         assert!((main.x - 10.2).abs() < 0.5);
         assert!(main.is_supernova(&cfg));
     }
@@ -308,7 +370,14 @@ mod tests {
     #[test]
     fn full_detection_cycle_on_synthetic_transient() {
         let t = Transient {
-            tx: 0, ty: 0, x: 40.0, y: 40.0, onset: 2, peak: 4000.0, rise: 1, decay: 2.5,
+            tx: 0,
+            ty: 0,
+            x: 40.0,
+            y: 40.0,
+            onset: 2,
+            peak: 4000.0,
+            rise: 1,
+            decay: 2.5,
         };
         let m = model_with(vec![t]);
         let cfg = DetectConfig::default();
@@ -320,7 +389,10 @@ mod tests {
         }
         let curves = build_light_curves(&cfg, &cands);
         let sn: Vec<_> = curves.iter().filter(|c| c.is_supernova(&cfg)).collect();
-        assert!(!sn.is_empty(), "the injected transient must classify: {curves:?}");
+        assert!(
+            !sn.is_empty(),
+            "the injected transient must classify: {curves:?}"
+        );
         let c = sn[0];
         assert!((c.x - 40.0).abs() < 2.5 && (c.y - 40.0).abs() < 2.5);
     }

@@ -20,7 +20,9 @@ pub mod pipeline;
 pub mod sky;
 pub mod synth;
 
-pub use detect::{detect_tile, build_light_curves, Candidate, DetectConfig, LightCurve};
-pub use pipeline::{score, Detector, LocalBackend, SimBackend, SkyBackend, SurveyReport, Telescope};
+pub use detect::{build_light_curves, detect_tile, Candidate, DetectConfig, LightCurve};
+pub use pipeline::{
+    score, Detector, LocalBackend, SimBackend, SkyBackend, SurveyReport, Telescope,
+};
 pub use sky::{decode_tile, encode_tile, SkyGeometry};
 pub use synth::{SkyModel, SynthConfig, Transient};

@@ -76,13 +76,21 @@ pub struct SimBackend {
 impl SimBackend {
     /// Wrap an existing client/blob pair.
     pub fn new(client: BlobClient, blob: BlobId) -> Self {
-        Self { client, blob, ctx: Mutex::new(Ctx::start()) }
+        Self {
+            client,
+            blob,
+            ctx: Mutex::new(Ctx::start()),
+        }
     }
 
     /// Wrap with the actor's clock starting at `vt` (use the cluster's
     /// horizon for actors that are causally after earlier phases).
     pub fn at(client: BlobClient, blob: BlobId, vt: u64) -> Self {
-        Self { client, blob, ctx: Mutex::new(Ctx::at(vt)) }
+        Self {
+            client,
+            blob,
+            ctx: Mutex::new(Ctx::at(vt)),
+        }
     }
 
     /// The current virtual time of this actor.
@@ -237,8 +245,11 @@ impl SurveyReport {
 /// Score detections against a model's injected transients.
 pub fn score(model: &SkyModel, cfg: &DetectConfig, candidates: Vec<Candidate>) -> SurveyReport {
     let curves = build_light_curves(cfg, &candidates);
-    let supernovae: Vec<LightCurve> =
-        curves.iter().filter(|c| c.is_supernova(cfg)).cloned().collect();
+    let supernovae: Vec<LightCurve> = curves
+        .iter()
+        .filter(|c| c.is_supernova(cfg))
+        .cloned()
+        .collect();
     let mut recovered = 0;
     let mut missed = 0;
     for t in &model.transients {
@@ -263,7 +274,14 @@ pub fn score(model: &SkyModel, cfg: &DetectConfig, candidates: Vec<Candidate>) -
             })
         })
         .count();
-    SurveyReport { candidates, curves, supernovae, recovered, missed, false_positives }
+    SurveyReport {
+        candidates,
+        curves,
+        supernovae,
+        recovered,
+        missed,
+        false_positives,
+    }
 }
 
 #[cfg(test)]
@@ -286,14 +304,20 @@ mod tests {
         let backend: Arc<dyn SkyBackend> =
             Arc::new(LocalBackend::new(Arc::clone(&engine), &model.geom, epochs));
 
-        let telescope = Telescope { model: &model, backend: Arc::clone(&backend) };
+        let telescope = Telescope {
+            model: &model,
+            backend: Arc::clone(&backend),
+        };
         for e in 0..epochs {
             telescope.capture_epoch(e).unwrap();
         }
 
         let cfg = DetectConfig::default();
-        let detector =
-            Detector { geom: model.geom, config: cfg, backend: Arc::clone(&backend) };
+        let detector = Detector {
+            geom: model.geom,
+            config: cfg,
+            backend: Arc::clone(&backend),
+        };
         let mut cands = Vec::new();
         for e in 1..epochs {
             cands.extend(detector.scan_epoch(None, e).unwrap());
@@ -317,37 +341,57 @@ mod tests {
         let epochs = 6;
         let model = Arc::new(small_model(2, epochs - 2));
         let engine = Arc::new(LocalEngine::new());
-        let backend: Arc<dyn SkyBackend> =
-            Arc::new(LocalBackend::new(Arc::clone(&engine), &model.geom, epochs + 4));
+        let backend: Arc<dyn SkyBackend> = Arc::new(LocalBackend::new(
+            Arc::clone(&engine),
+            &model.geom,
+            epochs + 4,
+        ));
 
         // Seed epochs 0..3 and remember the version.
-        let telescope = Telescope { model: &model, backend: Arc::clone(&backend) };
+        let telescope = Telescope {
+            model: &model,
+            backend: Arc::clone(&backend),
+        };
         let mut pinned = 0;
         for e in 0..3 {
             pinned = telescope.capture_epoch(e).unwrap();
         }
 
         let cfg = DetectConfig::default();
-        let quiet = Detector { geom: model.geom, config: cfg, backend: Arc::clone(&backend) }
-            .scan_epoch(Some(pinned), 2)
-            .unwrap();
+        let quiet = Detector {
+            geom: model.geom,
+            config: cfg,
+            backend: Arc::clone(&backend),
+        }
+        .scan_epoch(Some(pinned), 2)
+        .unwrap();
 
         // Writer thread appends epochs 3.. while detector rescans.
         let writer = {
             let model = Arc::clone(&model);
             let backend = Arc::clone(&backend);
             std::thread::spawn(move || {
-                let t = Telescope { model: &model, backend };
+                let t = Telescope {
+                    model: &model,
+                    backend,
+                };
                 for e in 3..epochs {
                     t.capture_epoch(e).unwrap();
                 }
             })
         };
-        let detector =
-            Detector { geom: model.geom, config: cfg, backend: Arc::clone(&backend) };
+        let detector = Detector {
+            geom: model.geom,
+            config: cfg,
+            backend: Arc::clone(&backend),
+        };
         for _ in 0..5 {
             let live = detector.scan_epoch(Some(pinned), 2).unwrap();
-            assert_eq!(live.len(), quiet.len(), "pinned-version scan must be stable");
+            assert_eq!(
+                live.len(),
+                quiet.len(),
+                "pinned-version scan must be stable"
+            );
         }
         writer.join().unwrap();
     }
@@ -358,7 +402,10 @@ mod tests {
         let engine = Arc::new(LocalEngine::new());
         let backend: Arc<dyn SkyBackend> =
             Arc::new(LocalBackend::new(Arc::clone(&engine), &model.geom, 4));
-        let t = Telescope { model: &model, backend: Arc::clone(&backend) };
+        let t = Telescope {
+            model: &model,
+            backend: Arc::clone(&backend),
+        };
         // Two telescopes each cover half the tiles of epoch 0.
         t.capture_epoch_tiles(0, 0, 2).unwrap();
         t.capture_epoch_tiles(0, 2, 2).unwrap();
@@ -373,7 +420,10 @@ mod tests {
             let (tx, ty) = (i % 2, i / 2);
             let seg = model.geom.tile_segment(0, tx, ty);
             let (bytes, _) = backend.read(None, seg).unwrap();
-            assert_eq!(decode_tile(&model.geom, &bytes), model.render_tile(0, tx, ty));
+            assert_eq!(
+                decode_tile(&model.geom, &bytes),
+                model.render_tile(0, tx, ty)
+            );
         }
     }
 }

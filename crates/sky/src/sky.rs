@@ -35,7 +35,12 @@ impl SkyGeometry {
     pub fn new(tiles_x: u32, tiles_y: u32, tile_px: u32, page_size: u64) -> Self {
         assert!(tiles_x > 0 && tiles_y > 0 && tile_px > 0);
         assert!(page_size.is_power_of_two());
-        Self { tiles_x, tiles_y, tile_px, page_size }
+        Self {
+            tiles_x,
+            tiles_y,
+            tile_px,
+            page_size,
+        }
     }
 
     /// Number of tiles per epoch.
@@ -157,7 +162,9 @@ mod tests {
     #[test]
     fn tile_codec_roundtrip() {
         let g = geom();
-        let pixels: Vec<u16> = (0..g.tile_pixels() as u32).map(|i| (i * 7 % 65521) as u16).collect();
+        let pixels: Vec<u16> = (0..g.tile_pixels() as u32)
+            .map(|i| (i * 7 % 65521) as u16)
+            .collect();
         let bytes = encode_tile(&g, &pixels);
         assert_eq!(bytes.len() as u64, g.tile_slot());
         assert_eq!(decode_tile(&g, &bytes), pixels);

@@ -127,7 +127,12 @@ impl SkyModel {
                 decay: rng.gen_range(2.0..5.0),
             })
             .collect();
-        Self { geom, config, seed, transients }
+        Self {
+            geom,
+            config,
+            seed,
+            transients,
+        }
     }
 
     /// The fixed star catalog of one tile (derived from the world seed,
@@ -162,10 +167,7 @@ impl SkyModel {
             }
         }
         // Background + per-exposure noise (new stream every epoch).
-        let stream = 0xbad0_0000u64
-            ^ ((epoch as u64) << 40)
-            ^ ((ty as u64) << 20)
-            ^ tx as u64;
+        let stream = 0xbad0_0000u64 ^ ((epoch as u64) << 40) ^ ((ty as u64) << 20) ^ tx as u64;
         let mut rng = rng_for(self.seed, stream);
         img.iter()
             .map(|&v| {
@@ -235,8 +237,10 @@ mod tests {
         assert_ne!(a, b, "per-exposure noise must differ");
         // But the difference should be small everywhere without a
         // transient: bounded by ~8 noise sigmas.
-        let has_transient_here = m.transients.iter().any(|t| t.tx == 0 && t.ty == 0
-            && t.brightness(1) > 0.05);
+        let has_transient_here = m
+            .transients
+            .iter()
+            .any(|t| t.tx == 0 && t.ty == 0 && t.brightness(1) > 0.05);
         if !has_transient_here {
             let max_diff = a
                 .iter()
@@ -251,7 +255,14 @@ mod tests {
     #[test]
     fn transient_light_curve_shape() {
         let t = Transient {
-            tx: 0, ty: 0, x: 10.0, y: 10.0, onset: 3, peak: 1000.0, rise: 2, decay: 3.0,
+            tx: 0,
+            ty: 0,
+            x: 10.0,
+            y: 10.0,
+            onset: 3,
+            peak: 1000.0,
+            rise: 2,
+            decay: 3.0,
         };
         assert_eq!(t.brightness(0), 0.0);
         assert_eq!(t.brightness(2), 0.0);

@@ -63,7 +63,10 @@ impl<V: Copy + PartialEq> IntervalMap<V> {
 
     /// Total number of bytes covered by assigned runs.
     pub fn covered(&self) -> u64 {
-        self.runs.values().zip(self.runs.keys()).fold(0, |acc, (r, s)| acc + (r.end - s))
+        self.runs
+            .values()
+            .zip(self.runs.keys())
+            .fold(0, |acc, (r, s)| acc + (r.end - s))
     }
 
     /// Assign `value` over `[start, end)`, overwriting anything underneath.
@@ -77,13 +80,25 @@ impl<V: Copy + PartialEq> IntervalMap<V> {
         if let Some((&s, &r)) = self.runs.range(..=start).next_back() {
             if r.end > start {
                 // left piece [s, start)
-                self.runs.insert(s, Run { end: start, value: r.value });
+                self.runs.insert(
+                    s,
+                    Run {
+                        end: start,
+                        value: r.value,
+                    },
+                );
                 if s == start {
                     self.runs.remove(&s);
                 }
                 // right remainder [start, r.end) — reinsert, will be
                 // truncated/removed by the sweep below.
-                self.runs.insert(start, Run { end: r.end, value: r.value });
+                self.runs.insert(
+                    start,
+                    Run {
+                        end: r.end,
+                        value: r.value,
+                    },
+                );
             }
         }
         // Remove or truncate every run beginning inside [start, end).
@@ -92,7 +107,13 @@ impl<V: Copy + PartialEq> IntervalMap<V> {
             let r = self.runs.remove(&s).unwrap();
             if r.end > end {
                 // keep the tail piece [end, r.end)
-                self.runs.insert(end, Run { end: r.end, value: r.value });
+                self.runs.insert(
+                    end,
+                    Run {
+                        end: r.end,
+                        value: r.value,
+                    },
+                );
             }
         }
         self.runs.insert(start, Run { end, value });
@@ -106,7 +127,13 @@ impl<V: Copy + PartialEq> IntervalMap<V> {
         if let Some((&ns, &nr)) = self.runs.range(end..).next() {
             if ns == end && nr.value == cur.value {
                 self.runs.remove(&ns);
-                self.runs.insert(start, Run { end: nr.end, value: cur.value });
+                self.runs.insert(
+                    start,
+                    Run {
+                        end: nr.end,
+                        value: cur.value,
+                    },
+                );
             }
         }
         // Merge with predecessor.
@@ -114,7 +141,13 @@ impl<V: Copy + PartialEq> IntervalMap<V> {
         if let Some((&ps, &pr)) = self.runs.range(..start).next_back() {
             if pr.end == start && pr.value == cur.value {
                 self.runs.remove(&start);
-                self.runs.insert(ps, Run { end: cur.end, value: cur.value });
+                self.runs.insert(
+                    ps,
+                    Run {
+                        end: cur.end,
+                        value: cur.value,
+                    },
+                );
             }
         }
     }

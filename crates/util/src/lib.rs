@@ -21,12 +21,20 @@
 //!   spin-then-park waiter) used by the RPC layer and the publish window.
 //! * [`rng`] — splitmix64 and deterministic seeding helpers so every
 //!   simulation and test is reproducible.
+//! * [`pagebuf`] — [`PageBuf`], the cheap-clone immutable byte buffer
+//!   behind the zero-copy page path (proto → rpc → provider → client);
+//!   pages are copied into the system at most once and shared by
+//!   refcount everywhere else.
+//! * [`copymeter`] — global bytes-copied accounting, so the zero-copy
+//!   discipline is *measured* by the benches, not asserted.
 
 #![warn(missing_docs)]
 
+pub mod copymeter;
 pub mod fxhash;
 pub mod interval_map;
 pub mod lru;
+pub mod pagebuf;
 pub mod rng;
 pub mod sharded;
 pub mod stats;
@@ -35,4 +43,5 @@ pub mod sync;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use interval_map::IntervalMap;
 pub use lru::LruCache;
+pub use pagebuf::PageBuf;
 pub use sharded::ShardedMap;

@@ -41,7 +41,10 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// Panics if `capacity == 0` or `capacity >= u32::MAX as usize`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "LruCache capacity must be positive");
-        assert!((capacity as u64) < u32::MAX as u64, "capacity too large for u32 indices");
+        assert!(
+            (capacity as u64) < u32::MAX as u64,
+            "capacity too large for u32 indices"
+        );
         Self {
             map: FxHashMap::default(),
             slab: Vec::new(),
@@ -165,7 +168,12 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             self.free.push(tail);
             evicted = Some((old.key, old.value));
         }
-        let entry = Entry { key: key.clone(), value, prev: NIL, next: NIL };
+        let entry = Entry {
+            key: key.clone(),
+            value,
+            prev: NIL,
+            next: NIL,
+        };
         let idx = if let Some(slot) = self.free.pop() {
             self.slab[slot as usize] = Some(entry);
             slot
@@ -199,7 +207,10 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
 
     /// Iterate `(key, value)` pairs from most to least recently used.
     pub fn iter_mru(&self) -> MruIter<'_, K, V> {
-        MruIter { cache: self, cursor: self.head }
+        MruIter {
+            cache: self,
+            cursor: self.head,
+        }
     }
 }
 

@@ -1,0 +1,213 @@
+//! [`PageBuf`] — a cheap-clone immutable byte buffer, the unit of
+//! zero-copy data movement across the workspace.
+//!
+//! The paper's pages are **immutable once written** (a WRITE always
+//! creates fresh pages under a fresh write id), which makes
+//! reference-counted sharing sound: a page entering the system is copied
+//! into a `PageBuf` at most once, and every subsequent hand-off — replica
+//! fan-out, RPC framing, batch aggregation, provider storage, read
+//! responses — is a refcount bump plus an offset/length pair.
+//!
+//! `slice` is O(1): sub-buffers share the backing allocation. That is how
+//! a client splits one write buffer into per-page send buffers without
+//! copying, and how the wire codec lends out message payloads borrowed
+//! from a received frame.
+//!
+//! Every *deliberate* copy of payload bytes into or out of a `PageBuf`
+//! is accounted in [`copymeter`](crate::copymeter), so benchmarks can
+//! report bytes-copied-per-operation instead of asserting zero-copy-ness.
+
+use crate::copymeter;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte slice with O(1) `clone` and
+/// O(1) `slice`.
+#[derive(Clone)]
+pub struct PageBuf {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    len: usize,
+}
+
+impl PageBuf {
+    /// An empty buffer (no allocation shared).
+    pub fn new() -> Self {
+        static EMPTY: std::sync::OnceLock<Arc<Vec<u8>>> = std::sync::OnceLock::new();
+        let data = Arc::clone(EMPTY.get_or_init(|| Arc::new(Vec::new())));
+        Self {
+            data,
+            start: 0,
+            len: 0,
+        }
+    }
+
+    /// Take ownership of a vector without copying its contents.
+    pub fn from_vec(v: Vec<u8>) -> Self {
+        let len = v.len();
+        Self {
+            data: Arc::new(v),
+            start: 0,
+            len,
+        }
+    }
+
+    /// Copy a slice into a fresh buffer. This is the metered entry point
+    /// for payload bytes: one copy here, zero copies downstream.
+    pub fn copy_from_slice(s: &[u8]) -> Self {
+        copymeter::record_copy(s.len());
+        Self::from_vec(s.to_vec())
+    }
+
+    /// A buffer of `n` zero bytes.
+    pub fn zeroed(n: usize) -> Self {
+        Self::from_vec(vec![0u8; n])
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.start + self.len]
+    }
+
+    /// O(1) sub-buffer sharing the backing allocation.
+    ///
+    /// # Panics
+    /// If the range exceeds the buffer.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Self {
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "slice out of range"
+        );
+        Self {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            len: range.end - range.start,
+        }
+    }
+
+    /// Number of `PageBuf` handles sharing this allocation (white-box
+    /// metric for sharing assertions in tests).
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.data)
+    }
+
+    /// True when `self` and `other` share the same backing allocation.
+    pub fn same_allocation(&self, other: &PageBuf) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+}
+
+impl Default for PageBuf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Deref for PageBuf {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for PageBuf {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for PageBuf {
+    fn from(v: Vec<u8>) -> Self {
+        Self::from_vec(v)
+    }
+}
+
+impl PartialEq for PageBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for PageBuf {}
+
+impl Hash for PageBuf {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for PageBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PageBuf({} bytes @{}..)", self.len, self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_does_not_copy() {
+        let before = copymeter::thread_snapshot();
+        let b = PageBuf::from_vec(vec![1, 2, 3, 4]);
+        assert_eq!(before.bytes_since(), 0, "from_vec must be zero-copy");
+        assert_eq!(b.as_slice(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn copy_from_slice_is_metered() {
+        let before = copymeter::thread_snapshot();
+        let b = PageBuf::copy_from_slice(&[0u8; 100]);
+        assert_eq!(before.bytes_since(), 100);
+        assert_eq!(b.len(), 100);
+    }
+
+    #[test]
+    fn slice_shares_allocation() {
+        let b = PageBuf::from_vec((0..100u8).collect());
+        let s = b.slice(10..20);
+        assert_eq!(s.as_slice(), &(10..20u8).collect::<Vec<_>>()[..]);
+        assert!(s.same_allocation(&b));
+        assert_eq!(b.ref_count(), 2);
+        let ss = s.slice(5..10);
+        assert_eq!(ss.as_slice(), &[15, 16, 17, 18, 19]);
+        assert!(ss.same_allocation(&b));
+    }
+
+    #[test]
+    fn clone_is_refcount_bump() {
+        let b = PageBuf::from_vec(vec![7; 1024]);
+        let before = copymeter::thread_snapshot();
+        let c = b.clone();
+        assert_eq!(before.bytes_since(), 0);
+        assert_eq!(b.ref_count(), 2);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn equality_is_by_content() {
+        let a = PageBuf::from_vec(vec![1, 2, 3]);
+        let b = PageBuf::from_vec(vec![0, 1, 2, 3, 4]).slice(1..4);
+        assert_eq!(a, b);
+        assert!(!a.same_allocation(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of range")]
+    fn out_of_range_slice_panics() {
+        PageBuf::from_vec(vec![1]).slice(0..2);
+    }
+}

@@ -14,7 +14,13 @@ pub struct OnlineStats {
 impl OnlineStats {
     /// Empty accumulator.
     pub fn new() -> Self {
-        Self { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Add one sample.
@@ -116,7 +122,8 @@ impl Samples {
             return None;
         }
         if !self.sorted {
-            self.data.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+            self.data
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
             self.sorted = true;
         }
         let rank = ((p / 100.0) * (self.data.len() - 1) as f64).round() as usize;
@@ -177,7 +184,10 @@ pub struct Table {
 impl Table {
     /// New table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
-        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append one row (must match the header arity).

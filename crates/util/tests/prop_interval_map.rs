@@ -19,7 +19,10 @@ fn op_strategy() -> impl Strategy<Value = Op> {
             end: a.max(b),
             value,
         }),
-        (0..UNIVERSE, 0..UNIVERSE).prop_map(|(a, b)| Op::RangeMax { start: a.min(b), end: a.max(b) }),
+        (0..UNIVERSE, 0..UNIVERSE).prop_map(|(a, b)| Op::RangeMax {
+            start: a.min(b),
+            end: a.max(b)
+        }),
         (0..UNIVERSE).prop_map(|at| Op::Point { at }),
     ]
 }
@@ -31,7 +34,9 @@ struct Model {
 
 impl Model {
     fn new() -> Self {
-        Self { bytes: vec![None; UNIVERSE as usize] }
+        Self {
+            bytes: vec![None; UNIVERSE as usize],
+        }
     }
 
     fn assign(&mut self, start: u64, end: u64, v: u64) {
@@ -41,7 +46,10 @@ impl Model {
     }
 
     fn range_max(&self, start: u64, end: u64) -> Option<u64> {
-        self.bytes[start as usize..end as usize].iter().filter_map(|b| *b).max()
+        self.bytes[start as usize..end as usize]
+            .iter()
+            .filter_map(|b| *b)
+            .max()
     }
 
     fn point(&self, at: u64) -> Option<u64> {

@@ -26,7 +26,10 @@ struct Model {
 
 impl Model {
     fn new(cap: usize) -> Self {
-        Self { cap, items: Vec::new() }
+        Self {
+            cap,
+            items: Vec::new(),
+        }
     }
 
     fn insert(&mut self, k: u16, v: u32) -> Option<(u16, u32)> {
@@ -35,8 +38,11 @@ impl Model {
             self.items.insert(0, (k, v));
             return None;
         }
-        let evicted =
-            if self.items.len() >= self.cap { Some(self.items.pop().unwrap()) } else { None };
+        let evicted = if self.items.len() >= self.cap {
+            Some(self.items.pop().unwrap())
+        } else {
+            None
+        };
         self.items.insert(0, (k, v));
         evicted
     }

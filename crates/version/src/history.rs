@@ -20,7 +20,9 @@ struct Chunk<T> {
 
 impl<T> Chunk<T> {
     fn new() -> Self {
-        Self { slots: (0..CHUNK).map(|_| OnceSlot::new()).collect() }
+        Self {
+            slots: (0..CHUNK).map(|_| OnceSlot::new()).collect(),
+        }
     }
 }
 
@@ -40,7 +42,9 @@ impl<T> Default for ConcurrentHistory<T> {
 impl<T> ConcurrentHistory<T> {
     /// Empty history.
     pub fn new() -> Self {
-        Self { chunks: RwLock::new(Vec::new()) }
+        Self {
+            chunks: RwLock::new(Vec::new()),
+        }
     }
 
     fn chunk_for(&self, v: u64) -> Arc<Chunk<T>> {

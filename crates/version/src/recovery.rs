@@ -16,7 +16,7 @@
 //! unpublished versions were never readable.
 
 use crate::state::VersionRegistry;
-use blobseer_proto::wire::{Reader, Wire};
+use blobseer_proto::wire::{Reader, Wire, WireBuf};
 use blobseer_proto::{BlobError, CodecError, Geometry, Segment, Version, WriteId};
 
 /// Serialized form of one blob's durable state.
@@ -33,7 +33,7 @@ pub struct BlobSnapshot {
 }
 
 impl Wire for BlobSnapshot {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut WireBuf) {
         self.blob.encode(out);
         self.total_size.encode(out);
         self.page_size.encode(out);
@@ -73,11 +73,11 @@ pub fn snapshot(registry: &VersionRegistry) -> Vec<u8> {
             writes,
         });
     }
-    let mut out = Vec::new();
+    let mut out = WireBuf::new();
     MAGIC.encode(&mut out);
     FORMAT.encode(&mut out);
     blobs.encode(&mut out);
-    out
+    out.finish().to_vec()
 }
 
 /// Rebuild a registry from a snapshot.
@@ -106,8 +106,7 @@ pub fn restore(bytes: &[u8], window: usize) -> Result<VersionRegistry, BlobError
         // write is assigned and completed in order, which reconstructs the
         // version index and the watermark exactly.
         for (expect_v, (write, offset, size)) in b.writes.iter().enumerate() {
-            let ticket = state
-                .request_version(WriteId(*write), Segment::new(*offset, *size))?;
+            let ticket = state.request_version(WriteId(*write), Segment::new(*offset, *size))?;
             debug_assert_eq!(ticket.version, expect_v as Version + 1);
             state.complete_write(ticket.version)?;
         }
@@ -128,7 +127,9 @@ mod tests {
         let reg = VersionRegistry::default();
         let b = reg.create_blob(geom());
         for (w, s) in [(1u64, (0u64, 8192u64)), (2, (0, 1024)), (3, (2048, 2048))] {
-            let t = b.request_version(WriteId(w), Segment::new(s.0, s.1)).unwrap();
+            let t = b
+                .request_version(WriteId(w), Segment::new(s.0, s.1))
+                .unwrap();
             b.complete_write(t.version).unwrap();
         }
         let bytes = snapshot(&reg);
@@ -138,8 +139,12 @@ mod tests {
         assert_eq!(rb.geom, b.geom);
 
         // Border links for the next write must match on both registries.
-        let t_orig = b.request_version(WriteId(9), Segment::new(1024, 1024)).unwrap();
-        let t_rest = rb.request_version(WriteId(9), Segment::new(1024, 1024)).unwrap();
+        let t_orig = b
+            .request_version(WriteId(9), Segment::new(1024, 1024))
+            .unwrap();
+        let t_rest = rb
+            .request_version(WriteId(9), Segment::new(1024, 1024))
+            .unwrap();
         assert_eq!(t_orig.version, t_rest.version);
         assert_eq!(t_orig.borders, t_rest.borders);
     }
@@ -148,16 +153,22 @@ mod tests {
     fn in_flight_writes_are_dropped() {
         let reg = VersionRegistry::default();
         let b = reg.create_blob(geom());
-        let t1 = b.request_version(WriteId(1), Segment::new(0, 1024)).unwrap();
+        let t1 = b
+            .request_version(WriteId(1), Segment::new(0, 1024))
+            .unwrap();
         b.complete_write(t1.version).unwrap();
         // v2 assigned but never completed.
-        let _t2 = b.request_version(WriteId(2), Segment::new(1024, 1024)).unwrap();
+        let _t2 = b
+            .request_version(WriteId(2), Segment::new(1024, 1024))
+            .unwrap();
 
         let restored = restore(&snapshot(&reg), 1 << 10).unwrap();
         let rb = restored.get(b.blob).unwrap();
         assert_eq!(rb.latest(), 1, "unpublished writes do not survive failover");
         // The recovered manager hands out version 2 afresh.
-        let t = rb.request_version(WriteId(3), Segment::new(0, 1024)).unwrap();
+        let t = rb
+            .request_version(WriteId(3), Segment::new(0, 1024))
+            .unwrap();
         assert_eq!(t.version, 2);
     }
 
@@ -166,7 +177,9 @@ mod tests {
         let reg = VersionRegistry::default();
         let b1 = reg.create_blob(geom());
         let b2 = reg.create_blob(Geometry::new(4096, 512).unwrap());
-        let t = b2.request_version(WriteId(5), Segment::new(0, 512)).unwrap();
+        let t = b2
+            .request_version(WriteId(5), Segment::new(0, 512))
+            .unwrap();
         b2.complete_write(t.version).unwrap();
 
         let restored = restore(&snapshot(&reg), 1 << 10).unwrap();
@@ -184,7 +197,9 @@ mod tests {
         let reg = VersionRegistry::default();
         let b = reg.create_blob(geom());
         for (w, s) in [(1u64, (0u64, 8192u64)), (2, (0, 1024)), (3, (0, 1024))] {
-            let t = b.request_version(WriteId(w), Segment::new(s.0, s.1)).unwrap();
+            let t = b
+                .request_version(WriteId(w), Segment::new(s.0, s.1))
+                .unwrap();
             b.complete_write(t.version).unwrap();
         }
         let bytes = snapshot(&reg);

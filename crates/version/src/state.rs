@@ -64,7 +64,10 @@ impl BlobState {
         Self {
             blob,
             geom,
-            assign: Mutex::new(AssignState { next_version: 1, index: IntervalMap::new() }),
+            assign: Mutex::new(AssignState {
+                next_version: 1,
+                index: IntervalMap::new(),
+            }),
             window: PublishWindow::new(window),
             history: ConcurrentHistory::new(),
             gc_floor: AtomicU64::new(1),
@@ -98,11 +101,7 @@ impl BlobState {
     /// are still being written: the version index is updated at
     /// *assignment* time, so a later writer's links already account for
     /// every in-flight earlier write.
-    pub fn request_version(
-        &self,
-        write: WriteId,
-        seg: Segment,
-    ) -> Result<WriteTicket, BlobError> {
+    pub fn request_version(&self, write: WriteId, seg: Segment) -> Result<WriteTicket, BlobError> {
         self.geom.validate_aligned(&seg)?;
         let (version, links) = {
             let mut st = self.assign.lock();
@@ -111,16 +110,24 @@ impl BlobState {
                 return Err(BlobError::Internal("too many in-flight writes"));
             }
             let specs = border_specs(&self.geom, &seg);
-            let links =
-                borders_to_links(&specs, |child| st.index.range_max(child.offset, child.end()));
+            let links = borders_to_links(&specs, |child| {
+                st.index.range_max(child.offset, child.end())
+            });
             st.index.assign(seg.offset, seg.end(), v);
             st.next_version += 1;
             (v, links)
         };
-        let rec = WriteRecord { seg, write, completed: Arc::new(AtomicBool::new(false)) };
+        let rec = WriteRecord {
+            seg,
+            write,
+            completed: Arc::new(AtomicBool::new(false)),
+        };
         let fresh = self.history.set(version, rec);
         debug_assert!(fresh, "version numbers are unique");
-        Ok(WriteTicket { version, borders: links })
+        Ok(WriteTicket {
+            version,
+            borders: links,
+        })
     }
 
     /// A writer reports success; publication advances over the contiguous
@@ -207,7 +214,11 @@ impl Default for VersionRegistry {
 impl VersionRegistry {
     /// Create a registry whose blobs allow `window` in-flight writes.
     pub fn new(window: usize) -> Self {
-        Self { blobs: ShardedMap::with_shards(16), next_blob: AtomicU64::new(1), window }
+        Self {
+            blobs: ShardedMap::with_shards(16),
+            next_blob: AtomicU64::new(1),
+            window,
+        }
     }
 
     /// `ALLOC`: create a blob, returning its globally unique id.
@@ -243,7 +254,9 @@ impl VersionRegistry {
 
     /// Look up a blob.
     pub fn get(&self, blob: BlobId) -> Result<Arc<BlobState>, BlobError> {
-        self.blobs.get_cloned(&blob).ok_or(BlobError::UnknownBlob(blob))
+        self.blobs
+            .get_cloned(&blob)
+            .ok_or(BlobError::UnknownBlob(blob))
     }
 
     /// Number of registered blobs.
@@ -376,8 +389,13 @@ mod tests {
         // v1's interior nodes along page-0 path die too; its right-side
         // subtree survives.
         assert!(plan.dead_nodes.iter().all(|k| k.version < 3));
-        assert!(!plan.dead_nodes.iter().any(|k| k.offset >= 1024 && k.size == 1024),
-            "no surviving leaf outside page 0 may be collected");
+        assert!(
+            !plan
+                .dead_nodes
+                .iter()
+                .any(|k| k.offset >= 1024 && k.size == 1024),
+            "no surviving leaf outside page 0 may be collected"
+        );
         // Second plan with the same floor returns nothing new.
         assert!(b.gc_plan(3).dead_nodes.is_empty());
     }

@@ -13,9 +13,8 @@ use blobseer_meta::write::build_write_tree;
 use blobseer_proto::tree::{NodeBody, NodeKey, PageKey, PageLoc};
 use blobseer_proto::{BlobId, Geometry, ProviderId, Segment, WriteId};
 use blobseer_util::rng::rng_for;
-use blobseer_util::ShardedMap;
+use blobseer_util::{PageBuf, ShardedMap};
 use blobseer_version::VersionRegistry;
-use bytes::Bytes;
 use rand::Rng;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -29,7 +28,7 @@ const TOTAL: u64 = PAGE * PAGES;
 struct MiniCluster {
     registry: VersionRegistry,
     nodes: ShardedMap<NodeKey, NodeBody>,
-    pages: ShardedMap<PageKey, Bytes>,
+    pages: ShardedMap<PageKey, PageBuf>,
     next_write: AtomicU64,
 }
 
@@ -57,10 +56,20 @@ impl MiniCluster {
         let first = geom.page_of(seg.offset);
         let mut locs = Vec::new();
         for (i, page) in geom.pages_touching(&seg).iter().enumerate() {
-            let key = PageKey { blob, write: wid, index: page };
+            let key = PageKey {
+                blob,
+                write: wid,
+                index: page,
+            };
             let start = i * PAGE as usize;
-            self.pages.insert(key, Bytes::copy_from_slice(&data[start..start + PAGE as usize]));
-            locs.push(PageLoc { key, replicas: vec![ProviderId(0)] });
+            self.pages.insert(
+                key,
+                PageBuf::copy_from_slice(&data[start..start + PAGE as usize]),
+            );
+            locs.push(PageLoc {
+                key,
+                replicas: vec![ProviderId(0)],
+            });
             let _ = first;
         }
         // 3. version + border links from the version manager.
@@ -87,7 +96,10 @@ impl MiniCluster {
         let mut zeros = Vec::new();
         let mut hits = Vec::new();
         while let Some(key) = frontier.pop() {
-            let body = self.nodes.get_cloned(&key).expect("published metadata present");
+            let body = self
+                .nodes
+                .get_cloned(&key)
+                .expect("published metadata present");
             for visit in expand(&geom, &key, &body, &seg).unwrap() {
                 match visit {
                     Visit::Descend(k) => frontier.push(k),
@@ -113,7 +125,11 @@ fn fill_for(version_hint: u64, seg: Segment) -> Vec<u8> {
     // Content depends only on (version_hint, seg) so validators can
     // recompute it; vary per byte to catch offset bugs.
     (0..seg.size)
-        .map(|i| (version_hint as u8).wrapping_mul(31).wrapping_add((seg.offset + i) as u8))
+        .map(|i| {
+            (version_hint as u8)
+                .wrapping_mul(31)
+                .wrapping_add((seg.offset + i) as u8)
+        })
         .collect()
 }
 

@@ -32,7 +32,10 @@ fn main() {
     let (ok, _) = client.read(&mut ctx, info.blob, Some(1), seg).unwrap();
     assert_eq!(ok, data);
     let healthy_vt = ctx.vt;
-    println!("healthy read OK ({})", blobseer::util::stats::fmt_ns(healthy_vt));
+    println!(
+        "healthy read OK ({})",
+        blobseer::util::stats::fmt_ns(healthy_vt)
+    );
 
     // Kill each node in turn (revive before the next kill): with 2x
     // replication the system tolerates any *single* concurrent failure,

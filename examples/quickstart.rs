@@ -18,7 +18,11 @@ fn main() {
     // ALLOC: a 1 TB logical blob with 64 KB pages. Storage is allocated
     // on write, so this costs nothing until data arrives.
     let info = client.alloc(&mut ctx, 1 << 40, 64 << 10).unwrap();
-    println!("allocated blob {} ({} pages of 64 KiB)", info.blob, 1u64 << 24);
+    println!(
+        "allocated blob {} ({} pages of 64 KiB)",
+        info.blob,
+        1u64 << 24
+    );
 
     // WRITE: each write patches a segment and publishes a new immutable
     // snapshot version.
@@ -27,7 +31,9 @@ fn main() {
     println!("v{} written: 1 MiB at offset 0", v1);
 
     let patch = vec![0xCDu8; 128 << 10];
-    let v2 = client.write(&mut ctx, info.blob, 256 << 10, &patch).unwrap();
+    let v2 = client
+        .write(&mut ctx, info.blob, 256 << 10, &patch)
+        .unwrap();
     println!("v{} written: 128 KiB at offset 256 KiB", v2);
 
     // READ: the old snapshot is untouched by the new write.

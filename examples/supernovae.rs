@@ -22,9 +22,17 @@ fn main() {
     let model = SkyModel::new(geom, SynthConfig::default(), 0xa57e0, 10, 5);
     println!(
         "sky: {}x{} tiles of {}x{} px, {} epochs, {} injected transients",
-        geom.tiles_x, geom.tiles_y, geom.tile_px, geom.tile_px, epochs, model.transients.len()
+        geom.tiles_x,
+        geom.tiles_y,
+        geom.tile_px,
+        geom.tile_px,
+        epochs,
+        model.transients.len()
     );
-    println!("epoch size: {}", blobseer::util::stats::fmt_bytes(geom.epoch_bytes()));
+    println!(
+        "epoch size: {}",
+        blobseer::util::stats::fmt_bytes(geom.epoch_bytes())
+    );
 
     // Embedded concurrent engine (wall-clock run).
     let engine = Arc::new(LocalEngine::new());
@@ -63,7 +71,11 @@ fn main() {
 
     // Detection: scan every epoch against the epoch-0 template.
     let cfg = DetectConfig::default();
-    let detector = Detector { geom, config: cfg, backend: Arc::clone(&backend) };
+    let detector = Detector {
+        geom,
+        config: cfg,
+        backend: Arc::clone(&backend),
+    };
     let t1 = Instant::now();
     let mut candidates = Vec::new();
     for e in 1..epochs {
@@ -88,7 +100,12 @@ fn main() {
     for (i, sn) in report.supernovae.iter().enumerate() {
         println!(
             "  SN {}: tile ({},{}) at ({:.1},{:.1}), {} epochs observed",
-            i, sn.tx, sn.ty, sn.x, sn.y, sn.samples.len()
+            i,
+            sn.tx,
+            sn.ty,
+            sn.x,
+            sn.y,
+            sn.samples.len()
         );
     }
 }

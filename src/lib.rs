@@ -46,6 +46,39 @@
 //! let (new, _) = client.read(&mut ctx, blob, Some(v2), Segment::new(4096, 4096)).unwrap();
 //! assert!(new.iter().all(|&b| b == 9)); // v2 view
 //! ```
+//!
+//! ## Zero-copy data path
+//!
+//! Pages are immutable once written, so they travel the whole system as
+//! refcounted [`PageBuf`]s: `write` copies the caller's buffer exactly
+//! once (and [`BlobClient::write_buf`] not at all), replica fan-out and
+//! RPC batching share that one allocation, and reads copy each page
+//! exactly once into the result. `read_into` scatter-assembles into a
+//! caller-provided buffer; a single-page aligned
+//! [`BlobClient::read_buf`] is zero-copy end to end.
+//!
+//! ```
+//! use blobseer::{Ctx, Deployment, DeploymentConfig, PageBuf, Segment};
+//!
+//! let cluster = Deployment::build(DeploymentConfig::functional(4));
+//! let client = cluster.client();
+//! let mut ctx = Ctx::start();
+//! let blob = client.alloc(&mut ctx, 1 << 20, 4096).unwrap().blob;
+//!
+//! // Zero-copy write: the buffer is shared, never duplicated.
+//! let buf = PageBuf::from_vec(vec![5u8; 8192]);
+//! let v = client.write_buf(&mut ctx, blob, 0, buf).unwrap();
+//!
+//! // Scatter-assembling read into a caller-owned buffer.
+//! let mut out = vec![0u8; 8192];
+//! client.read_into(&mut ctx, blob, Some(v), Segment::new(0, 8192), &mut out).unwrap();
+//! assert!(out.iter().all(|&b| b == 5));
+//!
+//! // Single-page aligned read: the returned PageBuf is a refcount
+//! // borrow of the stored page — zero copies.
+//! let (page, _) = client.read_buf(&mut ctx, blob, Some(v), Segment::new(0, 4096)).unwrap();
+//! assert!(page.iter().all(|&b| b == 5));
+//! ```
 
 pub use blobseer_baseline as baseline;
 pub use blobseer_core as core;
@@ -61,6 +94,6 @@ pub use blobseer_version as version;
 
 pub use blobseer_core::{BlobClient, Deployment, DeploymentConfig, LocalEngine};
 pub use blobseer_meta::ReferenceStore;
-pub use blobseer_proto::{BlobError, BlobId, Geometry, Segment, Version};
+pub use blobseer_proto::{BlobError, BlobId, Geometry, PageBuf, Segment, Version};
 pub use blobseer_rpc::{AggregationPolicy, Ctx};
 pub use blobseer_simnet::{ClientCosts, CostModel, ServiceCosts};

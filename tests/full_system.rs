@@ -20,8 +20,12 @@ fn facade_quickstart_compiles_and_runs() {
     let client = d.client();
     let mut ctx = Ctx::start();
     let blob = client.alloc(&mut ctx, TOTAL, PAGE).unwrap().blob;
-    let v = client.write(&mut ctx, blob, 0, &vec![1u8; PAGE as usize]).unwrap();
-    let (data, latest) = client.read(&mut ctx, blob, Some(v), Segment::new(0, PAGE)).unwrap();
+    let v = client
+        .write(&mut ctx, blob, 0, &vec![1u8; PAGE as usize])
+        .unwrap();
+    let (data, latest) = client
+        .read(&mut ctx, blob, Some(v), Segment::new(0, PAGE))
+        .unwrap();
     assert_eq!((v, latest), (1, 1));
     assert!(data.iter().all(|&b| b == 1));
 }
@@ -61,7 +65,9 @@ fn distributed_engine_agrees_with_embedded_and_reference() {
     }
     for v in 0..=oracle.latest() {
         let want = oracle.read(v, Segment::new(0, TOTAL)).unwrap();
-        let (got_d, _) = dist.read(&mut ctx, blob, Some(v), Segment::new(0, TOTAL)).unwrap();
+        let (got_d, _) = dist
+            .read(&mut ctx, blob, Some(v), Segment::new(0, TOTAL))
+            .unwrap();
         let (got_l, _) = local.read(lblob, Some(v), Segment::new(0, TOTAL)).unwrap();
         assert_eq!(got_d, want, "distributed v{v}");
         assert_eq!(got_l, want, "embedded v{v}");
@@ -87,12 +93,16 @@ fn snapshot_isolation_under_interleaved_writers_and_gc() {
             v5_content = model.clone();
         }
     }
-    let (got, _) = c.read(&mut ctx, blob, Some(5), Segment::new(0, TOTAL)).unwrap();
+    let (got, _) = c
+        .read(&mut ctx, blob, Some(5), Segment::new(0, TOTAL))
+        .unwrap();
     assert_eq!(got, v5_content);
 
     // GC keeping >= 5; version 5 must still read exactly the same.
     c.gc(&mut ctx, blob, 5).unwrap();
-    let (got, _) = c.read(&mut ctx, blob, Some(5), Segment::new(0, TOTAL)).unwrap();
+    let (got, _) = c
+        .read(&mut ctx, blob, Some(5), Segment::new(0, TOTAL))
+        .unwrap();
     assert_eq!(got, v5_content, "GC must not disturb kept snapshots");
     // Collected versions fail loudly, not silently.
     assert!(matches!(
@@ -111,7 +121,9 @@ fn costed_deployment_behaves_like_functional() {
     let blob = c.alloc(&mut ctx, TOTAL, PAGE).unwrap().blob;
     let data: Vec<u8> = (0..TOTAL / 2).map(|i| (i % 253) as u8).collect();
     c.write(&mut ctx, blob, 0, &data).unwrap();
-    let (got, _) = c.read(&mut ctx, blob, None, Segment::new(0, TOTAL / 2)).unwrap();
+    let (got, _) = c
+        .read(&mut ctx, blob, None, Segment::new(0, TOTAL / 2))
+        .unwrap();
     assert_eq!(got, data);
     assert!(ctx.vt > 0, "costed transport must consume virtual time");
 }
@@ -126,9 +138,13 @@ fn aggregation_policies_are_functionally_identical() {
         let c = d.client();
         let mut ctx = Ctx::start();
         let blob = c.alloc(&mut ctx, TOTAL, PAGE).unwrap().blob;
-        c.write(&mut ctx, blob, 0, &vec![9u8; (8 * PAGE) as usize]).unwrap();
-        c.write(&mut ctx, blob, 4 * PAGE, &vec![7u8; (8 * PAGE) as usize]).unwrap();
-        let (got, _) = c.read(&mut ctx, blob, None, Segment::new(0, 16 * PAGE)).unwrap();
+        c.write(&mut ctx, blob, 0, &vec![9u8; (8 * PAGE) as usize])
+            .unwrap();
+        c.write(&mut ctx, blob, 4 * PAGE, &vec![7u8; (8 * PAGE) as usize])
+            .unwrap();
+        let (got, _) = c
+            .read(&mut ctx, blob, None, Segment::new(0, 16 * PAGE))
+            .unwrap();
         results.push(got);
     }
     assert_eq!(results[0], results[1]);
@@ -149,10 +165,16 @@ fn replicated_survey_survives_node_loss() {
 
     let setup = d.client();
     let mut sctx = Ctx::start();
-    let blob = setup.alloc(&mut sctx, geom.blob_size(epochs), geom.page_size).unwrap().blob;
+    let blob = setup
+        .alloc(&mut sctx, geom.blob_size(epochs), geom.page_size)
+        .unwrap()
+        .blob;
 
     let backend: Arc<dyn SkyBackend> = Arc::new(SimBackend::new(d.client(), blob));
-    let telescope = Telescope { model: &model, backend: Arc::clone(&backend) };
+    let telescope = Telescope {
+        model: &model,
+        backend: Arc::clone(&backend),
+    };
     for e in 0..epochs {
         telescope.capture_epoch(e).unwrap();
     }
@@ -161,13 +183,25 @@ fn replicated_survey_survives_node_loss() {
     d.kill_storage(1);
 
     let cfg_det = DetectConfig::default();
-    let detector = Detector { geom, config: cfg_det, backend: Arc::clone(&backend) };
+    let detector = Detector {
+        geom,
+        config: cfg_det,
+        backend: Arc::clone(&backend),
+    };
     let mut candidates = Vec::new();
     for e in 1..epochs {
-        candidates.extend(detector.scan_epoch(None, e).expect("replicas must cover the loss"));
+        candidates.extend(
+            detector
+                .scan_epoch(None, e)
+                .expect("replicas must cover the loss"),
+        );
     }
     let report = score(&model, &cfg_det, candidates);
-    assert!(report.recall() > 0.4, "detection still works: {:?}", report.recall());
+    assert!(
+        report.recall() > 0.4,
+        "detection still works: {:?}",
+        report.recall()
+    );
     assert_eq!(report.false_positives, 0);
 }
 
@@ -177,7 +211,9 @@ fn many_threads_one_deployment_stress() {
     let setup = d.client();
     let mut ctx = Ctx::start();
     let blob = setup.alloc(&mut ctx, TOTAL, PAGE).unwrap().blob;
-    setup.write(&mut ctx, blob, 0, &vec![1u8; TOTAL as usize]).unwrap();
+    setup
+        .write(&mut ctx, blob, 0, &vec![1u8; TOTAL as usize])
+        .unwrap();
 
     let threads: Vec<_> = (0..6)
         .map(|t| {
@@ -188,11 +224,13 @@ fn many_threads_one_deployment_stress() {
                 for i in 0..20u64 {
                     if t % 2 == 0 {
                         let off = ((t as u64 * 20 + i) % 60) * PAGE;
-                        c.write(&mut ctx, blob, off, &vec![t as u8 + 2; PAGE as usize]).unwrap();
+                        c.write(&mut ctx, blob, off, &vec![t as u8 + 2; PAGE as usize])
+                            .unwrap();
                     } else {
                         // Version 1 is immutable.
-                        let (buf, _) =
-                            c.read(&mut ctx, blob, Some(1), Segment::new(0, TOTAL)).unwrap();
+                        let (buf, _) = c
+                            .read(&mut ctx, blob, Some(1), Segment::new(0, TOTAL))
+                            .unwrap();
                         assert!(buf.iter().all(|&b| b == 1));
                     }
                 }
