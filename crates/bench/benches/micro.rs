@@ -12,7 +12,9 @@ use blobseer_meta::{node_count_for_write, write_intervals};
 use blobseer_proto::messages::WriteTicket;
 use blobseer_proto::tree::{PageKey, PageLoc, TreeNode};
 use blobseer_proto::{BlobId, Geometry, NodeId, ProviderId, Segment, Wire, WriteId};
-use blobseer_util::{IntervalMap, LruCache};
+use blobseer_provider::{ProviderManagerService, Strategy};
+use blobseer_simnet::ServiceCosts;
+use blobseer_util::{ClockCache, IntervalMap, LruCache};
 use blobseer_version::{PublishWindow, VersionRegistry};
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
@@ -136,6 +138,47 @@ fn bench_lru(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_provider_plan(c: &mut Criterion) {
+    // The control-plane hot path this PR made lock-free: any regression
+    // here shows up before it reaches the client sweep.
+    let mut g = c.benchmark_group("provider_plan");
+    for (name, strategy) in [
+        ("plan_write_p2c_16pages@40", Strategy::PowerOfTwo),
+        ("plan_write_least_loaded_16pages@40", Strategy::LeastLoaded),
+    ] {
+        g.bench_function(name, |b| {
+            let m = ProviderManagerService::new(strategy, 7, ServiceCosts::zero());
+            for i in 0..40 {
+                m.register(ProviderId(i), u64::MAX / 2);
+            }
+            m.set_page_size_hint(64 * 1024);
+            b.iter(|| black_box(m.plan_write(16, 2).unwrap().targets.len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_meta_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("meta_cache");
+    g.bench_function("clock_hit_hot_key", |b| {
+        let cache: ClockCache<u64, u64> = ClockCache::new(1 << 16);
+        for i in 0..(1u64 << 16) {
+            cache.insert(i, i);
+        }
+        b.iter(|| black_box(cache.get(&42)))
+    });
+    g.bench_function("clock_insert_evict_cycle", |b| {
+        let cache: ClockCache<u64, u64> = ClockCache::new(1024);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            cache.insert(i, i);
+            black_box(i)
+        })
+    });
+    g.finish();
+}
+
 fn bench_ring(c: &mut Criterion) {
     let members: Vec<NodeId> = (0..40).map(NodeId).collect();
     let ring = Ring::new(&members, 128, 2, 7);
@@ -218,6 +261,8 @@ criterion_group! {
         bench_tree_algebra,
         bench_codec,
         bench_lru,
+        bench_meta_cache,
+        bench_provider_plan,
         bench_ring,
         bench_version_manager,
         bench_local_engine

@@ -29,9 +29,16 @@ use blobseer_proto::tree::{NodeBody, NodeKey, PageKey, PageLoc};
 use blobseer_proto::{BlobError, BlobId, Geometry, NodeId, PageBuf, ProviderId, Segment, Version};
 use blobseer_rpc::{Ctx, RpcClient};
 use blobseer_simnet::ClientCosts;
-use blobseer_util::{FxHashMap, LruCache};
-use parking_lot::{Mutex, RwLock};
+use blobseer_util::{lockmeter, ClockCache, FxHashMap};
+use parking_lot::RwLock;
 use std::sync::Arc;
+
+/// The client-side metadata-tree cache: a sharded concurrent CLOCK cache
+/// of refcounted tree-node bodies. One instance may be shared by any
+/// number of [`BlobClient`]s (tree nodes are immutable, so the cache
+/// never needs invalidation), letting co-located readers warm one cache
+/// instead of N cold ones.
+pub type MetaCache = ClockCache<NodeKey, Arc<NodeBody>>;
 
 /// Virtual-time breakdown of one WRITE (Figure 3(b)'s instrument).
 #[derive(Clone, Copy, Debug, Default)]
@@ -101,28 +108,32 @@ struct ReadPlan {
 }
 
 /// A client of the blob store. One instance per logical client process;
-/// cheap to create, internally synchronized only for its private cache.
+/// cheap to create. Nothing in it serializes independent operations: the
+/// metadata cache is a shared concurrent [`MetaCache`] and the geometry
+/// map is read-checked before its write lock is ever touched (see
+/// `crates/core/tests/lock_free.rs` for the measured invariant).
 pub struct BlobClient {
     rpc: RpcClient,
     vm: NodeId,
     pm: NodeId,
     dht: DhtClient,
     costs: ClientCosts,
-    cache: Option<Mutex<LruCache<NodeKey, Arc<NodeBody>>>>,
+    cache: Option<Arc<MetaCache>>,
     geoms: RwLock<FxHashMap<BlobId, Geometry>>,
     replication: u32,
 }
 
 impl BlobClient {
     /// Assemble a client. Usually called via
-    /// [`Deployment::client`](crate::Deployment::client).
+    /// [`Deployment::client`](crate::Deployment::client), which hands
+    /// every client one shared [`MetaCache`].
     pub fn new(
         rpc: RpcClient,
         vm: NodeId,
         pm: NodeId,
         ring: Arc<RwLock<Ring>>,
         costs: ClientCosts,
-        cache_nodes: usize,
+        cache: Option<Arc<MetaCache>>,
         replication: u32,
     ) -> Self {
         let dht = DhtClient::new(rpc.clone(), ring);
@@ -132,15 +143,29 @@ impl BlobClient {
             pm,
             dht,
             costs,
-            cache: (cache_nodes > 0).then(|| Mutex::new(LruCache::new(cache_nodes))),
+            cache,
             geoms: RwLock::new(FxHashMap::default()),
             replication,
         }
     }
 
-    /// `(hits, misses)` of the metadata cache, if enabled.
+    /// `(hits, misses)` of the metadata cache, if enabled. When the cache
+    /// is shared, the counters aggregate every sharing client.
     pub fn cache_stats(&self) -> Option<(u64, u64)> {
-        self.cache.as_ref().map(|c| c.lock().stats())
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Record `blob`'s geometry, write-locking the map only when the
+    /// entry is actually new or changed — repeated opens of a known blob
+    /// stay lock-write-free (geometries are immutable, so the read check
+    /// almost always suffices).
+    fn remember_geometry(&self, blob: BlobId, geom: Geometry) {
+        lockmeter::record_shared();
+        if self.geoms.read().get(&blob) == Some(&geom) {
+            return;
+        }
+        lockmeter::record_serializing();
+        self.geoms.write().insert(blob, geom);
     }
 
     /// `ALLOC`: create a blob, returning its descriptor.
@@ -159,7 +184,7 @@ impl BlobClient {
                 page_size,
             },
         )?;
-        self.geoms.write().insert(info.blob, info.geometry());
+        self.remember_geometry(info.blob, info.geometry());
         Ok(info)
     }
 
@@ -168,7 +193,7 @@ impl BlobClient {
         let info: BlobInfo = self
             .rpc
             .call(ctx, self.vm, method::GET_BLOB, &GetLatest { blob })?;
-        self.geoms.write().insert(info.blob, info.geometry());
+        self.remember_geometry(info.blob, info.geometry());
         Ok(info)
     }
 
@@ -179,6 +204,7 @@ impl BlobClient {
     }
 
     fn geometry(&self, ctx: &mut Ctx, blob: BlobId) -> Result<Geometry, BlobError> {
+        lockmeter::record_shared();
         if let Some(g) = self.geoms.read().get(&blob) {
             return Ok(*g);
         }
@@ -337,9 +363,11 @@ impl BlobClient {
         ctx.advance(self.costs.build_node_ns * nodes.len() as u64);
         self.dht.put_nodes(ctx, &nodes)?;
         if let Some(cache) = &self.cache {
-            let mut c = cache.lock();
+            // Best effort: a writer never blocks on a contended cache
+            // shard just to pre-warm readers — a skipped insert costs at
+            // most one DHT fetch later.
             for n in &nodes {
-                c.insert(n.key, Arc::new(n.body.clone()));
+                cache.try_insert(n.key, Arc::new(n.body.clone()));
             }
             ctx.advance(self.costs.cache_ns * nodes.len() as u64);
         }
@@ -554,10 +582,9 @@ impl BlobClient {
             let mut bodies: Vec<Option<Arc<NodeBody>>> = vec![None; frontier.len()];
             let mut missing_idx = Vec::new();
             if let Some(cache) = &self.cache {
-                let mut c = cache.lock();
                 for (i, key) in frontier.iter().enumerate() {
-                    match c.get(key) {
-                        Some(body) => bodies[i] = Some(Arc::clone(body)),
+                    match cache.get(key) {
+                        Some(body) => bodies[i] = Some(body),
                         None => missing_idx.push(i),
                     }
                 }
@@ -575,7 +602,7 @@ impl BlobClient {
                     })?;
                     let body = Arc::new(node.body);
                     if let Some(cache) = &self.cache {
-                        cache.lock().insert(node.key, Arc::clone(&body));
+                        cache.insert(node.key, Arc::clone(&body));
                     }
                     bodies[i] = Some(body);
                 }
@@ -729,9 +756,8 @@ impl BlobClient {
         // Drop the metadata (all replicas) and purge the local cache.
         let removed_nodes = self.dht.remove_nodes(ctx, &plan.dead_nodes);
         if let Some(cache) = &self.cache {
-            let mut c = cache.lock();
             for k in &plan.dead_nodes {
-                c.remove(k);
+                cache.remove(k);
             }
         }
         Ok((removed_nodes, removed_pages))

@@ -8,7 +8,7 @@
 //! handle from which any number of [`BlobClient`](crate::BlobClient)s can
 //! be spawned.
 
-use crate::client::BlobClient;
+use crate::client::{BlobClient, MetaCache};
 use crate::vm_service::VersionManagerService;
 use blobseer_dht::{DhtNodeService, Ring};
 use blobseer_proto::messages::ProviderStats;
@@ -67,8 +67,10 @@ pub struct DeploymentConfig {
     pub client_costs: ClientCosts,
     /// RPC aggregation (the paper's optimization; off for ablations).
     pub aggregation: AggregationPolicy,
-    /// Client metadata cache capacity in tree nodes (0 disables; the
-    /// paper's experiments use 2^20 when enabled).
+    /// Metadata cache capacity in tree nodes (0 disables; the paper's
+    /// experiments use 2^20 when enabled). One concurrent cache is built
+    /// per deployment and shared by every client it spawns, so
+    /// co-located readers warm a single cache.
     pub cache_nodes: usize,
     /// Placement/ring seed.
     pub seed: u64,
@@ -81,8 +83,8 @@ impl DeploymentConfig {
             providers,
             replication: 1,
             meta_replication: 1,
-            strategy: Strategy::LeastLoaded,
-            provider_capacity: 4 << 30, // 4 GB nodes
+            strategy: Strategy::default(), // power of two choices
+            provider_capacity: 4 << 30,    // 4 GB nodes
             cost: CostModel::grid5000(),
             service_costs: ServiceCosts::grid5000(),
             client_costs: ClientCosts::grid5000(),
@@ -99,7 +101,7 @@ impl DeploymentConfig {
             providers,
             replication: 1,
             meta_replication: 1,
-            strategy: Strategy::LeastLoaded,
+            strategy: Strategy::default(),
             provider_capacity: u64::MAX,
             cost: CostModel::zero(),
             service_costs: ServiceCosts::zero(),
@@ -131,6 +133,9 @@ pub struct Deployment {
     pub manager: Arc<ProviderManagerService>,
     /// The shared metadata ring.
     pub ring: Arc<RwLock<Ring>>,
+    /// The metadata cache shared by every client of this deployment
+    /// (`None` when `cache_nodes == 0`).
+    pub meta_cache: Option<Arc<MetaCache>>,
 }
 
 impl Deployment {
@@ -188,6 +193,9 @@ impl Deployment {
             config.seed,
         )));
 
+        let meta_cache =
+            (config.cache_nodes > 0).then(|| Arc::new(MetaCache::new(config.cache_nodes)));
+
         Self {
             cluster,
             config,
@@ -198,10 +206,12 @@ impl Deployment {
             storage,
             manager,
             ring,
+            meta_cache,
         }
     }
 
-    /// Spawn a client on its own fresh node.
+    /// Spawn a client on its own fresh node. All clients of one
+    /// deployment share the same concurrent metadata cache.
     pub fn client(&self) -> BlobClient {
         let node = self.cluster.add_node();
         let rpc = RpcClient::new(Arc::clone(&self.cluster) as _, node)
@@ -212,7 +222,7 @@ impl Deployment {
             self.pm_node,
             Arc::clone(&self.ring),
             self.config.client_costs,
-            self.config.cache_nodes,
+            self.meta_cache.clone(),
             self.config.replication,
         )
     }

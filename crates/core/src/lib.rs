@@ -31,7 +31,7 @@ pub mod deployment;
 pub mod local;
 pub mod vm_service;
 
-pub use client::BlobClient;
+pub use client::{BlobClient, MetaCache};
 pub use deployment::{Deployment, DeploymentConfig, StorageNodeService};
 pub use local::LocalEngine;
 pub use vm_service::VersionManagerService;

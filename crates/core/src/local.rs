@@ -11,6 +11,11 @@
 //!   `blobseer-baseline` (same memory regime, same thread model — the only
 //!   variable is the concurrency control design);
 //! * the workhorse of wall-clock stress tests.
+//!
+//! Its lock profile is the paper's ideal and is asserted below with the
+//! lock meter: one version-assignment acquisition per write, zero
+//! control-plane locks of any other class (the page and node stores are
+//! sharded data-plane maps, deliberately outside the meter).
 
 use blobseer_meta::read::{assemble_read, expand, root_key, Visit};
 use blobseer_meta::shape::align_to_pages;
@@ -271,6 +276,27 @@ mod tests {
         assert!(n > 0 && p > 0);
         let (buf, _) = e.read(blob, Some(3), Segment::new(0, TOTAL)).unwrap();
         assert!(buf[..PAGE as usize].iter().all(|&b| b == 3));
+    }
+
+    #[test]
+    fn embedded_lock_profile_matches_the_paper() {
+        use blobseer_util::lockmeter;
+        let e = LocalEngine::new();
+        let blob = e.alloc(TOTAL, PAGE).unwrap();
+        let data = vec![1u8; TOTAL as usize];
+        e.write(blob, 0, &data).unwrap(); // warm
+
+        let snap = lockmeter::thread_snapshot();
+        e.write(blob, 0, &data).unwrap();
+        let w = snap.since();
+        assert_eq!(w.version_assign, 1, "{w:?}");
+        assert_eq!(w.serializing, 0, "{w:?}");
+        assert_eq!(w.sharded, 0, "{w:?}");
+
+        let snap = lockmeter::thread_snapshot();
+        e.read(blob, None, Segment::new(0, TOTAL)).unwrap();
+        let r = snap.since();
+        assert_eq!(r.total_exclusive(), 0, "{r:?}");
     }
 
     #[test]

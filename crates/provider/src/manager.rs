@@ -5,9 +5,30 @@
 //! strategy that favors global load balancing." It also issues the unique
 //! write ids under which pages are stored before their version exists.
 //!
-//! Three allocation strategies are provided; the default is
-//! [`Strategy::LeastLoaded`], which uses registered capacity, heartbeat
-//! usage reports and an in-flight assignment counter.
+//! **Lock discipline (PR 2).** `plan_write` is on every WRITE's critical
+//! path, so it holds no lock: the provider roster is an [`RcuCell`]
+//! snapshot (membership changes — register of a *new* provider — republish
+//! it; they are O(cluster size) over a process lifetime), and all mutable
+//! per-provider state (capacity, heartbeat-reported usage, in-flight
+//! projection, liveness) lives in atomics inside the shared
+//! [`ProviderSlot`]s, so `heartbeat` and `mark_dead` are O(1) wait-free
+//! index lookups plus atomic stores — no write lock, no O(n) scan.
+//! Capacity is *reserved* with a compare-and-swap loop
+//! ([`ProviderSlot::try_reserve`]), so concurrent planners can never
+//! oversubscribe a provider's projected capacity.
+//!
+//! Four allocation strategies are provided; the default is
+//! [`Strategy::PowerOfTwo`] — sample two distinct alive candidates, place
+//! on the one with more projected free capacity — which gets within a
+//! constant factor of least-loaded balance at O(1) cost per replica
+//! instead of an O(n) scan. `LeastLoaded` (exact scan), `RoundRobin` and
+//! `Random` are preserved for ablations and tests.
+//!
+//! The pre-PR-2 serialized regime survives as an ablation: with
+//! [`blobseer_util::lockmeter::set_serialized_control_plane`] enabled,
+//! every `plan_write` funnels through one global mutex (charged to the
+//! lock meter as a serializing acquisition) so the `pr2_lockfree` bench
+//! can measure the contention cliff it removes.
 
 use blobseer_proto::messages::{
     method, Heartbeat, PlanWrite, ProviderStats, RegisterProvider, WritePlan,
@@ -16,49 +37,141 @@ use blobseer_proto::{BlobError, ProviderId, WriteId};
 use blobseer_rpc::{error_frame, respond, Frame, ServerCtx, Service};
 use blobseer_simnet::ServiceCosts;
 use blobseer_util::rng::splitmix64;
-use parking_lot::RwLock;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use blobseer_util::{lockmeter, FxHashMap, RcuCell};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Page-to-provider allocation strategy.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum Strategy {
     /// Cycle through providers (ignores load).
     RoundRobin,
-    /// Prefer the provider with the most free capacity, counting both
-    /// heartbeat-reported usage and not-yet-reported in-flight
-    /// assignments.
-    #[default]
+    /// Exact scan for the provider with the most projected free capacity
+    /// (heartbeat-reported usage plus not-yet-reported in-flight
+    /// assignments). O(providers) per replica.
     LeastLoaded,
     /// Uniform random (seeded; useful as a baseline in ablations).
     Random,
+    /// Power of two choices: sample two distinct alive candidates, place
+    /// on the one with more projected free capacity. O(1) per replica
+    /// with near-least-loaded balance; never oversubscribes projected
+    /// capacity (reservations are CAS-checked).
+    #[default]
+    PowerOfTwo,
 }
 
+/// One registered provider: immutable identity plus atomically updated
+/// load state, shared between roster snapshots across membership changes.
 #[derive(Debug)]
-struct ProviderEntry {
+pub struct ProviderSlot {
     id: ProviderId,
-    capacity: u64,
-    reported: ProviderStats,
+    capacity: AtomicU64,
+    /// Heartbeat-reported stored bytes.
+    reported: AtomicU64,
     /// Bytes assigned by plans since the last heartbeat.
-    in_flight: u64,
-    alive: bool,
+    in_flight: AtomicU64,
+    alive: AtomicBool,
 }
 
-impl ProviderEntry {
-    fn projected_free(&self) -> u64 {
+impl ProviderSlot {
+    fn new(id: ProviderId, capacity: u64) -> Self {
+        Self {
+            id,
+            capacity: AtomicU64::new(capacity),
+            reported: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            alive: AtomicBool::new(true),
+        }
+    }
+
+    /// Capacity minus reported usage minus in-flight assignments.
+    pub fn projected_free(&self) -> u64 {
         self.capacity
-            .saturating_sub(self.reported.bytes + self.in_flight)
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.reported.load(Ordering::Relaxed))
+            .saturating_sub(self.in_flight.load(Ordering::Relaxed))
+    }
+
+    /// Reserve `bytes` of projected capacity with a CAS loop; fails (and
+    /// reserves nothing) when the projection would exceed capacity. This
+    /// is what makes concurrent lock-free planners unable to
+    /// oversubscribe a provider.
+    fn try_reserve(&self, bytes: u64) -> bool {
+        let cap = self.capacity.load(Ordering::Relaxed);
+        let reported = self.reported.load(Ordering::Relaxed);
+        let mut in_flight = self.in_flight.load(Ordering::Relaxed);
+        loop {
+            if cap.saturating_sub(reported).saturating_sub(in_flight) < bytes {
+                return false;
+            }
+            match self.in_flight.compare_exchange_weak(
+                in_flight,
+                in_flight + bytes,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => in_flight = actual,
+            }
+        }
+    }
+
+    /// Return a reservation made by [`ProviderSlot::try_reserve`] (or a
+    /// plain in-flight charge) when a plan fails midway. Saturating: a
+    /// concurrent heartbeat may already have zeroed the projection.
+    fn release(&self, bytes: u64) {
+        let _ = self
+            .in_flight
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(bytes))
+            });
+    }
+}
+
+/// Diagnostic projection of one provider's state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProviderProjection {
+    /// Registered capacity, bytes.
+    pub capacity: u64,
+    /// Heartbeat-reported stored bytes.
+    pub reported: u64,
+    /// Bytes assigned by plans since the last heartbeat.
+    pub in_flight: u64,
+    /// Whether the provider is eligible for assignments.
+    pub alive: bool,
+}
+
+/// An immutable snapshot of the provider membership. Slot *state* mutates
+/// through atomics; the snapshot itself is replaced only when a new
+/// provider registers.
+#[derive(Default)]
+struct Roster {
+    slots: Vec<Arc<ProviderSlot>>,
+    by_id: FxHashMap<ProviderId, usize>,
+}
+
+impl Roster {
+    fn with(&self, slot: Arc<ProviderSlot>) -> Roster {
+        let mut slots = self.slots.clone();
+        let mut by_id = self.by_id.clone();
+        by_id.insert(slot.id, slots.len());
+        slots.push(slot);
+        Roster { slots, by_id }
     }
 }
 
 /// The provider manager service.
 pub struct ProviderManagerService {
-    providers: RwLock<Vec<ProviderEntry>>,
+    roster: RcuCell<Roster>,
     next_write: AtomicU64,
     cursor: AtomicUsize,
     rng_state: AtomicU64,
     strategy: Strategy,
     /// Bytes a single page occupies, used to project in-flight load.
     page_size_hint: AtomicU64,
+    /// Engaged only under the serialized-control-plane ablation.
+    serial: Mutex<()>,
     costs: ServiceCosts,
 }
 
@@ -66,12 +179,13 @@ impl ProviderManagerService {
     /// Empty manager.
     pub fn new(strategy: Strategy, seed: u64, costs: ServiceCosts) -> Self {
         Self {
-            providers: RwLock::new(Vec::new()),
+            roster: RcuCell::new(Roster::default()),
             next_write: AtomicU64::new(1),
             cursor: AtomicUsize::new(0),
             rng_state: AtomicU64::new(seed | 1),
             strategy,
             page_size_hint: AtomicU64::new(64 * 1024),
+            serial: Mutex::new(()),
             costs,
         }
     }
@@ -81,121 +195,271 @@ impl ProviderManagerService {
         self.page_size_hint.store(bytes.max(1), Ordering::Relaxed);
     }
 
-    /// Registered provider count.
+    /// Registered provider count (alive or dead).
     pub fn provider_count(&self) -> usize {
-        self.providers.read().len()
+        self.roster.load().slots.len()
     }
 
-    /// Register (idempotent on re-register with new capacity).
+    /// Register (idempotent on re-register with new capacity). Known
+    /// providers are revived in place — two atomic stores, no snapshot
+    /// churn; only a *new* provider publishes a new roster snapshot.
     pub fn register(&self, provider: ProviderId, capacity: u64) {
-        let mut g = self.providers.write();
-        match g.iter_mut().find(|p| p.id == provider) {
-            Some(p) => {
-                p.capacity = capacity;
-                p.alive = true;
-            }
-            None => g.push(ProviderEntry {
-                id: provider,
-                capacity,
-                reported: ProviderStats::default(),
-                in_flight: 0,
-                alive: true,
-            }),
+        let roster = self.roster.load();
+        if let Some(&i) = roster.by_id.get(&provider) {
+            let slot = &roster.slots[i];
+            slot.capacity.store(capacity, Ordering::Relaxed);
+            slot.alive.store(true, Ordering::Relaxed);
+            return;
         }
+        // New membership: publish a new snapshot. The update lock
+        // serializes concurrent registrations (cold path).
+        lockmeter::record_sharded();
+        self.roster.update(|cur| {
+            if let Some(&i) = cur.by_id.get(&provider) {
+                // Lost a registration race; revive in place.
+                let slot = &cur.slots[i];
+                slot.capacity.store(capacity, Ordering::Relaxed);
+                slot.alive.store(true, Ordering::Relaxed);
+                return (cur.with_none(), ());
+            }
+            (
+                cur.with(Arc::new(ProviderSlot::new(provider, capacity))),
+                (),
+            )
+        });
     }
 
     /// Fold in a heartbeat: reported usage replaces the in-flight
-    /// projection accumulated since the previous report.
+    /// projection accumulated since the previous report. O(1), wait-free.
     pub fn heartbeat(&self, provider: ProviderId, stats: ProviderStats) {
-        let mut g = self.providers.write();
-        if let Some(p) = g.iter_mut().find(|p| p.id == provider) {
-            p.reported = stats;
-            p.in_flight = 0;
-            p.alive = true;
+        let roster = self.roster.load();
+        if let Some(&i) = roster.by_id.get(&provider) {
+            let slot = &roster.slots[i];
+            slot.reported.store(stats.bytes, Ordering::Relaxed);
+            slot.in_flight.store(0, Ordering::Relaxed);
+            slot.alive.store(true, Ordering::Relaxed);
         }
     }
 
     /// Mark a provider dead (e.g., failure detector input); it stops
-    /// receiving assignments until it re-registers or heartbeats.
+    /// receiving assignments until it re-registers or heartbeats. O(1),
+    /// wait-free.
     pub fn mark_dead(&self, provider: ProviderId) {
-        let mut g = self.providers.write();
-        if let Some(p) = g.iter_mut().find(|p| p.id == provider) {
-            p.alive = false;
+        let roster = self.roster.load();
+        if let Some(&i) = roster.by_id.get(&provider) {
+            roster.slots[i].alive.store(false, Ordering::Relaxed);
         }
     }
 
+    /// Diagnostic view of one provider's projected load.
+    pub fn projection(&self, provider: ProviderId) -> Option<ProviderProjection> {
+        let roster = self.roster.load();
+        let slot = &roster.slots[*roster.by_id.get(&provider)?];
+        Some(ProviderProjection {
+            capacity: slot.capacity.load(Ordering::Relaxed),
+            reported: slot.reported.load(Ordering::Relaxed),
+            in_flight: slot.in_flight.load(Ordering::Relaxed),
+            alive: slot.alive.load(Ordering::Relaxed),
+        })
+    }
+
+    fn next_rand(&self) -> u64 {
+        // fetch_add gives every caller a distinct state to mix, so the
+        // stream stays race-free without a lock.
+        let mut s = self
+            .rng_state
+            .fetch_add(0x9e3779b97f4a7c15, Ordering::Relaxed);
+        splitmix64(&mut s)
+    }
+
     /// Plan a write: a fresh write id plus, for each of `pages` pages,
-    /// `replication` distinct providers (primary first).
+    /// `replication` distinct providers (primary first). Holds no lock in
+    /// the default regime — the roster is an RCU snapshot and every
+    /// capacity reservation is a CAS.
     pub fn plan_write(&self, pages: u64, replication: u32) -> Result<WritePlan, BlobError> {
+        let _serial = if lockmeter::serialized_control_plane() {
+            lockmeter::record_serializing();
+            Some(self.serial.lock())
+        } else {
+            None
+        };
         let write = WriteId(self.next_write.fetch_add(1, Ordering::Relaxed));
         let page_bytes = self.page_size_hint.load(Ordering::Relaxed);
-        let mut g = self.providers.write();
-        let alive: Vec<usize> = (0..g.len()).filter(|&i| g[i].alive).collect();
+        let roster = self.roster.load();
+        let slots = &roster.slots;
+        let alive: Vec<usize> = (0..slots.len())
+            .filter(|&i| slots[i].alive.load(Ordering::Relaxed))
+            .collect();
         if alive.is_empty() {
             return Err(BlobError::Unreachable("no data providers registered"));
         }
         let replication = (replication.max(1) as usize).min(alive.len());
         let mut targets = Vec::with_capacity(pages as usize);
-        for _ in 0..pages {
-            let mut page_targets = Vec::with_capacity(replication);
-            for _ in 0..replication {
-                let pick = match self.strategy {
-                    Strategy::RoundRobin => {
-                        let mut k = self.cursor.fetch_add(1, Ordering::Relaxed);
-                        // Skip providers already chosen for this page.
-                        let mut tries = 0;
-                        loop {
-                            let idx = alive[k % alive.len()];
-                            if !page_targets.contains(&g[idx].id) || tries >= alive.len() {
-                                break idx;
+        // Every successful pick reserved `page_bytes` of in-flight
+        // projection on its slot; remember them so a plan that fails
+        // midway releases what it reserved instead of leaving phantom
+        // load until the next heartbeat.
+        let mut reserved: Vec<usize> = Vec::new();
+        let mut plan = || -> Result<(), BlobError> {
+            for _ in 0..pages {
+                let mut page_targets: Vec<ProviderId> = Vec::with_capacity(replication);
+                for _ in 0..replication {
+                    let pick = match self.strategy {
+                        Strategy::RoundRobin => {
+                            let k = self.cursor.fetch_add(1, Ordering::Relaxed);
+                            let mut pick = alive[k % alive.len()];
+                            for j in 0..=alive.len() {
+                                let idx = alive[(k + j) % alive.len()];
+                                if !page_targets.contains(&slots[idx].id) {
+                                    pick = idx;
+                                    break;
+                                }
                             }
-                            k += 1;
-                            tries += 1;
+                            slots[pick]
+                                .in_flight
+                                .fetch_add(page_bytes, Ordering::Relaxed);
+                            pick
                         }
-                    }
-                    Strategy::LeastLoaded => {
-                        let mut best: Option<usize> = None;
-                        for &idx in &alive {
-                            if page_targets.contains(&g[idx].id) {
-                                continue;
+                        Strategy::Random => {
+                            let k = self.next_rand() as usize;
+                            let mut pick = alive[k % alive.len()];
+                            for j in 0..=alive.len() {
+                                let idx = alive[(k + j) % alive.len()];
+                                if !page_targets.contains(&slots[idx].id) {
+                                    pick = idx;
+                                    break;
+                                }
                             }
-                            let better = match best {
-                                None => true,
-                                Some(b) => g[idx].projected_free() > g[b].projected_free(),
-                            };
-                            if better {
-                                best = Some(idx);
-                            }
+                            slots[pick]
+                                .in_flight
+                                .fetch_add(page_bytes, Ordering::Relaxed);
+                            pick
                         }
-                        best.ok_or(BlobError::Internal("replication exceeds providers"))?
-                    }
-                    Strategy::Random => {
-                        let mut s = self.rng_state.load(Ordering::Relaxed);
-                        let r = splitmix64(&mut s);
-                        self.rng_state.store(s, Ordering::Relaxed);
-                        let mut k = r as usize;
-                        let mut tries = 0;
-                        loop {
-                            let idx = alive[k % alive.len()];
-                            if !page_targets.contains(&g[idx].id) || tries >= alive.len() {
-                                break idx;
+                        Strategy::LeastLoaded => {
+                            let mut best: Option<usize> = None;
+                            for &idx in &alive {
+                                if page_targets.contains(&slots[idx].id) {
+                                    continue;
+                                }
+                                let better = match best {
+                                    None => true,
+                                    Some(b) => {
+                                        slots[idx].projected_free() > slots[b].projected_free()
+                                    }
+                                };
+                                if better {
+                                    best = Some(idx);
+                                }
                             }
-                            k += 1;
-                            tries += 1;
+                            let pick =
+                                best.ok_or(BlobError::Internal("replication exceeds providers"))?;
+                            slots[pick]
+                                .in_flight
+                                .fetch_add(page_bytes, Ordering::Relaxed);
+                            pick
                         }
-                    }
-                };
-                g[pick].in_flight += page_bytes;
-                page_targets.push(g[pick].id);
+                        Strategy::PowerOfTwo => {
+                            self.pick_power_of_two(slots, &alive, &page_targets, page_bytes)?
+                        }
+                    };
+                    reserved.push(pick);
+                    page_targets.push(slots[pick].id);
+                }
+                targets.push(page_targets);
             }
-            targets.push(page_targets);
+            Ok(())
+        };
+        if let Err(e) = plan() {
+            for idx in reserved {
+                slots[idx].release(page_bytes);
+            }
+            return Err(e);
         }
         Ok(WritePlan { write, targets })
     }
 
+    /// Sample two distinct eligible candidates and reserve on the one
+    /// with more projected free capacity; falls back to an exact scan
+    /// (still lock-free) when sampling keeps hitting ineligible or full
+    /// providers, and errors only when *no* eligible provider can fit the
+    /// page.
+    fn pick_power_of_two(
+        &self,
+        slots: &[Arc<ProviderSlot>],
+        alive: &[usize],
+        page_targets: &[ProviderId],
+        page_bytes: u64,
+    ) -> Result<usize, BlobError> {
+        let eligible = |idx: usize| !page_targets.contains(&slots[idx].id);
+        // Sampling phase: a handful of attempts, each O(1). The two
+        // candidates are drawn *without* replacement — colliding samples
+        // would skip the load comparison half the time on small fleets.
+        for _ in 0..4 {
+            let ia = self.next_rand() as usize % alive.len();
+            let ib = if alive.len() > 1 {
+                (ia + 1 + self.next_rand() as usize % (alive.len() - 1)) % alive.len()
+            } else {
+                ia
+            };
+            let (a, b) = (alive[ia], alive[ib]);
+            let pick = match (eligible(a), eligible(b) && b != a) {
+                (true, true) => {
+                    if slots[a].projected_free() >= slots[b].projected_free() {
+                        a
+                    } else {
+                        b
+                    }
+                }
+                (true, false) => a,
+                (false, true) => b,
+                (false, false) => continue,
+            };
+            if slots[pick].try_reserve(page_bytes) {
+                return Ok(pick);
+            }
+        }
+        // Fallback: exact scan over projected free capacity, retrying
+        // while concurrent planners race us for the last bytes.
+        loop {
+            let mut best: Option<usize> = None;
+            for &idx in alive {
+                if !eligible(idx) {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some(b) => slots[idx].projected_free() > slots[b].projected_free(),
+                };
+                if better {
+                    best = Some(idx);
+                }
+            }
+            let pick = best.ok_or(BlobError::Internal("replication exceeds providers"))?;
+            if slots[pick].try_reserve(page_bytes) {
+                return Ok(pick);
+            }
+            if slots[pick].projected_free() < page_bytes {
+                // Even the best candidate cannot fit the page.
+                return Err(BlobError::Internal("provider capacity exhausted"));
+            }
+        }
+    }
+
     /// Current provider ids (diagnostics).
     pub fn provider_ids(&self) -> Vec<ProviderId> {
-        self.providers.read().iter().map(|p| p.id).collect()
+        self.roster.load().slots.iter().map(|s| s.id).collect()
+    }
+}
+
+impl Roster {
+    /// Identity clone for the lost-registration-race arm of
+    /// [`ProviderManagerService::register`] (slots are shared `Arc`s, so
+    /// this copies two small vectors, not provider state).
+    fn with_none(&self) -> Roster {
+        Roster {
+            slots: self.slots.clone(),
+            by_id: self.by_id.clone(),
+        }
     }
 }
 
@@ -227,6 +491,10 @@ impl Service for ProviderManagerService {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The serialized-control-plane flag is process global; tests that
+    /// flip it or assert meter readings serialize against each other.
+    static FLAG_GUARD: Mutex<()> = Mutex::new(());
 
     fn mgr(strategy: Strategy) -> ProviderManagerService {
         let m = ProviderManagerService::new(strategy, 42, ServiceCosts::zero());
@@ -292,15 +560,70 @@ mod tests {
     }
 
     #[test]
-    fn replication_targets_are_distinct() {
-        let m = mgr(Strategy::LeastLoaded);
-        let plan = m.plan_write(5, 3).unwrap();
+    fn power_of_two_balances_under_pressure() {
+        let m = mgr(Strategy::PowerOfTwo);
+        m.set_page_size_hint(1 << 20);
+        let plan = m.plan_write(64, 1).unwrap();
+        let mut counts = [0u32; 4];
         for t in &plan.targets {
-            assert_eq!(t.len(), 3);
-            let mut u = t.clone();
-            u.sort();
-            u.dedup();
-            assert_eq!(u.len(), 3, "replicas must be distinct: {t:?}");
+            counts[t[0].0 as usize] += 1;
+        }
+        // Two-choice sampling against the in-flight projection keeps the
+        // spread tight (least-loaded would be exactly 16 each).
+        assert!(
+            counts.iter().all(|&c| (8..=24).contains(&c)),
+            "roughly balanced: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn power_of_two_respects_projected_capacity() {
+        let m = ProviderManagerService::new(Strategy::PowerOfTwo, 7, ServiceCosts::zero());
+        m.set_page_size_hint(1024);
+        // Room for exactly 4 + 2 pages in total.
+        m.register(ProviderId(0), 4 * 1024);
+        m.register(ProviderId(1), 2 * 1024);
+        let plan = m.plan_write(6, 1).unwrap();
+        assert_eq!(plan.targets.len(), 6);
+        for id in [0u32, 1] {
+            let p = m.projection(ProviderId(id)).unwrap();
+            assert!(
+                p.in_flight <= p.capacity,
+                "provider {id} oversubscribed: {p:?}"
+            );
+        }
+        // The 7th page cannot fit anywhere.
+        assert!(m.plan_write(1, 1).is_err());
+        // A heartbeat clearing the projection frees the capacity again.
+        m.heartbeat(ProviderId(0), ProviderStats::default());
+        assert!(m.plan_write(1, 1).is_ok());
+    }
+
+    #[test]
+    fn failed_plan_releases_its_reservations() {
+        let m = ProviderManagerService::new(Strategy::PowerOfTwo, 5, ServiceCosts::zero());
+        m.set_page_size_hint(1024);
+        m.register(ProviderId(0), 4 * 1024);
+        // 6 pages cannot fit; the pages reserved before the failure must
+        // be released, not linger as phantom load until a heartbeat.
+        assert!(m.plan_write(6, 1).is_err());
+        assert_eq!(m.projection(ProviderId(0)).unwrap().in_flight, 0);
+        // The capacity really is still available to a plan that fits.
+        assert!(m.plan_write(4, 1).is_ok());
+    }
+
+    #[test]
+    fn replication_targets_are_distinct() {
+        for strategy in [Strategy::LeastLoaded, Strategy::PowerOfTwo] {
+            let m = mgr(strategy);
+            let plan = m.plan_write(5, 3).unwrap();
+            for t in &plan.targets {
+                assert_eq!(t.len(), 3);
+                let mut u = t.clone();
+                u.sort();
+                u.dedup();
+                assert_eq!(u.len(), 3, "replicas must be distinct: {t:?}");
+            }
         }
     }
 
@@ -339,9 +662,85 @@ mod tests {
     }
 
     #[test]
-    fn register_is_idempotent() {
+    fn register_is_idempotent_and_updates_capacity() {
         let m = mgr(Strategy::LeastLoaded);
         m.register(ProviderId(0), 42);
-        assert_eq!(m.provider_count(), 4);
+        assert_eq!(m.provider_count(), 4, "re-register must not duplicate");
+        let p = m.projection(ProviderId(0)).unwrap();
+        assert_eq!(p.capacity, 42, "re-register must adopt the new capacity");
+        assert!(p.alive);
+        // Re-register revives a dead provider in place.
+        m.mark_dead(ProviderId(0));
+        assert!(!m.projection(ProviderId(0)).unwrap().alive);
+        m.register(ProviderId(0), 43);
+        let p = m.projection(ProviderId(0)).unwrap();
+        assert!(p.alive && p.capacity == 43);
+    }
+
+    #[test]
+    fn plan_write_is_lock_free_and_heartbeat_wait_free() {
+        let _serial = FLAG_GUARD.lock();
+        let m = mgr(Strategy::PowerOfTwo);
+        let snap = lockmeter::thread_snapshot();
+        m.plan_write(8, 2).unwrap();
+        m.heartbeat(ProviderId(1), ProviderStats::default());
+        m.mark_dead(ProviderId(2));
+        m.register(ProviderId(1), 1 << 30); // known id: in-place revive
+        let d = snap.since();
+        assert_eq!(d.total_exclusive(), 0, "hot path must acquire no lock");
+        assert_eq!(d.shared, 0);
+    }
+
+    #[test]
+    fn serialized_ablation_charges_the_meter() {
+        let _serial = FLAG_GUARD.lock();
+        let m = mgr(Strategy::PowerOfTwo);
+        lockmeter::set_serialized_control_plane(true);
+        let snap = lockmeter::thread_snapshot();
+        m.plan_write(2, 1).unwrap();
+        lockmeter::set_serialized_control_plane(false);
+        assert_eq!(snap.since().serializing, 1);
+    }
+
+    #[test]
+    fn concurrent_planning_and_membership_changes() {
+        use std::sync::Arc as StdArc;
+        let m = StdArc::new(ProviderManagerService::new(
+            Strategy::PowerOfTwo,
+            3,
+            ServiceCosts::zero(),
+        ));
+        for i in 0..8 {
+            m.register(ProviderId(i), u64::MAX / 2);
+        }
+        let planners: Vec<_> = (0..4)
+            .map(|_| {
+                let m = StdArc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        let plan = m.plan_write(4, 2).unwrap();
+                        for t in &plan.targets {
+                            assert_eq!(t.len(), 2);
+                            assert_ne!(t[0], t[1]);
+                        }
+                    }
+                })
+            })
+            .collect();
+        let churner = {
+            let m = StdArc::clone(&m);
+            std::thread::spawn(move || {
+                for round in 0..50u32 {
+                    m.register(ProviderId(100 + (round % 4)), 1 << 30);
+                    m.heartbeat(ProviderId(round % 8), ProviderStats::default());
+                    m.mark_dead(ProviderId(100 + (round % 4)));
+                }
+            })
+        };
+        for p in planners {
+            p.join().unwrap();
+        }
+        churner.join().unwrap();
+        assert_eq!(m.provider_count(), 12);
     }
 }

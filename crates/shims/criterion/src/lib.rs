@@ -127,6 +127,19 @@ impl Bencher {
     }
 }
 
+/// Positional command-line arguments act as substring filters, exactly
+/// like real criterion: `cargo bench --bench micro -- provider_plan`
+/// runs only benchmarks whose full name contains `provider_plan`.
+fn filters() -> &'static [String] {
+    static FILTERS: std::sync::OnceLock<Vec<String>> = std::sync::OnceLock::new();
+    FILTERS.get_or_init(|| {
+        std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect()
+    })
+}
+
 fn run_bench(
     name: &str,
     warm_up: Duration,
@@ -135,6 +148,10 @@ fn run_bench(
     throughput: Option<Throughput>,
     mut f: impl FnMut(&mut Bencher),
 ) {
+    let filters = filters();
+    if !filters.is_empty() && !filters.iter().any(|needle| name.contains(needle.as_str())) {
+        return;
+    }
     // Calibrate: find an iteration count that takes ~1 ms, warming up along
     // the way.
     let mut iters = 1u64;

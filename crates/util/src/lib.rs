@@ -27,21 +27,37 @@
 //!   refcount everywhere else.
 //! * [`copymeter`] — global bytes-copied accounting, so the zero-copy
 //!   discipline is *measured* by the benches, not asserted.
+//! * [`lockmeter`] — the control-plane analogue of [`copymeter`]: global
+//!   accounting of control-plane lock acquisitions by class
+//!   (serializing / version-assign / sharded / shared), plus the
+//!   serialized-control-plane ablation flag. The zero-serialization
+//!   invariant is asserted by `crates/core/tests/lock_free.rs`.
+//! * [`rcu`] — [`RcuCell`], wait-free reads of a rarely replaced
+//!   snapshot (retention-based reclamation); the substrate of the
+//!   provider manager's lock-free roster.
+//! * [`clockcache`] — [`ClockCache`], a sharded concurrent CLOCK cache
+//!   whose hits are a shard read lock plus an atomic reference bit; the
+//!   substrate of the shared client metadata cache.
 
 #![warn(missing_docs)]
 
+pub mod clockcache;
 pub mod copymeter;
 pub mod fxhash;
 pub mod interval_map;
+pub mod lockmeter;
 pub mod lru;
 pub mod pagebuf;
+pub mod rcu;
 pub mod rng;
 pub mod sharded;
 pub mod stats;
 pub mod sync;
 
+pub use clockcache::ClockCache;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use interval_map::IntervalMap;
 pub use lru::LruCache;
 pub use pagebuf::PageBuf;
+pub use rcu::RcuCell;
 pub use sharded::ShardedMap;

@@ -104,6 +104,10 @@ impl BlobState {
     pub fn request_version(&self, write: WriteId, seg: Segment) -> Result<WriteTicket, BlobError> {
         self.geom.validate_aligned(&seg)?;
         let (version, links) = {
+            // The paper-sanctioned serialization point: charged to the
+            // lock meter under its own class so the tier-1 suite can
+            // assert a WRITE takes exactly this lock and nothing else.
+            blobseer_util::lockmeter::record_version_assign();
             let mut st = self.assign.lock();
             let v = st.next_version;
             if self.window.would_overflow(v) {
