@@ -7,6 +7,12 @@
 //! nodes. [`Deployment::build`] reproduces exactly that and returns a
 //! handle from which any number of [`BlobClient`](crate::BlobClient)s can
 //! be spawned.
+//!
+//! The transport is selectable ([`TransportKind`]): the default simulated
+//! cluster with its virtual-time cost model, or real TCP sockets on
+//! loopback ([`blobseer_rpc::TcpTransport`]) — same services, same frame
+//! bytes, same copy discipline, but every frame actually crosses the
+//! kernel.
 
 use crate::client::{BlobClient, MetaCache};
 use crate::vm_service::VersionManagerService;
@@ -14,7 +20,10 @@ use blobseer_dht::{DhtNodeService, Ring};
 use blobseer_proto::messages::ProviderStats;
 use blobseer_proto::{NodeId, ProviderId};
 use blobseer_provider::{DataProviderService, ProviderManagerService, Strategy};
-use blobseer_rpc::{dispatch_frame, AggregationPolicy, Frame, RpcClient, ServerCtx, Service};
+use blobseer_rpc::{
+    dispatch_frame, AggregationPolicy, Frame, RpcClient, ServerCtx, Service, TcpTransport,
+    Transport,
+};
 use blobseer_simnet::{ClientCosts, CostModel, ServiceCosts, SimCluster};
 use blobseer_version::VersionRegistry;
 use parking_lot::RwLock;
@@ -42,6 +51,124 @@ impl Service for StorageNodeService {
                 frame.method,
                 blobseer_proto::BlobError::Internal("method not served by storage node"),
             ),
+        }
+    }
+}
+
+/// Which transport carries the deployment's frames.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// The simulated cluster: inline dispatch, virtual-time cost model.
+    #[default]
+    Sim,
+    /// Real TCP sockets on loopback: gather-written frames, lent-on-
+    /// receive payloads, wall-clock time. Cost models are ignored.
+    Tcp,
+}
+
+/// The transport a deployment runs on, with the node-management surface
+/// the builder and tests need, independent of which kind it is.
+pub enum ClusterHandle {
+    /// A simulated cluster (also exposes cost/horizon accessors).
+    Sim(Arc<SimCluster>),
+    /// A real TCP transport on loopback.
+    Tcp(Arc<TcpTransport>),
+}
+
+impl ClusterHandle {
+    /// The transport as the RPC layer sees it.
+    pub fn transport(&self) -> Arc<dyn Transport> {
+        match self {
+            ClusterHandle::Sim(c) => Arc::clone(c) as _,
+            ClusterHandle::Tcp(t) => Arc::clone(t) as _,
+        }
+    }
+
+    /// The simulated cluster, when that is what this deployment runs on.
+    pub fn sim(&self) -> Option<&Arc<SimCluster>> {
+        match self {
+            ClusterHandle::Sim(c) => Some(c),
+            ClusterHandle::Tcp(_) => None,
+        }
+    }
+
+    /// The TCP transport, when that is what this deployment runs on.
+    pub fn tcp(&self) -> Option<&Arc<TcpTransport>> {
+        match self {
+            ClusterHandle::Sim(_) => None,
+            ClusterHandle::Tcp(t) => Some(t),
+        }
+    }
+
+    /// Add a node.
+    pub fn add_node(&self) -> NodeId {
+        match self {
+            ClusterHandle::Sim(c) => c.add_node(),
+            ClusterHandle::Tcp(t) => t.add_node(),
+        }
+    }
+
+    /// Bind a service to a node (for TCP: start its listener).
+    pub fn bind(&self, node: NodeId, svc: Arc<dyn Service>) {
+        match self {
+            ClusterHandle::Sim(c) => c.bind(node, svc),
+            ClusterHandle::Tcp(t) => t.bind(node, svc),
+        }
+    }
+
+    /// Kill a node: subsequent calls to it fail with `Unreachable`.
+    pub fn kill(&self, node: NodeId) {
+        match self {
+            ClusterHandle::Sim(c) => c.kill(node),
+            ClusterHandle::Tcp(t) => t.kill(node),
+        }
+    }
+
+    /// Revive a previously killed node.
+    pub fn revive(&self, node: NodeId) {
+        match self {
+            ClusterHandle::Sim(c) => c.revive(node),
+            ClusterHandle::Tcp(t) => t.revive(node),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        match self {
+            ClusterHandle::Sim(c) => c.len(),
+            ClusterHandle::Tcp(t) => t.len(),
+        }
+    }
+
+    /// True when no nodes exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total messages carried (request + response per call on both
+    /// transports, so aggregation assertions are transport-agnostic).
+    pub fn message_count(&self) -> u64 {
+        match self {
+            ClusterHandle::Sim(c) => c.message_count(),
+            ClusterHandle::Tcp(t) => t.message_count(),
+        }
+    }
+
+    /// Total payload bytes carried.
+    pub fn byte_count(&self) -> u64 {
+        match self {
+            ClusterHandle::Sim(c) => c.byte_count(),
+            ClusterHandle::Tcp(t) => t.byte_count(),
+        }
+    }
+
+    /// The virtual-time horizon. TCP runs on wall clocks, so its horizon
+    /// is always zero — benches that sequence phases by virtual time are
+    /// simulation-only.
+    pub fn horizon(&self) -> u64 {
+        match self {
+            ClusterHandle::Sim(c) => c.horizon(),
+            ClusterHandle::Tcp(_) => 0,
         }
     }
 }
@@ -74,6 +201,8 @@ pub struct DeploymentConfig {
     pub cache_nodes: usize,
     /// Placement/ring seed.
     pub seed: u64,
+    /// Which transport carries the frames.
+    pub transport: TransportKind,
 }
 
 impl DeploymentConfig {
@@ -91,6 +220,7 @@ impl DeploymentConfig {
             aggregation: AggregationPolicy::Batch,
             cache_nodes: 0, // paper's worst case: caching disabled
             seed: 0x5eed,
+            transport: TransportKind::Sim,
         }
     }
 
@@ -109,14 +239,25 @@ impl DeploymentConfig {
             aggregation: AggregationPolicy::Batch,
             cache_nodes: 0,
             seed: 0x5eed,
+            transport: TransportKind::Sim,
+        }
+    }
+
+    /// [`DeploymentConfig::functional`], but every frame crosses a real
+    /// loopback socket: logic and copy discipline identical, time is
+    /// wall-clock.
+    pub fn functional_tcp(providers: usize) -> Self {
+        Self {
+            transport: TransportKind::Tcp,
+            ..Self::functional(providers)
         }
     }
 }
 
-/// A fully wired system on a simulated cluster.
+/// A fully wired system on a simulated cluster or a loopback TCP mesh.
 pub struct Deployment {
     /// The cluster (also the transport).
-    pub cluster: Arc<SimCluster>,
+    pub cluster: ClusterHandle,
     /// Configuration used to build it.
     pub config: DeploymentConfig,
     /// Version manager node.
@@ -139,10 +280,14 @@ pub struct Deployment {
 }
 
 impl Deployment {
-    /// Build the paper's topology on a fresh simulated cluster.
+    /// Build the paper's topology on a fresh cluster of the configured
+    /// transport kind.
     pub fn build(config: DeploymentConfig) -> Self {
         assert!(config.providers >= 1, "need at least one storage node");
-        let cluster = Arc::new(SimCluster::new(config.cost));
+        let cluster = match config.transport {
+            TransportKind::Sim => ClusterHandle::Sim(Arc::new(SimCluster::new(config.cost))),
+            TransportKind::Tcp => ClusterHandle::Tcp(Arc::new(TcpTransport::new())),
+        };
 
         // Dedicated manager nodes (paper: "deployed on separate,
         // dedicated nodes").
@@ -214,7 +359,7 @@ impl Deployment {
     /// deployment share the same concurrent metadata cache.
     pub fn client(&self) -> BlobClient {
         let node = self.cluster.add_node();
-        let rpc = RpcClient::new(Arc::clone(&self.cluster) as _, node)
+        let rpc = RpcClient::new(self.cluster.transport(), node)
             .with_aggregation(self.config.aggregation);
         BlobClient::new(
             rpc,
@@ -272,6 +417,23 @@ mod tests {
         assert_eq!(d.cluster.len(), 2 + 5);
         assert_eq!(d.manager.provider_count(), 5);
         assert_eq!(d.total_pages(), 0);
+        assert!(d.cluster.sim().is_some() && d.cluster.tcp().is_none());
+    }
+
+    #[test]
+    fn builds_paper_topology_on_tcp() {
+        let d = Deployment::build(DeploymentConfig::functional_tcp(3));
+        assert_eq!(d.cluster.len(), 2 + 3);
+        assert_eq!(d.manager.provider_count(), 3);
+        let tcp = d.cluster.tcp().expect("tcp transport");
+        // Every service node listens on a real loopback port.
+        for node in [d.vm_node, d.pm_node]
+            .into_iter()
+            .chain(d.storage_nodes.iter().copied())
+        {
+            assert!(tcp.addr(node).is_some(), "node {node:?} must listen");
+        }
+        assert_eq!(d.cluster.horizon(), 0, "tcp runs on wall clocks");
     }
 
     #[test]

@@ -32,6 +32,8 @@ pub mod local;
 pub mod vm_service;
 
 pub use client::{BlobClient, MetaCache};
-pub use deployment::{Deployment, DeploymentConfig, StorageNodeService};
+pub use deployment::{
+    ClusterHandle, Deployment, DeploymentConfig, StorageNodeService, TransportKind,
+};
 pub use local::LocalEngine;
 pub use vm_service::VersionManagerService;

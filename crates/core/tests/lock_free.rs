@@ -24,17 +24,14 @@ use blobseer_core::{Deployment, DeploymentConfig};
 use blobseer_proto::Segment;
 use blobseer_rpc::Ctx;
 use blobseer_util::lockmeter;
-use parking_lot::{Mutex, MutexGuard};
+use blobseer_util::testsync;
 
-/// The serialized-control-plane ablation flag is process global, and
-/// every test here asserts flag-sensitive meter readings, so the tests
-/// serialize against each other (the harness runs them on parallel
-/// threads by default).
-static FLAG_GUARD: Mutex<()> = Mutex::new(());
-
-fn flag_guard() -> MutexGuard<'static, ()> {
-    FLAG_GUARD.lock()
-}
+// The serialized-control-plane ablation flag is process global, and
+// every test here asserts flag-sensitive meter readings, so they hold
+// the shared side of the cross-test ablation lock
+// (`blobseer_util::testsync`); the one test that flips the flag takes
+// the exclusive side via the `lockmeter::serialized_ablation` RAII
+// guard. Meter tests still run in parallel with each other.
 
 const PAGE: u64 = 4096;
 const PAGES: u64 = 8;
@@ -65,7 +62,7 @@ fn warm_deployment() -> (
 
 #[test]
 fn steady_state_write_serializes_only_on_version_assignment() {
-    let _serial = flag_guard();
+    let _shared = testsync::ablation_shared();
     let (_d, c, mut ctx, blob) = warm_deployment();
     let data = vec![9u8; TOTAL as usize];
 
@@ -95,7 +92,7 @@ fn steady_state_write_serializes_only_on_version_assignment() {
 
 #[test]
 fn cache_hit_read_takes_zero_exclusive_locks() {
-    let _serial = flag_guard();
+    let _shared = testsync::ablation_shared();
     let (_d, c, mut ctx, blob) = warm_deployment();
 
     let snap = lockmeter::thread_snapshot();
@@ -118,7 +115,7 @@ fn cache_hit_read_takes_zero_exclusive_locks() {
 
 #[test]
 fn repeated_opens_of_a_known_blob_are_lock_write_free() {
-    let _serial = flag_guard();
+    let _shared = testsync::ablation_shared();
     let (_d, c, mut ctx, blob) = warm_deployment();
 
     let snap = lockmeter::thread_snapshot();
@@ -136,24 +133,24 @@ fn repeated_opens_of_a_known_blob_are_lock_write_free() {
 
 #[test]
 fn serialized_ablation_restores_the_old_regime() {
-    let _serial = flag_guard();
     let (_d, c, mut ctx, blob) = warm_deployment();
     let data = vec![3u8; TOTAL as usize];
 
-    lockmeter::set_serialized_control_plane(true);
-    let snap = lockmeter::thread_snapshot();
-    c.write(&mut ctx, blob, 0, &data).unwrap();
-    c.read(&mut ctx, blob, None, Segment::new(0, TOTAL))
-        .unwrap();
-    let locks = snap.since();
-    lockmeter::set_serialized_control_plane(false);
+    {
+        let _ablation = lockmeter::serialized_ablation(true);
+        let snap = lockmeter::thread_snapshot();
+        c.write(&mut ctx, blob, 0, &data).unwrap();
+        c.read(&mut ctx, blob, None, Segment::new(0, TOTAL))
+            .unwrap();
+        let locks = snap.since();
+        assert!(
+            locks.serializing > 1,
+            "the ablation must serialize planning and every cache access: {locks:?}"
+        );
+    }
 
-    assert!(
-        locks.serializing > 1,
-        "the ablation must serialize planning and every cache access: {locks:?}"
-    );
-
-    // And switching back really ends it.
+    // Guard dropped: switching back really ends it.
+    let _shared = testsync::ablation_shared();
     let snap = lockmeter::thread_snapshot();
     c.read(&mut ctx, blob, None, Segment::new(0, TOTAL))
         .unwrap();

@@ -61,6 +61,31 @@ pub fn zero_copy() -> bool {
     ZERO_COPY.load(Ordering::Relaxed)
 }
 
+/// RAII handle for a copy-regime ablation in tests: holds the exclusive
+/// side of the shared ablation lock (`blobseer_util::testsync`) and
+/// restores the previous toggle value on drop, so a panicking test
+/// cannot leave the process in the seed's copy regime.
+pub struct ZeroCopyAblation {
+    prev: bool,
+    _lock: blobseer_util::testsync::AblationWriteGuard,
+}
+
+/// Flip the zero-copy toggle for the guard's lifetime, serialized
+/// against every other test that touches or observes the process-global
+/// ablation toggles.
+pub fn zero_copy_ablation(enabled: bool) -> ZeroCopyAblation {
+    let lock = blobseer_util::testsync::ablation_exclusive();
+    let prev = zero_copy();
+    set_zero_copy(enabled);
+    ZeroCopyAblation { prev, _lock: lock }
+}
+
+impl Drop for ZeroCopyAblation {
+    fn drop(&mut self) {
+        set_zero_copy(self.prev);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // ByteChain
 // ---------------------------------------------------------------------------
@@ -125,6 +150,21 @@ impl ByteChain {
             1 => self.chunks[0].clone(),
             _ => PageBuf::from_vec(self.to_vec()),
         }
+    }
+
+    /// Borrow the chain as a `writev`-shaped slice list, prefixed by
+    /// `prefix` (a frame/length header) when non-empty. This is how a
+    /// real socket transport gather-writes a frame straight from the
+    /// shared segments — no flatten, no payload copy.
+    pub fn as_io_slices<'a>(&'a self, prefix: &'a [u8]) -> Vec<std::io::IoSlice<'a>> {
+        let mut out = Vec::with_capacity(self.chunks.len() + 1);
+        if !prefix.is_empty() {
+            out.push(std::io::IoSlice::new(prefix));
+        }
+        for c in &self.chunks {
+            out.push(std::io::IoSlice::new(c.as_slice()));
+        }
+        out
     }
 
     /// O(segments) sub-chain `[start, start + len)` sharing every
@@ -214,10 +254,17 @@ impl std::fmt::Debug for ByteChain {
 
 /// Encode-side builder: a contiguous tail for small fields plus shared
 /// segments for page payloads.
+///
+/// A builder can be **poisoned**: when a length prefix would not fit its
+/// wire representation (see [`WireBuf::put_len_prefix`]), the error is
+/// recorded instead of silently wrapping the length. Checked consumers
+/// ([`WireBuf::finish_checked`], [`Wire::try_to_chain`]) surface it;
+/// [`WireBuf::finish`] debug-asserts it never reaches an unchecked path.
 #[derive(Default)]
 pub struct WireBuf {
     chain: ByteChain,
     tail: Vec<u8>,
+    poison: Option<CodecError>,
 }
 
 impl WireBuf {
@@ -237,6 +284,7 @@ impl WireBuf {
         Self {
             chain: ByteChain::new(),
             tail: Vec::with_capacity(n.min(MAX_TAIL_HINT)),
+            poison: None,
         }
     }
 
@@ -260,6 +308,37 @@ impl WireBuf {
     #[inline]
     pub fn extend_from_slice(&mut self, s: &[u8]) {
         self.tail.extend_from_slice(s);
+    }
+
+    /// Append a `u32` length prefix, **checked**: a length above
+    /// [`MAX_LEN`] (which subsumes `u32` overflow — the seed's silent
+    /// wrap for ≥ 4 GiB bodies) poisons the builder instead of encoding
+    /// a corrupt prefix. The cap mirrors [`decode_len`], so anything
+    /// this encoder emits, the decoder accepts.
+    pub fn put_len_prefix(&mut self, len: usize) {
+        if len as u64 > MAX_LEN {
+            self.poison(CodecError::LengthOverflow {
+                declared: len as u64,
+            });
+            // Encode the poison sentinel so the buffer's framing stays
+            // self-consistent for debug inspection; checked consumers
+            // never let these bytes out.
+            self.tail.extend_from_slice(&u32::MAX.to_le_bytes());
+        } else {
+            self.tail.extend_from_slice(&(len as u32).to_le_bytes());
+        }
+    }
+
+    /// Record an encode-side error. The first poison wins.
+    pub fn poison(&mut self, e: CodecError) {
+        if self.poison.is_none() {
+            self.poison = Some(e);
+        }
+    }
+
+    /// The recorded encode-side error, if any.
+    pub fn poisoned(&self) -> Option<CodecError> {
+        self.poison
     }
 
     fn flush_tail(&mut self) {
@@ -294,9 +373,29 @@ impl WireBuf {
     }
 
     /// Finish, yielding the encoded chain.
+    ///
+    /// Unchecked path: poisoning is a debug assertion here because every
+    /// encoder that can legally produce an oversized length prefix
+    /// (frame bodies, socket envelopes) goes through
+    /// [`WireBuf::finish_checked`] / [`Wire::try_to_chain`].
     pub fn finish(mut self) -> ByteChain {
+        debug_assert!(
+            self.poison.is_none(),
+            "poisoned WireBuf reached an unchecked finish: {:?}",
+            self.poison
+        );
         self.flush_tail();
         self.chain
+    }
+
+    /// Finish, surfacing any encode-side error instead of yielding a
+    /// chain with a corrupt length prefix.
+    pub fn finish_checked(mut self) -> Result<ByteChain, CodecError> {
+        if let Some(e) = self.poison.take() {
+            return Err(e);
+        }
+        self.flush_tail();
+        Ok(self.chain)
     }
 }
 
@@ -562,6 +661,17 @@ pub trait Wire: Sized {
         out.finish()
     }
 
+    /// Encode into a segment chain, surfacing an encode-side length
+    /// overflow ([`WireBuf::put_len_prefix`]) instead of silently
+    /// emitting a corrupt prefix. Use this wherever the value being
+    /// encoded can carry an attacker- or workload-sized body (frame
+    /// batching, socket transports).
+    fn try_to_chain(&self) -> Result<ByteChain, CodecError> {
+        let mut out = WireBuf::with_capacity(self.wire_hint());
+        self.encode(&mut out);
+        out.finish_checked()
+    }
+
     /// Encode into one contiguous buffer (flattens; payload copies are
     /// metered). Prefer [`Wire::to_chain`] on hot paths.
     fn to_wire(&self) -> Vec<u8> {
@@ -646,7 +756,11 @@ impl Wire for bool {
     }
 }
 
-fn decode_len(r: &mut Reader<'_>) -> Result<usize, CodecError> {
+/// Decode a `u32` length prefix, rejecting anything above [`MAX_LEN`]
+/// before a single byte is allocated for it. Public so framing layers
+/// (RPC frames, socket envelopes) apply the same sanity cap as the
+/// built-in container decoders.
+pub fn decode_len(r: &mut Reader<'_>) -> Result<usize, CodecError> {
     let n = u32::decode(r)? as u64;
     if n > MAX_LEN {
         return Err(CodecError::LengthOverflow { declared: n });
@@ -656,7 +770,7 @@ fn decode_len(r: &mut Reader<'_>) -> Result<usize, CodecError> {
 
 impl<T: Wire> Wire for Vec<T> {
     fn encode(&self, out: &mut WireBuf) {
-        (self.len() as u32).encode(out);
+        out.put_len_prefix(self.len());
         for item in self {
             item.encode(out);
         }
@@ -699,7 +813,7 @@ impl<T: Wire> Wire for Option<T> {
 
 impl Wire for String {
     fn encode(&self, out: &mut WireBuf) {
-        (self.len() as u32).encode(out);
+        out.put_len_prefix(self.len());
         out.extend_from_slice(self.as_bytes());
     }
 
@@ -719,7 +833,7 @@ impl Wire for String {
 /// of the source by refcount.
 impl Wire for PageBuf {
     fn encode(&self, out: &mut WireBuf) {
-        (self.len() as u32).encode(out);
+        out.put_len_prefix(self.len());
         out.put_shared(self);
     }
 
@@ -986,6 +1100,47 @@ mod tests {
             String::from_wire(&bytes),
             Err(CodecError::BadUtf8)
         ));
+    }
+
+    #[test]
+    fn oversized_len_prefix_poisons_instead_of_wrapping() {
+        let mut wb = WireBuf::new();
+        wb.put_len_prefix((MAX_LEN + 1) as usize);
+        assert!(matches!(
+            wb.poisoned(),
+            Some(CodecError::LengthOverflow { declared }) if declared == MAX_LEN + 1
+        ));
+        assert!(matches!(
+            wb.finish_checked(),
+            Err(CodecError::LengthOverflow { .. })
+        ));
+        // In-range prefixes stay on the fast path.
+        let mut wb = WireBuf::new();
+        wb.put_len_prefix(7);
+        assert!(wb.poisoned().is_none());
+        assert_eq!(wb.finish_checked().unwrap().to_vec(), 7u32.to_le_bytes());
+    }
+
+    #[test]
+    fn try_to_chain_matches_to_chain_for_legal_values() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(v.try_to_chain().unwrap().to_vec(), v.to_chain().to_vec());
+    }
+
+    #[test]
+    fn io_slices_cover_the_chain_with_prefix_first() {
+        let mut chain = ByteChain::new();
+        chain.push(PageBuf::from_vec(vec![1u8; 600]));
+        chain.push(PageBuf::from_vec(vec![2u8; 700]));
+        let head = [9u8; 4];
+        let slices = chain.as_io_slices(&head);
+        assert_eq!(slices.len(), 3, "prefix + one slice per segment");
+        let total: usize = slices.iter().map(|s| s.len()).sum();
+        assert_eq!(total, 4 + chain.len());
+        assert_eq!(&slices[0][..], &head);
+        assert_eq!(slices[1].len(), 600);
+        // No prefix: segments only.
+        assert_eq!(chain.as_io_slices(&[]).len(), 2);
     }
 
     #[test]

@@ -1,37 +1,40 @@
-//! The `wire::set_zero_copy` ablation toggle, exercised in a dedicated
-//! test binary: the switch is process global, so it must not share a
-//! process with tests asserting zero-copy behaviour.
+//! The `wire::set_zero_copy` ablation toggle, exercised through the RAII
+//! guard that serializes it against every other toggle-sensitive test in
+//! the process (the switch is process global; `cargo test` runs tests on
+//! parallel threads).
 
-use blobseer_proto::wire::{set_zero_copy, Wire};
+use blobseer_proto::wire::{zero_copy, zero_copy_ablation, Wire};
 use blobseer_proto::PageBuf;
 use blobseer_util::copymeter;
 
 #[test]
 fn zero_copy_toggle_forces_copies_and_restores() {
-    // Copy mode: every hop copies, and the meters show it.
-    set_zero_copy(false);
     let page = PageBuf::from_vec(vec![7u8; 8192]);
-    let before = copymeter::thread_snapshot();
-    let chain = page.to_chain();
-    assert_eq!(
-        chain.segment_count(),
-        1,
-        "copy mode folds payloads into the tail"
-    );
-    assert!(
-        before.bytes_since() >= 8192,
-        "copy mode must copy on encode"
-    );
-    let decoded = PageBuf::from_chain(&chain).unwrap();
-    assert!(
-        before.bytes_since() >= 2 * 8192,
-        "copy mode must copy on decode"
-    );
-    assert!(!decoded.same_allocation(&page));
-    assert_eq!(decoded, page);
+    {
+        // Copy mode: every hop copies, and the meters show it.
+        let _ablation = zero_copy_ablation(false);
+        let before = copymeter::thread_snapshot();
+        let chain = page.to_chain();
+        assert_eq!(
+            chain.segment_count(),
+            1,
+            "copy mode folds payloads into the tail"
+        );
+        assert!(
+            before.bytes_since() >= 8192,
+            "copy mode must copy on encode"
+        );
+        let decoded = PageBuf::from_chain(&chain).unwrap();
+        assert!(
+            before.bytes_since() >= 2 * 8192,
+            "copy mode must copy on decode"
+        );
+        assert!(!decoded.same_allocation(&page));
+        assert_eq!(decoded, page);
+    }
 
-    // Back to zero-copy: sharing resumes.
-    set_zero_copy(true);
+    // Guard dropped: zero-copy sharing resumes.
+    assert!(zero_copy(), "guard must restore the default regime");
     let before = copymeter::thread_snapshot();
     let chain = page.to_chain();
     let decoded = PageBuf::from_chain(&chain).unwrap();

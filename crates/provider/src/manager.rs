@@ -492,10 +492,6 @@ impl Service for ProviderManagerService {
 mod tests {
     use super::*;
 
-    /// The serialized-control-plane flag is process global; tests that
-    /// flip it or assert meter readings serialize against each other.
-    static FLAG_GUARD: Mutex<()> = Mutex::new(());
-
     fn mgr(strategy: Strategy) -> ProviderManagerService {
         let m = ProviderManagerService::new(strategy, 42, ServiceCosts::zero());
         for i in 0..4 {
@@ -679,7 +675,10 @@ mod tests {
 
     #[test]
     fn plan_write_is_lock_free_and_heartbeat_wait_free() {
-        let _serial = FLAG_GUARD.lock();
+        // Meter readings are flag sensitive: hold the shared side of the
+        // cross-test ablation lock so no concurrent test flips the
+        // serialized-control-plane toggle mid-assertion.
+        let _shared = blobseer_util::testsync::ablation_shared();
         let m = mgr(Strategy::PowerOfTwo);
         let snap = lockmeter::thread_snapshot();
         m.plan_write(8, 2).unwrap();
@@ -693,12 +692,12 @@ mod tests {
 
     #[test]
     fn serialized_ablation_charges_the_meter() {
-        let _serial = FLAG_GUARD.lock();
         let m = mgr(Strategy::PowerOfTwo);
-        lockmeter::set_serialized_control_plane(true);
+        // The RAII guard holds the exclusive ablation lock and restores
+        // the toggle on drop (even if an assertion panics).
+        let _ablation = lockmeter::serialized_ablation(true);
         let snap = lockmeter::thread_snapshot();
         m.plan_write(2, 1).unwrap();
-        lockmeter::set_serialized_control_plane(false);
         assert_eq!(snap.since().serializing, 1);
     }
 

@@ -143,16 +143,36 @@ impl RpcClient {
                         .iter()
                         .map(|&i| Frame::from_msg(calls[i].1, &calls[i].2))
                         .collect();
-                    match self
-                        .transport
-                        .call(self.from, to, start, Frame::batch(frames))
-                    {
+                    let batch = match Frame::batch(frames) {
+                        Ok(b) => b,
+                        Err(e) => {
+                            for slot in &idxs {
+                                results[*slot] = Some(Err(BlobError::Codec(e)));
+                            }
+                            continue;
+                        }
+                    };
+                    match self.transport.call(self.from, to, start, batch) {
                         Ok((resp, vt)) => {
                             join_vt = join_vt.max(vt);
                             match resp.unbatch() {
                                 Some(Ok(frames)) if frames.len() == idxs.len() => {
                                     for (slot, frame) in idxs.iter().zip(frames.iter()) {
                                         results[*slot] = Some(parse_response(frame));
+                                    }
+                                }
+                                Some(Err(_)) => {
+                                    // A METHOD_BATCH response that does not
+                                    // unbatch may be the server's typed
+                                    // refusal (e.g. the response batch
+                                    // overflowed the frame-body cap):
+                                    // surface that error, not a generic one.
+                                    let err = match parse_response::<()>(&resp) {
+                                        Err(e) => e,
+                                        Ok(()) => BlobError::Internal("malformed batch response"),
+                                    };
+                                    for slot in &idxs {
+                                        results[*slot] = Some(Err(err.clone()));
                                     }
                                 }
                                 _ => {
@@ -247,6 +267,43 @@ mod tests {
         let before = t.message_count();
         rpc.fan_out::<u64, u64>(&mut Ctx::start(), &calls);
         assert_eq!(t.message_count() - before, 2, "one message per destination");
+    }
+
+    #[test]
+    fn overflowing_batch_response_surfaces_typed_refusal() {
+        use blobseer_proto::wire::ByteChain;
+        use blobseer_proto::PageBuf;
+        // Each response body is ~640 MiB of shared segments (cheap in
+        // RAM); two of them overflow the 1 GiB rebatch cap, so the
+        // server answers with a typed refusal instead of a batch.
+        struct Huge;
+        impl Service for Huge {
+            fn handle(&self, _ctx: &mut ServerCtx, frame: &Frame) -> Frame {
+                let seg = PageBuf::from_vec(vec![0u8; 1 << 24]);
+                let mut chain = ByteChain::new();
+                for _ in 0..40 {
+                    chain.push(seg.clone());
+                }
+                Frame {
+                    method: frame.method,
+                    body: chain,
+                }
+            }
+        }
+        let t = Arc::new(InProcTransport::new());
+        let c = t.add_node();
+        let s = t.add_node();
+        t.bind(s, Arc::new(Huge));
+        let rpc = RpcClient::new(t, c).with_aggregation(AggregationPolicy::Batch);
+        let calls: Vec<(NodeId, u16, u64)> = vec![(s, 1, 1), (s, 1, 2)];
+        let resps = rpc.fan_out::<u64, u64>(&mut Ctx::start(), &calls);
+        for r in &resps {
+            let err = r.as_ref().unwrap_err();
+            assert!(
+                !matches!(err, BlobError::Internal("malformed batch response")),
+                "the server's refusal must not be masked as malformed: {err:?}"
+            );
+        }
     }
 
     #[test]

@@ -10,11 +10,17 @@
 //! whose body is a `Vec<Frame>`; sub-frame payload segments pass through
 //! the batch encoding intact.
 
-use blobseer_proto::wire::{ByteChain, Reader, Wire, WireBuf};
+use blobseer_proto::wire::{decode_len, ByteChain, Reader, Wire, WireBuf, MAX_LEN};
 use blobseer_proto::CodecError;
 
 /// Reserved method id for aggregated frames.
 pub const METHOD_BATCH: u16 = 0x00FF;
+
+/// Largest legal frame body, mirrored on encode and decode: the seed's
+/// `as u32` cast silently wrapped for bodies ≥ 4 GiB; now any body above
+/// this cap is a [`CodecError::LengthOverflow`] on both sides of the
+/// wire.
+pub const MAX_FRAME_BODY: u64 = MAX_LEN;
 
 /// Per-frame wire overhead besides the body: method id (2) + body length
 /// prefix (4).
@@ -53,11 +59,17 @@ impl Frame {
     /// Wrap frames into one aggregated batch frame. Sub-frame bodies are
     /// chained by reference — a batched page payload is the same
     /// allocation the caller handed to [`Frame::from_msg`].
-    pub fn batch(frames: Vec<Frame>) -> Frame {
-        Frame {
+    ///
+    /// Fails with [`CodecError::LengthOverflow`] when a sub-frame body
+    /// exceeds [`MAX_FRAME_BODY`] — batching is the one in-process spot
+    /// where a frame header (with its length prefix) is actually
+    /// serialized, so the cast must be checked here, not just at the
+    /// socket.
+    pub fn batch(frames: Vec<Frame>) -> Result<Frame, CodecError> {
+        Ok(Frame {
             method: METHOD_BATCH,
-            body: frames.to_chain(),
-        }
+            body: frames.try_to_chain()?,
+        })
     }
 
     /// If this is a batch frame, unpack the contained frames. Sub-frame
@@ -70,13 +82,20 @@ impl Frame {
 impl Wire for Frame {
     fn encode(&self, out: &mut WireBuf) {
         self.method.encode(out);
-        (self.body.len() as u32).encode(out);
+        // Checked: a body above MAX_FRAME_BODY poisons the builder
+        // (surfaced by try_to_chain / finish_checked) instead of
+        // wrapping the u32 prefix into a corrupt length.
+        out.put_len_prefix(self.body.len());
         out.put_chain(&self.body);
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         let method = u16::decode(r)?;
-        let len = u32::decode(r)? as usize;
+        // decode_len enforces the same MAX_FRAME_BODY cap before any
+        // bytes are taken, and take_chain checks the declared length
+        // against what actually remains — a truncated or hostile prefix
+        // is an error, never a panic or an oversized allocation.
+        let len = decode_len(r)?;
         let body = r.take_chain(len)?;
         Ok(Frame { method, body })
     }
@@ -107,7 +126,7 @@ mod tests {
             Frame::from_msg(2, &"two".to_string()),
             Frame::from_msg(3, &vec![3u64, 33]),
         ];
-        let b = Frame::batch(frames.clone());
+        let b = Frame::batch(frames.clone()).unwrap();
         assert_eq!(b.method, METHOD_BATCH);
         let unpacked = b.unbatch().unwrap().unwrap();
         assert_eq!(unpacked, frames);
@@ -122,7 +141,7 @@ mod tests {
         // costs (latency, connection work), which is the point.
         let frames: Vec<Frame> = (0..10).map(|i| Frame::from_msg(1, &(i as u64))).collect();
         let separate: usize = frames.iter().map(Frame::wire_size).sum();
-        let batched = Frame::batch(frames).wire_size();
+        let batched = Frame::batch(frames).unwrap().wire_size();
         assert!(batched <= separate + FRAME_HEADER_BYTES + 4);
     }
 
@@ -132,6 +151,74 @@ mod tests {
         let mut bytes = f.to_wire();
         bytes.truncate(bytes.len() - 1);
         assert!(Frame::from_wire(&bytes).is_err());
+    }
+
+    /// A chain whose logical length exceeds `target` built from refcount
+    /// clones of one segment — gigabytes on the wire, megabytes in RAM.
+    fn huge_chain(target: u64) -> ByteChain {
+        let seg = PageBuf::from_vec(vec![0xEE; 1 << 24]); // 16 MiB
+        let mut chain = ByteChain::new();
+        while (chain.len() as u64) <= target {
+            chain.push(seg.clone());
+        }
+        chain
+    }
+
+    #[test]
+    fn oversized_body_is_an_error_not_a_wrapped_prefix() {
+        // Just over the cap: the seed encoded this with a wrapped u32
+        // length prefix; now every checked encode path refuses.
+        let f = Frame {
+            method: 1,
+            body: huge_chain(MAX_FRAME_BODY),
+        };
+        assert!(matches!(
+            f.try_to_chain(),
+            Err(CodecError::LengthOverflow { .. })
+        ));
+        assert!(matches!(
+            Frame::batch(vec![f]),
+            Err(CodecError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn four_gib_body_does_not_silently_truncate() {
+        // Past u32::MAX: the exact wrap the seed had. Same checked error.
+        let f = Frame {
+            method: 1,
+            body: huge_chain(u64::from(u32::MAX)),
+        };
+        assert!(f.body.len() as u64 > u64::from(u32::MAX));
+        assert!(matches!(
+            f.try_to_chain(),
+            Err(CodecError::LengthOverflow { .. })
+        ));
+        assert!(matches!(
+            Frame::batch(vec![f]),
+            Err(CodecError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_body_length_prefix_is_rejected_on_decode() {
+        // method(2) + a declared body length far beyond MAX_FRAME_BODY.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Frame::from_wire(&bytes),
+            Err(CodecError::LengthOverflow { .. })
+        ));
+        // An in-cap prefix with missing bytes is clean EOF, not a panic.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.extend_from_slice(&100u32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 10]);
+        assert!(matches!(
+            Frame::from_wire(&bytes),
+            Err(CodecError::UnexpectedEof { .. })
+        ));
     }
 
     #[test]
@@ -148,7 +235,7 @@ mod tests {
 
         // Batching both frames: header chunks consolidate (a few bytes),
         // page segments pass through by reference.
-        let b = Frame::batch(vec![f1, f2]);
+        let b = Frame::batch(vec![f1, f2]).unwrap();
         assert!(
             before.bytes_since() < 64,
             "batching must not copy page bytes (copied {})",

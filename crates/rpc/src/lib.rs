@@ -12,17 +12,24 @@
 //! cost; the transport folds queueing/transfer/latency in. See
 //! `blobseer-simnet` for the cluster cost model; the in-process transport
 //! here costs nothing and is used by unit tests and embedded deployments.
+//!
+//! [`TcpTransport`] is the real-socket implementation: frames are
+//! gather-written straight from their segment chains (`writev`, no
+//! flatten) and inbound payloads are lent out of the receive buffer by
+//! refcount — see [`tcp`] for the frame discipline and error taxonomy.
 
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod frame;
 pub mod service;
+pub mod tcp;
 pub mod transport;
 
 pub use client::{AggregationPolicy, RpcClient};
-pub use frame::{Frame, FRAME_HEADER_BYTES, METHOD_BATCH};
+pub use frame::{Frame, FRAME_HEADER_BYTES, MAX_FRAME_BODY, METHOD_BATCH};
 pub use service::{
     dispatch_frame, error_frame, ok_frame, parse_response, respond, ServerCtx, Service,
 };
+pub use tcp::{TcpOptions, TcpTransport, MAX_WIRE_FRAME};
 pub use transport::{Ctx, InProcTransport, Transport, TransportResult};

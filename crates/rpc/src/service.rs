@@ -75,6 +75,7 @@ pub fn dispatch_frame(svc: &dyn Service, ctx: &mut ServerCtx, frame: &Frame) -> 
                 .map(|f| dispatch_frame(svc, ctx, f))
                 .collect();
             Frame::batch(responses)
+                .unwrap_or_else(|e| error_frame(frame.method, BlobError::Codec(e)))
         }
         Some(Err(_)) => error_frame(frame.method, BlobError::Internal("corrupt batch frame")),
     }
@@ -159,7 +160,8 @@ mod tests {
             Frame::from_msg(1, &1u64),
             Frame::from_msg(1, &2u64),
             Frame::from_msg(9, &3u64),
-        ]);
+        ])
+        .unwrap();
         let resp = dispatch_frame(&svc, &mut ctx, &batch);
         let frames = resp.unbatch().unwrap().unwrap();
         assert_eq!(frames.len(), 3);

@@ -1,0 +1,651 @@
+//! Real TCP transport: gather-write frames over loopback or a LAN.
+//!
+//! This is the first transport whose frames actually cross a socket, so
+//! the copy discipline established for the in-process path (ROADMAP
+//! "Data path & copy discipline") finally meets the kernel:
+//!
+//! * **Send is gather-write.** A frame leaves as a length-prefixed
+//!   envelope followed by the body's [`ByteChain`] segments, handed to
+//!   `write_vectored` via [`ByteChain::as_io_slices`] — no flattening
+//!   memcpy, no matter how many page payloads a batched frame carries.
+//!   The seed behaviour (flatten the chain into one contiguous buffer,
+//!   a metered copy) survives as [`TcpTransport::set_gather_write`]
+//!   `(false)` so the `pr3_tcp` bench can measure the difference.
+//! * **Receive is lend-on-decode.** Each inbound frame is read into a
+//!   single [`PageBuf`] and decoded with [`Reader::from_buf`], so page
+//!   payloads come out as refcounted slices of the receive buffer — the
+//!   payload leg meters the same zero copies as the in-process path.
+//! * **Corrupt bytes are errors, never panics.** Envelope and body
+//!   length prefixes are capped ([`MAX_WIRE_FRAME`] /
+//!   [`crate::frame::MAX_FRAME_BODY`]) before any allocation, and every
+//!   decode failure maps to a typed error.
+//!
+//! # Topology
+//!
+//! Mirrors [`InProcTransport`](crate::transport::InProcTransport):
+//! [`TcpTransport::add_node`] allocates a node id, [`TcpTransport::bind`]
+//! attaches a service — which here starts a loopback listener plus an
+//! accept thread that hands each connection to a worker dispatching
+//! through the existing [`Service`]/[`dispatch_frame`] machinery.
+//! Workers come and go with connections; the client side keeps the
+//! population small by pooling one connection per in-flight call per
+//! destination and reusing it across calls. Remote peers that live in
+//! another process register with [`TcpTransport::register_remote`].
+//!
+//! # Error taxonomy
+//!
+//! | failure                                   | surfaced as                 |
+//! |-------------------------------------------|-----------------------------|
+//! | connect refused / timeout                 | [`BlobError::Unreachable`]  |
+//! | peer closed mid-frame, short read/write   | [`BlobError::Unreachable`]  |
+//! | I/O timeout (peer accepted, never replied)| [`BlobError::Unreachable`]  |
+//! | corrupt envelope or frame bytes           | [`BlobError::Codec`]        |
+//! | body above the frame cap (send or recv)   | [`BlobError::Codec`]        |
+//!
+//! A failed call never returns its connection to the pool; the next call
+//! reconnects. Virtual time still flows (the envelope carries `vt` and
+//! handlers may charge), but wall-clock time is real — TCP deployments
+//! use zero-cost models and measure with real clocks.
+
+use crate::frame::{Frame, MAX_FRAME_BODY};
+use crate::service::{dispatch_frame, ServerCtx, Service};
+use blobseer_proto::wire::{Reader, Wire};
+use blobseer_proto::{BlobError, CodecError, NodeId, PageBuf};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::io::{self, IoSlice, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::transport::{Transport, TransportResult};
+
+/// Envelope bytes before the frame proper: payload length `u32` is
+/// followed by the virtual-time stamp `u64`; the frame's own header
+/// (method `u16`, body length `u32`) comes next.
+const ENVELOPE_LEN_BYTES: usize = 4;
+/// Bytes covered by the envelope length besides the frame body.
+const ENVELOPE_FIXED: usize = 8 + 2 + 4;
+
+/// Sanity cap on one whole wire frame (envelope fixed part + body):
+/// anything larger is rejected before allocation, on both sides.
+pub const MAX_WIRE_FRAME: u64 = MAX_FRAME_BODY + ENVELOPE_FIXED as u64;
+
+/// Tunables for a [`TcpTransport`].
+#[derive(Clone, Copy, Debug)]
+pub struct TcpOptions {
+    /// Client-side connect timeout.
+    pub connect_timeout: Duration,
+    /// Client-side per-read/per-write timeout (`None` = block forever).
+    /// Bounds how long a call can hang on a peer that accepted the
+    /// connection but never answers.
+    pub io_timeout: Option<Duration>,
+    /// Idle connections kept per destination; checkouts beyond this are
+    /// fresh connects and are closed instead of pooled on return.
+    pub max_pooled_per_peer: usize,
+}
+
+impl Default for TcpOptions {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(5),
+            io_timeout: Some(Duration::from_secs(30)),
+            max_pooled_per_peer: 64,
+        }
+    }
+}
+
+/// State shared with accept/worker threads (no back-reference to the
+/// transport, so dropping the transport tears the threads down).
+struct Shared {
+    shutdown: AtomicBool,
+    gather: AtomicBool,
+    messages: AtomicU64,
+    bytes: AtomicU64,
+    /// Applied to accepted sockets too: a client that stalls mid-frame
+    /// (or stops draining its responses) times its worker out instead of
+    /// parking a thread and an fd forever. Idle pooled connections are
+    /// exempt — a timeout at a frame boundary just re-arms the read.
+    io_timeout: Option<Duration>,
+}
+
+struct NodeSlot {
+    addr: Option<SocketAddr>,
+    alive: Arc<AtomicBool>,
+}
+
+/// A real socket transport over loopback (or any reachable address via
+/// [`TcpTransport::register_remote`]). See the module docs for the frame
+/// discipline and error taxonomy.
+pub struct TcpTransport {
+    opts: TcpOptions,
+    nodes: RwLock<Vec<NodeSlot>>,
+    pool: Mutex<HashMap<u32, Vec<TcpStream>>>,
+    accepts: Mutex<Vec<(SocketAddr, JoinHandle<()>)>>,
+    shared: Arc<Shared>,
+}
+
+impl Default for TcpTransport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TcpTransport {
+    /// Empty transport with default options.
+    pub fn new() -> Self {
+        Self::with_options(TcpOptions::default())
+    }
+
+    /// Empty transport with explicit options.
+    pub fn with_options(opts: TcpOptions) -> Self {
+        Self {
+            opts,
+            nodes: RwLock::new(Vec::new()),
+            pool: Mutex::new(HashMap::new()),
+            accepts: Mutex::new(Vec::new()),
+            shared: Arc::new(Shared {
+                shutdown: AtomicBool::new(false),
+                gather: AtomicBool::new(true),
+                messages: AtomicU64::new(0),
+                bytes: AtomicU64::new(0),
+                io_timeout: opts.io_timeout,
+            }),
+        }
+    }
+
+    /// Add a node (returns its id). Client-only nodes never bind a
+    /// listener; calls *to* them fail until [`TcpTransport::bind`].
+    pub fn add_node(&self) -> NodeId {
+        let mut g = self.nodes.write();
+        g.push(NodeSlot {
+            addr: None,
+            alive: Arc::new(AtomicBool::new(true)),
+        });
+        NodeId(g.len() as u32 - 1)
+    }
+
+    /// Bind a service to a node: starts a loopback listener and its
+    /// accept thread. Panics if the node is unknown or already bound.
+    pub fn bind(&self, node: NodeId, svc: Arc<dyn Service>) {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind loopback listener");
+        let addr = listener.local_addr().expect("listener local addr");
+        let alive = {
+            let mut g = self.nodes.write();
+            let slot = g.get_mut(node.0 as usize).expect("bind: node exists");
+            assert!(slot.addr.is_none(), "bind: node already has a service");
+            slot.addr = Some(addr);
+            Arc::clone(&slot.alive)
+        };
+        let shared = Arc::clone(&self.shared);
+        let handle = std::thread::spawn(move || accept_loop(listener, svc, alive, shared));
+        self.accepts.lock().push((addr, handle));
+    }
+
+    /// Register a node served by a peer outside this transport (another
+    /// process, or a hand-rolled server in a fault-injection test).
+    pub fn register_remote(&self, addr: SocketAddr) -> NodeId {
+        let mut g = self.nodes.write();
+        g.push(NodeSlot {
+            addr: Some(addr),
+            alive: Arc::new(AtomicBool::new(true)),
+        });
+        NodeId(g.len() as u32 - 1)
+    }
+
+    /// The socket address a bound node listens on.
+    pub fn addr(&self, node: NodeId) -> Option<SocketAddr> {
+        self.nodes.read().get(node.0 as usize).and_then(|s| s.addr)
+    }
+
+    /// Kill a node: its workers close each connection at the next frame
+    /// instead of dispatching, so callers observe `Unreachable` — the
+    /// service state itself is preserved (the sim's "process death with
+    /// intact memory image" semantics).
+    pub fn kill(&self, node: NodeId) {
+        if let Some(slot) = self.nodes.read().get(node.0 as usize) {
+            slot.alive.store(false, Ordering::Release);
+        }
+    }
+
+    /// Revive a previously killed node.
+    pub fn revive(&self, node: NodeId) {
+        if let Some(slot) = self.nodes.read().get(node.0 as usize) {
+            slot.alive.store(true, Ordering::Release);
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.read().len()
+    }
+
+    /// True when no nodes exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total frames carried (request + response per call), for
+    /// aggregation assertions — same accounting as the sim cluster.
+    pub fn message_count(&self) -> u64 {
+        self.shared.messages.load(Ordering::Relaxed)
+    }
+
+    /// Total wire bytes carried, envelopes included.
+    pub fn byte_count(&self) -> u64 {
+        self.shared.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Toggle the gather-write path (benchmarks only). `false` restores
+    /// the seed regime: every outbound body is flattened into one
+    /// contiguous buffer first — a metered copy per frame.
+    pub fn set_gather_write(&self, enabled: bool) {
+        self.shared.gather.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether outbound frames are gather-written.
+    pub fn gather_write(&self) -> bool {
+        self.shared.gather.load(Ordering::Relaxed)
+    }
+
+    /// Idle pooled connections to `node` (white-box metric: fault tests
+    /// assert a failed call never returns its connection to the pool).
+    pub fn pooled_connections(&self, node: NodeId) -> usize {
+        self.pool.lock().get(&node.0).map_or(0, Vec::len)
+    }
+
+    fn checkout(&self, to: NodeId, addr: SocketAddr) -> Result<TcpStream, BlobError> {
+        if let Some(conn) = self.pool.lock().get_mut(&to.0).and_then(Vec::pop) {
+            return Ok(conn);
+        }
+        let stream = TcpStream::connect_timeout(&addr, self.opts.connect_timeout)
+            .map_err(|_| BlobError::Unreachable("tcp connect failed"))?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(self.opts.io_timeout);
+        let _ = stream.set_write_timeout(self.opts.io_timeout);
+        Ok(stream)
+    }
+
+    fn checkin(&self, to: NodeId, conn: TcpStream) {
+        let mut pool = self.pool.lock();
+        let idle = pool.entry(to.0).or_default();
+        if idle.len() < self.opts.max_pooled_per_peer {
+            idle.push(conn);
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn call(&self, _from: NodeId, to: NodeId, vt: u64, frame: Frame) -> TransportResult {
+        let addr = {
+            let g = self.nodes.read();
+            let slot = g
+                .get(to.0 as usize)
+                .ok_or(BlobError::Unreachable("unknown tcp node"))?;
+            slot.addr
+                .ok_or(BlobError::Unreachable("no tcp endpoint bound"))?
+        };
+        let mut conn = self.checkout(to, addr)?;
+        let gather = self.shared.gather.load(Ordering::Relaxed);
+        let req_wire = send_frame(&mut conn, vt, &frame, gather).map_err(|e| match e {
+            SendError::Codec(c) => BlobError::Codec(c),
+            SendError::Io(e) if is_timeout(&e) => BlobError::Unreachable("tcp send timed out"),
+            SendError::Io(_) => BlobError::Unreachable("tcp send failed"),
+        })?;
+        match recv_frame(&mut conn) {
+            Ok((resp_vt, resp, resp_wire)) => {
+                self.checkin(to, conn);
+                self.shared.messages.fetch_add(2, Ordering::Relaxed);
+                self.shared
+                    .bytes
+                    .fetch_add((req_wire + resp_wire) as u64, Ordering::Relaxed);
+                Ok((resp, resp_vt))
+            }
+            Err(RecvError::Codec(c)) => Err(BlobError::Codec(c)),
+            Err(RecvError::IdleTimeout) => Err(BlobError::Unreachable("tcp recv timed out")),
+            Err(RecvError::Io(e)) if is_timeout(&e) => {
+                Err(BlobError::Unreachable("tcp recv timed out"))
+            }
+            Err(_) => Err(BlobError::Unreachable("tcp connection lost")),
+        }
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Closing pooled connections EOFs their workers.
+        self.pool.lock().clear();
+        // Wake each accept thread with a throwaway connection, then join.
+        let accepts = std::mem::take(&mut *self.accepts.lock());
+        for (addr, _) in &accepts {
+            let _ = TcpStream::connect_timeout(addr, Duration::from_millis(200));
+        }
+        for (_, handle) in accepts {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    svc: Arc<dyn Service>,
+    alive: Arc<AtomicBool>,
+    shared: Arc<Shared>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(shared.io_timeout);
+                let _ = stream.set_write_timeout(shared.io_timeout);
+                let svc = Arc::clone(&svc);
+                let alive = Arc::clone(&alive);
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || serve_conn(stream, svc, alive, shared));
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Transient accept failure (EMFILE, aborted handshake):
+                // back off briefly so a persistent error condition does
+                // not busy-spin the accept thread at 100% CPU.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// One connection's request loop: read a frame, dispatch, gather-write
+/// the response. Any read/decode failure or a dead node closes the
+/// connection — the peer sees EOF mid-conversation.
+fn serve_conn(
+    mut stream: TcpStream,
+    svc: Arc<dyn Service>,
+    alive: Arc<AtomicBool>,
+    shared: Arc<Shared>,
+) {
+    loop {
+        let (vt, frame, _) = match recv_frame(&mut stream) {
+            Ok(x) => x,
+            // A timeout before any envelope byte arrived is just an idle
+            // pooled connection between calls: re-arm the read. Mid-frame
+            // timeouts (a stalled client) fall through and close.
+            Err(RecvError::IdleTimeout) => {
+                if shared.shutdown.load(Ordering::SeqCst) || !alive.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        };
+        if shared.shutdown.load(Ordering::SeqCst) || !alive.load(Ordering::Acquire) {
+            return;
+        }
+        let mut sctx = ServerCtx::new(vt);
+        let resp = dispatch_frame(svc.as_ref(), &mut sctx, &frame);
+        let done = sctx.vt + sctx.charged + sctx.charged_latency;
+        if !alive.load(Ordering::Acquire) {
+            return; // died during the call: no response
+        }
+        let gather = shared.gather.load(Ordering::Relaxed);
+        if send_frame(&mut stream, done, &resp, gather).is_err() {
+            return;
+        }
+    }
+}
+
+/// A socket read/write timeout surfaces as `WouldBlock` or `TimedOut`
+/// depending on the platform.
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+enum SendError {
+    Io(io::Error),
+    Codec(CodecError),
+}
+
+/// Write one frame: 18-byte header (`len`, `vt`, `method`, `body_len`)
+/// then the body. Gather mode hands the header plus every body segment
+/// to `write_vectored` in one slice list; flatten mode (ablation)
+/// materializes the body contiguously first — a metered copy. Returns
+/// the wire size.
+fn send_frame(
+    stream: &mut TcpStream,
+    vt: u64,
+    frame: &Frame,
+    gather: bool,
+) -> Result<usize, SendError> {
+    let body_len = frame.body.len();
+    if body_len as u64 > MAX_FRAME_BODY {
+        return Err(SendError::Codec(CodecError::LengthOverflow {
+            declared: body_len as u64,
+        }));
+    }
+    let mut head = [0u8; ENVELOPE_LEN_BYTES + ENVELOPE_FIXED];
+    head[0..4].copy_from_slice(&((ENVELOPE_FIXED + body_len) as u32).to_le_bytes());
+    head[4..12].copy_from_slice(&vt.to_le_bytes());
+    head[12..14].copy_from_slice(&frame.method.to_le_bytes());
+    head[14..18].copy_from_slice(&(body_len as u32).to_le_bytes());
+    if gather {
+        let mut slices = frame.body.as_io_slices(&head);
+        write_all_vectored(stream, &mut slices).map_err(SendError::Io)?;
+    } else {
+        let flat = frame.body.to_vec(); // the ablated flatten (metered)
+        stream.write_all(&head).map_err(SendError::Io)?;
+        stream.write_all(&flat).map_err(SendError::Io)?;
+    }
+    Ok(head.len() + body_len)
+}
+
+/// `write_all` over a vectored slice list, advancing across partial
+/// writes without ever copying payload bytes.
+fn write_all_vectored(stream: &mut TcpStream, bufs: &mut [IoSlice<'_>]) -> io::Result<()> {
+    let mut bufs = bufs;
+    while !bufs.is_empty() {
+        match stream.write_vectored(bufs) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "tcp peer stopped accepting bytes",
+                ))
+            }
+            Ok(n) => IoSlice::advance_slices(&mut bufs, n),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+enum RecvError {
+    /// Clean close at a frame boundary.
+    Closed,
+    /// Read timeout at a frame boundary (no envelope byte yet): the
+    /// connection is idle, not stalled. Servers re-arm; clients waiting
+    /// on a response treat it as a timeout.
+    IdleTimeout,
+    Io(io::Error),
+    Codec(CodecError),
+}
+
+/// Read one frame into a single receive buffer and decode it with
+/// [`Reader::from_buf`], so payloads are lent out of the buffer by
+/// refcount. Returns `(vt, frame, wire_size)`.
+fn recv_frame(stream: &mut TcpStream) -> Result<(u64, Frame, usize), RecvError> {
+    let mut len4 = [0u8; ENVELOPE_LEN_BYTES];
+    let mut got = 0usize;
+    while got < len4.len() {
+        match stream.read(&mut len4[got..]) {
+            Ok(0) if got == 0 => return Err(RecvError::Closed),
+            Ok(0) => {
+                return Err(RecvError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "tcp peer closed mid-envelope",
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if got == 0 && is_timeout(&e) => return Err(RecvError::IdleTimeout),
+            Err(e) => return Err(RecvError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(len4) as usize;
+    if len < ENVELOPE_FIXED || len as u64 > MAX_WIRE_FRAME {
+        // Reject before allocating: a corrupt length must not buy a
+        // multi-gigabyte Vec.
+        return Err(RecvError::Codec(CodecError::LengthOverflow {
+            declared: len as u64,
+        }));
+    }
+    let mut buf = vec![0u8; len];
+    stream.read_exact(&mut buf).map_err(RecvError::Io)?;
+    // From here on the bytes are owned and immutable: decode lends
+    // payload ranges out of this allocation by refcount.
+    let buf = PageBuf::from_vec(buf);
+    let mut r = Reader::from_buf(&buf);
+    let vt = u64::decode(&mut r).map_err(RecvError::Codec)?;
+    let frame = Frame::decode(&mut r).map_err(RecvError::Codec)?;
+    r.finish().map_err(RecvError::Codec)?;
+    Ok((vt, frame, ENVELOPE_LEN_BYTES + len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::RpcClient;
+    use crate::service::{respond, Service};
+    use crate::transport::Ctx;
+
+    struct Echo;
+
+    impl Service for Echo {
+        fn handle(&self, ctx: &mut ServerCtx, frame: &Frame) -> Frame {
+            ctx.charge(250);
+            respond(frame, |x: u64| Ok(x + 1))
+        }
+    }
+
+    fn setup() -> (Arc<TcpTransport>, NodeId, NodeId) {
+        let t = Arc::new(TcpTransport::new());
+        let client = t.add_node();
+        let server = t.add_node();
+        t.bind(server, Arc::new(Echo));
+        (t, client, server)
+    }
+
+    #[test]
+    fn call_roundtrip_over_loopback() {
+        let (t, c, s) = setup();
+        let rpc = RpcClient::new(Arc::clone(&t) as _, c);
+        let mut ctx = Ctx::start();
+        let resp: u64 = rpc.call(&mut ctx, s, 1, &41u64).unwrap();
+        assert_eq!(resp, 42);
+        assert_eq!(ctx.vt, 250, "server charges flow back through the envelope");
+        assert_eq!(t.message_count(), 2, "request + response");
+        assert!(t.byte_count() > 0);
+    }
+
+    #[test]
+    fn connections_are_pooled_and_reused() {
+        let (t, c, s) = setup();
+        let rpc = RpcClient::new(Arc::clone(&t) as _, c);
+        let mut ctx = Ctx::start();
+        for i in 0..10u64 {
+            let r: u64 = rpc.call(&mut ctx, s, 1, &i).unwrap();
+            assert_eq!(r, i + 1);
+        }
+        assert_eq!(
+            t.pooled_connections(s),
+            1,
+            "sequential calls reuse one pooled connection"
+        );
+    }
+
+    #[test]
+    fn unbound_and_unknown_nodes_are_unreachable() {
+        let (t, c, _) = setup();
+        let ghost = t.add_node(); // no listener
+        let rpc = RpcClient::new(Arc::clone(&t) as _, c);
+        let err = rpc
+            .call::<u64, u64>(&mut Ctx::start(), ghost, 1, &1)
+            .unwrap_err();
+        assert!(matches!(err, BlobError::Unreachable(_)));
+        let err = t
+            .call(c, NodeId(999), 0, Frame::from_msg(1, &1u64))
+            .unwrap_err();
+        assert!(matches!(err, BlobError::Unreachable(_)));
+    }
+
+    #[test]
+    fn kill_and_revive_preserve_service_state() {
+        let (t, c, s) = setup();
+        let rpc = RpcClient::new(Arc::clone(&t) as _, c);
+        let mut ctx = Ctx::start();
+        let _: u64 = rpc.call(&mut ctx, s, 1, &1u64).unwrap();
+        t.kill(s);
+        let err = rpc.call::<u64, u64>(&mut ctx, s, 1, &1).unwrap_err();
+        assert!(matches!(err, BlobError::Unreachable(_)));
+        assert_eq!(
+            t.pooled_connections(s),
+            0,
+            "the failed call's connection must not be pooled"
+        );
+        t.revive(s);
+        let r: u64 = rpc.call(&mut ctx, s, 1, &9u64).unwrap();
+        assert_eq!(r, 10);
+    }
+
+    #[test]
+    fn batch_travels_as_one_message_per_destination() {
+        let (t, c, s) = setup();
+        let rpc = RpcClient::new(Arc::clone(&t) as _, c);
+        let calls: Vec<(NodeId, u16, u64)> = (0..8).map(|i| (s, 1, i as u64)).collect();
+        let before = t.message_count();
+        let resps = rpc.fan_out::<u64, u64>(&mut Ctx::start(), &calls);
+        for (i, r) in resps.iter().enumerate() {
+            assert_eq!(*r.as_ref().unwrap(), i as u64 + 1);
+        }
+        assert_eq!(
+            t.message_count() - before,
+            2,
+            "aggregation survives the socket: one frame each way"
+        );
+    }
+
+    #[test]
+    fn page_payload_roundtrips_shared_through_the_socket() {
+        use blobseer_util::copymeter;
+        struct PageEcho;
+        impl Service for PageEcho {
+            fn handle(&self, _ctx: &mut ServerCtx, frame: &Frame) -> Frame {
+                respond(frame, |p: PageBuf| Ok(p))
+            }
+        }
+        let _shared = blobseer_util::testsync::ablation_shared();
+        let t = Arc::new(TcpTransport::new());
+        let c = t.add_node();
+        let s = t.add_node();
+        t.bind(s, Arc::new(PageEcho));
+        let rpc = RpcClient::new(Arc::clone(&t) as _, c);
+        let page = PageBuf::from_vec(vec![0xAB; 128 * 1024]);
+        let before = copymeter::snapshot();
+        let back: PageBuf = rpc.call(&mut Ctx::start(), s, 1, &page).unwrap();
+        assert_eq!(back, page);
+        assert_eq!(
+            before.bytes_since(),
+            0,
+            "payload leg must be copy-free: gather-write out, lend-on-receive back"
+        );
+    }
+}

@@ -34,7 +34,7 @@ proptest! {
     ) {
         let frames: Vec<Frame> =
             payloads.iter().map(|p| Frame::from_msg(0x0101, p)).collect();
-        let batch = Frame::batch(frames.clone());
+        let batch = Frame::batch(frames.clone()).unwrap();
 
         // Unbatching the in-process representation returns equal frames,
         // and large payloads come back sharing the original allocations.
@@ -70,7 +70,7 @@ proptest! {
     ) {
         let frames: Vec<Frame> =
             payloads.iter().map(|p| Frame::from_msg(7, p)).collect();
-        let mut flat = Frame::batch(frames).to_wire();
+        let mut flat = Frame::batch(frames).unwrap().to_wire();
         let cut = cut.min(flat.len() - 1);
         flat.truncate(flat.len() - cut);
         prop_assert!(Frame::from_wire(&flat).is_err());
@@ -84,8 +84,8 @@ proptest! {
         // Batches of batches (a relay aggregating already-aggregated
         // traffic) keep working; sharing survives one more level.
         let leaf = Frame::from_msg(1, &inner_payload);
-        let inner = Frame::batch(vec![leaf; n_inner]);
-        let outer = Frame::batch(vec![inner.clone(), inner.clone()]);
+        let inner = Frame::batch(vec![leaf; n_inner]).unwrap();
+        let outer = Frame::batch(vec![inner.clone(), inner.clone()]).unwrap();
         let unpacked = outer.unbatch().unwrap().unwrap();
         prop_assert_eq!(unpacked.len(), 2);
         let inner_back = unpacked[0].unbatch().unwrap().unwrap();
@@ -94,6 +94,49 @@ proptest! {
         prop_assert_eq!(&payload_back, &inner_payload);
         if inner_payload.len() >= SHARE_THRESHOLD {
             prop_assert!(payload_back.same_allocation(&inner_payload));
+        }
+    }
+
+    #[test]
+    fn truncated_socket_bytes_never_panic(
+        payloads in proptest::collection::vec(arb_payload(), 0..6),
+        keep in 0usize..8192,
+    ) {
+        // The socket receive path: bytes arrive in one PageBuf and are
+        // decoded via Reader::from_buf. Every possible truncation point
+        // must produce Err, never a panic-slice or an over-allocation.
+        let frames: Vec<Frame> =
+            payloads.iter().map(|p| Frame::from_msg(3, p)).collect();
+        let flat = Frame::batch(frames).unwrap().to_wire();
+        let keep = keep.min(flat.len().saturating_sub(1));
+        let buf = PageBuf::from_vec(flat[..keep].to_vec());
+        prop_assert!(Frame::from_buf(&buf).is_err());
+    }
+
+    #[test]
+    fn bit_flipped_socket_bytes_never_panic(
+        payloads in proptest::collection::vec(arb_payload(), 1..6),
+        flips in proptest::collection::vec((0usize..8192, 0u8..8), 1..8),
+    ) {
+        // Corrupt-but-complete frames: flip bits anywhere (including
+        // inside length prefixes). Decode may fail or may yield a
+        // different but valid frame — it must never panic and never
+        // read out of bounds.
+        let frames: Vec<Frame> =
+            payloads.iter().map(|p| Frame::from_msg(5, p)).collect();
+        let mut flat = Frame::batch(frames).unwrap().to_wire();
+        for (pos, bit) in flips {
+            let pos = pos % flat.len();
+            flat[pos] ^= 1 << bit;
+        }
+        let buf = PageBuf::from_vec(flat);
+        if let Ok(frame) = Frame::from_buf(&buf) {
+            // Whatever decoded must also survive its own unbatch/parse.
+            if let Some(Ok(subs)) = frame.unbatch() {
+                for s in subs {
+                    let _ = s.parse::<PageBuf>();
+                }
+            }
         }
     }
 

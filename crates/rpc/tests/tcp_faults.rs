@@ -1,0 +1,246 @@
+//! Transport fault injection for [`TcpTransport`]: every failure mode a
+//! real peer can inflict — connect refused, close mid-frame, reset under
+//! a large write, accept-then-silence, hostile length prefixes — must
+//! surface as a clean `TransportResult` error with no hang and no leaked
+//! pooled connection. The provider-death paths simnet already exercises
+//! (kill/revive) ride on the same machinery and are covered in
+//! `crates/rpc/src/tcp.rs` and the core `tcp_e2e` suite.
+
+use blobseer_proto::{BlobError, PageBuf};
+use blobseer_rpc::{Ctx, Frame, RpcClient, TcpOptions, TcpTransport, Transport};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A transport with short timeouts so fault paths resolve in test time.
+fn transport() -> Arc<TcpTransport> {
+    Arc::new(TcpTransport::with_options(TcpOptions {
+        connect_timeout: Duration::from_millis(500),
+        io_timeout: Some(Duration::from_millis(500)),
+        max_pooled_per_peer: 8,
+    }))
+}
+
+/// Bind a loopback port, return its address, and close the listener so
+/// connects are refused.
+fn refused_addr() -> SocketAddr {
+    let l = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+    l.local_addr().unwrap()
+}
+
+/// Spawn a misbehaving peer; `evil` receives each accepted connection.
+fn evil_peer(
+    evil: impl Fn(std::net::TcpStream) + Send + 'static,
+) -> (SocketAddr, std::thread::JoinHandle<()>) {
+    let l = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+    let addr = l.local_addr().unwrap();
+    let h = std::thread::spawn(move || {
+        if let Ok((s, _)) = l.accept() {
+            evil(s);
+        }
+    });
+    (addr, h)
+}
+
+#[test]
+fn connect_refused_is_a_clean_error() {
+    let t = transport();
+    let c = t.add_node();
+    let dead = t.register_remote(refused_addr());
+    let err = t.call(c, dead, 0, Frame::from_msg(1, &1u64)).unwrap_err();
+    assert!(matches!(err, BlobError::Unreachable(_)), "{err:?}");
+    assert_eq!(t.pooled_connections(dead), 0);
+}
+
+#[test]
+fn peer_closing_mid_response_is_a_clean_error() {
+    // The peer reads the whole request, then sends a response envelope
+    // that promises more bytes than it delivers and closes.
+    let (addr, h) = evil_peer(|mut s| {
+        let mut sink = [0u8; 4096];
+        let _ = s.read(&mut sink);
+        let mut partial = Vec::new();
+        partial.extend_from_slice(&100u32.to_le_bytes()); // promises 100
+        partial.extend_from_slice(&[7u8; 10]); // delivers 10
+        let _ = s.write_all(&partial);
+        // drop: close mid-frame
+    });
+    let t = transport();
+    let c = t.add_node();
+    let peer = t.register_remote(addr);
+    let err = t.call(c, peer, 0, Frame::from_msg(1, &1u64)).unwrap_err();
+    assert!(matches!(err, BlobError::Unreachable(_)), "{err:?}");
+    assert_eq!(
+        t.pooled_connections(peer),
+        0,
+        "a half-dead connection must not be pooled"
+    );
+    h.join().unwrap();
+}
+
+#[test]
+fn peer_resetting_under_a_large_write_is_a_clean_error() {
+    // The peer reads a few bytes and drops the socket with unread data
+    // queued — the kernel turns the client's in-flight gather write into
+    // EPIPE/ECONNRESET partway through.
+    let (addr, h) = evil_peer(|mut s| {
+        let mut sink = [0u8; 16];
+        let _ = s.read_exact(&mut sink);
+        // drop with megabytes still inbound → RST
+    });
+    let t = transport();
+    let c = t.add_node();
+    let peer = t.register_remote(addr);
+    // A body far beyond socket buffers guarantees the write is split.
+    let big = PageBuf::from_vec(vec![0x5A; 16 << 20]);
+    let err = t.call(c, peer, 0, Frame::from_msg(1, &big)).unwrap_err();
+    assert!(matches!(err, BlobError::Unreachable(_)), "{err:?}");
+    assert_eq!(t.pooled_connections(peer), 0);
+    h.join().unwrap();
+}
+
+#[test]
+fn silent_peer_times_out_instead_of_hanging() {
+    // The peer accepts, reads the request, and never answers. The
+    // configured io timeout must bound the call.
+    let (addr, h) = evil_peer(|mut s| {
+        let mut sink = [0u8; 4096];
+        let _ = s.read(&mut sink);
+        std::thread::sleep(Duration::from_secs(2));
+    });
+    let t = transport();
+    let c = t.add_node();
+    let peer = t.register_remote(addr);
+    let start = std::time::Instant::now();
+    let err = t.call(c, peer, 0, Frame::from_msg(1, &1u64)).unwrap_err();
+    assert!(matches!(err, BlobError::Unreachable(_)), "{err:?}");
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "the io timeout must fire well before the peer wakes"
+    );
+    assert_eq!(t.pooled_connections(peer), 0);
+    h.join().unwrap();
+}
+
+#[test]
+fn hostile_response_length_prefix_is_codec_error_not_allocation() {
+    // The peer answers with a 4 GiB envelope length. The client must
+    // reject it before allocating, as a typed codec error.
+    let (addr, h) = evil_peer(|mut s| {
+        let mut sink = [0u8; 4096];
+        let _ = s.read(&mut sink);
+        let _ = s.write_all(&u32::MAX.to_le_bytes());
+        let _ = s.write_all(&[0u8; 64]);
+    });
+    let t = transport();
+    let c = t.add_node();
+    let peer = t.register_remote(addr);
+    let err = t.call(c, peer, 0, Frame::from_msg(1, &1u64)).unwrap_err();
+    assert!(matches!(err, BlobError::Codec(_)), "{err:?}");
+    assert_eq!(t.pooled_connections(peer), 0);
+    h.join().unwrap();
+}
+
+#[test]
+fn garbage_response_bytes_are_codec_error() {
+    // A well-sized envelope whose contents don't decode as a frame.
+    let (addr, h) = evil_peer(|mut s| {
+        let mut sink = [0u8; 4096];
+        let _ = s.read(&mut sink);
+        // Envelope: len=20 (fixed 14 + 6 body), then 20 bytes where the
+        // frame's body-length prefix claims more than remains.
+        let mut resp = Vec::new();
+        resp.extend_from_slice(&20u32.to_le_bytes());
+        resp.extend_from_slice(&0u64.to_le_bytes()); // vt
+        resp.extend_from_slice(&1u16.to_le_bytes()); // method
+        resp.extend_from_slice(&1000u32.to_le_bytes()); // lies: body_len
+        resp.extend_from_slice(&[0u8; 6]);
+        let _ = s.write_all(&resp);
+    });
+    let t = transport();
+    let c = t.add_node();
+    let peer = t.register_remote(addr);
+    let err = t.call(c, peer, 0, Frame::from_msg(1, &1u64)).unwrap_err();
+    assert!(matches!(err, BlobError::Codec(_)), "{err:?}");
+    h.join().unwrap();
+}
+
+#[test]
+fn stalled_client_is_timed_out_by_the_server_but_idle_pools_survive() {
+    use blobseer_rpc::{respond, ServerCtx, Service};
+    struct Echo;
+    impl Service for Echo {
+        fn handle(&self, _ctx: &mut ServerCtx, frame: &Frame) -> Frame {
+            respond(frame, |x: u64| Ok(x))
+        }
+    }
+    let t = transport(); // io timeout: 500 ms, applied server-side too
+    let client = t.add_node();
+    let server = t.add_node();
+    t.bind(server, Arc::new(Echo));
+    let addr = t.addr(server).unwrap();
+
+    // A client that sends two bytes of envelope and stalls must be
+    // closed by the worker's io timeout, not parked forever.
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    s.write_all(&[1, 2]).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut buf = [0u8; 8];
+    let start = std::time::Instant::now();
+    let n = s.read(&mut buf).unwrap();
+    assert_eq!(n, 0, "server must close a mid-frame staller");
+    assert!(start.elapsed() < Duration::from_secs(3));
+
+    // But an *idle* pooled connection (timeout at a frame boundary)
+    // stays open: a call after more than one io-timeout still reuses it.
+    let rpc = RpcClient::new(Arc::clone(&t) as _, client);
+    let mut ctx = Ctx::start();
+    let _: u64 = rpc.call(&mut ctx, server, 1, &7u64).unwrap();
+    assert_eq!(t.pooled_connections(server), 1);
+    std::thread::sleep(Duration::from_millis(1200));
+    let r: u64 = rpc.call(&mut ctx, server, 1, &8u64).unwrap();
+    assert_eq!(r, 8);
+    assert_eq!(
+        t.pooled_connections(server),
+        1,
+        "idle pooled connections must outlive the io timeout"
+    );
+}
+
+#[test]
+fn server_survives_corrupt_and_half_open_clients() {
+    // The *server* side of the same coin: a client that sends garbage or
+    // disconnects mid-frame must only cost its own connection; the
+    // service keeps serving well-behaved callers.
+    use blobseer_rpc::{respond, ServerCtx, Service};
+    struct Echo;
+    impl Service for Echo {
+        fn handle(&self, _ctx: &mut ServerCtx, frame: &Frame) -> Frame {
+            respond(frame, |x: u64| Ok(x))
+        }
+    }
+    let t = transport();
+    let client = t.add_node();
+    let server = t.add_node();
+    t.bind(server, Arc::new(Echo));
+    let addr = t.addr(server).unwrap();
+
+    // Garbage envelope length.
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    s.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    s.write_all(&[0xFF; 32]).unwrap();
+    drop(s);
+    // Half a frame, then disconnect.
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    s.write_all(&100u32.to_le_bytes()).unwrap();
+    s.write_all(&[1u8; 20]).unwrap();
+    drop(s);
+
+    let rpc = RpcClient::new(Arc::clone(&t) as _, client);
+    let mut ctx = Ctx::start();
+    for i in 0..5u64 {
+        let r: u64 = rpc.call(&mut ctx, server, 1, &i).unwrap();
+        assert_eq!(r, i, "service must keep serving after hostile clients");
+    }
+}

@@ -38,6 +38,9 @@
 //! * [`clockcache`] — [`ClockCache`], a sharded concurrent CLOCK cache
 //!   whose hits are a shard read lock plus an atomic reference bit; the
 //!   substrate of the shared client metadata cache.
+//! * [`testsync`] — the shared test-serialization lock guarding the
+//!   process-global ablation toggles against `cargo test`'s parallel
+//!   runner.
 
 #![warn(missing_docs)]
 
@@ -53,6 +56,7 @@ pub mod rng;
 pub mod sharded;
 pub mod stats;
 pub mod sync;
+pub mod testsync;
 
 pub use clockcache::ClockCache;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};

@@ -215,6 +215,31 @@ pub fn serialized_control_plane() -> bool {
     SERIALIZED_CONTROL_PLANE.load(Ordering::Relaxed)
 }
 
+/// RAII handle for a serialized-control-plane region in tests: holds the
+/// exclusive side of the shared ablation lock (see [`crate::testsync`])
+/// and restores the previous toggle value on drop, so a panicking test
+/// cannot leave the process in the ablated regime.
+pub struct SerializedAblation {
+    prev: bool,
+    _lock: crate::testsync::AblationWriteGuard,
+}
+
+/// Flip the serialized-control-plane ablation for the guard's lifetime,
+/// serialized against every other test that touches or observes the
+/// process-global toggles.
+pub fn serialized_ablation(enabled: bool) -> SerializedAblation {
+    let lock = crate::testsync::ablation_exclusive();
+    let prev = serialized_control_plane();
+    set_serialized_control_plane(enabled);
+    SerializedAblation { prev, _lock: lock }
+}
+
+impl Drop for SerializedAblation {
+    fn drop(&mut self) {
+        set_serialized_control_plane(self.prev);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,5 +267,14 @@ mod tests {
         let snap = snapshot();
         record_sharded();
         assert!(snap.since().sharded >= 1);
+    }
+
+    #[test]
+    fn serialized_ablation_guard_restores_on_drop() {
+        {
+            let _g = serialized_ablation(true);
+            assert!(serialized_control_plane());
+        }
+        assert!(!serialized_control_plane());
     }
 }

@@ -79,6 +79,40 @@
 //! let (page, _) = client.read_buf(&mut ctx, blob, Some(v), Segment::new(0, 4096)).unwrap();
 //! assert!(page.iter().all(|&b| b == 5));
 //! ```
+//!
+//! ## Real network transport
+//!
+//! The same stack runs over genuine TCP sockets
+//! ([`rpc::TcpTransport`]): select it per deployment and every frame is
+//! **gather-written** straight from its segment chain (`writev`, no
+//! flattening memcpy) and decoded out of a single receive buffer whose
+//! payload ranges are **lent by refcount** — the payload leg meters the
+//! same byte counts as the in-process path.
+//!
+//! ```
+//! use blobseer::{Ctx, Deployment, DeploymentConfig, Segment};
+//!
+//! // Same topology, but vm/pm/storage each listen on a loopback port.
+//! let cluster = Deployment::build(DeploymentConfig::functional_tcp(4));
+//! let client = cluster.client();
+//! let mut ctx = Ctx::start();
+//! let blob = client.alloc(&mut ctx, 1 << 20, 4096).unwrap().blob;
+//!
+//! let v = client.write(&mut ctx, blob, 0, &vec![3u8; 8192]).unwrap();
+//! let (data, _) = client.read(&mut ctx, blob, Some(v), Segment::new(0, 8192)).unwrap();
+//! assert!(data.iter().all(|&b| b == 3));
+//!
+//! // It really crossed the kernel: the transport is addressable.
+//! let tcp = cluster.cluster.tcp().unwrap();
+//! assert!(tcp.addr(cluster.vm_node).is_some());
+//! ```
+//!
+//! Faults surface as typed errors, never hangs: connect refused, a peer
+//! closing mid-frame, timeouts, and corrupt length prefixes all map to
+//! [`BlobError::Unreachable`] / [`BlobError::Codec`]; a failed call's
+//! connection is dropped, not pooled. See `blobseer_rpc::tcp` for the
+//! wire format and the full error taxonomy, and `bench/pr3_tcp`
+//! (`BENCH_PR3.json`) for the gather-write vs flatten ablation.
 
 pub use blobseer_baseline as baseline;
 pub use blobseer_core as core;
@@ -92,8 +126,10 @@ pub use blobseer_sky as sky;
 pub use blobseer_util as util;
 pub use blobseer_version as version;
 
-pub use blobseer_core::{BlobClient, Deployment, DeploymentConfig, LocalEngine};
+pub use blobseer_core::{
+    BlobClient, ClusterHandle, Deployment, DeploymentConfig, LocalEngine, TransportKind,
+};
 pub use blobseer_meta::ReferenceStore;
 pub use blobseer_proto::{BlobError, BlobId, Geometry, PageBuf, Segment, Version};
-pub use blobseer_rpc::{AggregationPolicy, Ctx};
+pub use blobseer_rpc::{AggregationPolicy, Ctx, TcpOptions, TcpTransport};
 pub use blobseer_simnet::{ClientCosts, CostModel, ServiceCosts};
