@@ -1,0 +1,183 @@
+//! The CI bench-regression gate.
+//!
+//! ```text
+//! bench_gate <baseline-dir> <fresh-dir> [--rel-tolerance PCT] [--abs-slack N]
+//! ```
+//!
+//! Compares every `BENCH_*.json` in `<baseline-dir>` (the committed
+//! baselines) against the file of the same name in `<fresh-dir>` (the
+//! smoke run CI just produced). **Invariant columns** —
+//! `bytes_copied_per_op` and every `*locks_per_op` — are hard: exceed
+//! the baseline by more than the tolerance and the process exits 1,
+//! failing the job. Throughput (`mib_s`) is advisory: printed, never
+//! fatal (CI machines are noisy; copies and locks are deterministic).
+//!
+//! A fresh file missing for an existing baseline is reported and fails
+//! the gate too — a bench that silently stopped emitting is not a
+//! passing bench.
+
+use blobseer_bench::gate::{compare, Tolerance};
+use blobseer_bench::json::Json;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: bench_gate <baseline-dir> <fresh-dir> [--rel-tolerance PCT] [--abs-slack N]");
+    std::process::exit(2);
+}
+
+fn load(path: &Path) -> Result<Json, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Json::parse(&src).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn baseline_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| {
+            eprintln!("bench_gate: cannot read {}: {e}", dir.display());
+            std::process::exit(2);
+        })
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            let name = path.file_name()?.to_str()?;
+            (name.starts_with("BENCH_") && name.ends_with(".json")).then_some(path)
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dirs = Vec::new();
+    let mut tol = Tolerance::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--rel-tolerance" => {
+                i += 1;
+                let pct: f64 = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                tol.rel = pct / 100.0;
+            }
+            "--abs-slack" => {
+                i += 1;
+                tol.abs = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            flag if flag.starts_with("--") => usage(),
+            dir => dirs.push(PathBuf::from(dir)),
+        }
+        i += 1;
+    }
+    let [baseline_dir, fresh_dir] = dirs.as_slice() else {
+        usage()
+    };
+
+    let baselines = baseline_files(baseline_dir);
+    if baselines.is_empty() {
+        eprintln!(
+            "bench_gate: no BENCH_*.json baselines under {}",
+            baseline_dir.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut failed = false;
+    let mut checked = 0usize;
+    for baseline_path in &baselines {
+        let name = baseline_path.file_name().unwrap().to_string_lossy();
+        let fresh_path = fresh_dir.join(name.as_ref());
+        let baseline = match load(baseline_path) {
+            Ok(v) => v,
+            Err(e) => {
+                println!("FAIL {name}: unreadable baseline ({e})");
+                failed = true;
+                continue;
+            }
+        };
+        if !fresh_path.exists() {
+            println!("FAIL {name}: no fresh run at {}", fresh_path.display());
+            failed = true;
+            continue;
+        }
+        let fresh = match load(&fresh_path) {
+            Ok(v) => v,
+            Err(e) => {
+                println!("FAIL {name}: unreadable fresh run ({e})");
+                failed = true;
+                continue;
+            }
+        };
+
+        let report = compare(&baseline, &fresh, tol);
+        checked += report.invariants_checked;
+        if report.invariants_checked == 0 {
+            println!("FAIL {name}: no invariant columns found to compare");
+            failed = true;
+            continue;
+        }
+        if report.violations.is_empty() && report.missing.is_empty() {
+            println!(
+                "ok   {name}: {} invariant values within tolerance (rel {:.0}%, abs {})",
+                report.invariants_checked,
+                tol.rel * 100.0,
+                tol.abs
+            );
+        } else {
+            failed = true;
+            println!(
+                "FAIL {name}: {} invariant regression(s), {} baseline invariant(s) missing from fresh run",
+                report.violations.len(),
+                report.missing.len()
+            );
+            for v in &report.violations {
+                println!(
+                    "     {}: baseline {:.0} -> fresh {:.0} ({:+.1}%)",
+                    v.path,
+                    v.baseline,
+                    v.fresh,
+                    (v.fresh / v.baseline.max(f64::MIN_POSITIVE) - 1.0) * 100.0
+                );
+            }
+            for m in &report.missing {
+                println!("     {m}: present in baseline, absent in fresh run");
+            }
+        }
+        // Advisory: the worst throughput drop, for the log only.
+        if let Some(worst) = report
+            .advisories
+            .iter()
+            .filter(|a| a.baseline > 0.0)
+            .min_by(|a, b| {
+                (a.fresh / a.baseline)
+                    .partial_cmp(&(b.fresh / b.baseline))
+                    .unwrap()
+            })
+        {
+            println!(
+                "     (advisory) worst throughput vs baseline: {} {:.1} -> {:.1} MiB/s ({:+.1}%)",
+                worst.path,
+                worst.baseline,
+                worst.fresh,
+                (worst.fresh / worst.baseline - 1.0) * 100.0
+            );
+        }
+    }
+
+    println!(
+        "bench_gate: {} invariant values across {} baseline file(s): {}",
+        checked,
+        baselines.len(),
+        if failed { "FAIL" } else { "PASS" }
+    );
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

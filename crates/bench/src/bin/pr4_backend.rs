@@ -1,0 +1,276 @@
+//! PR 4 acceptance benchmark: the persistent mmap provider backend vs
+//! the in-memory backend, over the real TCP transport on loopback.
+//!
+//! Runs the full distributed stack at 1–64 concurrent clients with
+//! large (256 KiB) pages, once per backend:
+//!
+//! * **memory** — pages live in provider heap buffers (the PR 1–3
+//!   regime; a provider restart loses everything);
+//! * **mmap** — every acknowledged page is appended to the provider's
+//!   page log and *served as a refcounted slice of the log mapping*:
+//!   the write path adds positioned kernel writes (durability), the
+//!   read path serves straight out of the page cache.
+//!
+//! The bench **asserts** the copy invariants it sweeps: both backends,
+//! both directions, must meter exactly the one sanctioned 1 MiB copy
+//! per 1 MiB operation (write: the client's `copy_from_slice`; read:
+//! the per-page assembly into the result) and an aligned single-page
+//! `read_buf` must add zero copies on the mmap path. A backend that
+//! snuck an extra copy in aborts the bench — and the CI gate
+//! (`bench_gate`) catches quieter drifts against the committed
+//! `BENCH_PR4.json`.
+
+use blobseer_bench::{measure_region, payload, MB};
+use blobseer_core::{BackendKind, Deployment, DeploymentConfig};
+use blobseer_proto::Segment;
+use blobseer_rpc::Ctx;
+use blobseer_util::copymeter;
+use blobseer_util::stats::Table;
+use std::sync::Arc;
+
+const PAGE: u64 = 256 * 1024; // large pages: the copy-bound regime
+const SEG_PAGES: u64 = 4; // 1 MiB per operation
+const SEG: u64 = SEG_PAGES * PAGE;
+const OPS_PER_CLIENT: u64 = 8;
+const PROVIDERS: usize = 8;
+const CLIENTS: &[usize] = &[1, 2, 4, 8, 16, 32, 64];
+
+struct Sample {
+    clients: usize,
+    mib_s: f64,
+    copied_per_op: f64,
+}
+
+fn deployment(backend: BackendKind) -> Deployment {
+    let mut cfg = DeploymentConfig::functional_tcp(PROVIDERS).with_backend(backend);
+    cfg.provider_capacity = u64::MAX; // mmap clamps to its log cap
+    Deployment::build(cfg)
+}
+
+/// One write phase: `n` client threads, disjoint regions, over sockets.
+fn run_write(n: usize, backend: BackendKind) -> Sample {
+    let d = Arc::new(deployment(backend));
+    let setup = d.client();
+    let mut ctx = Ctx::start();
+    let region = SEG * OPS_PER_CLIENT;
+    let total = (region * n as u64).next_power_of_two();
+    let blob = setup.alloc(&mut ctx, total, PAGE).unwrap().blob;
+
+    let m = measure_region(|| {
+        std::thread::scope(|scope| {
+            for t in 0..n {
+                let d = Arc::clone(&d);
+                scope.spawn(move || {
+                    let c = d.client();
+                    let mut ctx = Ctx::start();
+                    let data = payload(SEG, t as u64);
+                    let base = region * t as u64;
+                    for i in 0..OPS_PER_CLIENT {
+                        c.write(&mut ctx, blob, base + i * SEG, &data).unwrap();
+                    }
+                });
+            }
+        });
+    });
+    let ops = (n as u64 * OPS_PER_CLIENT) as f64;
+    Sample {
+        clients: n,
+        mib_s: ops * SEG as f64 / MB as f64 / m.secs,
+        copied_per_op: m.bytes_copied as f64 / ops,
+    }
+}
+
+/// One read phase: prefill a region, then `n` clients re-read segments.
+fn run_read(n: usize, backend: BackendKind) -> Sample {
+    let d = Arc::new(deployment(backend));
+    let setup = d.client();
+    let mut ctx = Ctx::start();
+    let region = SEG * OPS_PER_CLIENT;
+    let total = (region * n as u64).next_power_of_two();
+    let blob = setup.alloc(&mut ctx, total, PAGE).unwrap().blob;
+    for t in 0..n as u64 {
+        let data = payload(SEG, t);
+        for i in 0..OPS_PER_CLIENT {
+            setup
+                .write(&mut ctx, blob, region * t + i * SEG, &data)
+                .unwrap();
+        }
+    }
+
+    let m = measure_region(|| {
+        std::thread::scope(|scope| {
+            for t in 0..n {
+                let d = Arc::clone(&d);
+                scope.spawn(move || {
+                    let c = d.client();
+                    let mut ctx = Ctx::start();
+                    let base = region * t as u64;
+                    let mut out = vec![0u8; SEG as usize];
+                    for i in 0..OPS_PER_CLIENT {
+                        c.read_into(
+                            &mut ctx,
+                            blob,
+                            None,
+                            Segment::new(base + i * SEG, SEG),
+                            &mut out,
+                        )
+                        .unwrap();
+                    }
+                });
+            }
+        });
+    });
+    let ops = (n as u64 * OPS_PER_CLIENT) as f64;
+    Sample {
+        clients: n,
+        mib_s: ops * SEG as f64 / MB as f64 / m.secs,
+        copied_per_op: m.bytes_copied as f64 / ops,
+    }
+}
+
+/// The aligned single-page `read_buf` leg: must add **zero** copies on
+/// either backend (the page is lent from the receive buffer, which the
+/// mmap provider filled by gather-writing straight off its log
+/// mapping).
+fn run_read_buf_copies(backend: BackendKind) -> u64 {
+    let d = deployment(backend);
+    let c = d.client();
+    let mut ctx = Ctx::start();
+    let blob = c.alloc(&mut ctx, SEG, PAGE).unwrap().blob;
+    c.write(&mut ctx, blob, 0, &payload(SEG, 9)).unwrap();
+    let before = copymeter::snapshot();
+    let (page, _) = c
+        .read_buf(&mut ctx, blob, None, Segment::new(0, PAGE))
+        .unwrap();
+    assert_eq!(page.len() as u64, PAGE);
+    before.bytes_since()
+}
+
+fn run_mode(backend: BackendKind) -> (Vec<Sample>, Vec<Sample>) {
+    let writes: Vec<Sample> = CLIENTS.iter().map(|&n| run_write(n, backend)).collect();
+    let reads: Vec<Sample> = CLIENTS.iter().map(|&n| run_read(n, backend)).collect();
+    (writes, reads)
+}
+
+/// The invariant this PR's seam promised: exactly the sanctioned copy
+/// per op, regardless of backend. Asserted here so the bench itself is
+/// an acceptance test, not just a reporter.
+fn assert_copy_invariants(name: &str, samples: &[Sample]) {
+    for s in samples {
+        assert!(
+            (s.copied_per_op - SEG as f64).abs() < 1.0,
+            "{name}@{} clients: copies/op {} != sanctioned {}",
+            s.clients,
+            s.copied_per_op,
+            SEG
+        );
+    }
+}
+
+fn table(title: &str, memory: &[Sample], mmap: &[Sample]) -> Table {
+    let memory_col = format!("{title} memory MiB/s");
+    let mmap_col = format!("{title} mmap MiB/s");
+    let mut t = Table::new(&[
+        "clients",
+        &memory_col,
+        &mmap_col,
+        "ratio",
+        "copied/op memory",
+        "copied/op mmap",
+    ]);
+    for (m, p) in memory.iter().zip(mmap) {
+        t.row(&[
+            m.clients.to_string(),
+            format!("{:.1}", m.mib_s),
+            format!("{:.1}", p.mib_s),
+            format!("{:.2}x", p.mib_s / m.mib_s),
+            format!("{:.0}", m.copied_per_op),
+            format!("{:.0}", p.copied_per_op),
+        ]);
+    }
+    t
+}
+
+fn json_series(samples: &[Sample]) -> String {
+    let entries: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"clients\": {}, \"mib_s\": {:.2}, \"bytes_copied_per_op\": {:.0}}}",
+                s.clients, s.mib_s, s.copied_per_op
+            )
+        })
+        .collect();
+    format!("[{}]", entries.join(", "))
+}
+
+fn main() {
+    println!(
+        "pr4 storage backend benchmark: page={PAGE} seg={SEG} ops/client={OPS_PER_CLIENT} \
+         (tcp loopback)"
+    );
+
+    println!("\n-- backend: memory (provider heap, volatile)");
+    let (w_mem, r_mem) = run_mode(BackendKind::Memory);
+    println!("-- backend: mmap (append-only page log, persistent)");
+    let (w_map, r_map) = run_mode(BackendKind::Mmap);
+
+    for (name, samples) in [
+        ("write/memory", &w_mem),
+        ("write/mmap", &w_map),
+        ("read/memory", &r_mem),
+        ("read/mmap", &r_map),
+    ] {
+        assert_copy_invariants(name, samples);
+    }
+    let rb_mem = run_read_buf_copies(BackendKind::Memory);
+    let rb_map = run_read_buf_copies(BackendKind::Mmap);
+    assert_eq!(
+        rb_map, 0,
+        "aligned single-page read_buf on the mmap backend must add zero copies"
+    );
+    assert_eq!(rb_mem, 0, "…and the memory backend agrees");
+    println!(
+        "\ncopy invariants hold: {} copied/op both backends both directions, read_buf 0 extra",
+        SEG
+    );
+
+    let wt = table("write", &w_mem, &w_map);
+    let rt = table("read", &r_mem, &r_map);
+    blobseer_bench::emit(
+        "pr4_write",
+        "PR4 large-page write, memory vs mmap backend",
+        &wt,
+    );
+    blobseer_bench::emit(
+        "pr4_read",
+        "PR4 large-page read, memory vs mmap backend",
+        &rt,
+    );
+
+    // Headline: the persistence tax on writes, and read parity, as
+    // geomean ratios across client counts.
+    let geo = |a: &[Sample], b: &[Sample]| -> f64 {
+        let logs: Vec<f64> = a
+            .iter()
+            .zip(b)
+            .map(|(x, y)| (y.mib_s / x.mib_s).ln())
+            .collect();
+        (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+    };
+    let write_ratio = geo(&w_mem, &w_map);
+    let read_ratio = geo(&r_mem, &r_map);
+    println!(
+        "\nmmap/memory throughput ratio (geomean): write {write_ratio:.3}, read {read_ratio:.3}"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"pr4_backend\",\n  \"transport\": \"tcp-loopback\",\n  \"page_size\": {PAGE},\n  \"segment_bytes\": {SEG},\n  \"ops_per_client\": {OPS_PER_CLIENT},\n  \"providers\": {PROVIDERS},\n  \"write\": {{\"memory\": {}, \"mmap\": {}}},\n  \"read\": {{\"memory\": {}, \"mmap\": {}}},\n  \"read_buf\": {{\"memory\": {{\"bytes_copied_per_op\": {rb_mem}}}, \"mmap\": {{\"bytes_copied_per_op\": {rb_map}}}}},\n  \"mmap_write_ratio_geomean\": {write_ratio:.3},\n  \"mmap_read_ratio_geomean\": {read_ratio:.3}\n}}\n",
+        json_series(&w_mem),
+        json_series(&w_map),
+        json_series(&r_mem),
+        json_series(&r_map),
+    );
+    std::fs::write("BENCH_PR4.json", &json).expect("write BENCH_PR4.json");
+    println!("(json written to BENCH_PR4.json)");
+}

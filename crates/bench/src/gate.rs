@@ -1,0 +1,341 @@
+//! The bench-regression gate: compare a fresh `BENCH_*.json` against
+//! the committed baseline and fail on regressions of the **invariant
+//! columns** — `bytes_copied_per_op` and every `*locks_per_op` — which
+//! the data-path and lock-discipline work made deterministic promises
+//! about. Throughput columns (`mib_s`) are advisory: CI machines are
+//! noisy, copies and locks are not.
+//!
+//! Matching is structural: the two documents are walked in parallel;
+//! objects pair by key, arrays of `{"clients": N, ...}` samples pair by
+//! client count (so adding a sweep point never misaligns the
+//! comparison), other arrays pair by index. A fresh value may be
+//! *better* (lower) than baseline without limit; it may exceed baseline
+//! by at most `rel_tolerance` relative plus `abs_slack` absolute.
+
+use crate::json::Json;
+
+/// Tolerances for invariant comparisons.
+#[derive(Clone, Copy, Debug)]
+pub struct Tolerance {
+    /// Allowed relative excess over baseline (0.10 = +10%).
+    pub rel: f64,
+    /// Allowed absolute excess (covers zero baselines: a column whose
+    /// baseline is exactly 0 — e.g. serializing locks per op on the
+    /// lock-free plane — must stay ≈ 0).
+    pub abs: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Self {
+            rel: 0.10,
+            abs: 0.5,
+        }
+    }
+}
+
+/// One invariant-column regression.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Violation {
+    /// Dotted path of the offending value.
+    pub path: String,
+    /// Committed baseline value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub fresh: f64,
+}
+
+/// One advisory throughput observation (fresh vs baseline `mib_s`).
+#[derive(Clone, Debug)]
+pub struct Advisory {
+    /// Dotted path of the value.
+    pub path: String,
+    /// Committed baseline value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub fresh: f64,
+}
+
+/// Comparison report for one bench file.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Hard failures (invariant columns exceeded).
+    pub violations: Vec<Violation>,
+    /// Baseline paths holding invariant columns with **no counterpart**
+    /// in the fresh run (dropped series, renamed key, missing sweep
+    /// point). Hard failures too: a bench that stopped emitting the
+    /// regressing column is not a passing bench.
+    pub missing: Vec<String>,
+    /// Advisory throughput deltas.
+    pub advisories: Vec<Advisory>,
+    /// Invariant values compared (sanity: 0 means the walk found none).
+    pub invariants_checked: usize,
+}
+
+/// Is `key` an invariant column the gate hard-fails on?
+pub fn is_invariant_key(key: &str) -> bool {
+    key == "bytes_copied_per_op" || key.ends_with("locks_per_op")
+}
+
+/// Is `key` an advisory throughput column?
+pub fn is_advisory_key(key: &str) -> bool {
+    key == "mib_s" || key.ends_with("_mib_s")
+}
+
+/// Compare `fresh` against `baseline`, collecting violations and
+/// advisories.
+pub fn compare(baseline: &Json, fresh: &Json, tol: Tolerance) -> Report {
+    let mut report = Report::default();
+    walk(baseline, fresh, String::new(), tol, &mut report);
+    report
+}
+
+/// Record every invariant column under a baseline subtree the fresh
+/// run no longer has — dropping the measurement must not pass the gate.
+fn note_missing(baseline: &Json, path: &str, report: &mut Report) {
+    match baseline {
+        Json::Obj(fields) => {
+            for (key, val) in fields {
+                let sub = format!("{path}.{key}");
+                if is_invariant_key(key) && val.as_f64().is_some() {
+                    report.missing.push(sub);
+                } else {
+                    note_missing(val, &sub, report);
+                }
+            }
+        }
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                note_missing(item, &format!("{path}[{i}]"), report);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn walk(baseline: &Json, fresh: &Json, path: String, tol: Tolerance, report: &mut Report) {
+    match (baseline, fresh) {
+        (Json::Obj(b_fields), Json::Obj(_)) => {
+            for (key, b_val) in b_fields {
+                let Some(f_val) = fresh.get(key) else {
+                    // The fresh run stopped emitting this column/series:
+                    // any invariant underneath it is a hard failure, not
+                    // a silent skip.
+                    let sub = if path.is_empty() {
+                        key.clone()
+                    } else {
+                        format!("{path}.{key}")
+                    };
+                    if is_invariant_key(key) && b_val.as_f64().is_some() {
+                        report.missing.push(sub);
+                    } else {
+                        note_missing(b_val, &sub, report);
+                    }
+                    continue;
+                };
+                let sub = if path.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{path}.{key}")
+                };
+                match (b_val.as_f64(), f_val.as_f64()) {
+                    (Some(b), Some(f)) if is_invariant_key(key) => {
+                        report.invariants_checked += 1;
+                        if f > b * (1.0 + tol.rel) + tol.abs {
+                            report.violations.push(Violation {
+                                path: sub,
+                                baseline: b,
+                                fresh: f,
+                            });
+                        }
+                    }
+                    (Some(_), None) if is_invariant_key(key) => {
+                        // The column exists but is no longer a number —
+                        // the measurement is gone, not merely skipped.
+                        report.missing.push(sub);
+                    }
+                    (Some(b), Some(f)) if is_advisory_key(key) => {
+                        report.advisories.push(Advisory {
+                            path: sub,
+                            baseline: b,
+                            fresh: f,
+                        });
+                    }
+                    _ => walk(b_val, f_val, sub, tol, report),
+                }
+            }
+        }
+        (Json::Arr(b_items), Json::Arr(f_items)) => {
+            for (i, b_item) in b_items.iter().enumerate() {
+                // Pair sweep samples by client count when both sides
+                // carry one; fall back to positional pairing.
+                let f_item = match b_item.get("clients").and_then(Json::as_f64) {
+                    Some(n) => f_items
+                        .iter()
+                        .find(|f| f.get("clients").and_then(Json::as_f64) == Some(n)),
+                    None => f_items.get(i),
+                };
+                let label = match b_item.get("clients").and_then(Json::as_f64) {
+                    Some(n) => format!("{path}[clients={n}]"),
+                    None => format!("{path}[{i}]"),
+                };
+                let Some(f_item) = f_item else {
+                    // A sweep point disappeared (e.g. the 64-client cell
+                    // where the cliff shows): its invariants hard-fail.
+                    note_missing(b_item, &label, report);
+                    continue;
+                };
+                walk(b_item, f_item, label, tol, report);
+            }
+        }
+        // A baseline container whose fresh counterpart changed type
+        // (object -> null/string/…): every invariant underneath lost its
+        // measurement — hard failures, not silent skips.
+        (Json::Obj(_) | Json::Arr(_), _) => note_missing(baseline, &path, report),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(copied: u64, locks: f64, mib: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{"bench": "t", "write": {{"gather": [
+                 {{"clients": 1, "mib_s": {mib}, "bytes_copied_per_op": {copied},
+                   "serializing_locks_per_op": {locks}}},
+                 {{"clients": 64, "mib_s": {mib}, "bytes_copied_per_op": {copied},
+                   "serializing_locks_per_op": {locks}}}]}}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let b = doc(1048576, 0.0, 1000.0);
+        let r = compare(&b, &b, Tolerance::default());
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert_eq!(r.invariants_checked, 4);
+        assert_eq!(r.advisories.len(), 2);
+    }
+
+    #[test]
+    fn copies_regression_fails() {
+        let b = doc(1048576, 0.0, 1000.0);
+        let f = doc(2097152, 0.0, 1000.0); // the flatten regime: 2× copies
+        let r = compare(&b, &f, Tolerance::default());
+        assert_eq!(r.violations.len(), 2);
+        assert!(r.violations[0].path.contains("bytes_copied_per_op"));
+        assert_eq!(r.violations[0].baseline, 1048576.0);
+        assert_eq!(r.violations[0].fresh, 2097152.0);
+    }
+
+    #[test]
+    fn lock_regression_fails_even_from_zero_baseline() {
+        let b = doc(1048576, 0.0, 1000.0);
+        let f = doc(1048576, 21.0, 1000.0); // the serialized regime
+        let r = compare(&b, &f, Tolerance::default());
+        assert_eq!(r.violations.len(), 2);
+        assert!(r.violations[0].path.ends_with("serializing_locks_per_op"));
+    }
+
+    #[test]
+    fn throughput_drop_is_advisory_only() {
+        let b = doc(1048576, 0.0, 1000.0);
+        let f = doc(1048576, 0.0, 10.0); // 100× slower: noisy CI, not a failure
+        let r = compare(&b, &f, Tolerance::default());
+        assert!(r.violations.is_empty());
+        assert!(r.advisories.iter().all(|a| a.fresh < a.baseline));
+    }
+
+    #[test]
+    fn small_jitter_within_tolerance_passes() {
+        let b = doc(1048576, 0.0, 1000.0);
+        let f = doc(1048580, 0.0, 1000.0); // +4 bytes: metadata jitter
+        let r = compare(&b, &f, Tolerance::default());
+        assert!(r.violations.is_empty());
+    }
+
+    #[test]
+    fn samples_pair_by_client_count_not_position() {
+        let b = Json::parse(r#"{"s": [{"clients": 64, "bytes_copied_per_op": 100}]}"#).unwrap();
+        let f = Json::parse(
+            r#"{"s": [{"clients": 1, "bytes_copied_per_op": 900},
+                      {"clients": 64, "bytes_copied_per_op": 100}]}"#,
+        )
+        .unwrap();
+        let r = compare(&b, &f, Tolerance::default());
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert_eq!(r.invariants_checked, 1);
+    }
+
+    #[test]
+    fn dropped_series_is_a_hard_failure() {
+        // A fresh run that stopped emitting the mmap series (where the
+        // regression would show) must not pass by omission.
+        let b = Json::parse(
+            r#"{"read": {"mmap": [{"clients": 1, "bytes_copied_per_op": 100}]},
+                "other": {"bytes_copied_per_op": 5}}"#,
+        )
+        .unwrap();
+        let f = Json::parse(r#"{"other": {"bytes_copied_per_op": 5}}"#).unwrap();
+        let r = compare(&b, &f, Tolerance::default());
+        assert!(r.violations.is_empty());
+        assert_eq!(r.missing.len(), 1, "{:?}", r.missing);
+        assert!(r.missing[0].contains("read.mmap"));
+    }
+
+    #[test]
+    fn dropped_sweep_point_is_a_hard_failure() {
+        let b = Json::parse(
+            r#"{"s": [{"clients": 1, "bytes_copied_per_op": 100},
+                      {"clients": 64, "bytes_copied_per_op": 100}]}"#,
+        )
+        .unwrap();
+        let f = Json::parse(r#"{"s": [{"clients": 1, "bytes_copied_per_op": 100}]}"#).unwrap();
+        let r = compare(&b, &f, Tolerance::default());
+        assert_eq!(r.missing.len(), 1);
+        assert!(r.missing[0].contains("clients=64"));
+    }
+
+    #[test]
+    fn dropped_single_invariant_key_is_a_hard_failure() {
+        let b = Json::parse(r#"{"a": {"bytes_copied_per_op": 7, "mib_s": 1.0}}"#).unwrap();
+        let f = Json::parse(r#"{"a": {"mib_s": 1.0}}"#).unwrap();
+        let r = compare(&b, &f, Tolerance::default());
+        assert_eq!(r.missing, vec!["a.bytes_copied_per_op".to_string()]);
+    }
+
+    #[test]
+    fn type_changed_subtree_is_a_hard_failure() {
+        // A fresh emitter that nulls out (or restructures) a series must
+        // not pass: every invariant under the baseline subtree counts as
+        // missing.
+        let b = Json::parse(
+            r#"{"write": {"mmap": [{"clients": 1, "bytes_copied_per_op": 100}]},
+                "other": {"bytes_copied_per_op": 5}}"#,
+        )
+        .unwrap();
+        let f = Json::parse(r#"{"write": null, "other": {"bytes_copied_per_op": 5}}"#).unwrap();
+        let r = compare(&b, &f, Tolerance::default());
+        assert_eq!(r.missing.len(), 1, "{:?}", r.missing);
+        assert!(r.missing[0].contains("write.mmap"));
+    }
+
+    #[test]
+    fn non_numeric_invariant_value_is_a_hard_failure() {
+        let b = Json::parse(r#"{"a": {"bytes_copied_per_op": 7}}"#).unwrap();
+        let f = Json::parse(r#"{"a": {"bytes_copied_per_op": "oops"}}"#).unwrap();
+        let r = compare(&b, &f, Tolerance::default());
+        assert_eq!(r.missing, vec!["a.bytes_copied_per_op".to_string()]);
+    }
+
+    #[test]
+    fn better_than_baseline_is_fine() {
+        let b = doc(2097152, 21.0, 100.0);
+        let f = doc(1048576, 0.0, 1000.0);
+        let r = compare(&b, &f, Tolerance::default());
+        assert!(r.violations.is_empty());
+    }
+}

@@ -15,10 +15,20 @@
 //! | `ablate_page` | page-size sweep (striping-vs-overhead tradeoff, §V.A) |
 //! | `sky_e2e` | the supernova pipeline on the simulated cluster |
 //!
+//! PR-acceptance sweeps (`pr1_zero_copy`, `pr2_lockfree`, `pr3_tcp`,
+//! `pr4_backend`) emit `BENCH_PR*.json` at the repo root; the
+//! [`gate`] module (driven by the `bench_gate` binary) compares fresh
+//! smoke runs against those committed baselines and hard-fails CI when
+//! an invariant column — bytes-copied-per-op or locks-per-op —
+//! regresses. Throughput stays advisory. [`json`] is the dependency-free
+//! JSON reader behind it.
+//!
 //! Criterion micro-benches live in `benches/micro.rs`.
 
 #![warn(missing_docs)]
 
+pub mod gate;
 pub mod harness;
+pub mod json;
 
 pub use harness::*;

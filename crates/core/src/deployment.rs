@@ -5,14 +5,21 @@
 //! data provider and one metadata provider**, plus two dedicated nodes for
 //! the version manager and the provider manager; clients run on their own
 //! nodes. [`Deployment::build`] reproduces exactly that and returns a
-//! handle from which any number of [`BlobClient`](crate::BlobClient)s can
-//! be spawned.
+//! handle from which any number of [`BlobClient`]s can be spawned.
 //!
 //! The transport is selectable ([`TransportKind`]): the default simulated
 //! cluster with its virtual-time cost model, or real TCP sockets on
 //! loopback ([`blobseer_rpc::TcpTransport`]) — same services, same frame
 //! bytes, same copy discipline, but every frame actually crosses the
 //! kernel.
+//!
+//! The storage backend is selectable the same way ([`BackendKind`]): the
+//! default in-memory page store, or the persistent append-only mapped
+//! page log under a per-provider directory — same services, same copy
+//! discipline (pages are served as refcounted slices of the log
+//! mapping), plus [`Deployment::restart_storage`]: a killed provider
+//! re-opened on the directory it died with re-serves every page it
+//! acknowledged.
 
 use crate::client::{BlobClient, MetaCache};
 use crate::vm_service::VersionManagerService;
@@ -27,15 +34,51 @@ use blobseer_rpc::{
 use blobseer_simnet::{ClientCosts, CostModel, ServiceCosts, SimCluster};
 use blobseer_version::VersionRegistry;
 use parking_lot::RwLock;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
+
+pub use blobseer_provider::BackendKind;
 
 /// One storage node's two co-located services (paper: "each hosting one
 /// data provider and one metadata provider"), routed by method namespace.
+///
+/// The data-provider half is swappable behind a lock so a *provider
+/// restart* can be modelled on a live node: the old service (and its
+/// in-memory index) is dropped, a fresh one — possibly replayed from a
+/// persistent backend — takes its slot, while the node identity, its
+/// listener, and the metadata half survive.
+///
+/// Deliberately an `RwLock`, not [`blobseer_util::RcuCell`]: RCU
+/// reclaims by retention, so it would pin every dropped incarnation's
+/// whole page index for the cell's lifetime — the exact memory a
+/// restart must release. The per-frame read is uncontended (writes
+/// happen only at restart) and data-plane, hence outside the lockmeter
+/// like the sharded page store itself.
 pub struct StorageNodeService {
-    /// The data-provider half.
-    pub data: Arc<DataProviderService>,
+    /// The data-provider half (current incarnation).
+    data: RwLock<Arc<DataProviderService>>,
     /// The metadata-provider half.
     pub meta: Arc<DhtNodeService>,
+}
+
+impl StorageNodeService {
+    /// Compose a storage node from its two halves.
+    pub fn new(data: Arc<DataProviderService>, meta: Arc<DhtNodeService>) -> Self {
+        Self {
+            data: RwLock::new(data),
+            meta,
+        }
+    }
+
+    /// The current data-provider incarnation (white-box accessor).
+    pub fn data(&self) -> Arc<DataProviderService> {
+        Arc::clone(&self.data.read())
+    }
+
+    /// Swap in a fresh data-provider incarnation (provider restart).
+    fn replace_data(&self, data: Arc<DataProviderService>) {
+        *self.data.write() = data;
+    }
 }
 
 impl Service for StorageNodeService {
@@ -45,7 +88,10 @@ impl Service for StorageNodeService {
 
     fn handle(&self, ctx: &mut ServerCtx, frame: &Frame) -> Frame {
         match frame.method >> 8 {
-            0x01 => dispatch_frame(self.data.as_ref(), ctx, frame),
+            0x01 => {
+                let data = self.data();
+                dispatch_frame(data.as_ref(), ctx, frame)
+            }
             0x03 => dispatch_frame(self.meta.as_ref(), ctx, frame),
             _ => blobseer_rpc::error_frame(
                 frame.method,
@@ -203,7 +249,20 @@ pub struct DeploymentConfig {
     pub seed: u64,
     /// Which transport carries the frames.
     pub transport: TransportKind,
+    /// Which storage backend providers keep their pages on. `Mmap`
+    /// gives every provider its own page-log directory under a
+    /// deployment-private temp root (removed when the deployment
+    /// drops); its log capacity is `provider_capacity` clamped to
+    /// [`MMAP_LOG_CAP`], and the provider registers the clamped value
+    /// so the manager's reservations match what the log can hold.
+    pub backend: BackendKind,
 }
+
+/// Upper bound on one provider's page-log size (the file is extended
+/// sparsely to its capacity up front so the read-only mapping is
+/// created exactly once; functional configs pass `u64::MAX` capacity,
+/// which no file system will `set_len`).
+pub const MMAP_LOG_CAP: u64 = 4 << 30;
 
 impl DeploymentConfig {
     /// The paper's §V testbed defaults with `providers` storage nodes.
@@ -221,6 +280,7 @@ impl DeploymentConfig {
             cache_nodes: 0, // paper's worst case: caching disabled
             seed: 0x5eed,
             transport: TransportKind::Sim,
+            backend: BackendKind::Memory,
         }
     }
 
@@ -240,6 +300,7 @@ impl DeploymentConfig {
             cache_nodes: 0,
             seed: 0x5eed,
             transport: TransportKind::Sim,
+            backend: BackendKind::Memory,
         }
     }
 
@@ -250,6 +311,38 @@ impl DeploymentConfig {
         Self {
             transport: TransportKind::Tcp,
             ..Self::functional(providers)
+        }
+    }
+
+    /// [`DeploymentConfig::functional`], but every provider persists its
+    /// pages to an append-only mapped page log (and serves them as
+    /// slices of the mapping).
+    pub fn functional_mmap(providers: usize) -> Self {
+        Self {
+            backend: BackendKind::Mmap,
+            ..Self::functional(providers)
+        }
+    }
+
+    /// Select the storage backend (builder style, keeps the rest).
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Select the transport (builder style, keeps the rest).
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// The capacity each provider actually registers and enforces:
+    /// the configured RAM capacity, clamped to [`MMAP_LOG_CAP`] for the
+    /// mmap backend so manager reservations never exceed the log.
+    pub fn effective_capacity(&self) -> u64 {
+        match self.backend {
+            BackendKind::Memory => self.provider_capacity,
+            BackendKind::Mmap => self.provider_capacity.min(MMAP_LOG_CAP),
         }
     }
 }
@@ -277,6 +370,10 @@ pub struct Deployment {
     /// The metadata cache shared by every client of this deployment
     /// (`None` when `cache_nodes == 0`).
     pub meta_cache: Option<Arc<MetaCache>>,
+    /// Root of the per-provider page-log directories (`Some` only for
+    /// the mmap backend). Created under the system temp dir, removed
+    /// when the deployment drops.
+    data_root: Option<PathBuf>,
 }
 
 impl Deployment {
@@ -310,23 +407,38 @@ impl Deployment {
         ));
         cluster.bind(pm_node, manager.clone() as Arc<dyn Service>);
 
+        // Per-provider page-log directories for the persistent backend.
+        let data_root = match config.backend {
+            BackendKind::Memory => None,
+            BackendKind::Mmap => {
+                use std::sync::atomic::{AtomicU64, Ordering};
+                static NEXT: AtomicU64 = AtomicU64::new(0);
+                let root = std::env::temp_dir().join(format!(
+                    "blobseer-deploy-{}-{}",
+                    std::process::id(),
+                    NEXT.fetch_add(1, Ordering::Relaxed)
+                ));
+                std::fs::create_dir_all(&root).expect("create deployment data root");
+                Some(root)
+            }
+        };
+
         // Storage nodes.
+        let capacity = config.effective_capacity();
         let mut storage_nodes = Vec::with_capacity(config.providers);
         let mut storage = Vec::with_capacity(config.providers);
-        for _ in 0..config.providers {
+        for i in 0..config.providers {
             let node = cluster.add_node();
-            let svc = Arc::new(StorageNodeService {
-                data: Arc::new(DataProviderService::new(
-                    config.provider_capacity,
-                    config.service_costs,
-                )),
-                meta: Arc::new(DhtNodeService::new(config.service_costs)),
-            });
+            let data = build_data_service(&config, data_root.as_deref(), i);
+            let svc = Arc::new(StorageNodeService::new(
+                data,
+                Arc::new(DhtNodeService::new(config.service_costs)),
+            ));
             cluster.bind(node, svc.clone() as Arc<dyn Service>);
             // Register with the provider manager (in a real run this is an
             // RPC from the provider at startup; the registration content is
             // identical).
-            manager.register(ProviderId(node.0), config.provider_capacity);
+            manager.register(ProviderId(node.0), capacity);
             storage_nodes.push(node);
             storage.push(svc);
         }
@@ -352,6 +464,7 @@ impl Deployment {
             manager,
             ring,
             meta_cache,
+            data_root,
         }
     }
 
@@ -378,31 +491,99 @@ impl Deployment {
         self.manager.mark_dead(ProviderId(self.storage_nodes[i].0));
     }
 
-    /// Revive storage node `i` and re-register it.
+    /// Revive storage node `i` and re-register it. The provider's
+    /// process state is intact (the sim's "death with intact memory
+    /// image" semantics) — contrast [`Deployment::restart_storage`].
     pub fn revive_storage(&self, i: usize) {
         self.cluster.revive(self.storage_nodes[i]);
         self.manager.register(
             ProviderId(self.storage_nodes[i].0),
-            self.config.provider_capacity,
+            self.config.effective_capacity(),
         );
+    }
+
+    /// **Restart** storage node `i`'s data provider: the old incarnation
+    /// (and its in-memory serving index) is dropped, a fresh one opens
+    /// on the same backend state, the node is revived and re-registered.
+    ///
+    /// With the mmap backend the fresh provider replays its page log
+    /// from the same directory and re-serves every acknowledged page;
+    /// with the memory backend a restart is a cold, empty provider —
+    /// exactly the data-loss the persistent backend exists to prevent.
+    pub fn restart_storage(&self, i: usize) {
+        let data = build_data_service(&self.config, self.data_root.as_deref(), i);
+        self.storage[i].replace_data(data);
+        self.revive_storage(i);
+    }
+
+    /// The page-log directory of storage node `i` (`Some` only for the
+    /// mmap backend).
+    pub fn backend_dir(&self, i: usize) -> Option<PathBuf> {
+        self.data_root.as_deref().map(|r| provider_dir(r, i))
     }
 
     /// Send a heartbeat for storage node `i` with its true current usage
     /// (drives the least-loaded strategy in long benches).
     pub fn heartbeat(&self, i: usize) {
-        let stats: ProviderStats = self.storage[i].data.stats();
+        let stats: ProviderStats = self.storage[i].data().stats();
         self.manager
             .heartbeat(ProviderId(self.storage_nodes[i].0), stats);
     }
 
     /// Total pages stored across the cluster.
     pub fn total_pages(&self) -> usize {
-        self.storage.iter().map(|s| s.data.page_count()).sum()
+        self.storage.iter().map(|s| s.data().page_count()).sum()
     }
 
     /// Total metadata tree nodes stored across the cluster.
     pub fn total_tree_nodes(&self) -> usize {
         self.storage.iter().map(|s| s.meta.len()).sum()
+    }
+}
+
+/// Storage node `i`'s page-log directory under the deployment's data
+/// root — the **single** source of the naming scheme, shared by the
+/// builder, [`Deployment::restart_storage`] and
+/// [`Deployment::backend_dir`]: restart must reopen exactly the
+/// directory the original incarnation wrote.
+fn provider_dir(data_root: &Path, i: usize) -> PathBuf {
+    data_root.join(format!("provider-{i}"))
+}
+
+/// Build storage node `i`'s data-provider service for the configured
+/// backend (fresh for memory; opened — and replayed — from its page-log
+/// directory for mmap).
+fn build_data_service(
+    config: &DeploymentConfig,
+    data_root: Option<&Path>,
+    i: usize,
+) -> Arc<DataProviderService> {
+    match config.backend {
+        BackendKind::Memory => Arc::new(DataProviderService::new(
+            config.provider_capacity,
+            config.service_costs,
+        )),
+        BackendKind::Mmap => {
+            let dir = provider_dir(data_root.expect("mmap backend has a data root"), i);
+            Arc::new(
+                DataProviderService::open_mmap(
+                    &dir,
+                    config.effective_capacity(),
+                    config.service_costs,
+                )
+                .expect("open mmap provider backend"),
+            )
+        }
+    }
+}
+
+impl Drop for Deployment {
+    fn drop(&mut self) {
+        if let Some(root) = &self.data_root {
+            // Unlinking while mapped is fine on unix: served PageBufs
+            // keep their pages alive until the last slice drops.
+            let _ = std::fs::remove_dir_all(root);
+        }
     }
 }
 
@@ -434,6 +615,30 @@ mod tests {
             assert!(tcp.addr(node).is_some(), "node {node:?} must listen");
         }
         assert_eq!(d.cluster.horizon(), 0, "tcp runs on wall clocks");
+    }
+
+    #[test]
+    fn builds_paper_topology_on_mmap_backend() {
+        let d = Deployment::build(DeploymentConfig::functional_mmap(3));
+        assert_eq!(d.manager.provider_count(), 3);
+        for i in 0..3 {
+            let dir = d.backend_dir(i).expect("mmap deployments have dirs");
+            assert!(dir.join("pages.log").exists(), "page log exists for {i}");
+            assert_eq!(
+                d.storage[i].data().backend_kind(),
+                blobseer_provider::BackendKind::Mmap
+            );
+        }
+        // Registered capacity is the clamped log capacity, so manager
+        // reservations can never exceed what the log holds.
+        let p = d
+            .manager
+            .projection(ProviderId(d.storage_nodes[0].0))
+            .unwrap();
+        assert_eq!(p.capacity, MMAP_LOG_CAP);
+        let root = d.backend_dir(0).unwrap().parent().unwrap().to_path_buf();
+        drop(d);
+        assert!(!root.exists(), "data root removed on drop");
     }
 
     #[test]

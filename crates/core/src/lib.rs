@@ -33,7 +33,7 @@ pub mod vm_service;
 
 pub use client::{BlobClient, MetaCache};
 pub use deployment::{
-    ClusterHandle, Deployment, DeploymentConfig, StorageNodeService, TransportKind,
+    BackendKind, ClusterHandle, Deployment, DeploymentConfig, StorageNodeService, TransportKind,
 };
 pub use local::LocalEngine;
 pub use vm_service::VersionManagerService;

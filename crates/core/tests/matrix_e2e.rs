@@ -1,0 +1,235 @@
+//! The transport × backend conformance matrix: the same end-to-end
+//! scenarios must pass on every `{Sim, Tcp} × {Memory, Mmap}` pairing —
+//! frames either dispatch in-process or cross a real socket, pages
+//! either live on the heap or in an append-only mapped page log, and
+//! none of it may change observable semantics.
+//!
+//! The pairing is selected by environment (`BLOBSEER_TRANSPORT` =
+//! `sim`|`tcp`, `BLOBSEER_BACKEND` = `memory`|`mmap`; defaults
+//! `sim`/`memory`), which is how CI fans the binary out over all four
+//! cells without four copies of the suite.
+
+use blobseer_core::{BackendKind, Deployment, DeploymentConfig, TransportKind};
+use blobseer_meta::ReferenceStore;
+use blobseer_proto::Segment;
+use blobseer_rpc::Ctx;
+use blobseer_util::rng::rng_for;
+use rand::Rng;
+
+const PAGE: u64 = 1024;
+const PAGES: u64 = 32;
+const TOTAL: u64 = PAGE * PAGES;
+
+fn seg(o: u64, s: u64) -> Segment {
+    Segment::new(o, s)
+}
+
+fn matrix_cell() -> (TransportKind, BackendKind) {
+    let transport = match std::env::var("BLOBSEER_TRANSPORT").as_deref() {
+        Ok("tcp") => TransportKind::Tcp,
+        Ok("sim") | Err(_) => TransportKind::Sim,
+        Ok(other) => panic!("unknown BLOBSEER_TRANSPORT {other:?} (want sim|tcp)"),
+    };
+    let backend = match std::env::var("BLOBSEER_BACKEND").as_deref() {
+        Ok("mmap") => BackendKind::Mmap,
+        Ok("memory") | Err(_) => BackendKind::Memory,
+        Ok(other) => panic!("unknown BLOBSEER_BACKEND {other:?} (want memory|mmap)"),
+    };
+    (transport, backend)
+}
+
+fn cfg(providers: usize) -> DeploymentConfig {
+    let (transport, backend) = matrix_cell();
+    DeploymentConfig::functional(providers)
+        .with_transport(transport)
+        .with_backend(backend)
+}
+
+#[test]
+fn alloc_write_read_roundtrip() {
+    let d = Deployment::build(cfg(4));
+    let c = d.client();
+    let mut ctx = Ctx::start();
+    let info = c.alloc(&mut ctx, TOTAL, PAGE).unwrap();
+    assert_eq!(info.latest, 0);
+
+    let data: Vec<u8> = (0..2 * PAGE).map(|i| (i % 251) as u8).collect();
+    let v = c.write(&mut ctx, info.blob, PAGE, &data).unwrap();
+    assert_eq!(v, 1);
+
+    let (got, latest) = c
+        .read(&mut ctx, info.blob, Some(1), seg(PAGE, 2 * PAGE))
+        .unwrap();
+    assert_eq!(latest, 1);
+    assert_eq!(got, data);
+
+    // Unwritten space reads as zeros (allocate-on-write).
+    let (z, _) = c
+        .read(&mut ctx, info.blob, Some(1), seg(4 * PAGE, PAGE))
+        .unwrap();
+    assert!(z.iter().all(|&b| b == 0));
+
+    // Data and metadata really are distributed, on the right backend.
+    assert_eq!(d.total_pages(), 2);
+    assert!(d.total_tree_nodes() > 0);
+    let (_, backend) = matrix_cell();
+    assert!(d.storage.iter().all(|s| s.data().backend_kind() == backend));
+}
+
+#[test]
+fn matches_reference_store_on_random_workload() {
+    let d = Deployment::build(cfg(5));
+    let c = d.client();
+    let mut ctx = Ctx::start();
+    let info = c.alloc(&mut ctx, TOTAL, PAGE).unwrap();
+    let geom = info.geometry();
+    let mut oracle = ReferenceStore::new(geom);
+    let mut rng = rng_for(2025, 4);
+
+    for i in 0..20u64 {
+        let start = rng.gen_range(0..PAGES);
+        let len = rng.gen_range(1..=(PAGES - start).min(6));
+        let s = seg(start * PAGE, len * PAGE);
+        let data: Vec<u8> = (0..s.size)
+            .map(|j| (i as u8).wrapping_mul(43).wrapping_add(j as u8))
+            .collect();
+        let v1 = c.write(&mut ctx, info.blob, s.offset, &data).unwrap();
+        let v2 = oracle.write(s, &data).unwrap();
+        assert_eq!(v1, v2);
+    }
+
+    for v in 0..=oracle.latest() {
+        let (got, _) = c.read(&mut ctx, info.blob, Some(v), seg(0, TOTAL)).unwrap();
+        assert_eq!(got, oracle.read(v, seg(0, TOTAL)).unwrap(), "version {v}");
+    }
+    for _ in 0..25 {
+        let v = rng.gen_range(0..=oracle.latest());
+        let off = rng.gen_range(0..TOTAL - 1);
+        let len = rng.gen_range(1..=(TOTAL - off).min(5000));
+        let s = seg(off, len);
+        let (got, _) = c.read(&mut ctx, info.blob, Some(v), s).unwrap();
+        assert_eq!(got, oracle.read(v, s).unwrap(), "v{v} {s:?}");
+    }
+}
+
+#[test]
+fn page_replication_survives_provider_death() {
+    let mut config = cfg(4);
+    config.replication = 2;
+    config.meta_replication = 2;
+    let d = Deployment::build(config);
+    let c = d.client();
+    let mut ctx = Ctx::start();
+    let info = c.alloc(&mut ctx, TOTAL, PAGE).unwrap();
+    let data: Vec<u8> = (0..TOTAL).map(|i| (i % 199) as u8).collect();
+    c.write(&mut ctx, info.blob, 0, &data).unwrap();
+
+    // Kill each storage node in turn; the client must fail over to the
+    // surviving replica.
+    for i in 0..4 {
+        d.kill_storage(i);
+        let (got, _) = c.read(&mut ctx, info.blob, Some(1), seg(0, TOTAL)).unwrap();
+        assert_eq!(got, data, "after killing storage node {i}");
+        d.revive_storage(i);
+    }
+}
+
+#[test]
+fn concurrent_writers_serialize_into_dense_versions() {
+    let d = std::sync::Arc::new(Deployment::build(cfg(4)));
+    let setup = d.client();
+    let mut ctx = Ctx::start();
+    let info = setup.alloc(&mut ctx, TOTAL, PAGE).unwrap();
+    let blob = info.blob;
+
+    let writers = 4;
+    let per = 6;
+    let handles: Vec<_> = (0..writers)
+        .map(|t| {
+            let d = std::sync::Arc::clone(&d);
+            std::thread::spawn(move || {
+                let c = d.client();
+                let mut ctx = Ctx::start();
+                let mut rng = rng_for(99, t as u64);
+                let mut produced = Vec::new();
+                for _ in 0..per {
+                    let start = rng.gen_range(0..PAGES);
+                    let len = rng.gen_range(1..=(PAGES - start).min(4));
+                    let s = seg(start * PAGE, len * PAGE);
+                    let fill: u8 = rng.gen();
+                    let data: Vec<u8> = (0..s.size).map(|j| fill.wrapping_add(j as u8)).collect();
+                    let v = c.write(&mut ctx, blob, s.offset, &data).unwrap();
+                    produced.push((v, s, fill));
+                }
+                produced
+            })
+        })
+        .collect();
+
+    let mut all: Vec<(u64, Segment, u8)> = Vec::new();
+    for h in handles {
+        all.extend(h.join().unwrap());
+    }
+    all.sort_by_key(|(v, _, _)| *v);
+    for (i, (v, _, _)) in all.iter().enumerate() {
+        assert_eq!(*v, i as u64 + 1, "dense unique versions");
+    }
+
+    // Global serializability: each version equals prefix application.
+    let reader = d.client();
+    let mut rctx = Ctx::start();
+    let mut model = vec![0u8; TOTAL as usize];
+    for (v, s, fill) in &all {
+        let data: Vec<u8> = (0..s.size).map(|j| fill.wrapping_add(j as u8)).collect();
+        model[s.offset as usize..s.end() as usize].copy_from_slice(&data);
+        let (got, _) = reader
+            .read(&mut rctx, blob, Some(*v), seg(0, TOTAL))
+            .unwrap();
+        assert_eq!(got, model, "version {v}");
+    }
+}
+
+#[test]
+fn shared_metadata_cache_is_prewarmed_by_writers() {
+    let mut config = cfg(3);
+    config.cache_nodes = 1 << 12;
+    let d = Deployment::build(config);
+    let c = d.client();
+    let mut ctx = Ctx::start();
+    let info = c.alloc(&mut ctx, TOTAL, PAGE).unwrap();
+    let data = vec![5u8; TOTAL as usize];
+    c.write(&mut ctx, info.blob, 0, &data).unwrap();
+
+    // A fresh client reads through the cache the writer warmed.
+    let c2 = d.client();
+    let (_, m0) = c2.cache_stats().unwrap();
+    let (r, _) = c2
+        .read(&mut ctx, info.blob, Some(1), seg(0, TOTAL))
+        .unwrap();
+    let (_, m1) = c2.cache_stats().unwrap();
+    assert_eq!(m1, m0, "shared cache is pre-warmed by the writer");
+    assert_eq!(r, data);
+}
+
+#[test]
+fn gc_reclaims_dead_versions() {
+    let d = Deployment::build(cfg(3));
+    let c = d.client();
+    let mut ctx = Ctx::start();
+    let info = c.alloc(&mut ctx, TOTAL, PAGE).unwrap();
+    for round in 0..4u8 {
+        c.write(&mut ctx, info.blob, 0, &vec![round; (4 * PAGE) as usize])
+            .unwrap();
+    }
+    let pages_before = d.total_pages();
+    let (nodes, pages) = c.gc(&mut ctx, info.blob, 4).unwrap();
+    assert!(nodes > 0 && pages > 0, "gc reclaimed something");
+    assert!(d.total_pages() < pages_before, "index entries dropped");
+    // The surviving version still reads back intact.
+    let (got, _) = c
+        .read(&mut ctx, info.blob, Some(4), seg(0, 4 * PAGE))
+        .unwrap();
+    assert!(got.iter().all(|&b| b == 3));
+    let res = c.read(&mut ctx, info.blob, Some(1), seg(0, 4 * PAGE));
+    assert!(res.is_err(), "collected version is unreadable");
+}

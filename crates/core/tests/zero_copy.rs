@@ -56,7 +56,7 @@ fn copies_are_counted_and_minimal() {
     assert_eq!(before.bytes_since(), 0, "write_buf must copy nothing");
 
     // All three replicas of a write_buf page are the caller's allocation.
-    let stored: usize = d.storage.iter().map(|s| s.data.page_count()).sum();
+    let stored: usize = d.storage.iter().map(|s| s.data().page_count()).sum();
     assert!(stored >= 24 + 6, "replicated pages stored: {stored}");
 
     // READ: each page copied exactly once into the result.

@@ -16,14 +16,14 @@
 //! Modules:
 //! * [`shape`] — interval arithmetic: which tree intervals intersect a
 //!   segment, expected node counts, alignment helpers.
-//! * [`write`] — what a WRITE must build: the new node set, the border
+//! * [`mod@write`] — what a WRITE must build: the new node set, the border
 //!   nodes, and [`write::build_write_tree`] which assembles the final
 //!   [`TreeNode`](blobseer_proto::tree::TreeNode) batch from a
 //!   [`WriteTicket`](blobseer_proto::messages::WriteTicket).
 //! * [`read`] — the step function of the READ traversal
 //!   ([`read::expand`]), which the client drives level by level with
 //!   batched metadata fetches.
-//! * [`reference`] — a single-process in-memory reference implementation
+//! * [`mod@reference`] — a single-process in-memory reference implementation
 //!   of the whole blob engine built on the pure algorithms; used as the
 //!   correctness oracle by tests across the workspace and usable as an
 //!   embedded (non-distributed) mode of the library.

@@ -6,7 +6,7 @@
 //! *also* intersect `seg` are version-`v` nodes created by the same write;
 //! children that do not are the **missing halves of border nodes** and must
 //! link to the newest older version that wrote them — the
-//! [`BorderLink`](blobseer_proto::messages::BorderLink)s precomputed by the
+//! [`BorderLink`]s precomputed by the
 //! version manager, which is what lets concurrent writers weave in complete
 //! isolation.
 

@@ -99,10 +99,35 @@ wire_struct!(RemovePage { key });
 pub struct ProviderStats {
     /// Pages currently stored.
     pub pages: u64,
-    /// Bytes currently stored.
+    /// Logical bytes currently stored (what clients asked the provider
+    /// to retain; two keys sharing one allocation count twice).
     pub bytes: u64,
+    /// Heap-resident backing bytes (the in-memory backend's allocation
+    /// footprint; freed by removes).
+    pub heap_bytes: u64,
+    /// Mapped-file backing bytes (the persistent backend's append-only
+    /// page log, record headers included; never shrinks — removes only
+    /// drop index entries).
+    pub mapped_bytes: u64,
 }
-wire_struct!(ProviderStats { pages, bytes });
+
+impl ProviderStats {
+    /// Bytes that count against the provider's registered capacity: the
+    /// heap footprint plus the append-only log footprint. This — not the
+    /// logical `bytes` — is what the provider manager folds into its
+    /// `reported` load, so capacity reservations stay truthful for a
+    /// backend whose log retains removed pages.
+    pub fn reserved_bytes(&self) -> u64 {
+        self.heap_bytes + self.mapped_bytes
+    }
+}
+
+wire_struct!(ProviderStats {
+    pages,
+    bytes,
+    heap_bytes,
+    mapped_bytes
+});
 
 // ---------------------------------------------------------------------------
 // Provider manager messages
@@ -515,6 +540,8 @@ mod tests {
         roundtrip(ProviderStats {
             pages: 10,
             bytes: 655360,
+            heap_bytes: 655360,
+            mapped_bytes: 1 << 20,
         });
     }
 

@@ -1,0 +1,730 @@
+//! Storage backends for the data provider: where page bytes actually
+//! live.
+//!
+//! The paper's providers "physically store in their local memory the
+//! pages created by the WRITE operations" — PR 1–3 reproduced exactly
+//! that ([`MemoryBackend`]): pages evaporate with the process. This
+//! module adds the persistent variant the paper's storage nodes imply
+//! at survey scale ([`MmapBackend`]): every acknowledged page is
+//! appended to a per-provider **page log** (a self-indexing sequence of
+//! `header + payload` records) and then *served as a refcounted slice
+//! of a read-only memory mapping of that log* — zero heap copies on the
+//! read path, and a provider restarted on the same directory replays
+//! the log to re-serve everything it ever acknowledged.
+//!
+//! Copy discipline: a backend never meters a payload copy. [`MemoryBackend`]
+//! stores the very buffer the RPC layer lent out; [`MmapBackend`] writes
+//! the payload to the log with positioned I/O (kernel-side, exactly like
+//! a socket write — not a memcpy the meter tracks) and serves the mapped
+//! bytes by refcount. The one sanctioned write-path copy remains the
+//! client's `copy_from_slice` of the caller's buffer.
+//!
+//! Capacity discipline: a backend enforces its own notion of fullness —
+//! heap bytes for [`MemoryBackend`], log bytes (record headers included,
+//! removes **not** reclaimed: the log is append-only) for
+//! [`MmapBackend`] — and reports the split through
+//! [`StorageBackend::resident`], which the provider surfaces as
+//! `ProviderStats::{heap_bytes, mapped_bytes}` so the manager's
+//! capacity reservations stay truthful for both.
+//!
+//! Crash-model caveat: records are written header-first with positioned
+//! writes; the record check word folds in a **payload digest**, so a
+//! torn record (valid header, partial payload) fails validation at
+//! replay instead of serving corrupt bytes, and a *failed* write either
+//! unreserves its range (when it is still the tail) or leaves a
+//! **tombstone** replay steps over, so records acknowledged after an
+//! I/O failure stay recoverable. What remains unprotected: concurrent
+//! appenders reserve disjoint ranges, so a *process* crash between two
+//! in-flight appends can leave a hole that truncates recovery to the
+//! records before it — the in-process restart model used by the test
+//! suite (kill the node, reopen the directory) never tears a record. A
+//! production log would add a group-commit barrier here.
+
+use blobseer_proto::tree::PageKey;
+use blobseer_proto::{BlobError, BlobId, WriteId};
+use blobseer_util::PageBuf;
+use std::fs::{File, OpenOptions};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which storage backend a data provider runs on (selectable per
+/// deployment, like the transport).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// Pages live in process memory (the paper's RAM providers); a
+    /// restart loses everything.
+    #[default]
+    Memory,
+    /// Pages live in an append-only mapped page log on disk; served as
+    /// slices of the mapping, re-served after a restart on the same
+    /// directory.
+    Mmap,
+}
+
+/// A backend's resident backing bytes, split by where they live.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResidentBytes {
+    /// Heap-allocation footprint (freed by removes).
+    pub heap: u64,
+    /// Mapped page-log footprint, record headers included (append-only:
+    /// never shrinks while the provider lives).
+    pub mapped: u64,
+}
+
+/// Where a data provider's page bytes live. The provider keeps the
+/// serving index (`PageKey → PageBuf`) and logical-byte accounting; the
+/// backend owns persistence, capacity enforcement, and the
+/// backing-byte split.
+pub trait StorageBackend: Send + Sync {
+    /// Which kind this backend is.
+    fn kind(&self) -> BackendKind;
+
+    /// Ingest one page: persist it if the backend is persistent and
+    /// return the buffer the provider should *serve* (for
+    /// [`MmapBackend`]: a slice of the log mapping). `replaced` is the
+    /// byte length of an index entry this put *probably* replaces
+    /// (idempotent client re-put) — a credit applied to the capacity
+    /// check only; the footprint itself is charged in full, and the
+    /// caller reports the bytes an index replacement actually freed via
+    /// [`StorageBackend::on_remove`], so racing puts of one key cannot
+    /// drift the accounting. Fails — persisting nothing — when the
+    /// backend is full.
+    fn ingest(
+        &self,
+        key: &PageKey,
+        data: &PageBuf,
+        replaced: Option<u64>,
+    ) -> Result<PageBuf, BlobError>;
+
+    /// Account the removal of a stored entry of `len` bytes (heap
+    /// backends free; the append-only log only forgets the index entry).
+    fn on_remove(&self, len: u64);
+
+    /// Current backing-byte footprint, split heap vs mapped.
+    fn resident(&self) -> ResidentBytes;
+
+    /// Replay persisted pages in acknowledgement order (startup
+    /// recovery). Volatile backends recover nothing.
+    fn recover(&self) -> Result<Vec<(PageKey, PageBuf)>, BlobError> {
+        Ok(Vec::new())
+    }
+
+    /// Force persisted bytes to stable storage (no-op for volatile
+    /// backends).
+    fn sync(&self) -> Result<(), BlobError> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Memory backend
+// ---------------------------------------------------------------------------
+
+/// The PR 1 regime: pages are heap buffers shared by refcount; the
+/// backend only enforces the provider's RAM capacity.
+pub struct MemoryBackend {
+    capacity: u64,
+    heap: AtomicU64,
+}
+
+impl MemoryBackend {
+    /// Backend with `capacity` bytes of RAM.
+    pub fn new(capacity: u64) -> Self {
+        Self {
+            capacity,
+            heap: AtomicU64::new(0),
+        }
+    }
+}
+
+impl StorageBackend for MemoryBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Memory
+    }
+
+    fn ingest(
+        &self,
+        _key: &PageKey,
+        data: &PageBuf,
+        replaced: Option<u64>,
+    ) -> Result<PageBuf, BlobError> {
+        let len = data.len() as u64;
+        let credit = replaced.unwrap_or(0);
+        // Charge the full length; `replaced` is a credit for the
+        // *capacity check only* (an idempotent re-put — client retry
+        // after a lost ack — must not fail on a full-but-consistent
+        // provider). The bytes an insert actually frees are returned via
+        // `on_remove` once the index replacement happens, so the heap
+        // counter is exactly the sum of indexed + in-flight entries and
+        // can never drift, even when two puts of one key race the probe.
+        self.heap
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                let projected = cur + len;
+                (projected.saturating_sub(credit) <= self.capacity).then_some(projected)
+            })
+            .map_err(|_| BlobError::Internal("provider out of memory"))?;
+        Ok(data.clone())
+    }
+
+    fn on_remove(&self, len: u64) {
+        let _ = self
+            .heap
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(len))
+            });
+    }
+
+    fn resident(&self) -> ResidentBytes {
+        ResidentBytes {
+            heap: self.heap.load(Ordering::Relaxed),
+            mapped: 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mmap backend
+// ---------------------------------------------------------------------------
+
+/// Bytes of one log-record header: six little-endian `u64`s —
+/// `magic, blob, write, index, len, check`.
+const REC_HEADER: u64 = 48;
+
+/// Record magic ("BSPGLOG1").
+const LOG_MAGIC: u64 = 0x4253_5047_4c4f_4731;
+
+/// The log file's name inside the provider directory.
+const LOG_FILE: &str = "pages.log";
+
+/// One parsed log record.
+enum LogRecord {
+    /// A valid page record: key + payload-range end.
+    Page(PageKey, u64),
+    /// A tombstone (failed write's reserved range): skip to its end.
+    Skip(u64),
+}
+
+/// Magic of a tombstone record: a reserved range whose write failed
+/// while later appenders had already reserved beyond it. Replay skips
+/// it instead of stopping, so the records acknowledged *after* the
+/// failure stay recoverable.
+const LOG_TOMBSTONE: u64 = 0x4253_5047_4445_4144; // "BSPGDEAD"
+
+/// Fast 64-bit digest of the payload bytes (8-byte chunks + tail),
+/// folded into the record check word so a torn record — valid header,
+/// partial payload — fails validation at replay instead of serving
+/// corrupt bytes.
+fn payload_digest(data: &[u8]) -> u64 {
+    let mut acc = 0x9e37_79b9_7f4a_7c15u64;
+    let mut chunks = data.chunks_exact(8);
+    for c in &mut chunks {
+        let w = u64::from_le_bytes(c.try_into().expect("8 bytes"));
+        acc = (acc ^ w)
+            .rotate_left(23)
+            .wrapping_mul(0x2545_f491_4f6c_dd1d);
+    }
+    for &b in chunks.remainder() {
+        acc = (acc ^ b as u64)
+            .rotate_left(9)
+            .wrapping_mul(0x100_0000_01b3);
+    }
+    acc
+}
+
+fn check_word(magic: u64, blob: u64, write: u64, index: u64, len: u64, digest: u64) -> u64 {
+    let mut s = magic
+        ^ blob.rotate_left(17)
+        ^ write.rotate_left(34)
+        ^ index.rotate_left(51)
+        ^ len
+        ^ digest.rotate_left(7);
+    blobseer_util::rng::splitmix64(&mut s)
+}
+
+fn encode_header(magic: u64, blob: u64, write: u64, index: u64, len: u64, digest: u64) -> [u8; 48] {
+    let mut header = [0u8; REC_HEADER as usize];
+    for (i, word) in [
+        magic,
+        blob,
+        write,
+        index,
+        len,
+        check_word(magic, blob, write, index, len, digest),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        header[i * 8..i * 8 + 8].copy_from_slice(&word.to_le_bytes());
+    }
+    header
+}
+
+#[cfg(unix)]
+fn write_at(file: &File, buf: &[u8], off: u64) -> std::io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.write_all_at(buf, off)
+}
+
+#[cfg(not(unix))]
+fn write_at(file: &File, buf: &[u8], off: u64) -> std::io::Result<()> {
+    use std::io::{Seek, SeekFrom, Write};
+    let mut f = file.try_clone()?;
+    f.seek(SeekFrom::Start(off))?;
+    f.write_all(buf)
+}
+
+/// The persistent backend: an append-only page log, memory-mapped
+/// read-only once at open (full capacity, sparse), with pages served as
+/// [`PageBuf`] slices of the mapping.
+///
+/// * **Append** reserves a record range with a CAS on the tail offset
+///   (concurrent appenders never interleave bytes), then writes
+///   `header + payload` with positioned I/O — no lock on the hot path,
+///   no user-space copy.
+/// * **Serve** is `map.slice(payload_range)`: a refcount bump on the
+///   one mapping, zero copies (unix; other platforms degrade to serving
+///   the ingested heap buffer — the log still persists).
+/// * **Recover** replays the log from offset 0, validating each record
+///   (magic + bounds + check word folding in the payload digest),
+///   skipping tombstones, and stopping at the first invalid record;
+///   replayed pages are again served from the mapping.
+pub struct MmapBackend {
+    file: File,
+    /// The whole-capacity read-only mapping the served slices borrow.
+    map: PageBuf,
+    capacity: u64,
+    /// Committed log tail: every byte below it is a complete record.
+    offset: AtomicU64,
+    dir: PathBuf,
+}
+
+impl MmapBackend {
+    /// Open (or create) the page log under `dir` with room for
+    /// `capacity` log bytes, record headers included. The file is
+    /// extended sparsely to `capacity` up front so the mapping is
+    /// created exactly once; a log that already holds records keeps
+    /// them — call [`StorageBackend::recover`] to replay.
+    pub fn open(dir: &Path, capacity: u64) -> Result<Self, BlobError> {
+        std::fs::create_dir_all(dir).map_err(|_| BlobError::Internal("create provider dir"))?;
+        let path = dir.join(LOG_FILE);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|_| BlobError::Internal("open provider page log"))?;
+        let existing = file
+            .metadata()
+            .map_err(|_| BlobError::Internal("stat provider page log"))?
+            .len();
+        let map_len = capacity.max(existing);
+        if map_len > existing || existing == 0 {
+            file.set_len(map_len)
+                .map_err(|_| BlobError::Internal("extend provider page log"))?;
+        }
+        let map =
+            PageBuf::map_file(&file).map_err(|_| BlobError::Internal("map provider page log"))?;
+        Ok(Self {
+            file,
+            map,
+            capacity: map_len,
+            offset: AtomicU64::new(0),
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The directory this backend persists under.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Committed log bytes (record headers included).
+    pub fn log_bytes(&self) -> u64 {
+        self.offset.load(Ordering::Relaxed)
+    }
+
+    /// The log mapping itself (white-box: tests assert served pages
+    /// share this allocation).
+    pub fn mapping(&self) -> &PageBuf {
+        &self.map
+    }
+
+    fn read_u64(&self, off: u64) -> u64 {
+        let s = &self.map.as_slice()[off as usize..off as usize + 8];
+        u64::from_le_bytes(s.try_into().expect("8 bytes"))
+    }
+
+    /// Parse the record at `off`. `Page` carries the key and the
+    /// payload-range end; `Skip` is a tombstone (a reserved range whose
+    /// write failed) replay steps over; `None` ends replay — the header
+    /// is invalid, out of bounds, or its payload digest does not match
+    /// (a torn record is never served).
+    fn parse_record(&self, off: u64, limit: u64) -> Option<LogRecord> {
+        if off + REC_HEADER > limit {
+            return None;
+        }
+        let magic = self.read_u64(off);
+        if magic != LOG_MAGIC && magic != LOG_TOMBSTONE {
+            return None;
+        }
+        let blob = self.read_u64(off + 8);
+        let write = self.read_u64(off + 16);
+        let index = self.read_u64(off + 24);
+        let len = self.read_u64(off + 32);
+        let check = self.read_u64(off + 40);
+        let end = (off + REC_HEADER).checked_add(len)?;
+        if end > limit {
+            return None;
+        }
+        if magic == LOG_TOMBSTONE {
+            // Tombstone check covers the header only — its payload range
+            // is whatever the failed write left behind.
+            return (check == check_word(magic, blob, write, index, len, 0))
+                .then_some(LogRecord::Skip(end));
+        }
+        let digest =
+            payload_digest(&self.map.as_slice()[(off + REC_HEADER) as usize..end as usize]);
+        if check != check_word(magic, blob, write, index, len, digest) {
+            return None;
+        }
+        let key = PageKey {
+            blob: BlobId(blob),
+            write: WriteId(write),
+            index,
+        };
+        Some(LogRecord::Page(key, end))
+    }
+}
+
+impl StorageBackend for MmapBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Mmap
+    }
+
+    fn ingest(
+        &self,
+        key: &PageKey,
+        data: &PageBuf,
+        _replaced: Option<u64>,
+    ) -> Result<PageBuf, BlobError> {
+        let len = data.len() as u64;
+        let rec = REC_HEADER + len;
+        // Reserve a disjoint record range; the log is append-only, so a
+        // re-put appends a fresh record (the old one is leaked until the
+        // log is compacted — `replaced` earns no credit here).
+        let start = self
+            .offset
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                (cur + rec <= self.capacity).then_some(cur + rec)
+            })
+            .map_err(|_| BlobError::Internal("provider page log full"))?;
+
+        let header = encode_header(
+            LOG_MAGIC,
+            key.blob.0,
+            key.write.0,
+            key.index,
+            len,
+            payload_digest(data.as_slice()),
+        );
+        // Positioned kernel writes, not metered memcpys — the payload
+        // goes file-ward the same way gather-write sends it socket-ward.
+        let written = write_at(&self.file, &header, start)
+            .and_then(|()| write_at(&self.file, data.as_slice(), start + REC_HEADER));
+        if written.is_err() {
+            // The range was reserved but never became a valid record. If
+            // we are still the log tail, unreserve it; otherwise later
+            // appenders own bytes beyond us, so leave a tombstone replay
+            // can step over — a hole here would truncate recovery of
+            // every record acknowledged after this failure.
+            let rolled_back = self
+                .offset
+                .compare_exchange(start + rec, start, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok();
+            if !rolled_back {
+                let tomb = encode_header(LOG_TOMBSTONE, 0, 0, 0, len, 0);
+                // Best effort: if even this write fails the medium is
+                // gone and replay will stop here.
+                let _ = write_at(&self.file, &tomb, start);
+            }
+            return Err(BlobError::Internal("provider page log write failed"));
+        }
+
+        // Serve the mapped bytes (unix: the MAP_SHARED mapping sees the
+        // write through the unified page cache). Elsewhere the mapping
+        // is a snapshot, so serve the ingested heap buffer instead.
+        #[cfg(unix)]
+        {
+            let s = (start + REC_HEADER) as usize;
+            Ok(self.map.slice(s..s + data.len()))
+        }
+        #[cfg(not(unix))]
+        {
+            Ok(data.clone())
+        }
+    }
+
+    fn on_remove(&self, _len: u64) {
+        // Append-only: removal drops the index entry upstream; the log
+        // retains the record until compaction (future work).
+    }
+
+    fn resident(&self) -> ResidentBytes {
+        ResidentBytes {
+            heap: 0,
+            mapped: self.log_bytes(),
+        }
+    }
+
+    fn recover(&self) -> Result<Vec<(PageKey, PageBuf)>, BlobError> {
+        let limit = self.map.len() as u64;
+        let mut out = Vec::new();
+        let mut off = 0u64;
+        while let Some(rec) = self.parse_record(off, limit) {
+            off = match rec {
+                LogRecord::Page(key, end) => {
+                    let payload = (off + REC_HEADER) as usize..end as usize;
+                    out.push((key, self.map.slice(payload)));
+                    end
+                }
+                LogRecord::Skip(end) => end,
+            };
+        }
+        // Everything beyond the last valid record is unacknowledged
+        // space; appends resume over it.
+        self.offset.store(off, Ordering::Relaxed);
+        Ok(out)
+    }
+
+    fn sync(&self) -> Result<(), BlobError> {
+        self.file
+            .sync_data()
+            .map_err(|_| BlobError::Internal("provider page log sync failed"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blobseer_util::copymeter;
+
+    fn key(w: u64, i: u64) -> PageKey {
+        PageKey {
+            blob: BlobId(1),
+            write: WriteId(w),
+            index: i,
+        }
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("blobseer-backend-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn memory_backend_enforces_capacity_with_replacement_credit() {
+        let b = MemoryBackend::new(8192);
+        let page = PageBuf::from_vec(vec![7u8; 4096]);
+        b.ingest(&key(1, 0), &page, None).unwrap();
+        b.ingest(&key(1, 1), &page, None).unwrap();
+        assert!(b.ingest(&key(1, 2), &page, None).is_err(), "full");
+        // Idempotent re-put: the replaced length is a check-time credit;
+        // the caller reports the actually freed entry via on_remove
+        // (here: the index replacement frees the old 4096).
+        b.ingest(&key(1, 0), &page, Some(4096)).unwrap();
+        b.on_remove(4096);
+        assert_eq!(
+            b.resident(),
+            ResidentBytes {
+                heap: 8192,
+                mapped: 0
+            }
+        );
+        b.on_remove(4096);
+        assert_eq!(b.resident().heap, 4096);
+    }
+
+    #[test]
+    fn memory_backend_accounting_cannot_drift_under_racing_re_puts() {
+        // Model two clients re-putting the same key concurrently: both
+        // probe before either inserts, so both ingest with no credit;
+        // the index replacement then frees exactly one old entry. The
+        // heap counter must land on the truth (one live entry), not
+        // accumulate a phantom.
+        let b = MemoryBackend::new(1 << 20);
+        let page = PageBuf::from_vec(vec![7u8; 4096]);
+        b.ingest(&key(1, 0), &page, None).unwrap(); // first put, inserts fresh
+        b.ingest(&key(1, 0), &page, None).unwrap(); // racer probed None too
+        b.on_remove(4096); // second insert replaced the first entry
+        assert_eq!(b.resident().heap, 4096, "exactly one live entry");
+        b.on_remove(4096); // eventual remove of the key
+        assert_eq!(b.resident().heap, 0, "no phantom bytes remain");
+    }
+
+    #[test]
+    fn mmap_backend_appends_serves_mapped_and_recovers() {
+        let dir = temp_dir("roundtrip");
+        let b = MmapBackend::open(&dir, 1 << 20).unwrap();
+        let p0: PageBuf = PageBuf::from_vec((0..4096u32).map(|i| (i % 251) as u8).collect());
+        let p1: PageBuf = PageBuf::from_vec(vec![9u8; 4096]);
+
+        let before = copymeter::thread_snapshot();
+        let s0 = b.ingest(&key(1, 0), &p0, None).unwrap();
+        let s1 = b.ingest(&key(1, 1), &p1, None).unwrap();
+        assert_eq!(
+            before.bytes_since(),
+            0,
+            "appending to and serving from the log must meter zero copies"
+        );
+        assert_eq!(s0, p0);
+        assert_eq!(s1, p1);
+        #[cfg(unix)]
+        {
+            assert!(s0.is_mapped() && s1.is_mapped());
+            assert!(s0.same_allocation(b.mapping()));
+        }
+        assert_eq!(b.resident().mapped, 2 * (REC_HEADER + 4096));
+        assert_eq!(b.resident().heap, 0);
+
+        // A fresh backend on the same directory replays both records.
+        drop(b);
+        let b2 = MmapBackend::open(&dir, 1 << 20).unwrap();
+        let before = copymeter::thread_snapshot();
+        let recovered = b2.recover().unwrap();
+        assert_eq!(before.bytes_since(), 0, "recovery lends from the mapping");
+        assert_eq!(recovered.len(), 2);
+        assert_eq!(recovered[0].0, key(1, 0));
+        assert_eq!(recovered[0].1, p0);
+        assert_eq!(recovered[1].0, key(1, 1));
+        assert_eq!(recovered[1].1, p1);
+        assert!(recovered.iter().all(|(_, p)| p.is_mapped()));
+        // Appends resume after the replayed tail.
+        assert_eq!(b2.log_bytes(), 2 * (REC_HEADER + 4096));
+        b2.ingest(&key(2, 0), &p0, None).unwrap();
+        assert_eq!(b2.log_bytes(), 3 * (REC_HEADER + 4096));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_skips_tombstones_and_keeps_later_records() {
+        // A failed write that could not be rolled back (later appenders
+        // already reserved beyond it) leaves a tombstone; replay must
+        // step over it and keep serving the records after it.
+        let dir = temp_dir("tombstone");
+        let pa = PageBuf::from_vec(vec![1u8; 512]);
+        let pc = PageBuf::from_vec(vec![3u8; 512]);
+        {
+            let b = MmapBackend::open(&dir, 1 << 16).unwrap();
+            b.ingest(&key(1, 0), &pa, None).unwrap();
+            // Handcraft the aftermath of a failed concurrent append: a
+            // tombstone over a 512-byte reserved range, then a valid
+            // record appended beyond it.
+            let tomb_at = b.log_bytes();
+            let tomb = encode_header(LOG_TOMBSTONE, 0, 0, 0, 512, 0);
+            write_at(&b.file, &tomb, tomb_at).unwrap();
+            let c_at = tomb_at + REC_HEADER + 512;
+            let ch = encode_header(LOG_MAGIC, 1, 2, 7, 512, payload_digest(pc.as_slice()));
+            write_at(&b.file, &ch, c_at).unwrap();
+            write_at(&b.file, pc.as_slice(), c_at + REC_HEADER).unwrap();
+        }
+        let b = MmapBackend::open(&dir, 1 << 16).unwrap();
+        let recovered = b.recover().unwrap();
+        assert_eq!(recovered.len(), 2, "tombstone skipped, both pages kept");
+        assert_eq!(recovered[0].0, key(1, 0));
+        assert_eq!(recovered[0].1, pa);
+        assert_eq!(recovered[1].0, key(2, 7));
+        assert_eq!(recovered[1].1, pc);
+        // Appends resume after the last valid record, not at the hole.
+        assert_eq!(b.log_bytes(), 3 * (REC_HEADER + 512));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_rejects_torn_payload() {
+        // A record whose header is intact but whose payload bytes were
+        // torn (crash between the two positioned writes) must fail the
+        // digest and never be served.
+        let dir = temp_dir("torn");
+        {
+            let b = MmapBackend::open(&dir, 1 << 16).unwrap();
+            b.ingest(&key(1, 0), &PageBuf::from_vec(vec![1u8; 512]), None)
+                .unwrap();
+            b.ingest(&key(1, 1), &PageBuf::from_vec(vec![2u8; 512]), None)
+                .unwrap();
+            // Tear one payload byte of the second record.
+            let second_payload = REC_HEADER + 512 + REC_HEADER;
+            write_at(&b.file, &[0xEE], second_payload + 100).unwrap();
+        }
+        let b = MmapBackend::open(&dir, 1 << 16).unwrap();
+        let recovered = b.recover().unwrap();
+        assert_eq!(recovered.len(), 1, "torn record rejected by digest");
+        assert_eq!(recovered[0].0, key(1, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_tail_write_is_rolled_back() {
+        // White-box: a reservation that is still the tail is unreserved
+        // on failure (simulated by calling the rollback CAS directly is
+        // not possible; instead verify the reservation math by filling
+        // the log and observing no phantom growth on failure).
+        let dir = temp_dir("rollback");
+        let b = MmapBackend::open(&dir, REC_HEADER + 512).unwrap();
+        let page = PageBuf::from_vec(vec![1u8; 512]);
+        b.ingest(&key(1, 0), &page, None).unwrap();
+        let tail = b.log_bytes();
+        // Log full: the reservation itself fails, offset untouched.
+        assert!(b.ingest(&key(1, 1), &page, None).is_err());
+        assert_eq!(b.log_bytes(), tail, "failed reservation reserves nothing");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mmap_backend_recovery_stops_at_corruption() {
+        let dir = temp_dir("corrupt");
+        let b = MmapBackend::open(&dir, 1 << 16).unwrap();
+        let page = PageBuf::from_vec(vec![5u8; 512]);
+        b.ingest(&key(1, 0), &page, None).unwrap();
+        b.ingest(&key(1, 1), &page, None).unwrap();
+        // Flip a byte in the second record's header check word.
+        let second = REC_HEADER + 512 + 40;
+        write_at(&b.file, &[0xFF], second).unwrap();
+        drop(b);
+        let b2 = MmapBackend::open(&dir, 1 << 16).unwrap();
+        let recovered = b2.recover().unwrap();
+        assert_eq!(recovered.len(), 1, "replay stops at the corrupt record");
+        assert_eq!(recovered[0].0, key(1, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mmap_backend_enforces_log_capacity() {
+        let dir = temp_dir("capacity");
+        let b = MmapBackend::open(&dir, 2 * (REC_HEADER + 1024)).unwrap();
+        let page = PageBuf::from_vec(vec![1u8; 1024]);
+        b.ingest(&key(1, 0), &page, None).unwrap();
+        b.ingest(&key(1, 1), &page, None).unwrap();
+        let err = b.ingest(&key(1, 2), &page, None);
+        assert!(err.is_err(), "log full");
+        // Removes reclaim nothing: the log is append-only.
+        b.on_remove(1024);
+        assert!(b.ingest(&key(1, 3), &page, None).is_err());
+        assert_eq!(b.resident().mapped, 2 * (REC_HEADER + 1024));
+        b.sync().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_log_recovers_nothing() {
+        let dir = temp_dir("empty");
+        let b = MmapBackend::open(&dir, 1 << 16).unwrap();
+        assert!(b.recover().unwrap().is_empty());
+        assert_eq!(b.log_bytes(), 0);
+        assert_eq!(b.kind(), BackendKind::Mmap);
+        assert_eq!(MemoryBackend::new(1).kind(), BackendKind::Memory);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

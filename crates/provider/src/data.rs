@@ -1,17 +1,26 @@
-//! The data provider: RAM-based page storage (paper §III.A).
+//! The data provider: page storage behind a selectable backend
+//! (paper §III.A).
 //!
 //! "Data providers physically store in their local memory the pages
 //! created by the WRITE operations." Pages are immutable once stored —
 //! a WRITE always creates fresh pages under a fresh write id — so the
-//! store needs no versioned cells, just a concurrent map plus memory
-//! accounting for the provider manager's load balancing.
+//! store needs no versioned cells, just a concurrent serving index plus
+//! accounting for the provider manager's load balancing. *Where the
+//! page bytes live* is the [`StorageBackend`]'s business: in-memory
+//! buffers ([`BackendKind::Memory`], the paper's RAM providers) or an
+//! append-only mapped page log ([`BackendKind::Mmap`]) that survives a
+//! provider restart — see [`crate::backend`].
 //!
-//! Pages arrive and leave as [`PageBuf`]s: a `PUT_PAGE` stores the very
-//! allocation the RPC frame lent out (no receive-side copy), and a
-//! `GET_PAGE` serves a refcount bump of the stored buffer. Accounting is
-//! by *logical* bytes stored — two keys sharing one allocation still
-//! count twice, since capacity planning is about what the provider has
-//! promised to retain, not the allocator's luck.
+//! Pages arrive and leave as [`PageBuf`]s: a `PUT_PAGE` hands the very
+//! allocation the RPC frame lent out to the backend (which persists it
+//! if it is persistent) and indexes whatever buffer the backend serves —
+//! for the mmap backend a refcounted slice of the log mapping, metering
+//! **zero** copies. A `GET_PAGE` serves a refcount bump of the indexed
+//! buffer. Logical accounting is by bytes promised-to-retain — two keys
+//! sharing one allocation still count twice — while the backend reports
+//! its own *resident* footprint (heap vs mapped) so the manager's
+//! capacity projections stay truthful even for an append-only log that
+//! retains removed pages.
 //!
 //! Sharing cuts the other way on removal: a stored page may be a slice
 //! pinning a larger write-segment allocation, which stays resident
@@ -20,31 +29,73 @@
 //! so the transient gap between logical accounting and resident memory
 //! is bounded by one write segment per partially-collected write.
 
+use crate::backend::{BackendKind, MemoryBackend, MmapBackend, ResidentBytes, StorageBackend};
 use blobseer_proto::messages::{method, GetPage, ProviderStats, PutPage, RemovePage};
 use blobseer_proto::tree::PageKey;
 use blobseer_proto::BlobError;
 use blobseer_rpc::{error_frame, respond, Frame, ServerCtx, Service};
 use blobseer_simnet::ServiceCosts;
 use blobseer_util::{PageBuf, ShardedMap};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// One data provider's in-memory page store.
+/// One data provider: a concurrent serving index over a storage
+/// backend.
 pub struct DataProviderService {
     store: ShardedMap<PageKey, PageBuf>,
     bytes: AtomicU64,
-    capacity: u64,
+    backend: Arc<dyn StorageBackend>,
     costs: ServiceCosts,
 }
 
 impl DataProviderService {
-    /// Provider with `capacity` bytes of RAM (paper nodes: 4 GB).
+    /// In-memory provider with `capacity` bytes of RAM (paper nodes:
+    /// 4 GB).
     pub fn new(capacity: u64, costs: ServiceCosts) -> Self {
+        Self::with_backend(Arc::new(MemoryBackend::new(capacity)), costs)
+    }
+
+    /// Provider over an explicit backend (empty index; persistent
+    /// backends are replayed by [`DataProviderService::open_mmap`]).
+    pub fn with_backend(backend: Arc<dyn StorageBackend>, costs: ServiceCosts) -> Self {
         Self {
             store: ShardedMap::with_shards(64),
             bytes: AtomicU64::new(0),
-            capacity,
+            backend,
             costs,
         }
+    }
+
+    /// Persistent provider over the append-only page log under `dir`
+    /// with room for `capacity` log bytes: opens (or creates) the log,
+    /// replays every acknowledged record into the serving index, and
+    /// resumes appending after the replayed tail. This is the provider
+    /// restart path — a provider re-opened on the directory it died
+    /// with re-serves every page it acknowledged.
+    pub fn open_mmap(dir: &Path, capacity: u64, costs: ServiceCosts) -> Result<Self, BlobError> {
+        let backend = Arc::new(MmapBackend::open(dir, capacity)?);
+        let svc = Self::with_backend(backend.clone(), costs);
+        for (key, page) in backend.recover()? {
+            let len = page.len() as u64;
+            if let Some(old) = svc.store.insert(key, page) {
+                // A re-put appended twice; the replay's later record
+                // wins, exactly like the original acknowledgement order.
+                svc.bytes.fetch_sub(old.len() as u64, Ordering::Relaxed);
+            }
+            svc.bytes.fetch_add(len, Ordering::Relaxed);
+        }
+        Ok(svc)
+    }
+
+    /// Which backend kind this provider stores pages on.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.kind()
+    }
+
+    /// The backend's resident backing bytes (heap vs mapped).
+    pub fn resident(&self) -> ResidentBytes {
+        self.backend.resident()
     }
 
     /// Pages currently stored.
@@ -52,16 +103,20 @@ impl DataProviderService {
         self.store.len()
     }
 
-    /// Bytes currently stored.
+    /// Logical bytes currently stored.
     pub fn bytes_used(&self) -> u64 {
         self.bytes.load(Ordering::Relaxed)
     }
 
-    /// Usage snapshot.
+    /// Usage snapshot: logical pages/bytes plus the backend-resident
+    /// split the manager's capacity accounting runs on.
     pub fn stats(&self) -> ProviderStats {
+        let resident = self.backend.resident();
         ProviderStats {
             pages: self.store.len() as u64,
             bytes: self.bytes_used(),
+            heap_bytes: resident.heap,
+            mapped_bytes: resident.mapped,
         }
     }
 
@@ -70,18 +125,32 @@ impl DataProviderService {
         self.store.contains_key(key)
     }
 
+    /// Every stored key (white-box: recovery tests enumerate the index
+    /// before a crash to compare against the replayed one).
+    pub fn keys(&self) -> Vec<PageKey> {
+        self.store.keys()
+    }
+
+    /// Direct page lookup without RPC framing (white-box).
+    pub fn page(&self, key: &PageKey) -> Option<PageBuf> {
+        self.store.get_cloned(key)
+    }
+
     fn put(&self, key: PageKey, data: PageBuf) -> Result<(), BlobError> {
         let len = data.len() as u64;
-        // Credit the bytes a replaced entry would release before the
-        // capacity check, so an idempotent re-put (client retry after a
-        // lost ack) never fails on a full-but-consistent provider.
-        let replaced = self.store.with(&key, |old| old.len() as u64).unwrap_or(0);
-        if self.bytes_used().saturating_sub(replaced) + len > self.capacity {
-            return Err(BlobError::Internal("provider out of memory"));
-        }
-        if let Some(old) = self.store.insert(key, data) {
-            // Idempotent re-put of the same immutable page (client retry).
+        let replaced = self.store.with(&key, |old| old.len() as u64);
+        // The backend enforces its own capacity — the `replaced` probe
+        // is a check-time credit so an idempotent re-put never fails on
+        // a full provider — and returns the buffer to serve: the input
+        // itself for memory, a mapped log slice for mmap.
+        let serve = self.backend.ingest(&key, &data, replaced)?;
+        if let Some(old) = self.store.insert(key, serve) {
+            // Idempotent re-put of the same immutable page (client
+            // retry). The bytes actually freed are credited from the
+            // insert's own return value, not the earlier probe, so
+            // racing puts of one key cannot drift the accounting.
             self.bytes.fetch_sub(old.len() as u64, Ordering::Relaxed);
+            self.backend.on_remove(old.len() as u64);
         }
         self.bytes.fetch_add(len, Ordering::Relaxed);
         Ok(())
@@ -97,6 +166,7 @@ impl DataProviderService {
         match self.store.remove(key) {
             Some(old) => {
                 self.bytes.fetch_sub(old.len() as u64, Ordering::Relaxed);
+                self.backend.on_remove(old.len() as u64);
                 true
             }
             None => false,
@@ -354,8 +424,148 @@ mod tests {
             stats,
             ProviderStats {
                 pages: 1,
-                bytes: 1024
+                bytes: 1024,
+                heap_bytes: 1024,
+                mapped_bytes: 0
             }
         );
+        assert_eq!(stats.reserved_bytes(), 1024);
+    }
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("blobseer-data-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn mmap_provider_serves_mapped_pages_with_zero_copies() {
+        let dir = temp_dir("serve");
+        let p = DataProviderService::open_mmap(&dir, 1 << 20, ServiceCosts::zero()).unwrap();
+        assert_eq!(p.backend_kind(), crate::backend::BackendKind::Mmap);
+        let mut ctx = ServerCtx::new(0);
+        let data = PageBuf::from_vec((0..4096u32).map(|i| (i % 241) as u8).collect());
+
+        let before = blobseer_util::copymeter::thread_snapshot();
+        let resp = p.handle(
+            &mut ctx,
+            &Frame::from_msg(
+                method::PUT_PAGE,
+                &PutPage {
+                    key: key(1, 0),
+                    data: data.clone(),
+                },
+            ),
+        );
+        parse_response::<()>(&resp).unwrap();
+        let resp = p.handle(
+            &mut ctx,
+            &Frame::from_msg(method::GET_PAGE, &GetPage { key: key(1, 0) }),
+        );
+        let got = parse_response::<PageBuf>(&resp).unwrap();
+        assert_eq!(
+            before.bytes_since(),
+            0,
+            "mmap put+get must meter zero payload copies"
+        );
+        assert_eq!(got, data);
+        #[cfg(unix)]
+        assert!(got.is_mapped(), "served page is lent from the log mapping");
+
+        // Stats: logical bytes vs mapped log bytes (headers included).
+        let stats = p.stats();
+        assert_eq!(stats.bytes, 4096);
+        assert_eq!(stats.heap_bytes, 0);
+        assert!(stats.mapped_bytes > 4096, "log bytes include the header");
+        assert_eq!(stats.reserved_bytes(), stats.mapped_bytes);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mmap_provider_restart_re_serves_acknowledged_pages() {
+        let dir = temp_dir("restart");
+        let mut ctx = ServerCtx::new(0);
+        let pages: Vec<PageBuf> = (0..5u8)
+            .map(|i| PageBuf::from_vec(vec![i.wrapping_mul(37); 2048]))
+            .collect();
+        {
+            let p = DataProviderService::open_mmap(&dir, 1 << 20, ServiceCosts::zero()).unwrap();
+            for (i, data) in pages.iter().enumerate() {
+                let resp = p.handle(
+                    &mut ctx,
+                    &Frame::from_msg(
+                        method::PUT_PAGE,
+                        &PutPage {
+                            key: key(1, i as u64),
+                            data: data.clone(),
+                        },
+                    ),
+                );
+                parse_response::<()>(&resp).unwrap();
+            }
+            // Idempotent re-put before the crash: the replay keeps the
+            // latest acknowledged contents.
+            let resp = p.handle(
+                &mut ctx,
+                &Frame::from_msg(
+                    method::PUT_PAGE,
+                    &PutPage {
+                        key: key(1, 0),
+                        data: pages[4].clone(),
+                    },
+                ),
+            );
+            parse_response::<()>(&resp).unwrap();
+        } // "crash": the process-local index is gone
+
+        let p = DataProviderService::open_mmap(&dir, 1 << 20, ServiceCosts::zero()).unwrap();
+        assert_eq!(p.page_count(), 5);
+        assert_eq!(p.bytes_used(), 5 * 2048);
+        for (i, data) in pages.iter().enumerate() {
+            let resp = p.handle(
+                &mut ctx,
+                &Frame::from_msg(
+                    method::GET_PAGE,
+                    &GetPage {
+                        key: key(1, i as u64),
+                    },
+                ),
+            );
+            let got = parse_response::<PageBuf>(&resp).unwrap();
+            let want = if i == 0 { &pages[4] } else { data };
+            assert_eq!(&got, want, "page {i} byte-identical after restart");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mmap_provider_remove_drops_index_but_not_log() {
+        let dir = temp_dir("remove");
+        let p = DataProviderService::open_mmap(&dir, 1 << 20, ServiceCosts::zero()).unwrap();
+        let mut ctx = ServerCtx::new(0);
+        let resp = p.handle(
+            &mut ctx,
+            &Frame::from_msg(
+                method::PUT_PAGE,
+                &PutPage {
+                    key: key(1, 0),
+                    data: PageBuf::from_vec(vec![3u8; 1024]),
+                },
+            ),
+        );
+        parse_response::<()>(&resp).unwrap();
+        let mapped = p.stats().mapped_bytes;
+        let resp = p.handle(
+            &mut ctx,
+            &Frame::from_msg(method::REMOVE_PAGE, &RemovePage { key: key(1, 0) }),
+        );
+        assert!(parse_response::<bool>(&resp).unwrap());
+        assert_eq!(p.bytes_used(), 0, "logical bytes freed");
+        assert_eq!(
+            p.stats().mapped_bytes,
+            mapped,
+            "append-only log retains the record until compaction"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

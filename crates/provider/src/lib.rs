@@ -2,16 +2,23 @@
 //!
 //! The data-plane services of the system (paper §III.A):
 //!
-//! * [`data`] — the **data provider**: RAM-based immutable page storage
-//!   with memory accounting and capacity enforcement;
+//! * [`data`] — the **data provider**: immutable page storage (a
+//!   concurrent serving index over a [`backend`]) with accounting and
+//!   capacity enforcement;
+//! * [`backend`] — the **storage backends** behind the provider:
+//!   in-memory buffers ([`MemoryBackend`]) or a persistent append-only
+//!   mapped page log ([`MmapBackend`]) that re-serves acknowledged
+//!   pages after a restart;
 //! * [`manager`] — the **provider manager**: provider registration,
 //!   heartbeats, and load-balanced page placement (round-robin /
 //!   least-loaded / random strategies), plus write-id issuance.
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod data;
 pub mod manager;
 
+pub use backend::{BackendKind, MemoryBackend, MmapBackend, ResidentBytes, StorageBackend};
 pub use data::DataProviderService;
 pub use manager::{ProviderManagerService, Strategy};

@@ -14,7 +14,7 @@
 //! [`ProviderSlot`]s, so `heartbeat` and `mark_dead` are O(1) wait-free
 //! index lookups plus atomic stores — no write lock, no O(n) scan.
 //! Capacity is *reserved* with a compare-and-swap loop
-//! ([`ProviderSlot::try_reserve`]), so concurrent planners can never
+//! (`ProviderSlot::try_reserve`), so concurrent planners can never
 //! oversubscribe a provider's projected capacity.
 //!
 //! Four allocation strategies are provided; the default is
@@ -231,11 +231,18 @@ impl ProviderManagerService {
 
     /// Fold in a heartbeat: reported usage replaces the in-flight
     /// projection accumulated since the previous report. O(1), wait-free.
+    ///
+    /// What is reported is [`ProviderStats::reserved_bytes`] — the
+    /// backing-byte footprint (heap plus append-only mapped log,
+    /// headers included), not the logical stored bytes — so
+    /// `ProviderSlot::try_reserve`'s capacity CAS stays truthful for
+    /// a backend whose log retains removed pages.
     pub fn heartbeat(&self, provider: ProviderId, stats: ProviderStats) {
         let roster = self.roster.load();
         if let Some(&i) = roster.by_id.get(&provider) {
             let slot = &roster.slots[i];
-            slot.reported.store(stats.bytes, Ordering::Relaxed);
+            slot.reported
+                .store(stats.reserved_bytes(), Ordering::Relaxed);
             slot.in_flight.store(0, Ordering::Relaxed);
             slot.alive.store(true, Ordering::Relaxed);
         }
@@ -521,22 +528,52 @@ mod tests {
         assert_eq!(counts, [2, 2, 2, 2]);
     }
 
+    /// A heartbeat reporting `bytes` of heap-resident load.
+    fn heap_load(pages: u64, bytes: u64) -> ProviderStats {
+        ProviderStats {
+            pages,
+            bytes,
+            heap_bytes: bytes,
+            mapped_bytes: 0,
+        }
+    }
+
     #[test]
     fn least_loaded_prefers_free_capacity() {
         let m = mgr(Strategy::LeastLoaded);
         m.set_page_size_hint(1024);
         // Provider 0 reports heavy usage.
-        m.heartbeat(
-            ProviderId(0),
-            ProviderStats {
-                pages: 1000,
-                bytes: 1 << 29,
-            },
-        );
+        m.heartbeat(ProviderId(0), heap_load(1000, 1 << 29));
         let plan = m.plan_write(6, 1).unwrap();
         assert!(
             plan.targets.iter().all(|t| t[0] != ProviderId(0)),
             "loaded provider must be avoided: {:?}",
+            plan.targets
+        );
+    }
+
+    #[test]
+    fn heartbeat_reports_backend_reserved_bytes_not_logical() {
+        // An append-only mmap log holds bytes for removed pages too; the
+        // manager must budget against the log footprint, not the (lower)
+        // logical stored bytes, or try_reserve oversubscribes the disk.
+        let m = mgr(Strategy::LeastLoaded);
+        m.heartbeat(
+            ProviderId(0),
+            ProviderStats {
+                pages: 2,
+                bytes: 8 << 10, // logical: two live 4 KiB pages
+                heap_bytes: 0,
+                mapped_bytes: 1 << 29, // the log retains much more
+            },
+        );
+        let p = m.projection(ProviderId(0)).unwrap();
+        assert_eq!(p.reported, 1 << 29, "reported = backend-resident bytes");
+        m.set_page_size_hint(1024);
+        let plan = m.plan_write(6, 1).unwrap();
+        assert!(
+            plan.targets.iter().all(|t| t[0] != ProviderId(0)),
+            "log-heavy provider must be avoided: {:?}",
             plan.targets
         );
     }

@@ -38,6 +38,8 @@ proptest! {
             ProviderStats {
                 pages: reported_pages,
                 bytes: reported_pages * PAGE_BYTES,
+                heap_bytes: reported_pages * PAGE_BYTES,
+                mapped_bytes: 0,
             },
         );
 
@@ -106,7 +108,12 @@ proptest! {
         m.register(ProviderId(1), 1024 * PAGE_BYTES);
         m.heartbeat(
             ProviderId(1),
-            ProviderStats { pages: 1000, bytes: 1000 * PAGE_BYTES },
+            ProviderStats {
+                pages: 1000,
+                bytes: 1000 * PAGE_BYTES,
+                heap_bytes: 1000 * PAGE_BYTES,
+                mapped_bytes: 0,
+            },
         );
         let plan = m.plan_write(16, 1).unwrap();
         let on_free = plan

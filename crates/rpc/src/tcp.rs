@@ -5,8 +5,8 @@
 //! "Data path & copy discipline") finally meets the kernel:
 //!
 //! * **Send is gather-write.** A frame leaves as a length-prefixed
-//!   envelope followed by the body's [`ByteChain`] segments, handed to
-//!   `write_vectored` via [`ByteChain::as_io_slices`] — no flattening
+//!   envelope followed by the body's [`ByteChain`](blobseer_proto::wire::ByteChain) segments, handed to
+//!   `write_vectored` via [`ByteChain::as_io_slices`](blobseer_proto::wire::ByteChain::as_io_slices) — no flattening
 //!   memcpy, no matter how many page payloads a batched frame carries.
 //!   The seed behaviour (flatten the chain into one contiguous buffer,
 //!   a metered copy) survives as [`TcpTransport::set_gather_write`]

@@ -1,0 +1,215 @@
+//! Minimal stand-in for the `memmap2` crate (offline build).
+//!
+//! Implements exactly what the workspace uses: mapping a file read-only
+//! into memory ([`Mmap::map`]) with `Deref<Target = [u8]>`, `Send` and
+//! `Sync`. On unix the mapping is a real `mmap(2)` with `MAP_SHARED`, so
+//! bytes later written to the file *through its descriptor* become
+//! visible in the mapping without re-mapping (the kernel's unified page
+//! cache) — the property the provider's append-only page log relies on.
+//! On other platforms it degrades to a heap snapshot taken at map time;
+//! callers that need write-then-read visibility must re-map (the
+//! workspace gates those paths on `cfg(unix)`).
+//!
+//! Like the real crate, [`Mmap::map`] is `unsafe`: the caller promises
+//! the mapped region is not *mutated* underneath live `&[u8]` borrows.
+//! Appending past already-borrowed offsets is fine; rewriting them is
+//! not.
+
+#![warn(missing_docs)]
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_SHARED: c_int = 1;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+/// An immutable memory map of a file.
+///
+/// Unix: a `PROT_READ`/`MAP_SHARED` mapping of the file's full length at
+/// map time. Other platforms: a heap snapshot of the file's contents.
+#[derive(Debug)]
+pub struct Mmap {
+    #[cfg(unix)]
+    ptr: *const u8,
+    #[cfg(unix)]
+    len: usize,
+    #[cfg(not(unix))]
+    data: Vec<u8>,
+}
+
+// SAFETY: the mapping is never written through; `&Mmap` only hands out
+// shared `&[u8]` views, which are as thread-safe as any shared slice.
+#[cfg(unix)]
+unsafe impl Send for Mmap {}
+#[cfg(unix)]
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Map `file` read-only at its current length.
+    ///
+    /// # Safety
+    /// The caller must ensure no byte of the mapped range is *mutated*
+    /// for the lifetime of the map (growing the file and writing beyond
+    /// previously read offsets is allowed — this is the append-only-log
+    /// contract).
+    #[cfg(unix)]
+    pub unsafe fn map(file: &File) -> io::Result<Mmap> {
+        use std::os::unix::io::AsRawFd;
+        let len = file.metadata()?.len();
+        if len == 0 {
+            return Ok(Mmap {
+                ptr: std::ptr::NonNull::<u8>::dangling().as_ptr(),
+                len: 0,
+            });
+        }
+        if len > usize::MAX as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "file too large to map",
+            ));
+        }
+        let ptr = sys::mmap(
+            std::ptr::null_mut(),
+            len as usize,
+            sys::PROT_READ,
+            sys::MAP_SHARED,
+            file.as_raw_fd(),
+            0,
+        );
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap {
+            ptr: ptr as *const u8,
+            len: len as usize,
+        })
+    }
+
+    /// Map `file` by reading a snapshot of its contents (non-unix
+    /// fallback — later file writes are **not** visible).
+    #[cfg(not(unix))]
+    pub unsafe fn map(file: &File) -> io::Result<Mmap> {
+        use std::io::Read;
+        let mut data = Vec::new();
+        let mut f = file.try_clone()?;
+        f.read_to_end(&mut data)?;
+        Ok(Mmap { data })
+    }
+
+    /// Length of the mapped region in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// True when the mapped region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[cfg(unix)]
+    fn as_slice(&self) -> &[u8] {
+        // SAFETY: `ptr..ptr+len` is a live PROT_READ mapping (or a
+        // dangling pointer with len 0, a valid empty slice).
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    #[cfg(not(unix))]
+    fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(unix)]
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        if self.len > 0 {
+            // SAFETY: exactly the region mmap returned; errors at unmap
+            // are unrecoverable and ignored, like the real crate.
+            unsafe {
+                sys::munmap(self.ptr as *mut _, self.len);
+            }
+        }
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("memmap2-shim-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = temp_path("basic");
+        std::fs::write(&path, b"hello mapping").unwrap();
+        let file = File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file) }.unwrap();
+        assert_eq!(&map[..], b"hello mapping");
+        assert_eq!(map.len(), 13);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_file_maps_empty() {
+        let path = temp_path("empty");
+        std::fs::write(&path, b"").unwrap();
+        let file = File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file) }.unwrap();
+        assert!(map.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn shared_mapping_sees_fd_writes() {
+        use std::os::unix::fs::FileExt;
+        let path = temp_path("shared");
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .unwrap();
+        file.set_len(4096).unwrap();
+        let map = unsafe { Mmap::map(&file) }.unwrap();
+        assert_eq!(map[100], 0);
+        file.write_all_at(b"appended later", 100).unwrap();
+        assert_eq!(&map[100..114], b"appended later");
+        let _ = std::fs::remove_file(&path);
+    }
+}

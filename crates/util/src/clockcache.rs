@@ -11,7 +11,7 @@
 //! bounded and allocation-free; with the default shard count, two
 //! operations collide only on a shard-index collision.
 //!
-//! Every acquisition is charged to [`lockmeter`](crate::lockmeter):
+//! Every acquisition is charged to [`lockmeter`]:
 //! hits/probes as [`Shared`](crate::lockmeter::LockClass::Shared),
 //! insert/evict/remove as
 //! [`Sharded`](crate::lockmeter::LockClass::Sharded). Under the

@@ -24,7 +24,9 @@
 //! * [`pagebuf`] — [`PageBuf`], the cheap-clone immutable byte buffer
 //!   behind the zero-copy page path (proto → rpc → provider → client);
 //!   pages are copied into the system at most once and shared by
-//!   refcount everywhere else.
+//!   refcount everywhere else. Backed by a heap allocation or, via
+//!   [`PageBuf::map_file`], a read-only mapped file region — the seam
+//!   the persistent provider backend serves its page log through.
 //! * [`copymeter`] — global bytes-copied accounting, so the zero-copy
 //!   discipline is *measured* by the benches, not asserted.
 //! * [`lockmeter`] — the control-plane analogue of [`copymeter`]: global

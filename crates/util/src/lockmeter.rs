@@ -1,8 +1,8 @@
 //! Global accounting of control-plane lock acquisitions.
 //!
 //! The lock-free control plane is a *measured* property, not an asserted
-//! one — exactly like the zero-copy data path and [`copymeter`]
-//! (crate::copymeter). Every acquisition of a control-plane lock reports
+//! one — exactly like the zero-copy data path and
+//! [`copymeter`](crate::copymeter). Every acquisition of a control-plane lock reports
 //! here under one of four classes, the tier-1 suite asserts the
 //! steady-state invariant (see `crates/core/tests/lock_free.rs`), and the
 //! `pr2_lockfree` bench emits locks-per-operation columns.

@@ -14,7 +14,7 @@
 //! from a received frame.
 //!
 //! Every *deliberate* copy of payload bytes into or out of a `PageBuf`
-//! is accounted in [`copymeter`](crate::copymeter), so benchmarks can
+//! is accounted in [`copymeter`], so benchmarks can
 //! report bytes-copied-per-operation instead of asserting zero-copy-ness.
 
 use crate::copymeter;
@@ -23,11 +23,39 @@ use std::hash::{Hash, Hasher};
 use std::ops::Deref;
 use std::sync::Arc;
 
+/// The storage behind a [`PageBuf`]: a heap allocation or a mapped file
+/// region. Both are immutable for the lifetime of the backing, which is
+/// what makes refcounted sharing of either sound.
+enum Backing {
+    /// An owned heap allocation (the original PR 1 variant).
+    Heap(Vec<u8>),
+    /// A read-only memory-mapped file region. Serving bytes out of it is
+    /// a page-cache borrow — no heap copy ever happens, which is how a
+    /// persistent provider lends pages straight out of its page log.
+    Mapped(memmap2::Mmap),
+}
+
+impl Backing {
+    #[inline]
+    fn as_bytes(&self) -> &[u8] {
+        match self {
+            Backing::Heap(v) => v,
+            Backing::Mapped(m) => m,
+        }
+    }
+}
+
 /// An immutable, reference-counted byte slice with O(1) `clone` and
 /// O(1) `slice`.
+///
+/// The backing storage is either a heap allocation ([`PageBuf::from_vec`]
+/// and friends) or a read-only mapped file region
+/// ([`PageBuf::map_file`]) — the API and the copy discipline are
+/// identical for both; [`PageBuf::is_mapped`] tells them apart for
+/// white-box assertions.
 #[derive(Clone)]
 pub struct PageBuf {
-    data: Arc<Vec<u8>>,
+    data: Arc<Backing>,
     start: usize,
     len: usize,
 }
@@ -35,8 +63,8 @@ pub struct PageBuf {
 impl PageBuf {
     /// An empty buffer (no allocation shared).
     pub fn new() -> Self {
-        static EMPTY: std::sync::OnceLock<Arc<Vec<u8>>> = std::sync::OnceLock::new();
-        let data = Arc::clone(EMPTY.get_or_init(|| Arc::new(Vec::new())));
+        static EMPTY: std::sync::OnceLock<Arc<Backing>> = std::sync::OnceLock::new();
+        let data = Arc::clone(EMPTY.get_or_init(|| Arc::new(Backing::Heap(Vec::new()))));
         Self {
             data,
             start: 0,
@@ -48,10 +76,41 @@ impl PageBuf {
     pub fn from_vec(v: Vec<u8>) -> Self {
         let len = v.len();
         Self {
-            data: Arc::new(v),
+            data: Arc::new(Backing::Heap(v)),
             start: 0,
             len,
         }
+    }
+
+    /// Map `file` read-only at its current length and wrap the whole
+    /// mapping as a buffer. Zero payload copies: the bytes stay in the
+    /// page cache and every [`PageBuf::slice`] of the result is lent
+    /// from the mapping by refcount (the mapping unmaps when the last
+    /// slice drops).
+    ///
+    /// On unix the mapping is `MAP_SHARED`, so bytes appended to the
+    /// file through its descriptor *after* mapping become visible at
+    /// their offsets — the append-only page-log contract. Callers must
+    /// never rewrite a byte range they have already handed out.
+    pub fn map_file(file: &std::fs::File) -> std::io::Result<Self> {
+        // SAFETY: the workspace's mapped files are append-only page
+        // logs — previously written ranges are immutable by protocol
+        // (pages are immutable once acknowledged), upholding the map
+        // invariant.
+        let map = unsafe { memmap2::Mmap::map(file) }?;
+        let len = map.len();
+        Ok(Self {
+            data: Arc::new(Backing::Mapped(map)),
+            start: 0,
+            len,
+        })
+    }
+
+    /// True when this buffer's backing is a mapped file region rather
+    /// than a heap allocation (white-box metric for zero-copy
+    /// assertions on the persistent provider path).
+    pub fn is_mapped(&self) -> bool {
+        matches!(*self.data, Backing::Mapped(_))
     }
 
     /// Copy a slice into a fresh buffer. This is the metered entry point
@@ -78,7 +137,7 @@ impl PageBuf {
 
     /// The bytes.
     pub fn as_slice(&self) -> &[u8] {
-        &self.data[self.start..self.start + self.len]
+        &self.data.as_bytes()[self.start..self.start + self.len]
     }
 
     /// O(1) sub-buffer sharing the backing allocation.
@@ -209,5 +268,24 @@ mod tests {
     #[should_panic(expected = "slice out of range")]
     fn out_of_range_slice_panics() {
         PageBuf::from_vec(vec![1]).slice(0..2);
+    }
+
+    #[test]
+    fn map_file_lends_without_copying() {
+        let path = std::env::temp_dir().join(format!("pagebuf-map-{}", std::process::id()));
+        std::fs::write(&path, (0..64u8).collect::<Vec<_>>()).unwrap();
+        let f = std::fs::File::open(&path).unwrap();
+        let before = copymeter::thread_snapshot();
+        let b = PageBuf::map_file(&f).unwrap();
+        assert_eq!(before.bytes_since(), 0, "mapping is not a payload copy");
+        assert!(b.is_mapped());
+        assert!(!PageBuf::from_vec(vec![1]).is_mapped());
+        assert_eq!(b.len(), 64);
+        let s = b.slice(16..32);
+        assert!(s.is_mapped(), "slices of a mapping stay mapped");
+        assert!(s.same_allocation(&b));
+        assert_eq!(s.as_slice(), &(16..32u8).collect::<Vec<_>>()[..]);
+        assert_eq!(b.ref_count(), 2);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -2,8 +2,8 @@
 //!
 //! The workspace keeps its seed regimes alive as process-global runtime
 //! switches — `blobseer_proto::wire::set_zero_copy` and
-//! [`lockmeter::set_serialized_control_plane`]
-//! (crate::lockmeter::set_serialized_control_plane) — so benchmarks can
+//! [`lockmeter::set_serialized_control_plane`](crate::lockmeter::set_serialized_control_plane)
+//! — so benchmarks can
 //! measure before vs after honestly. Inside one test binary, however,
 //! `cargo test` runs tests on parallel threads: a test flipping a toggle
 //! would poison every concurrently running copymeter/lockmeter assertion
@@ -12,8 +12,8 @@
 //! This module is the single serialization point:
 //!
 //! * a test that **flips** a toggle holds [`ablation_exclusive`] for the
-//!   flipped region (the RAII helpers [`lockmeter::serialized_ablation`]
-//!   (crate::lockmeter::serialized_ablation) and
+//!   flipped region (the RAII helpers [`lockmeter::serialized_ablation`](crate::lockmeter::serialized_ablation)
+//!   and
 //!   `wire::zero_copy_ablation` take it for you and restore the previous
 //!   value on drop);
 //! * a test that **asserts** toggle-sensitive meter readings holds

@@ -113,6 +113,50 @@
 //! connection is dropped, not pooled. See `blobseer_rpc::tcp` for the
 //! wire format and the full error taxonomy, and `bench/pr3_tcp`
 //! (`BENCH_PR3.json`) for the gather-write vs flatten ablation.
+//!
+//! ## Persistent deployments
+//!
+//! Providers can keep their pages on a **persistent storage backend**
+//! ([`BackendKind::Mmap`]) instead of process memory: every
+//! acknowledged page is appended to a per-provider page log and then
+//! served as a refcounted slice of a read-only memory mapping of that
+//! log — the same zero-copy discipline (one sanctioned copy in, one
+//! out), now backed by the page cache. A provider restarted on the
+//! directory it died with replays the log and re-serves every page it
+//! acknowledged:
+//!
+//! ```
+//! use blobseer::{BackendKind, Ctx, Deployment, DeploymentConfig, Segment};
+//!
+//! // Same topology; every provider gets an append-only mapped page log.
+//! let mut cfg = DeploymentConfig::functional_mmap(4);
+//! cfg.replication = 2;
+//! cfg.meta_replication = 2;
+//! let cluster = Deployment::build(cfg);
+//! let client = cluster.client();
+//! let mut ctx = Ctx::start();
+//! let blob = client.alloc(&mut ctx, 1 << 20, 4096).unwrap().blob;
+//! let v = client.write(&mut ctx, blob, 0, &vec![7u8; 8192]).unwrap();
+//!
+//! // Kill a provider; replicas carry the reads through the outage.
+//! cluster.kill_storage(0);
+//! let (data, _) = client.read(&mut ctx, blob, Some(v), Segment::new(0, 8192)).unwrap();
+//! assert!(data.iter().all(|&b| b == 7));
+//!
+//! // Restart it on the same directory: the log replays and the
+//! // provider re-serves everything it ever acknowledged.
+//! cluster.restart_storage(0);
+//! assert_eq!(cluster.config.backend, BackendKind::Mmap);
+//! let (data, _) = client.read(&mut ctx, blob, Some(v), Segment::new(0, 8192)).unwrap();
+//! assert!(data.iter().all(|&b| b == 7));
+//! ```
+//!
+//! The `{Sim, Tcp} × {Memory, Mmap}` pairings are conformance-tested as
+//! a CI matrix (`crates/core/tests/matrix_e2e.rs`); crash recovery is
+//! exercised end to end in `crates/core/tests/backend_recovery.rs`; and
+//! `bench/pr4_backend` (`BENCH_PR4.json`) sweeps both backends over TCP
+//! while asserting copies-per-op stays at exactly the sanctioned 1 MiB
+//! per 1 MiB operation.
 
 pub use blobseer_baseline as baseline;
 pub use blobseer_core as core;
@@ -127,7 +171,8 @@ pub use blobseer_util as util;
 pub use blobseer_version as version;
 
 pub use blobseer_core::{
-    BlobClient, ClusterHandle, Deployment, DeploymentConfig, LocalEngine, TransportKind,
+    BackendKind, BlobClient, ClusterHandle, Deployment, DeploymentConfig, LocalEngine,
+    TransportKind,
 };
 pub use blobseer_meta::ReferenceStore;
 pub use blobseer_proto::{BlobError, BlobId, Geometry, PageBuf, Segment, Version};
