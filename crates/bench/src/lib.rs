@@ -16,7 +16,8 @@
 //! | `sky_e2e` | the supernova pipeline on the simulated cluster |
 //!
 //! PR-acceptance sweeps (`pr1_zero_copy`, `pr2_lockfree`, `pr3_tcp`,
-//! `pr4_backend`) emit `BENCH_PR*.json` at the repo root; the
+//! `pr4_backend`, `pr5_durability`) emit `BENCH_PR*.json` at the repo
+//! root; the
 //! [`gate`] module (driven by the `bench_gate` binary) compares fresh
 //! smoke runs against those committed baselines and hard-fails CI when
 //! an invariant column — bytes-copied-per-op or locks-per-op —

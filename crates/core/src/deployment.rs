@@ -37,7 +37,7 @@ use parking_lot::RwLock;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-pub use blobseer_provider::BackendKind;
+pub use blobseer_provider::{BackendKind, CompactReport, LogOptions};
 
 /// One storage node's two co-located services (paper: "each hosting one
 /// data provider and one metadata provider"), routed by method namespace.
@@ -256,6 +256,10 @@ pub struct DeploymentConfig {
     /// [`MMAP_LOG_CAP`], and the provider registers the clamped value
     /// so the manager's reservations match what the log can hold.
     pub backend: BackendKind,
+    /// Page-log tuning for the `Mmap` backend: the fsync-on-commit
+    /// durability knob, the group-commit window, and the dead-bytes
+    /// thresholds that trigger online compaction. Ignored by `Memory`.
+    pub log: LogOptions,
 }
 
 /// Upper bound on one provider's page-log size (the file is extended
@@ -281,6 +285,7 @@ impl DeploymentConfig {
             seed: 0x5eed,
             transport: TransportKind::Sim,
             backend: BackendKind::Memory,
+            log: LogOptions::default(),
         }
     }
 
@@ -301,6 +306,7 @@ impl DeploymentConfig {
             seed: 0x5eed,
             transport: TransportKind::Sim,
             backend: BackendKind::Memory,
+            log: LogOptions::default(),
         }
     }
 
@@ -333,6 +339,21 @@ impl DeploymentConfig {
     /// Select the transport (builder style, keeps the rest).
     pub fn with_transport(mut self, transport: TransportKind) -> Self {
         self.transport = transport;
+        self
+    }
+
+    /// Replace the page-log tuning wholesale (builder style).
+    pub fn with_log(mut self, log: LogOptions) -> Self {
+        self.log = log;
+        self
+    }
+
+    /// The durability knob: `fdatasync` the page log on every commit
+    /// marker, so an acknowledged append survives power loss, not just
+    /// a process crash. One sync per *group* commit — concurrent
+    /// appenders share it.
+    pub fn with_fsync_on_commit(mut self, fsync: bool) -> Self {
+        self.log.fsync_on_commit = fsync;
         self
     }
 
@@ -522,6 +543,17 @@ impl Deployment {
         self.data_root.as_deref().map(|r| provider_dir(r, i))
     }
 
+    /// Compact storage node `i`'s page log: rewrite the live pages into
+    /// a fresh generation and reclaim the dead bytes (removed pages,
+    /// superseded re-puts). `Ok(None)` on the memory backend — nothing
+    /// to compact, its removes free eagerly.
+    pub fn compact_storage(
+        &self,
+        i: usize,
+    ) -> Result<Option<CompactReport>, blobseer_proto::BlobError> {
+        self.storage[i].data().compact()
+    }
+
     /// Send a heartbeat for storage node `i` with its true current usage
     /// (drives the least-loaded strategy in long benches).
     pub fn heartbeat(&self, i: usize) {
@@ -566,9 +598,10 @@ fn build_data_service(
         BackendKind::Mmap => {
             let dir = provider_dir(data_root.expect("mmap backend has a data root"), i);
             Arc::new(
-                DataProviderService::open_mmap(
+                DataProviderService::open_mmap_with(
                     &dir,
                     config.effective_capacity(),
+                    config.log,
                     config.service_costs,
                 )
                 .expect("open mmap provider backend"),
@@ -623,7 +656,10 @@ mod tests {
         assert_eq!(d.manager.provider_count(), 3);
         for i in 0..3 {
             let dir = d.backend_dir(i).expect("mmap deployments have dirs");
-            assert!(dir.join("pages.log").exists(), "page log exists for {i}");
+            assert!(
+                dir.join("pages.g0.log").exists(),
+                "generation-0 page log exists for {i}"
+            );
             assert_eq!(
                 d.storage[i].data().backend_kind(),
                 blobseer_provider::BackendKind::Mmap

@@ -33,7 +33,8 @@ pub mod vm_service;
 
 pub use client::{BlobClient, MetaCache};
 pub use deployment::{
-    BackendKind, ClusterHandle, Deployment, DeploymentConfig, StorageNodeService, TransportKind,
+    BackendKind, ClusterHandle, CompactReport, Deployment, DeploymentConfig, LogOptions,
+    StorageNodeService, TransportKind, MMAP_LOG_CAP,
 };
 pub use local::LocalEngine;
 pub use vm_service::VersionManagerService;

@@ -1,0 +1,316 @@
+//! The crash-injection lane: a **real `SIGKILL`**, not a drop.
+//!
+//! Every other crash-recovery test in the workspace models a crash as
+//! dropping the provider in-process, which can never tear a half-
+//! written record. This harness closes that gap: a *child process*
+//! (this very test binary, re-executed with `BLOBSEER_CRASH_DIR` set)
+//! runs a full `{Tcp} × {Mmap}` deployment and hammers its providers
+//! with appends, removes, and threshold-triggered online compactions —
+//! while the parent kills it with `SIGKILL` at a fuzzed offset into the
+//! workload, mid-append or mid-compaction, wherever the timer lands.
+//!
+//! The contract being verified, straight from the commit-marker design:
+//!
+//! * every **acknowledged** page (the child logs an ack only after the
+//!   `PUT_PAGE` RPC returned `Ok`, i.e. after the commit marker landed)
+//!   is recovered **byte-identical** by replaying the provider
+//!   directories the kill left behind — including across generation
+//!   swaps the kill may have interrupted half-way;
+//! * only **uncommitted tails** are lost: everything replay surfaces
+//!   was at least attempted by the child (no corruption, no invented
+//!   records), and every recovered payload matches its key's expected
+//!   bytes.
+//!
+//! A page the child removed may legitimately resurrect (removal drops
+//! the index entry; the log record stays dead until a compaction
+//! reclaims it) — the verifier allows that and nothing else.
+
+use blobseer_core::{BackendKind, Deployment, DeploymentConfig, TransportKind, MMAP_LOG_CAP};
+use blobseer_proto::messages::{method, PutPage, RemovePage};
+use blobseer_proto::tree::PageKey;
+use blobseer_proto::{BlobId, WriteId};
+use blobseer_provider::DataProviderService;
+use blobseer_rpc::{Ctx, RpcClient};
+use blobseer_simnet::ServiceCosts;
+use blobseer_util::rng::splitmix64;
+use blobseer_util::PageBuf;
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+const PROVIDERS: usize = 2;
+const CRASH_BLOB: u64 = 7;
+
+/// Deterministic payload for sequence number `w` — parent and child
+/// derive the exact same bytes, so "byte-identical" needs no shared
+/// state beyond `w` itself.
+fn expected_payload(w: u64) -> Vec<u8> {
+    let len = 256 + ((w.wrapping_mul(977)) % 3840) as usize;
+    let mut state = w ^ 0xc0de_cafe_f00d_beef;
+    (0..len).map(|_| splitmix64(&mut state) as u8).collect()
+}
+
+fn crash_key(w: u64) -> PageKey {
+    PageKey {
+        blob: BlobId(CRASH_BLOB),
+        write: WriteId(w),
+        index: 0,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Child: the process that gets killed
+// ---------------------------------------------------------------------------
+
+/// The child half. As a plain member of the suite this returns
+/// immediately; re-executed with `BLOBSEER_CRASH_DIR` it builds a
+/// tcp × mmap deployment, publishes its provider directories, and
+/// appends/removes/compacts **forever** — it only ever exits via the
+/// parent's `SIGKILL`.
+#[test]
+fn crash_child() {
+    let Ok(dir) = std::env::var("BLOBSEER_CRASH_DIR") else {
+        return;
+    };
+    run_child(Path::new(&dir));
+}
+
+fn run_child(harness_dir: &Path) -> ! {
+    let mut cfg = DeploymentConfig::functional(PROVIDERS)
+        .with_transport(TransportKind::Tcp)
+        .with_backend(BackendKind::Mmap);
+    // Aggressive compaction thresholds so the workload swaps
+    // generations every few removes — the kill timer lands
+    // mid-compaction often.
+    cfg.log.compact_min_dead_bytes = 4 * 1024;
+    cfg.log.compact_dead_ratio = 0.2;
+    let d = Deployment::build(cfg);
+
+    // Tell the parent where the page logs live (write + rename so the
+    // parent never reads a half-written manifest).
+    let dirs: Vec<String> = (0..PROVIDERS)
+        .map(|i| {
+            d.backend_dir(i)
+                .expect("mmap deployment has dirs")
+                .display()
+                .to_string()
+        })
+        .collect();
+    let tmp = harness_dir.join("dirs.txt.tmp");
+    std::fs::write(&tmp, dirs.join("\n")).expect("write dirs manifest");
+    std::fs::rename(&tmp, harness_dir.join("dirs.txt")).expect("publish dirs manifest");
+
+    let mut acks = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(harness_dir.join("acks.txt"))
+        .expect("open ack log");
+    let mut ack = |line: String| {
+        // One flushed line per event; SIGKILL can cut at most the line
+        // being written, which the parent tolerates.
+        acks.write_all(line.as_bytes()).expect("ack write");
+        acks.flush().expect("ack flush");
+    };
+
+    let node = d.cluster.add_node();
+    let rpc = RpcClient::new(d.cluster.transport(), node);
+    let mut ctx = Ctx::start();
+    let mut w = 0u64;
+    loop {
+        let key = crash_key(w);
+        let data = PageBuf::from_vec(expected_payload(w));
+        let target = d.storage_nodes[(w as usize) % PROVIDERS];
+        ack(format!("try {w}\n"));
+        let put: Result<(), _> =
+            rpc.call(&mut ctx, target, method::PUT_PAGE, &PutPage { key, data });
+        if put.is_ok() {
+            ack(format!("put {w}\n"));
+        }
+        // Every third put, remove a page eight puts back (victims
+        // alternate parity, so *both* providers accumulate the dead
+        // bytes that trip the online compaction threshold).
+        if w.is_multiple_of(3) && w >= 8 {
+            let victim = w - 8;
+            let target = d.storage_nodes[(victim as usize) % PROVIDERS];
+            ack(format!("try-rm {victim}\n"));
+            let removed: Result<bool, _> = rpc.call(
+                &mut ctx,
+                target,
+                method::REMOVE_PAGE,
+                &RemovePage {
+                    key: crash_key(victim),
+                },
+            );
+            if removed == Ok(true) {
+                ack(format!("rm {victim}\n"));
+            }
+        }
+        w += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parent: kill, replay, verify
+// ---------------------------------------------------------------------------
+
+struct AckLog {
+    tried: BTreeSet<u64>,
+    put: BTreeSet<u64>,
+    try_rm: BTreeSet<u64>,
+}
+
+fn parse_acks(path: &Path) -> AckLog {
+    let raw = std::fs::read_to_string(path).expect("read ack log");
+    let mut log = AckLog {
+        tried: BTreeSet::new(),
+        put: BTreeSet::new(),
+        try_rm: BTreeSet::new(),
+    };
+    // The final line may be torn by the kill; `ends_with('\n')` decides
+    // whether it counts.
+    let complete: Vec<&str> = if raw.ends_with('\n') {
+        raw.lines().collect()
+    } else {
+        let mut all: Vec<&str> = raw.lines().collect();
+        all.pop();
+        all
+    };
+    for line in complete {
+        let mut parts = line.split_whitespace();
+        let (Some(tag), Some(w)) = (parts.next(), parts.next()) else {
+            continue;
+        };
+        let Ok(w) = w.parse::<u64>() else { continue };
+        match tag {
+            "try" => {
+                log.tried.insert(w);
+            }
+            "put" => {
+                log.put.insert(w);
+            }
+            "try-rm" => {
+                log.try_rm.insert(w);
+            }
+            "rm" => {}
+            other => panic!("unknown ack tag {other:?}"),
+        }
+    }
+    log
+}
+
+/// One fuzzed iteration: spawn the child, let the workload run for a
+/// seeded-random slice, `SIGKILL` it, then replay the provider
+/// directories and check the commit contract.
+fn crash_iteration(iter: u64) {
+    let harness =
+        std::env::temp_dir().join(format!("blobseer-crash-{}-{iter}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&harness);
+    std::fs::create_dir_all(&harness).expect("create harness dir");
+
+    let exe = std::env::current_exe().expect("own test binary");
+    let stderr = std::fs::File::create(harness.join("child.stderr")).expect("stderr sink");
+    let mut child = std::process::Command::new(exe)
+        .args(["crash_child", "--exact", "--nocapture", "--test-threads=1"])
+        .env("BLOBSEER_CRASH_DIR", &harness)
+        .stdout(std::process::Stdio::null())
+        .stderr(stderr)
+        .spawn()
+        .expect("spawn crash child");
+
+    // Wait for the deployment to come up and the workload to visibly
+    // run (the manifest lands first, then acks start flowing).
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let dirs_path = harness.join("dirs.txt");
+    let acks_path = harness.join("acks.txt");
+    let warmed_up = |p: &Path, min: u64| p.metadata().map(|m| m.len() >= min).unwrap_or(false);
+    while !(dirs_path.exists() && warmed_up(&acks_path, 64)) {
+        if let Some(status) = child.try_wait().expect("poll child") {
+            let err = std::fs::read_to_string(harness.join("child.stderr")).unwrap_or_default();
+            panic!("crash child exited on its own ({status}); stderr:\n{err}");
+        }
+        assert!(
+            Instant::now() < deadline,
+            "crash child never started its workload"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // The fuzzed offset: a seeded slice of workload time, so different
+    // iterations kill mid-append, mid-remove, and mid-compaction.
+    let mut seed = 0x5eed_0000 + iter;
+    let fuzz_ms = splitmix64(&mut seed) % 150;
+    std::thread::sleep(Duration::from_millis(fuzz_ms));
+    child.kill().expect("SIGKILL the child"); // SIGKILL on unix — no drop, no unwind
+    child.wait().expect("reap the child");
+
+    // Replay what the kill left behind.
+    let acks = parse_acks(&acks_path);
+    assert!(
+        !acks.put.is_empty(),
+        "iteration {iter}: the child never acknowledged a put — kill landed too early"
+    );
+    let dirs: Vec<PathBuf> = std::fs::read_to_string(&dirs_path)
+        .expect("read dirs manifest")
+        .lines()
+        .map(PathBuf::from)
+        .collect();
+    assert_eq!(dirs.len(), PROVIDERS);
+
+    let mut recovered: BTreeMap<u64, PageBuf> = BTreeMap::new();
+    for dir in &dirs {
+        let replayed = DataProviderService::open_mmap(dir, MMAP_LOG_CAP, ServiceCosts::zero())
+            .expect("replay provider dir after SIGKILL");
+        for key in replayed.keys() {
+            assert_eq!(key.blob, BlobId(CRASH_BLOB), "foreign key {key:?}");
+            assert_eq!(key.index, 0);
+            let page = replayed.page(&key).expect("indexed page");
+            let prev = recovered.insert(key.write.0, page);
+            assert!(prev.is_none(), "page {key:?} recovered on two providers");
+        }
+    }
+
+    // Loses only uncommitted tails: nothing replay surfaced was
+    // invented, and every surfaced payload is byte-identical to what
+    // the child wrote for that key.
+    for (&w, page) in &recovered {
+        assert!(
+            acks.tried.contains(&w),
+            "iteration {iter}: recovered page {w} was never written"
+        );
+        assert_eq!(
+            page.as_slice(),
+            expected_payload(w).as_slice(),
+            "iteration {iter}: page {w} recovered but not byte-identical"
+        );
+    }
+
+    // Recovers every committed page: an acknowledged put whose removal
+    // was never even attempted must replay. (A page with an attempted
+    // remove may be gone — the remove may have applied with its ack
+    // lost to the kill; one that was removed pre-compaction may
+    // resurrect — both are within contract and covered above.)
+    for &w in acks.put.difference(&acks.try_rm) {
+        assert!(
+            recovered.contains_key(&w),
+            "iteration {iter}: acknowledged page {w} lost by the crash"
+        );
+    }
+
+    // Clean up the harness dir and the killed child's deployment root
+    // (its Drop never ran).
+    if let Some(root) = dirs[0].parent() {
+        let _ = std::fs::remove_dir_all(root);
+    }
+    let _ = std::fs::remove_dir_all(&harness);
+}
+
+/// The lane itself: several fuzzed kill offsets per run. Each
+/// iteration spawns a fresh child, so the kill can land anywhere in
+/// the append/remove/compact loop.
+#[test]
+fn sigkill_mid_workload_loses_only_uncommitted_tails() {
+    for iter in 0..5 {
+        crash_iteration(iter);
+    }
+}

@@ -212,6 +212,86 @@ fn shared_metadata_cache_is_prewarmed_by_writers() {
 }
 
 #[test]
+fn compaction_reclaims_dead_log_space() {
+    // The PR 5 scenario cell: write several versions, drop the old ones
+    // (half the pages become dead), compact every provider, restart,
+    // and verify the surviving version byte-for-byte. On the memory
+    // cells compaction must be the documented no-op (removes free
+    // eagerly; there is nothing to rewrite); on the mmap cells it must
+    // reclaim at least 90% of the dead bytes and hand back a smaller
+    // generation.
+    let (_, backend) = matrix_cell();
+    let d = Deployment::build(cfg(3));
+    let c = d.client();
+    let mut ctx = Ctx::start();
+    let info = c.alloc(&mut ctx, TOTAL, PAGE).unwrap();
+    for round in 0..4u8 {
+        c.write(&mut ctx, info.blob, 0, &vec![round; TOTAL as usize])
+            .unwrap();
+    }
+    // Drop versions 1–3: three quarters of all pages become dead.
+    let (_, pages) = c.gc(&mut ctx, info.blob, 4).unwrap();
+    assert!(pages > 0, "gc dropped the superseded versions' pages");
+
+    for i in 0..3 {
+        let before = d.storage[i].data().stats();
+        let report = d.compact_storage(i).unwrap();
+        let after = d.storage[i].data().stats();
+        match backend {
+            BackendKind::Memory => {
+                assert!(report.is_none(), "memory backend has nothing to compact");
+                assert_eq!(after, before, "compaction is a no-op on the heap");
+                assert_eq!(after.dead_bytes, 0);
+                assert_eq!(after.mapped_bytes, 0);
+            }
+            BackendKind::Mmap => {
+                let r = report.expect("mmap backend compacts");
+                assert!(before.dead_bytes > 0, "gc left dead log bytes");
+                assert!(
+                    r.reclaimed_bytes as f64 >= 0.9 * before.dead_bytes as f64,
+                    "provider {i}: reclaimed {} of {} dead bytes",
+                    r.reclaimed_bytes,
+                    before.dead_bytes
+                );
+                assert_eq!(after.dead_bytes, 0, "fresh generation starts clean");
+                assert_eq!(after.mapped_bytes, r.new_log_bytes);
+                assert!(
+                    after.mapped_bytes < before.mapped_bytes,
+                    "the log actually shrank"
+                );
+                assert_eq!(
+                    after.reserved_bytes(),
+                    r.new_log_bytes,
+                    "capacity accounting follows the surviving generation only"
+                );
+            }
+        }
+    }
+
+    // The surviving version still reads back intact after the swap.
+    let (got, _) = c.read(&mut ctx, info.blob, Some(4), seg(0, TOTAL)).unwrap();
+    assert!(got.iter().all(|&b| b == 3));
+
+    if backend == BackendKind::Mmap {
+        // Restart every provider on its compacted generation: replay
+        // must re-serve the live version and only the live version.
+        for i in 0..3 {
+            d.kill_storage(i);
+            d.restart_storage(i);
+        }
+        let (got, _) = c.read(&mut ctx, info.blob, Some(4), seg(0, TOTAL)).unwrap();
+        assert!(
+            got.iter().all(|&b| b == 3),
+            "survivor byte-identical after restart on the compacted log"
+        );
+        assert!(
+            c.read(&mut ctx, info.blob, Some(1), seg(0, TOTAL)).is_err(),
+            "collected versions stay collected across the restart"
+        );
+    }
+}
+
+#[test]
 fn gc_reclaims_dead_versions() {
     let d = Deployment::build(cfg(3));
     let c = d.client();

@@ -105,10 +105,15 @@ pub struct ProviderStats {
     /// Heap-resident backing bytes (the in-memory backend's allocation
     /// footprint; freed by removes).
     pub heap_bytes: u64,
-    /// Mapped-file backing bytes (the persistent backend's append-only
-    /// page log, record headers included; never shrinks — removes only
-    /// drop index entries).
+    /// Mapped-file backing bytes (the persistent backend's page log —
+    /// record headers and commit markers included — counting exactly
+    /// one generation: the serving one, even while a compaction window
+    /// briefly has two files on disk).
     pub mapped_bytes: u64,
+    /// Log bytes owed to removed or superseded records: what the next
+    /// compaction will reclaim. Always 0 for backends that free
+    /// eagerly.
+    pub dead_bytes: u64,
 }
 
 impl ProviderStats {
@@ -126,7 +131,8 @@ wire_struct!(ProviderStats {
     pages,
     bytes,
     heap_bytes,
-    mapped_bytes
+    mapped_bytes,
+    dead_bytes
 });
 
 // ---------------------------------------------------------------------------
@@ -542,6 +548,7 @@ mod tests {
             bytes: 655360,
             heap_bytes: 655360,
             mapped_bytes: 1 << 20,
+            dead_bytes: 4096,
         });
     }
 

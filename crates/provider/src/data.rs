@@ -29,13 +29,17 @@
 //! so the transient gap between logical accounting and resident memory
 //! is bounded by one write segment per partially-collected write.
 
-use crate::backend::{BackendKind, MemoryBackend, MmapBackend, ResidentBytes, StorageBackend};
+use crate::backend::{
+    BackendKind, CompactReport, LogOptions, MemoryBackend, MmapBackend, ResidentBytes,
+    StorageBackend,
+};
 use blobseer_proto::messages::{method, GetPage, ProviderStats, PutPage, RemovePage};
 use blobseer_proto::tree::PageKey;
 use blobseer_proto::BlobError;
 use blobseer_rpc::{error_frame, respond, Frame, ServerCtx, Service};
 use blobseer_simnet::ServiceCosts;
 use blobseer_util::{PageBuf, ShardedMap};
+use parking_lot::RwLock;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -47,6 +51,14 @@ pub struct DataProviderService {
     bytes: AtomicU64,
     backend: Arc<dyn StorageBackend>,
     costs: ServiceCosts,
+    /// Compaction gate: mutating ops (`put`, `remove`) hold the read
+    /// side, [`DataProviderService::compact`] the write side, so the
+    /// live-set snapshot it rewrites cannot race an insert or a
+    /// removal. Reads (`get`) are deliberately ungated — compaction is
+    /// *online*: already-served buffers keep the old generation's
+    /// mapping alive by refcount. Data-plane and uncontended, hence
+    /// outside the lockmeter like the sharded page index itself.
+    maint: RwLock<()>,
 }
 
 impl DataProviderService {
@@ -64,24 +76,40 @@ impl DataProviderService {
             bytes: AtomicU64::new(0),
             backend,
             costs,
+            maint: RwLock::new(()),
         }
     }
 
-    /// Persistent provider over the append-only page log under `dir`
-    /// with room for `capacity` log bytes: opens (or creates) the log,
-    /// replays every acknowledged record into the serving index, and
-    /// resumes appending after the replayed tail. This is the provider
-    /// restart path — a provider re-opened on the directory it died
-    /// with re-serves every page it acknowledged.
+    /// [`DataProviderService::open_mmap_with`] with default
+    /// [`LogOptions`].
     pub fn open_mmap(dir: &Path, capacity: u64, costs: ServiceCosts) -> Result<Self, BlobError> {
-        let backend = Arc::new(MmapBackend::open(dir, capacity)?);
+        Self::open_mmap_with(dir, capacity, LogOptions::default(), costs)
+    }
+
+    /// Persistent provider over the crash-consistent page log under
+    /// `dir` with room for `capacity` log bytes per generation: opens
+    /// the newest sealed generation, replays every **committed** record
+    /// into the serving index, and resumes appending after the last
+    /// commit marker. This is the provider restart path — a provider
+    /// re-opened on the directory it died with re-serves every page it
+    /// acknowledged, and loses at most the uncommitted tail.
+    pub fn open_mmap_with(
+        dir: &Path,
+        capacity: u64,
+        opts: LogOptions,
+        costs: ServiceCosts,
+    ) -> Result<Self, BlobError> {
+        let backend = Arc::new(MmapBackend::open_with(dir, capacity, opts)?);
         let svc = Self::with_backend(backend.clone(), costs);
         for (key, page) in backend.recover()? {
             let len = page.len() as u64;
             if let Some(old) = svc.store.insert(key, page) {
                 // A re-put appended twice; the replay's later record
-                // wins, exactly like the original acknowledgement order.
+                // wins, exactly like the original acknowledgement order
+                // — and the superseded record is dead log weight for
+                // the next compaction.
                 svc.bytes.fetch_sub(old.len() as u64, Ordering::Relaxed);
+                backend.on_remove(old.len() as u64);
             }
             svc.bytes.fetch_add(len, Ordering::Relaxed);
         }
@@ -109,7 +137,8 @@ impl DataProviderService {
     }
 
     /// Usage snapshot: logical pages/bytes plus the backend-resident
-    /// split the manager's capacity accounting runs on.
+    /// split the manager's capacity accounting runs on, and the dead
+    /// log bytes a compaction would reclaim.
     pub fn stats(&self) -> ProviderStats {
         let resident = self.backend.resident();
         ProviderStats {
@@ -117,6 +146,61 @@ impl DataProviderService {
             bytes: self.bytes_used(),
             heap_bytes: resident.heap,
             mapped_bytes: resident.mapped,
+            dead_bytes: self.backend.dead_bytes(),
+        }
+    }
+
+    /// Compact the backend: rewrite the live serving set into a fresh
+    /// log generation and reclaim everything else (removed pages,
+    /// superseded re-puts, old commit markers). Returns `None` when
+    /// there is nothing to reclaim — the memory backend always (its
+    /// removes free eagerly), or a log with zero dead bytes.
+    ///
+    /// Online: concurrent reads keep serving — buffers handed out
+    /// before the swap hold the old generation's mapping by refcount —
+    /// while `put`/`remove` briefly wait on the maintenance gate.
+    pub fn compact(&self) -> Result<Option<CompactReport>, BlobError> {
+        let _gate = self.maint.write();
+        // Checked under the gate: a backend with no dead bytes — the
+        // memory backend always (it frees eagerly), or a log a racing
+        // salvage just compacted — has nothing to reclaim, and must not
+        // pay the O(pages) live-set snapshot while writers stall.
+        if self.backend.dead_bytes() == 0 {
+            return Ok(None);
+        }
+        let keys = self.store.keys();
+        let live: Vec<(PageKey, PageBuf)> = keys
+            .into_iter()
+            .filter_map(|k| self.store.get_cloned(&k).map(|p| (k, p)))
+            .collect();
+        match self.backend.compact(&live)? {
+            None => Ok(None),
+            Some(outcome) => {
+                // Re-point the serving index at the new generation's
+                // slices; the gate guarantees no insert/remove raced
+                // the snapshot.
+                for (key, page) in outcome.entries {
+                    self.store.insert(key, page);
+                }
+                Ok(Some(outcome.report))
+            }
+        }
+    }
+
+    /// Run a compaction if the backend's dead bytes crossed its
+    /// threshold (the online trigger, called after mutating ops).
+    ///
+    /// Deliberately inline on the calling RPC thread: the maintenance
+    /// gate makes the live-set rewrite trivially race-free, at the cost
+    /// of stalling concurrent puts/removes for the rewrite's duration —
+    /// acceptable while logs are test/bench sized; a provider near the
+    /// 4 GiB log cap wants this on a background maintenance thread
+    /// (ROADMAP open item).
+    fn maybe_compact(&self) {
+        if self.backend.wants_compaction() {
+            // Best effort: a failed compaction leaves the old
+            // generation serving — correctness is unaffected.
+            let _ = self.compact();
         }
     }
 
@@ -137,6 +221,34 @@ impl DataProviderService {
     }
 
     fn put(&self, key: PageKey, data: PageBuf) -> Result<(), BlobError> {
+        match self.try_put(key, data.clone()) {
+            Ok(()) => {
+                // Superseding re-puts create dead bytes too; with the
+                // gate released, give the online compaction its
+                // chance — a log that only ever sees re-puts must not
+                // fill up with reclaimable records.
+                self.maybe_compact();
+                Ok(())
+            }
+            Err(e) => {
+                // A full log with reclaimable dead bytes is not full:
+                // compact regardless of the auto-trigger's threshold
+                // and retry once, so a provider never serves "full"
+                // errors indefinitely over space a compaction would
+                // hand back. (Retry even when compact() found nothing —
+                // a racing salvage may have already reclaimed it.)
+                if self.backend.dead_bytes() > 0 {
+                    let _ = self.compact();
+                    return self.try_put(key, data);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// One put attempt under the maintenance gate's read side.
+    fn try_put(&self, key: PageKey, data: PageBuf) -> Result<(), BlobError> {
+        let _gate = self.maint.read();
         let len = data.len() as u64;
         let replaced = self.store.with(&key, |old| old.len() as u64);
         // The backend enforces its own capacity — the `replaced` probe
@@ -163,14 +275,22 @@ impl DataProviderService {
     }
 
     fn remove(&self, key: &PageKey) -> bool {
-        match self.store.remove(key) {
-            Some(old) => {
-                self.bytes.fetch_sub(old.len() as u64, Ordering::Relaxed);
-                self.backend.on_remove(old.len() as u64);
-                true
+        let removed = {
+            let _gate = self.maint.read();
+            match self.store.remove(key) {
+                Some(old) => {
+                    self.bytes.fetch_sub(old.len() as u64, Ordering::Relaxed);
+                    self.backend.on_remove(old.len() as u64);
+                    true
+                }
+                None => false,
             }
-            None => false,
+        };
+        if removed {
+            // The gate is released: compaction takes the write side.
+            self.maybe_compact();
         }
+        removed
     }
 }
 
@@ -426,7 +546,8 @@ mod tests {
                 pages: 1,
                 bytes: 1024,
                 heap_bytes: 1024,
-                mapped_bytes: 0
+                mapped_bytes: 0,
+                dead_bytes: 0
             }
         );
         assert_eq!(stats.reserved_bytes(), 1024);
@@ -535,6 +656,251 @@ mod tests {
             let want = if i == 0 { &pages[4] } else { data };
             assert_eq!(&got, want, "page {i} byte-identical after restart");
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reserved_bytes_never_double_counts_across_a_compaction_window() {
+        // During compaction one page briefly exists in *two* generation
+        // files on disk. `ProviderStats::reserved_bytes` must follow
+        // the serving generation only — a concurrent observer hammering
+        // stats through the whole window may never see the sum of both.
+        let dir = temp_dir("window");
+        let p =
+            Arc::new(DataProviderService::open_mmap(&dir, 1 << 20, ServiceCosts::zero()).unwrap());
+        let mut ctx = ServerCtx::new(0);
+        for i in 0..16u64 {
+            let resp = p.handle(
+                &mut ctx,
+                &Frame::from_msg(
+                    method::PUT_PAGE,
+                    &PutPage {
+                        key: key(1, i),
+                        data: PageBuf::from_vec(vec![i as u8; 2048]),
+                    },
+                ),
+            );
+            parse_response::<()>(&resp).unwrap();
+        }
+        for i in 0..8u64 {
+            let resp = p.handle(
+                &mut ctx,
+                &Frame::from_msg(method::REMOVE_PAGE, &RemovePage { key: key(1, i) }),
+            );
+            assert!(parse_response::<bool>(&resp).unwrap());
+        }
+        let before = p.stats();
+        assert!(before.dead_bytes > 0);
+        let ceiling = before.reserved_bytes();
+
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let observer = {
+            let p = Arc::clone(&p);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut samples = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let s = p.stats();
+                    assert!(
+                        s.reserved_bytes() <= ceiling,
+                        "double-counted generations: {} > pre-compaction {}",
+                        s.reserved_bytes(),
+                        ceiling
+                    );
+                    samples += 1;
+                }
+                samples
+            })
+        };
+        let report = p.compact().unwrap().expect("mmap compacts");
+        stop.store(true, Ordering::Relaxed);
+        assert!(observer.join().unwrap() > 0, "observer sampled the window");
+
+        let after = p.stats();
+        assert_eq!(after.reserved_bytes(), report.new_log_bytes);
+        assert!(after.reserved_bytes() < ceiling, "the log shrank");
+        assert_eq!(after.dead_bytes, 0);
+        assert_eq!(after.pages, 8);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn removals_past_threshold_trigger_online_compaction() {
+        // The automatic trigger: once removes push dead bytes over the
+        // configured threshold, the provider compacts inline — the log
+        // shrinks, the survivors keep serving, and the generation moved.
+        let dir = temp_dir("auto");
+        let opts = crate::backend::LogOptions {
+            compact_min_dead_bytes: 1024,
+            compact_dead_ratio: 0.3,
+            ..Default::default()
+        };
+        let p =
+            DataProviderService::open_mmap_with(&dir, 1 << 20, opts, ServiceCosts::zero()).unwrap();
+        let mut ctx = ServerCtx::new(0);
+        let pages: Vec<PageBuf> = (0..8u8).map(|i| PageBuf::from_vec(vec![i; 2048])).collect();
+        for (i, data) in pages.iter().enumerate() {
+            let resp = p.handle(
+                &mut ctx,
+                &Frame::from_msg(
+                    method::PUT_PAGE,
+                    &PutPage {
+                        key: key(1, i as u64),
+                        data: data.clone(),
+                    },
+                ),
+            );
+            parse_response::<()>(&resp).unwrap();
+        }
+        let full = p.stats().mapped_bytes;
+        for i in 0..6u64 {
+            let resp = p.handle(
+                &mut ctx,
+                &Frame::from_msg(method::REMOVE_PAGE, &RemovePage { key: key(1, i) }),
+            );
+            assert!(parse_response::<bool>(&resp).unwrap());
+        }
+        let stats = p.stats();
+        assert!(
+            stats.mapped_bytes < full,
+            "removals crossed the threshold: compaction ran inline"
+        );
+        assert_eq!(stats.dead_bytes, 0, "dead bytes reclaimed");
+        assert_eq!(stats.pages, 2);
+        // Survivors still served byte-identical, from the new generation.
+        for (i, want) in pages.iter().enumerate().skip(6) {
+            let resp = p.handle(
+                &mut ctx,
+                &Frame::from_msg(
+                    method::GET_PAGE,
+                    &GetPage {
+                        key: key(1, i as u64),
+                    },
+                ),
+            );
+            let got = parse_response::<PageBuf>(&resp).unwrap();
+            assert_eq!(&got, want);
+            #[cfg(unix)]
+            assert!(got.mapping_generation().unwrap_or(0) >= 1, "new generation");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn re_puts_alone_trigger_online_compaction() {
+        // Superseding re-puts create dead bytes without any REMOVE
+        // traffic; the online trigger must fire from the put path too,
+        // or a retry-heavy workload fills the log with reclaimable
+        // records.
+        let dir = temp_dir("reput-auto");
+        let opts = crate::backend::LogOptions {
+            compact_min_dead_bytes: 1024,
+            compact_dead_ratio: 0.3,
+            ..Default::default()
+        };
+        let p =
+            DataProviderService::open_mmap_with(&dir, 1 << 20, opts, ServiceCosts::zero()).unwrap();
+        let mut ctx = ServerCtx::new(0);
+        for round in 0..6u8 {
+            let resp = p.handle(
+                &mut ctx,
+                &Frame::from_msg(
+                    method::PUT_PAGE,
+                    &PutPage {
+                        key: key(1, 0),
+                        data: PageBuf::from_vec(vec![round; 2048]),
+                    },
+                ),
+            );
+            parse_response::<()>(&resp).unwrap();
+        }
+        let stats = p.stats();
+        assert_eq!(stats.pages, 1);
+        assert!(
+            stats.dead_bytes < 2048,
+            "re-put dead bytes were compacted away, not accumulated: {}",
+            stats.dead_bytes
+        );
+        // The live entry survived the swap with the newest contents.
+        let resp = p.handle(
+            &mut ctx,
+            &Frame::from_msg(method::GET_PAGE, &GetPage { key: key(1, 0) }),
+        );
+        let got = parse_response::<PageBuf>(&resp).unwrap();
+        assert_eq!(got, PageBuf::from_vec(vec![5u8; 2048]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn full_log_with_dead_bytes_compacts_and_accepts_the_put() {
+        // A log can fill while dead bytes sit below the auto-trigger
+        // threshold. The put path must treat "full but reclaimable" as
+        // compact-then-retry, never as a permanent "provider full".
+        let dir = temp_dir("salvage");
+        // Room for exactly four 512-byte records, each with its marker;
+        // thresholds high enough that the auto-trigger never fires.
+        let opts = crate::backend::LogOptions::default();
+        let capacity = 4 * (48 + 512 + 48);
+        let p = DataProviderService::open_mmap_with(&dir, capacity, opts, ServiceCosts::zero())
+            .unwrap();
+        let mut ctx = ServerCtx::new(0);
+        let put = |i: u64, ctx: &mut ServerCtx| {
+            let resp = p.handle(
+                ctx,
+                &Frame::from_msg(
+                    method::PUT_PAGE,
+                    &PutPage {
+                        key: key(1, i),
+                        data: PageBuf::from_vec(vec![i as u8; 512]),
+                    },
+                ),
+            );
+            parse_response::<()>(&resp)
+        };
+        for i in 0..4 {
+            put(i, &mut ctx).unwrap();
+        }
+        for i in 0..2u64 {
+            let resp = p.handle(
+                &mut ctx,
+                &Frame::from_msg(method::REMOVE_PAGE, &RemovePage { key: key(1, i) }),
+            );
+            assert!(parse_response::<bool>(&resp).unwrap());
+        }
+        assert!(p.stats().dead_bytes > 0, "reclaimable space exists");
+        // The log is full, but not really: the put compacts and lands.
+        put(9, &mut ctx).expect("full-but-reclaimable log accepts the put");
+        assert_eq!(p.stats().pages, 3);
+        assert_eq!(p.stats().dead_bytes, 0, "the salvage compaction ran");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn superseding_re_put_counts_the_old_record_dead() {
+        let dir = temp_dir("supersede");
+        let p = DataProviderService::open_mmap(&dir, 1 << 20, ServiceCosts::zero()).unwrap();
+        let mut ctx = ServerCtx::new(0);
+        for _ in 0..2 {
+            let resp = p.handle(
+                &mut ctx,
+                &Frame::from_msg(
+                    method::PUT_PAGE,
+                    &PutPage {
+                        key: key(1, 0),
+                        data: PageBuf::from_vec(vec![5u8; 4096]),
+                    },
+                ),
+            );
+            parse_response::<()>(&resp).unwrap();
+        }
+        let stats = p.stats();
+        assert_eq!(stats.pages, 1);
+        assert_eq!(stats.bytes, 4096, "logical bytes count the live entry once");
+        assert!(
+            stats.dead_bytes >= 4096,
+            "the superseded record is dead log weight: {}",
+            stats.dead_bytes
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -19,6 +19,9 @@ pub mod backend;
 pub mod data;
 pub mod manager;
 
-pub use backend::{BackendKind, MemoryBackend, MmapBackend, ResidentBytes, StorageBackend};
+pub use backend::{
+    BackendKind, CompactOutcome, CompactReport, LogOptions, MemoryBackend, MmapBackend,
+    ResidentBytes, StorageBackend,
+};
 pub use data::DataProviderService;
 pub use manager::{ProviderManagerService, Strategy};

@@ -535,6 +535,7 @@ mod tests {
             bytes,
             heap_bytes: bytes,
             mapped_bytes: 0,
+            dead_bytes: 0,
         }
     }
 
@@ -565,6 +566,7 @@ mod tests {
                 bytes: 8 << 10, // logical: two live 4 KiB pages
                 heap_bytes: 0,
                 mapped_bytes: 1 << 29, // the log retains much more
+                dead_bytes: 0,
             },
         );
         let p = m.projection(ProviderId(0)).unwrap();

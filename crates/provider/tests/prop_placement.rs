@@ -40,6 +40,7 @@ proptest! {
                 bytes: reported_pages * PAGE_BYTES,
                 heap_bytes: reported_pages * PAGE_BYTES,
                 mapped_bytes: 0,
+                dead_bytes: 0,
             },
         );
 
@@ -113,6 +114,7 @@ proptest! {
                 bytes: 1000 * PAGE_BYTES,
                 heap_bytes: 1000 * PAGE_BYTES,
                 mapped_bytes: 0,
+                dead_bytes: 0,
             },
         );
         let plan = m.plan_write(16, 1).unwrap();

@@ -29,10 +29,13 @@ use std::sync::Arc;
 enum Backing {
     /// An owned heap allocation (the original PR 1 variant).
     Heap(Vec<u8>),
-    /// A read-only memory-mapped file region. Serving bytes out of it is
-    /// a page-cache borrow — no heap copy ever happens, which is how a
-    /// persistent provider lends pages straight out of its page log.
-    Mapped(memmap2::Mmap),
+    /// A read-only memory-mapped file region, tagged with the log
+    /// **generation** it maps (compaction swaps generations; the tag
+    /// lets white-box tests tell a pre-swap slice from a post-swap
+    /// one). Serving bytes out of it is a page-cache borrow — no heap
+    /// copy ever happens, which is how a persistent provider lends
+    /// pages straight out of its page log.
+    Mapped { map: memmap2::Mmap, generation: u64 },
 }
 
 impl Backing {
@@ -40,7 +43,7 @@ impl Backing {
     fn as_bytes(&self) -> &[u8] {
         match self {
             Backing::Heap(v) => v,
-            Backing::Mapped(m) => m,
+            Backing::Mapped { map, .. } => map,
         }
     }
 }
@@ -93,6 +96,16 @@ impl PageBuf {
     /// their offsets — the append-only page-log contract. Callers must
     /// never rewrite a byte range they have already handed out.
     pub fn map_file(file: &std::fs::File) -> std::io::Result<Self> {
+        Self::map_file_tagged(file, 0)
+    }
+
+    /// [`PageBuf::map_file`], tagging the mapping with a log
+    /// **generation** number. Compaction creates a fresh generation
+    /// file and swaps the mapping; the tag (readable via
+    /// [`PageBuf::mapping_generation`] on every slice) is how tests
+    /// assert that pre-swap readers keep the old generation alive while
+    /// new serves come from the new one.
+    pub fn map_file_tagged(file: &std::fs::File, generation: u64) -> std::io::Result<Self> {
         // SAFETY: the workspace's mapped files are append-only page
         // logs — previously written ranges are immutable by protocol
         // (pages are immutable once acknowledged), upholding the map
@@ -100,7 +113,7 @@ impl PageBuf {
         let map = unsafe { memmap2::Mmap::map(file) }?;
         let len = map.len();
         Ok(Self {
-            data: Arc::new(Backing::Mapped(map)),
+            data: Arc::new(Backing::Mapped { map, generation }),
             start: 0,
             len,
         })
@@ -110,7 +123,16 @@ impl PageBuf {
     /// than a heap allocation (white-box metric for zero-copy
     /// assertions on the persistent provider path).
     pub fn is_mapped(&self) -> bool {
-        matches!(*self.data, Backing::Mapped(_))
+        matches!(*self.data, Backing::Mapped { .. })
+    }
+
+    /// The generation tag of the mapped backing (`None` for heap
+    /// buffers). Shared by every slice of one mapping.
+    pub fn mapping_generation(&self) -> Option<u64> {
+        match *self.data {
+            Backing::Heap(_) => None,
+            Backing::Mapped { generation, .. } => Some(generation),
+        }
     }
 
     /// Copy a slice into a fresh buffer. This is the metered entry point
@@ -279,7 +301,12 @@ mod tests {
         let b = PageBuf::map_file(&f).unwrap();
         assert_eq!(before.bytes_since(), 0, "mapping is not a payload copy");
         assert!(b.is_mapped());
+        assert_eq!(b.mapping_generation(), Some(0));
         assert!(!PageBuf::from_vec(vec![1]).is_mapped());
+        assert_eq!(PageBuf::from_vec(vec![1]).mapping_generation(), None);
+        let tagged = PageBuf::map_file_tagged(&f, 3).unwrap();
+        assert_eq!(tagged.mapping_generation(), Some(3));
+        assert_eq!(tagged.slice(1..5).mapping_generation(), Some(3));
         assert_eq!(b.len(), 64);
         let s = b.slice(16..32);
         assert!(s.is_mapped(), "slices of a mapping stay mapped");

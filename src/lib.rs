@@ -121,9 +121,13 @@
 //! acknowledged page is appended to a per-provider page log and then
 //! served as a refcounted slice of a read-only memory mapping of that
 //! log — the same zero-copy discipline (one sanctioned copy in, one
-//! out), now backed by the page cache. A provider restarted on the
-//! directory it died with replays the log and re-serves every page it
-//! acknowledged:
+//! out), now backed by the page cache. The log is **crash-consistent**:
+//! an append is acknowledged only once a group-commit marker covers it
+//! (`DeploymentConfig::log.fsync_on_commit` upgrades that promise from
+//! process-crash to power-loss durability), so a provider restarted on
+//! the directory it died with — even after a `SIGKILL` mid-append —
+//! replays the log and re-serves every page it acknowledged, losing at
+//! most uncommitted tails:
 //!
 //! ```
 //! use blobseer::{BackendKind, Ctx, Deployment, DeploymentConfig, Segment};
@@ -151,12 +155,56 @@
 //! assert!(data.iter().all(|&b| b == 7));
 //! ```
 //!
+//! The log is append-only, so dropped and superseded pages accumulate
+//! as **dead bytes** until an **online compaction** rewrites the live
+//! pages into a fresh generation file and reclaims the rest. It runs
+//! automatically past the configured threshold
+//! (`DeploymentConfig::log`), or on demand — readers are never
+//! invalidated, because already-served buffers keep the old
+//! generation's mapping alive by refcount:
+//!
+//! ```
+//! use blobseer::{Ctx, Deployment, DeploymentConfig, Segment};
+//!
+//! let cluster = Deployment::build(DeploymentConfig::functional_mmap(2));
+//! let client = cluster.client();
+//! let mut ctx = Ctx::start();
+//! let blob = client.alloc(&mut ctx, 1 << 20, 4096).unwrap().blob;
+//!
+//! // Four versions of the same region; then collect the first three.
+//! let mut latest = 0;
+//! for round in 0u8..4 {
+//!     latest = client.write(&mut ctx, blob, 0, &vec![round; 16384]).unwrap();
+//! }
+//! client.gc(&mut ctx, blob, latest).unwrap();
+//!
+//! // ¾ of the log is now dead weight; compaction hands it back.
+//! for i in 0..2 {
+//!     let before = cluster.storage[i].data().stats();
+//!     let report = cluster.compact_storage(i).unwrap().expect("mmap compacts");
+//!     assert!(report.reclaimed_bytes >= before.dead_bytes * 9 / 10);
+//!     assert_eq!(cluster.storage[i].data().stats().dead_bytes, 0);
+//! }
+//!
+//! // The survivor reads back intact — also after a restart on the
+//! // compacted generation.
+//! cluster.kill_storage(0);
+//! cluster.restart_storage(0);
+//! let (data, _) = client.read(&mut ctx, blob, Some(latest), Segment::new(0, 16384)).unwrap();
+//! assert!(data.iter().all(|&b| b == 3));
+//! ```
+//!
 //! The `{Sim, Tcp} × {Memory, Mmap}` pairings are conformance-tested as
-//! a CI matrix (`crates/core/tests/matrix_e2e.rs`); crash recovery is
-//! exercised end to end in `crates/core/tests/backend_recovery.rs`; and
+//! a CI matrix (`crates/core/tests/matrix_e2e.rs`, including the
+//! write → drop → compact → restart scenario); crash recovery is
+//! exercised end to end in `crates/core/tests/backend_recovery.rs` and
+//! — with a real `SIGKILL` at fuzzed offsets mid-append and
+//! mid-compaction — in `crates/core/tests/crash_injection.rs`;
 //! `bench/pr4_backend` (`BENCH_PR4.json`) sweeps both backends over TCP
 //! while asserting copies-per-op stays at exactly the sanctioned 1 MiB
-//! per 1 MiB operation.
+//! per 1 MiB operation, and `bench/pr5_durability` (`BENCH_PR5.json`)
+//! sweeps the commit modes (buffered vs fsync-on-commit) and the
+//! compaction before/after under the same copy and lock gates.
 
 pub use blobseer_baseline as baseline;
 pub use blobseer_core as core;
