@@ -106,6 +106,12 @@ pub enum CodecError {
     },
     /// A UTF-8 string field contained invalid UTF-8.
     BadUtf8,
+    /// A multiplexed response carried a correlation id with no call
+    /// waiting on it — the stream framing can no longer be trusted.
+    StrayCorrelation {
+        /// The unmatched correlation id.
+        corr: u64,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -122,6 +128,9 @@ impl fmt::Display for CodecError {
                 write!(f, "{remaining} trailing bytes after decode")
             }
             CodecError::BadUtf8 => write!(f, "invalid UTF-8 in string field"),
+            CodecError::StrayCorrelation { corr } => {
+                write!(f, "response for unknown correlation id {corr}")
+            }
         }
     }
 }

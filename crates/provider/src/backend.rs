@@ -173,11 +173,35 @@ pub struct CompactReport {
 /// A successful compaction: the fresh serving buffers for every live
 /// page (slices of the new generation's mapping) plus the report.
 pub struct CompactOutcome {
-    /// `key → fresh PageBuf` for every entry the caller passed in, in
-    /// the same order; the caller re-points its serving index at these.
+    /// `key → fresh PageBuf` for every entry of the `current` index the
+    /// caller passed to [`StorageBackend::compact_install`], in the
+    /// same order; the caller re-points its serving index at these.
     pub entries: Vec<(PageKey, PageBuf)>,
     /// Space accounting of the swap.
     pub report: CompactReport,
+}
+
+/// The output of [`StorageBackend::compact_prepare`]: a fully written,
+/// sealed, fsynced — but **not yet serving** — next generation, plus
+/// the snapshot it was built from. Opaque: the only thing to do with
+/// one is hand it to [`StorageBackend::compact_install`] (or drop it,
+/// which abandons the file as `.tmp` debris the next open sweeps up).
+pub struct PreparedCompaction {
+    next: u64,
+    file: File,
+    tmp_path: PathBuf,
+    final_path: PathBuf,
+    map: PageBuf,
+    /// End of the sealed snapshot (records + marker): the durable point
+    /// if nothing moved during the window, and where catch-up appends.
+    durable: u64,
+    /// `key → (payload offset, len)` in the new file, snapshot order.
+    ranges: Vec<(PageKey, usize, usize)>,
+    /// The snapshot itself, kept alive so install can compare the
+    /// caller's current buffers against it by slice identity.
+    snapshot: Vec<(PageKey, PageBuf)>,
+    /// Generation number the snapshot was taken against.
+    old_number: u64,
 }
 
 /// Where a data provider's page bytes live. The provider keeps the
@@ -228,15 +252,47 @@ pub trait StorageBackend: Send + Sync {
         false
     }
 
-    /// Rewrite `live` into a fresh generation and reclaim everything
-    /// else. Returns `None` for backends with nothing to compact (the
-    /// memory backend frees eagerly — the no-op path). The caller must
-    /// guarantee no concurrent `ingest`/`on_remove` (it owns the index
-    /// this rewrites); concurrent *reads* are fine — previously served
-    /// buffers keep their old mapping alive by refcount.
-    fn compact(&self, live: &[(PageKey, PageBuf)]) -> Result<Option<CompactOutcome>, BlobError> {
+    /// Compaction phase 1 — the expensive part, safe to run with
+    /// **concurrent mutations**: rewrite the `live` snapshot into a
+    /// fresh not-yet-serving generation (write, seal, fsync), without
+    /// touching the serving state. Returns `None` for backends with
+    /// nothing to compact (the memory backend frees eagerly — the no-op
+    /// path). Pages ingested, superseded, or removed while this runs
+    /// are reconciled by [`StorageBackend::compact_install`].
+    fn compact_prepare(
+        &self,
+        live: &[(PageKey, PageBuf)],
+    ) -> Result<Option<PreparedCompaction>, BlobError> {
         let _ = live;
         Ok(None)
+    }
+
+    /// Compaction phase 2 — the swap, **mutually exclusive with
+    /// `ingest`/`on_remove`** (the caller holds its maintenance gate):
+    /// catch the prepared generation up with whatever moved since the
+    /// snapshot (`current` is the caller's index as of now — entries
+    /// that changed identity are appended under a second marker), make
+    /// it the serving generation, and reclaim the old one. Concurrent
+    /// *reads* stay fine — previously served buffers keep the old
+    /// mapping alive by refcount.
+    fn compact_install(
+        &self,
+        prepared: PreparedCompaction,
+        current: &[(PageKey, PageBuf)],
+    ) -> Result<Option<CompactOutcome>, BlobError> {
+        let _ = (prepared, current);
+        Ok(None)
+    }
+
+    /// One-shot compaction: [`StorageBackend::compact_prepare`] and
+    /// [`StorageBackend::compact_install`] back to back, for callers
+    /// that exclude mutations for the whole duration (tests, the
+    /// salvage path on a full log).
+    fn compact(&self, live: &[(PageKey, PageBuf)]) -> Result<Option<CompactOutcome>, BlobError> {
+        match self.compact_prepare(live)? {
+            None => Ok(None),
+            Some(prepared) => self.compact_install(prepared, live),
+        }
     }
 
     /// Replay persisted pages in acknowledgement order (startup
@@ -936,20 +992,44 @@ impl StorageBackend for MmapBackend {
             && dead as f64 >= self.opts.compact_dead_ratio * self.log_bytes() as f64
     }
 
-    fn compact(&self, live: &[(PageKey, PageBuf)]) -> Result<Option<CompactOutcome>, BlobError> {
+    fn compact_prepare(
+        &self,
+        live: &[(PageKey, PageBuf)],
+    ) -> Result<Option<PreparedCompaction>, BlobError> {
         let old = Arc::clone(&self.gen.read());
         let next = old.number + 1;
         let tmp_path = self.dir.join(format!("{}.tmp", gen_file_name(next)));
-        match self.build_generation(&old, next, &tmp_path, live) {
+        match self.write_snapshot(&old, next, &tmp_path, live) {
+            Ok(prepared) => Ok(Some(prepared)),
+            Err(e) => {
+                // Don't leak the half-written file until the next
+                // restart, and back the auto-trigger off so a persistent
+                // failure doesn't turn every remove into a full-log
+                // rewrite.
+                let _ = std::fs::remove_file(&tmp_path);
+                let dead = self.dead.load(Ordering::Relaxed);
+                self.compact_floor
+                    .store(dead.saturating_mul(2), Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    fn compact_install(
+        &self,
+        prepared: PreparedCompaction,
+        current: &[(PageKey, PageBuf)],
+    ) -> Result<Option<CompactOutcome>, BlobError> {
+        let tmp_path = prepared.tmp_path.clone();
+        match self.catch_up_and_swap(prepared, current) {
             Ok(outcome) => {
                 self.compact_floor.store(0, Ordering::Relaxed);
                 Ok(Some(outcome))
             }
             Err(e) => {
-                // Don't leak the half-written file until the next
-                // restart (a no-op if the failure was past the rename),
-                // and back the auto-trigger off so a persistent failure
-                // doesn't turn every remove into a full-log rewrite.
+                // Same cleanup as a failed prepare: the serving
+                // generation is untouched (nothing fails past the
+                // rename), so only the staged file needs removing.
                 let _ = std::fs::remove_file(&tmp_path);
                 let dead = self.dead.load(Ordering::Relaxed);
                 self.compact_floor
@@ -1021,19 +1101,20 @@ impl StorageBackend for MmapBackend {
 }
 
 impl MmapBackend {
-    /// The body of a compaction: write `live` into generation `next`
-    /// under `tmp_path` (records in index order, sealed by one commit
-    /// marker — the payload bytes come straight off the old mapping, a
-    /// kernel-side rewrite, not a metered copy), fsync, atomically
-    /// rename, swap the serving generation, and unlink the old file.
-    fn build_generation(
+    /// Compaction phase 1 body: write the `live` snapshot into
+    /// generation `next` under `tmp_path` (records in index order,
+    /// sealed by one commit marker — the payload bytes come straight
+    /// off the old mapping, a kernel-side rewrite, not a metered copy),
+    /// fsync, and map it. Nothing here touches the serving generation,
+    /// so concurrent ingests and removes are fine — the install phase
+    /// reconciles them.
+    fn write_snapshot(
         &self,
         old: &Arc<Generation>,
         next: u64,
         tmp_path: &Path,
         live: &[(PageKey, PageBuf)],
-    ) -> Result<CompactOutcome, BlobError> {
-        let old_bytes = old.tail.load(Ordering::Relaxed);
+    ) -> Result<PreparedCompaction, BlobError> {
         let final_path = self.dir.join(gen_file_name(next));
         let file = OpenOptions::new()
             .read(true)
@@ -1071,17 +1152,140 @@ impl MmapBackend {
         file.sync_data()
             .map_err(|_| BlobError::Internal("compaction sync failed"))?;
 
-        // Map before the rename (the mapping is inode-based, not
-        // name-based): past the swap point nothing may fail, or the
-        // backend would keep acknowledging appends into an old
-        // generation that the next open() discards as debris.
+        // Map now, not at install (the mapping is inode-based, not
+        // name-based): catch-up appends written through the file are
+        // coherent with this mapping, and install must not be able to
+        // fail past its swap point.
         let map = PageBuf::map_file_tagged(&file, next)
             .map_err(|_| BlobError::Internal("map compaction file"))?;
+
+        Ok(PreparedCompaction {
+            next,
+            file,
+            tmp_path: tmp_path.to_path_buf(),
+            final_path,
+            durable,
+            ranges,
+            map,
+            snapshot: live.to_vec(),
+            old_number: old.number,
+        })
+    }
+
+    /// Compaction phase 2 body (caller holds the maintenance gate):
+    /// append every `current` entry that is not byte-identical to its
+    /// snapshot record — pages ingested or re-put during the prepare
+    /// window — after the sealed snapshot, under a second commit marker;
+    /// then rename, swap the serving generation, and unlink the old
+    /// file. Snapshot records whose key was superseded or removed during
+    /// the window stay in the new file as its opening dead bytes.
+    fn catch_up_and_swap(
+        &self,
+        prepared: PreparedCompaction,
+        current: &[(PageKey, PageBuf)],
+    ) -> Result<CompactOutcome, BlobError> {
+        let old = Arc::clone(&self.gen.read());
+        if old.number != prepared.old_number {
+            // Another install won the race (callers serialize, so this
+            // is defense in depth): the snapshot no longer describes the
+            // serving generation's lineage.
+            return Err(BlobError::Internal("stale prepared compaction"));
+        }
+        let old_bytes = old.tail.load(Ordering::Relaxed);
+        let PreparedCompaction {
+            next,
+            file,
+            tmp_path,
+            final_path,
+            durable: sealed,
+            ranges,
+            map,
+            snapshot,
+            old_number: _,
+        } = prepared;
+
+        // Identity-match `current` against the snapshot: a key whose
+        // serving buffer is still the *same slice* (pointer + length)
+        // was untouched during the window and serves from its snapshot
+        // record; anything else — new key, or re-put (even of identical
+        // bytes, which may occupy a fresh allocation) — is caught up by
+        // appending. `same_allocation` would be too coarse: two slices
+        // of one mapping share an allocation without being the same
+        // bytes.
+        let mut snap_idx: std::collections::HashMap<PageKey, usize> =
+            std::collections::HashMap::new();
+        for (i, (key, _)) in snapshot.iter().enumerate() {
+            snap_idx.insert(*key, i);
+        }
+        let identical = |i: usize, buf: &PageBuf| {
+            let s = snapshot[i].1.as_slice();
+            let c = buf.as_slice();
+            std::ptr::eq(s.as_ptr(), c.as_ptr()) && s.len() == c.len()
+        };
+
+        let mut off = sealed;
+        let mut placed: Vec<(usize, usize)> = Vec::with_capacity(current.len());
+        let mut matched = vec![false; snapshot.len()];
+        let mut caught_up = 0usize;
+        for (key, buf) in current {
+            match snap_idx.get(key) {
+                Some(&i) if identical(i, buf) => {
+                    matched[i] = true;
+                    let (_, s, l) = ranges[i];
+                    placed.push((s, l));
+                }
+                _ => {
+                    let len = buf.len() as u64;
+                    if off + REC_HEADER + len + REC_HEADER > self.capacity {
+                        return Err(BlobError::Internal("compaction exceeds log capacity"));
+                    }
+                    let header = encode_header(
+                        LOG_MAGIC,
+                        key.blob.0,
+                        key.write.0,
+                        key.index,
+                        len,
+                        payload_digest(buf.as_slice()),
+                    );
+                    write_at(&file, &header, off)
+                        .and_then(|()| write_at(&file, buf.as_slice(), off + REC_HEADER))
+                        .map_err(|_| BlobError::Internal("compaction catch-up write failed"))?;
+                    placed.push(((off + REC_HEADER) as usize, buf.len()));
+                    off += REC_HEADER + len;
+                    caught_up += 1;
+                }
+            }
+        }
+        let (durable, next_seq) = if caught_up > 0 {
+            // Seal the catch-up batch with marker #1 covering from the
+            // snapshot's durable point — exactly the shape recovery
+            // replays — and make it durable before the swap.
+            let marker = encode_header(LOG_COMMIT, 1, sealed, 0, 0, 0);
+            write_at(&file, &marker, off)
+                .map_err(|_| BlobError::Internal("compaction catch-up seal failed"))?;
+            file.sync_data()
+                .map_err(|_| BlobError::Internal("compaction catch-up sync failed"))?;
+            (off + REC_HEADER, 2)
+        } else {
+            (sealed, 1)
+        };
+        // Snapshot records superseded or removed during the window open
+        // the new generation already dead; carry them so the next
+        // trigger fires on truth. (A removal's disappearance was never
+        // marker-covered — recovery has always resurrected removed-
+        // but-uncompacted records; the catch-up batch narrows that
+        // window, it doesn't change the contract.)
+        let dead_in_new: u64 = matched
+            .iter()
+            .zip(&ranges)
+            .filter(|(&hit, _)| !hit)
+            .map(|(_, &(_, _, l))| REC_HEADER + l as u64)
+            .sum();
 
         // The swap point: rename is atomic, and open() prefers the
         // highest *renamed* generation — before this line a crash
         // recovers the old generation, after it the new one.
-        std::fs::rename(tmp_path, &final_path)
+        std::fs::rename(&tmp_path, &final_path)
             .map_err(|_| BlobError::Internal("compaction swap failed"))?;
         let dir_synced = File::open(&self.dir).and_then(|d| d.sync_all());
         if dir_synced.is_err() && self.opts.fsync_on_commit {
@@ -1090,15 +1294,16 @@ impl MmapBackend {
             // generation, dropping post-swap commits). Undo the swap so
             // disk and memory agree again; if even that fails, poison
             // the old generation so nothing further gets acknowledged.
-            if std::fs::rename(&final_path, tmp_path).is_err() {
+            if std::fs::rename(&final_path, &tmp_path).is_err() {
                 old.commit.lock().poisoned = true;
             }
             return Err(BlobError::Internal("compaction dir sync failed"));
         }
 
-        let entries: Vec<(PageKey, PageBuf)> = ranges
+        let entries: Vec<(PageKey, PageBuf)> = current
             .iter()
-            .map(|&(key, s, l)| (key, map.slice(s..s + l)))
+            .zip(&placed)
+            .map(|((key, _), &(s, l))| (*key, map.slice(s..s + l)))
             .collect();
         let generation = Generation {
             number: next,
@@ -1109,7 +1314,7 @@ impl MmapBackend {
             commit: Mutex::new(CommitState {
                 durable,
                 frontier: durable,
-                next_seq: 1,
+                next_seq,
                 ..CommitState::default()
             }),
             commit_cv: Condvar::new(),
@@ -1120,7 +1325,7 @@ impl MmapBackend {
         // Readers holding slices of the old mapping keep it alive by
         // refcount; the unlink only drops the name.
         let _ = std::fs::remove_file(&old_path);
-        self.dead.store(0, Ordering::Relaxed);
+        self.dead.store(dead_in_new, Ordering::Relaxed);
         Ok(CompactOutcome {
             entries,
             report: CompactReport {
@@ -1599,6 +1804,128 @@ mod tests {
         b2.ingest(&key(9, 0), &PageBuf::from_vec(vec![7u8; 128]), None)
             .unwrap();
         assert_eq!(b2.generation(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn install_catches_up_mutations_from_the_prepare_window() {
+        // The two-phase protocol under fire: mutations land *between*
+        // prepare and install — a re-put, a brand-new key, a removal —
+        // and install reconciles all three with a catch-up batch under
+        // a second marker, durable across a crash.
+        let dir = temp_dir("two-phase");
+        let b = MmapBackend::open(&dir, 1 << 20).unwrap();
+        let keep = key(1, 0);
+        let reput = key(1, 1);
+        let gone = key(1, 2);
+        let v_keep = b
+            .ingest(&keep, &PageBuf::from_vec(vec![1u8; 256]), None)
+            .unwrap();
+        let v_old = b
+            .ingest(&reput, &PageBuf::from_vec(vec![2u8; 256]), None)
+            .unwrap();
+        let v_gone = b
+            .ingest(&gone, &PageBuf::from_vec(vec![3u8; 256]), None)
+            .unwrap();
+
+        // Phase 1 against the index as of now.
+        let snapshot = vec![
+            (keep, v_keep.clone()),
+            (reput, v_old.clone()),
+            (gone, v_gone.clone()),
+        ];
+        let prepared = b
+            .compact_prepare(&snapshot)
+            .unwrap()
+            .expect("mmap prepares");
+
+        // The window: everything a concurrent writer can do.
+        let v_new = b
+            .ingest(&reput, &PageBuf::from_vec(vec![9u8; 300]), Some(256))
+            .unwrap();
+        b.on_remove(256); // the superseded `reput` record
+        let fresh = key(2, 0);
+        let v_fresh = b
+            .ingest(&fresh, &PageBuf::from_vec(vec![7u8; 128]), None)
+            .unwrap();
+        b.on_remove(256); // `gone` removed outright
+
+        // Phase 2 against the index as of *install* time.
+        let current = vec![
+            (keep, v_keep.clone()),
+            (reput, v_new.clone()),
+            (fresh, v_fresh.clone()),
+        ];
+        let before = copymeter::thread_snapshot();
+        let outcome = b
+            .compact_install(prepared, &current)
+            .unwrap()
+            .expect("mmap installs");
+        assert_eq!(
+            before.bytes_since(),
+            0,
+            "catch-up is a kernel rewrite like the snapshot"
+        );
+        assert_eq!(outcome.report.generation, 1);
+        assert_eq!(b.generation(), 1);
+
+        // Entries re-point the whole current index, in order,
+        // byte-identical, all served from the new mapping.
+        assert_eq!(outcome.entries.len(), current.len());
+        for ((k, p), (ck, cp)) in outcome.entries.iter().zip(&current) {
+            assert_eq!(k, ck);
+            assert_eq!(p.as_slice(), cp.as_slice());
+            #[cfg(unix)]
+            assert_eq!(p.mapping_generation(), Some(1));
+        }
+
+        // The stale snapshot records (superseded `reput`, removed
+        // `gone`) open the new generation already dead.
+        assert_eq!(b.dead_bytes(), 2 * rec(256));
+
+        // Crash + reopen: the catch-up batch replays after the
+        // snapshot, so `reput` recovers its NEW bytes and `fresh`
+        // exists. `gone` resurrects from its stale snapshot record —
+        // removal durability has always waited for a compaction that
+        // sees the key absent, and the window removal happened after
+        // this one's snapshot.
+        drop(b);
+        let b2 = MmapBackend::open(&dir, 1 << 20).unwrap();
+        let recovered = b2.recover().unwrap();
+        assert_eq!(
+            recovered.len(),
+            5,
+            "3 snapshot + 2 catch-up, dupes included"
+        );
+        let by_key: std::collections::HashMap<_, _> = recovered.into_iter().collect();
+        assert_eq!(by_key[&keep].as_slice(), &[1u8; 256][..]);
+        assert_eq!(by_key[&reput].as_slice(), &[9u8; 300][..], "re-put wins");
+        assert_eq!(by_key[&fresh].as_slice(), &[7u8; 128][..]);
+        assert_eq!(by_key[&gone].as_slice(), &[3u8; 256][..]);
+        // And appends continue over the catch-up marker.
+        b2.ingest(&key(9, 9), &PageBuf::from_vec(vec![6u8; 64]), None)
+            .unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn install_with_no_window_mutations_degenerates_to_the_one_shot_path() {
+        // Identity-matching must not append anything when nothing
+        // moved: same file shape as the one-shot compact.
+        let dir = temp_dir("two-phase-quiet");
+        let b = MmapBackend::open(&dir, 1 << 20).unwrap();
+        let k = key(1, 0);
+        let v = b
+            .ingest(&k, &PageBuf::from_vec(vec![5u8; 512]), None)
+            .unwrap();
+        let live = vec![(k, v)];
+        let prepared = b.compact_prepare(&live).unwrap().unwrap();
+        let outcome = b.compact_install(prepared, &live).unwrap().unwrap();
+        assert_eq!(outcome.report.new_log_bytes, rec(512) + REC_HEADER);
+        assert_eq!(b.dead_bytes(), 0);
+        drop(b);
+        let b2 = MmapBackend::open(&dir, 1 << 20).unwrap();
+        assert_eq!(b2.recover().unwrap().len(), 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

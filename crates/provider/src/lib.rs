@@ -21,7 +21,7 @@ pub mod manager;
 
 pub use backend::{
     BackendKind, CompactOutcome, CompactReport, LogOptions, MemoryBackend, MmapBackend,
-    ResidentBytes, StorageBackend,
+    PreparedCompaction, ResidentBytes, StorageBackend,
 };
 pub use data::DataProviderService;
 pub use manager::{ProviderManagerService, Strategy};

@@ -31,5 +31,8 @@ pub use frame::{Frame, FRAME_HEADER_BYTES, MAX_FRAME_BODY, METHOD_BATCH};
 pub use service::{
     dispatch_frame, error_frame, ok_frame, parse_response, respond, ServerCtx, Service,
 };
-pub use tcp::{TcpOptions, TcpTransport, MAX_WIRE_FRAME};
+pub use tcp::{
+    encode_wire_frame, read_wire_frame, ServerMode, TcpOptions, TcpTransport, CTRL_CORR, CTRL_SHED,
+    MAX_WIRE_FRAME,
+};
 pub use transport::{Ctx, InProcTransport, Transport, TransportResult};

@@ -1,36 +1,78 @@
-//! Real TCP transport: gather-write frames over loopback or a LAN.
+//! Real TCP transport: an event-driven reactor server and multiplexed
+//! client connections, designed for C10K-scale populations.
 //!
-//! This is the first transport whose frames actually cross a socket, so
-//! the copy discipline established for the in-process path (ROADMAP
-//! "Data path & copy discipline") finally meets the kernel:
+//! The first version of this transport (PR 3) spawned one OS thread per
+//! live connection and checked one pooled socket out per in-flight call
+//! — correct, but the thread and fd populations grew linearly with the
+//! client count, collapsing the transport long before the data path
+//! does. This version serves every connection from a **fixed thread
+//! count** and carries many in-flight calls on **one** socket:
 //!
-//! * **Send is gather-write.** A frame leaves as a length-prefixed
-//!   envelope followed by the body's [`ByteChain`](blobseer_proto::wire::ByteChain) segments, handed to
-//!   `write_vectored` via [`ByteChain::as_io_slices`](blobseer_proto::wire::ByteChain::as_io_slices) — no flattening
-//!   memcpy, no matter how many page payloads a batched frame carries.
-//!   The seed behaviour (flatten the chain into one contiguous buffer,
-//!   a metered copy) survives as [`TcpTransport::set_gather_write`]
-//!   `(false)` so the `pr3_tcp` bench can measure the difference.
-//! * **Receive is lend-on-decode.** Each inbound frame is read into a
-//!   single [`PageBuf`] and decoded with [`Reader::from_buf`], so page
-//!   payloads come out as refcounted slices of the receive buffer — the
-//!   payload leg meters the same zero copies as the in-process path.
+//! * **Server = reactor.** [`TcpOptions::event_loops`] nonblocking
+//!   event loops (an `epoll(7)` readiness loop on Linux via the local
+//!   `polling` shim, `poll(2)` elsewhere on unix) own every accepted
+//!   connection, and a bounded dispatch pool of
+//!   [`TcpOptions::dispatch_threads`] workers runs the [`Service`]
+//!   handlers — a slow handler occupies a pool slot, never an event
+//!   loop. When the pool or a connection's in-flight budget is full the
+//!   connection's read interest is parked (backpressure), not buffered
+//!   without bound. Off-unix (or if the poller cannot start) the
+//!   transport falls back to thread-per-connection serving.
+//! * **Client = multiplexing.** Each destination keeps a small set of
+//!   connections (at most [`TcpOptions::max_pooled_per_peer`]); a call
+//!   picks the least-loaded live one and registers a per-call
+//!   completion slot under a fresh **correlation id**. One reader
+//!   thread per connection routes responses to their slots, so any
+//!   number of calls share a socket concurrently. A connection error
+//!   fails *every* call in flight on it — typed
+//!   [`BlobError::Unreachable`], never a hang.
+//! * **Ablation.** [`ServerMode::ThreadPerConn`] keeps the PR 3 regime
+//!   (accept thread + thread per connection) alive for benchmarks; the
+//!   client side is multiplexed in both modes and both speak the same
+//!   wire format. `bench/pr6_reactor` sweeps the two regimes against
+//!   each other.
+//!
+//! # Wire envelope (v2)
+//!
+//! ```text
+//! [len u32][corr u64][vt u64][method u16][body_len u32][body ...]
+//!  0     4         12       20         22            26
+//! ```
+//!
+//! `len` counts everything after itself (`corr` through body, the
+//! 22-byte fixed part + body). The **correlation id** is echoed verbatim
+//! by the server so responses can arrive out of order; id `0`
+//! ([`CTRL_CORR`]) is reserved for connection-control frames — today
+//! only [`CTRL_SHED`], sent when a server sheds a connection under fd
+//! pressure (see below). Everything else about the frame discipline is
+//! unchanged from PR 3 and survives partial readiness:
+//!
+//! * **Send is gather-write.** A frame leaves as the 26-byte envelope
+//!   followed by the body's [`ByteChain`](blobseer_proto::wire::ByteChain)
+//!   segments via `write_vectored` — no flattening memcpy. Partial
+//!   writes resume from a per-connection `written` cursor over the same
+//!   slice list. The seed behaviour (flatten into one contiguous
+//!   buffer, a metered copy) survives as
+//!   [`TcpTransport::set_gather_write`]`(false)`.
+//! * **Receive is lend-on-decode.** Each inbound frame accumulates into
+//!   a single buffer across however many readiness events it takes,
+//!   then decodes with [`Reader::from_buf`] so page payloads come out
+//!   as refcounted slices of the receive buffer.
 //! * **Corrupt bytes are errors, never panics.** Envelope and body
 //!   length prefixes are capped ([`MAX_WIRE_FRAME`] /
-//!   [`crate::frame::MAX_FRAME_BODY`]) before any allocation, and every
-//!   decode failure maps to a typed error.
+//!   [`crate::frame::MAX_FRAME_BODY`]) before any allocation.
 //!
-//! # Topology
+//! # Overload and fd exhaustion
 //!
-//! Mirrors [`InProcTransport`](crate::transport::InProcTransport):
-//! [`TcpTransport::add_node`] allocates a node id, [`TcpTransport::bind`]
-//! attaches a service — which here starts a loopback listener plus an
-//! accept thread that hands each connection to a worker dispatching
-//! through the existing [`Service`]/[`dispatch_frame`] machinery.
-//! Workers come and go with connections; the client side keeps the
-//! population small by pooling one connection per in-flight call per
-//! destination and reusing it across calls. Remote peers that live in
-//! another process register with [`TcpTransport::register_remote`].
+//! Accepting under `EMFILE`/`ENFILE` sheds the **newest** connection
+//! with a typed close instead of sleep-looping: each listener holds one
+//! reserve fd (`/dev/null`); on fd exhaustion it drops the reserve,
+//! accepts the waiting connection, writes it a [`CTRL_SHED`] control
+//! frame, closes it, and re-opens the reserve. Clients surface a shed
+//! as [`BlobError::Unreachable`] on every call in flight — established
+//! connections are never sacrificed for new ones.
+//! [`TcpOptions::max_connections`] applies the same shed path at a
+//! deterministic threshold (fault tests use this).
 //!
 //! # Error taxonomy
 //!
@@ -39,10 +81,14 @@
 //! | connect refused / timeout                 | [`BlobError::Unreachable`]  |
 //! | peer closed mid-frame, short read/write   | [`BlobError::Unreachable`]  |
 //! | I/O timeout (peer accepted, never replied)| [`BlobError::Unreachable`]  |
+//! | connection shed by the server             | [`BlobError::Unreachable`]  |
 //! | corrupt envelope or frame bytes           | [`BlobError::Codec`]        |
 //! | body above the frame cap (send or recv)   | [`BlobError::Codec`]        |
+//! | response with an unknown correlation id   | [`BlobError::Codec`]        |
 //!
-//! A failed call never returns its connection to the pool; the next call
+//! A connection that fails (including a stray correlation id — the
+//! stream framing can no longer be trusted) is dropped, all its
+//! in-flight calls resolve with the typed error, and the next call
 //! reconnects. Virtual time still flows (the envelope carries `vt` and
 //! handlers may charge), but wall-clock time is real — TCP deployments
 //! use zero-cost models and measure with real clocks.
@@ -53,38 +99,84 @@ use blobseer_proto::wire::{Reader, Wire};
 use blobseer_proto::{BlobError, CodecError, NodeId, PageBuf};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::fs::File;
 use std::io::{self, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::transport::{Transport, TransportResult};
 
-/// Envelope bytes before the frame proper: payload length `u32` is
-/// followed by the virtual-time stamp `u64`; the frame's own header
-/// (method `u16`, body length `u32`) comes next.
-const ENVELOPE_LEN_BYTES: usize = 4;
-/// Bytes covered by the envelope length besides the frame body.
-const ENVELOPE_FIXED: usize = 8 + 2 + 4;
+mod mux;
+#[cfg(unix)]
+mod reactor;
+
+use mux::MuxConn;
+
+/// Envelope length-prefix bytes.
+pub(crate) const ENVELOPE_LEN_BYTES: usize = 4;
+/// Bytes covered by the envelope length besides the frame body:
+/// correlation id (8) + virtual time (8) + method (2) + body length (4).
+pub(crate) const ENVELOPE_FIXED: usize = 8 + 8 + 2 + 4;
+/// Whole wire head: length prefix + fixed envelope.
+pub(crate) const WIRE_HEAD: usize = ENVELOPE_LEN_BYTES + ENVELOPE_FIXED;
 
 /// Sanity cap on one whole wire frame (envelope fixed part + body):
 /// anything larger is rejected before allocation, on both sides.
 pub const MAX_WIRE_FRAME: u64 = MAX_FRAME_BODY + ENVELOPE_FIXED as u64;
+
+/// Correlation id reserved for connection-control frames; never
+/// assigned to a call.
+pub const CTRL_CORR: u64 = 0;
+/// Control method: the server is shedding this connection (fd
+/// exhaustion or the [`TcpOptions::max_connections`] cap). Sent with
+/// [`CTRL_CORR`] and an empty body; clients surface it as
+/// [`BlobError::Unreachable`].
+pub const CTRL_SHED: u16 = 0xFF01;
+
+/// How the server side of a [`TcpTransport`] serves connections.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServerMode {
+    /// Nonblocking event loops + a bounded dispatch pool (default).
+    /// Requires unix; falls back to [`ServerMode::ThreadPerConn`] when
+    /// the readiness poller cannot start.
+    Reactor,
+    /// The PR 3 regime: an accept thread per listener and one worker
+    /// thread per live connection. Kept as the bench ablation.
+    ThreadPerConn,
+}
 
 /// Tunables for a [`TcpTransport`].
 #[derive(Clone, Copy, Debug)]
 pub struct TcpOptions {
     /// Client-side connect timeout.
     pub connect_timeout: Duration,
-    /// Client-side per-read/per-write timeout (`None` = block forever).
-    /// Bounds how long a call can hang on a peer that accepted the
-    /// connection but never answers.
+    /// Per-read/per-write timeout (`None` = block forever). Bounds how
+    /// long a call can hang on a peer that accepted the connection but
+    /// never answers, and how long the server keeps a connection that
+    /// stalled mid-frame or stopped draining responses.
     pub io_timeout: Option<Duration>,
-    /// Idle connections kept per destination; checkouts beyond this are
-    /// fresh connects and are closed instead of pooled on return.
+    /// Maximum multiplexed connections per destination. A call prefers
+    /// an existing idle connection and only dials another when every
+    /// one is busy and the count is below this.
     pub max_pooled_per_peer: usize,
+    /// Server serving regime (reactor vs thread-per-connection).
+    pub server_mode: ServerMode,
+    /// Event loops the reactor runs (≥ 1).
+    pub event_loops: usize,
+    /// Dispatch-pool workers running service handlers (≥ 1).
+    pub dispatch_threads: usize,
+    /// Dispatch-queue depth; past it connections are backpressured by
+    /// parking their read interest.
+    pub dispatch_queue: usize,
+    /// In-flight dispatches one connection may occupy before its reads
+    /// are parked (fairness under multiplexed clients).
+    pub max_conn_inflight: usize,
+    /// Established-connection cap per transport; `0` = unlimited.
+    /// Accepts past it are shed with a typed [`CTRL_SHED`] close.
+    pub max_connections: usize,
 }
 
 impl Default for TcpOptions {
@@ -93,22 +185,29 @@ impl Default for TcpOptions {
             connect_timeout: Duration::from_secs(5),
             io_timeout: Some(Duration::from_secs(30)),
             max_pooled_per_peer: 64,
+            server_mode: ServerMode::Reactor,
+            event_loops: 2,
+            dispatch_threads: 4,
+            dispatch_queue: 1024,
+            max_conn_inflight: 64,
+            max_connections: 0,
         }
     }
 }
 
-/// State shared with accept/worker threads (no back-reference to the
-/// transport, so dropping the transport tears the threads down).
-struct Shared {
-    shutdown: AtomicBool,
-    gather: AtomicBool,
-    messages: AtomicU64,
-    bytes: AtomicU64,
-    /// Applied to accepted sockets too: a client that stalls mid-frame
-    /// (or stops draining its responses) times its worker out instead of
-    /// parking a thread and an fd forever. Idle pooled connections are
-    /// exempt — a timeout at a frame boundary just re-arms the read.
-    io_timeout: Option<Duration>,
+/// State shared with server threads and client readers (no
+/// back-reference to the transport, so dropping the transport tears the
+/// threads down).
+pub(crate) struct Shared {
+    pub shutdown: AtomicBool,
+    pub gather: AtomicBool,
+    pub messages: AtomicU64,
+    pub bytes: AtomicU64,
+    /// Established server-side connections currently held.
+    pub conns: AtomicUsize,
+    /// Connections shed under fd pressure or the connection cap.
+    pub sheds: AtomicU64,
+    pub io_timeout: Option<Duration>,
 }
 
 struct NodeSlot {
@@ -116,14 +215,21 @@ struct NodeSlot {
     alive: Arc<AtomicBool>,
 }
 
+enum ServerEngine {
+    Idle,
+    Threads(Vec<(SocketAddr, JoinHandle<()>)>),
+    #[cfg(unix)]
+    Reactor(reactor::Reactor),
+}
+
 /// A real socket transport over loopback (or any reachable address via
-/// [`TcpTransport::register_remote`]). See the module docs for the frame
-/// discipline and error taxonomy.
+/// [`TcpTransport::register_remote`]). See the module docs for the
+/// reactor model, wire envelope and error taxonomy.
 pub struct TcpTransport {
     opts: TcpOptions,
     nodes: RwLock<Vec<NodeSlot>>,
-    pool: Mutex<HashMap<u32, Vec<TcpStream>>>,
-    accepts: Mutex<Vec<(SocketAddr, JoinHandle<()>)>>,
+    mux: Arc<Mutex<HashMap<u32, Vec<Arc<MuxConn>>>>>,
+    server: Mutex<ServerEngine>,
     shared: Arc<Shared>,
 }
 
@@ -144,13 +250,15 @@ impl TcpTransport {
         Self {
             opts,
             nodes: RwLock::new(Vec::new()),
-            pool: Mutex::new(HashMap::new()),
-            accepts: Mutex::new(Vec::new()),
+            mux: Arc::new(Mutex::new(HashMap::new())),
+            server: Mutex::new(ServerEngine::Idle),
             shared: Arc::new(Shared {
                 shutdown: AtomicBool::new(false),
                 gather: AtomicBool::new(true),
                 messages: AtomicU64::new(0),
                 bytes: AtomicU64::new(0),
+                conns: AtomicUsize::new(0),
+                sheds: AtomicU64::new(0),
                 io_timeout: opts.io_timeout,
             }),
         }
@@ -167,8 +275,10 @@ impl TcpTransport {
         NodeId(g.len() as u32 - 1)
     }
 
-    /// Bind a service to a node: starts a loopback listener and its
-    /// accept thread. Panics if the node is unknown or already bound.
+    /// Bind a service to a node: starts a loopback listener served by
+    /// the transport's engine (reactor loops or an accept thread,
+    /// depending on [`TcpOptions::server_mode`]). Panics if the node is
+    /// unknown or already bound.
     pub fn bind(&self, node: NodeId, svc: Arc<dyn Service>) {
         let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind loopback listener");
         let addr = listener.local_addr().expect("listener local addr");
@@ -179,9 +289,48 @@ impl TcpTransport {
             slot.addr = Some(addr);
             Arc::clone(&slot.alive)
         };
-        let shared = Arc::clone(&self.shared);
-        let handle = std::thread::spawn(move || accept_loop(listener, svc, alive, shared));
-        self.accepts.lock().push((addr, handle));
+        let mut engine = self.server.lock();
+        if matches!(*engine, ServerEngine::Idle) {
+            *engine = self.start_engine();
+        }
+        match &mut *engine {
+            #[cfg(unix)]
+            ServerEngine::Reactor(r) => r.add_listener(listener, svc, alive),
+            ServerEngine::Threads(accepts) => {
+                let shared = Arc::clone(&self.shared);
+                let opts = self.opts;
+                let handle =
+                    std::thread::spawn(move || accept_loop(listener, svc, alive, shared, opts));
+                accepts.push((addr, handle));
+            }
+            ServerEngine::Idle => unreachable!("engine started above"),
+        }
+    }
+
+    fn start_engine(&self) -> ServerEngine {
+        #[cfg(unix)]
+        if self.opts.server_mode == ServerMode::Reactor {
+            match reactor::Reactor::start(&self.opts, Arc::clone(&self.shared)) {
+                Ok(r) => return ServerEngine::Reactor(r),
+                Err(_) => {
+                    // No readiness poller available: degrade to the
+                    // thread-per-connection regime.
+                }
+            }
+        }
+        ServerEngine::Threads(Vec::new())
+    }
+
+    /// The serving regime actually in effect (the reactor may have
+    /// fallen back to threads if no poller was available). Meaningful
+    /// once a service is bound.
+    pub fn server_mode(&self) -> ServerMode {
+        match *self.server.lock() {
+            #[cfg(unix)]
+            ServerEngine::Reactor(_) => ServerMode::Reactor,
+            ServerEngine::Threads(_) => ServerMode::ThreadPerConn,
+            ServerEngine::Idle => self.opts.server_mode,
+        }
     }
 
     /// Register a node served by a peer outside this transport (another
@@ -200,10 +349,10 @@ impl TcpTransport {
         self.nodes.read().get(node.0 as usize).and_then(|s| s.addr)
     }
 
-    /// Kill a node: its workers close each connection at the next frame
-    /// instead of dispatching, so callers observe `Unreachable` — the
-    /// service state itself is preserved (the sim's "process death with
-    /// intact memory image" semantics).
+    /// Kill a node: its connections close at the next frame instead of
+    /// dispatching, so callers observe `Unreachable` — the service
+    /// state itself is preserved (the sim's "process death with intact
+    /// memory image" semantics).
     pub fn kill(&self, node: NodeId) {
         if let Some(slot) = self.nodes.read().get(node.0 as usize) {
             slot.alive.store(false, Ordering::Release);
@@ -238,6 +387,17 @@ impl TcpTransport {
         self.shared.bytes.load(Ordering::Relaxed)
     }
 
+    /// Established connections the server side currently holds.
+    pub fn active_connections(&self) -> usize {
+        self.shared.conns.load(Ordering::Relaxed)
+    }
+
+    /// Connections shed with a typed [`CTRL_SHED`] close (fd
+    /// exhaustion or the [`TcpOptions::max_connections`] cap).
+    pub fn shed_count(&self) -> u64 {
+        self.shared.sheds.load(Ordering::Relaxed)
+    }
+
     /// Toggle the gather-write path (benchmarks only). `false` restores
     /// the seed regime: every outbound body is flattened into one
     /// contiguous buffer first — a metered copy per frame.
@@ -250,30 +410,50 @@ impl TcpTransport {
         self.shared.gather.load(Ordering::Relaxed)
     }
 
-    /// Idle pooled connections to `node` (white-box metric: fault tests
-    /// assert a failed call never returns its connection to the pool).
+    /// Live multiplexed connections to `node` (white-box metric: fault
+    /// tests assert a failed connection is dropped, not kept).
     pub fn pooled_connections(&self, node: NodeId) -> usize {
-        self.pool.lock().get(&node.0).map_or(0, Vec::len)
+        self.mux.lock().get(&node.0).map_or(0, Vec::len)
     }
 
-    fn checkout(&self, to: NodeId, addr: SocketAddr) -> Result<TcpStream, BlobError> {
-        if let Some(conn) = self.pool.lock().get_mut(&to.0).and_then(Vec::pop) {
-            return Ok(conn);
+    /// Pick the least-loaded live connection to `to`, dialing a new one
+    /// only when all existing ones are busy and the per-peer cap allows.
+    fn mux_conn(&self, to: NodeId, addr: SocketAddr) -> Result<Arc<MuxConn>, BlobError> {
+        let cap = self.opts.max_pooled_per_peer.max(1);
+        {
+            let mut map = self.mux.lock();
+            if let Some(pool) = map.get_mut(&to.0) {
+                pool.retain(|c| !c.is_dead());
+                if let Some(best) = pool.iter().min_by_key(|c| c.inflight()).cloned() {
+                    if best.inflight() == 0 || pool.len() >= cap {
+                        return Ok(best);
+                    }
+                }
+            }
         }
-        let stream = TcpStream::connect_timeout(&addr, self.opts.connect_timeout)
-            .map_err(|_| BlobError::Unreachable("tcp connect failed"))?;
-        let _ = stream.set_nodelay(true);
-        let _ = stream.set_read_timeout(self.opts.io_timeout);
-        let _ = stream.set_write_timeout(self.opts.io_timeout);
-        Ok(stream)
-    }
-
-    fn checkin(&self, to: NodeId, conn: TcpStream) {
-        let mut pool = self.pool.lock();
-        let idle = pool.entry(to.0).or_default();
-        if idle.len() < self.opts.max_pooled_per_peer {
-            idle.push(conn);
+        // Every connection is busy (or none exists): dial outside the
+        // pool lock so concurrent calls never serialize on a connect.
+        let conn = MuxConn::connect(
+            addr,
+            &self.opts,
+            Arc::clone(&self.mux),
+            to.0,
+            Arc::clone(&self.shared),
+        )?;
+        let mut map = self.mux.lock();
+        let pool = map.entry(to.0).or_default();
+        pool.retain(|c| !c.is_dead());
+        if pool.len() >= cap {
+            // Concurrent dials raced us past the cap: multiplex over an
+            // existing connection and discard ours.
+            if let Some(best) = pool.iter().min_by_key(|c| c.inflight()).cloned() {
+                drop(map);
+                conn.close();
+                return Ok(best);
+            }
         }
+        pool.push(Arc::clone(&conn));
+        Ok(conn)
     }
 }
 
@@ -287,59 +467,99 @@ impl Transport for TcpTransport {
             slot.addr
                 .ok_or(BlobError::Unreachable("no tcp endpoint bound"))?
         };
-        let mut conn = self.checkout(to, addr)?;
         let gather = self.shared.gather.load(Ordering::Relaxed);
-        let req_wire = send_frame(&mut conn, vt, &frame, gather).map_err(|e| match e {
-            SendError::Codec(c) => BlobError::Codec(c),
-            SendError::Io(e) if is_timeout(&e) => BlobError::Unreachable("tcp send timed out"),
-            SendError::Io(_) => BlobError::Unreachable("tcp send failed"),
-        })?;
-        match recv_frame(&mut conn) {
-            Ok((resp_vt, resp, resp_wire)) => {
-                self.checkin(to, conn);
-                self.shared.messages.fetch_add(2, Ordering::Relaxed);
-                self.shared
-                    .bytes
-                    .fetch_add((req_wire + resp_wire) as u64, Ordering::Relaxed);
-                Ok((resp, resp_vt))
+        // Registration can race a connection dying (its reader resolves
+        // every registered slot, but a conn observed live can be dead by
+        // the time we register): retry on a fresh connection.
+        let mut last_err = BlobError::Unreachable("tcp connect failed");
+        for _ in 0..3 {
+            let conn = self.mux_conn(to, addr)?;
+            match conn.register() {
+                Ok((corr, slot)) => {
+                    let req_wire = conn.send(corr, vt, &frame, gather)?;
+                    let (resp_vt, resp, resp_wire) = slot.wait()?;
+                    self.shared.messages.fetch_add(2, Ordering::Relaxed);
+                    self.shared
+                        .bytes
+                        .fetch_add((req_wire + resp_wire) as u64, Ordering::Relaxed);
+                    return Ok((resp, resp_vt));
+                }
+                Err(e) => last_err = e,
             }
-            Err(RecvError::Codec(c)) => Err(BlobError::Codec(c)),
-            Err(RecvError::IdleTimeout) => Err(BlobError::Unreachable("tcp recv timed out")),
-            Err(RecvError::Io(e)) if is_timeout(&e) => {
-                Err(BlobError::Unreachable("tcp recv timed out"))
-            }
-            Err(_) => Err(BlobError::Unreachable("tcp connection lost")),
         }
+        Err(last_err)
     }
 }
 
 impl Drop for TcpTransport {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Closing pooled connections EOFs their workers.
-        self.pool.lock().clear();
-        // Wake each accept thread with a throwaway connection, then join.
-        let accepts = std::mem::take(&mut *self.accepts.lock());
-        for (addr, _) in &accepts {
-            let _ = TcpStream::connect_timeout(addr, Duration::from_millis(200));
+        // Tear down client connections: shutdown EOFs each reader.
+        let conns: Vec<Arc<MuxConn>> = self.mux.lock().drain().flat_map(|(_, pool)| pool).collect();
+        for conn in &conns {
+            conn.close();
         }
-        for (_, handle) in accepts {
-            let _ = handle.join();
+        for conn in conns {
+            conn.join_reader();
+        }
+        match std::mem::replace(&mut *self.server.lock(), ServerEngine::Idle) {
+            ServerEngine::Idle => {}
+            #[cfg(unix)]
+            ServerEngine::Reactor(mut r) => r.stop(),
+            ServerEngine::Threads(accepts) => {
+                // Wake each accept thread with a throwaway connection.
+                for (addr, _) in &accepts {
+                    let _ = TcpStream::connect_timeout(addr, Duration::from_millis(200));
+                }
+                for (_, handle) in accepts {
+                    let _ = handle.join();
+                }
+            }
         }
     }
 }
 
+/// `EMFILE`/`ENFILE`: the process or system is out of file descriptors.
+fn is_fd_exhaustion(e: &io::Error) -> bool {
+    matches!(e.raw_os_error(), Some(23) | Some(24))
+}
+
+/// Shed a just-accepted connection with a typed close: best-effort
+/// write of the [`CTRL_SHED`] control frame, then drop.
+pub(crate) fn shed_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let head = encode_head(CTRL_CORR, 0, CTRL_SHED, 0);
+    let _ = (&stream).write_all(&head);
+    shared.sheds.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Open the per-listener reserve fd used to accept-then-shed under fd
+/// exhaustion.
+pub(crate) fn open_reserve_fd() -> Option<File> {
+    File::open("/dev/null").ok()
+}
+
+/// Accept loop for the [`ServerMode::ThreadPerConn`] ablation regime.
 fn accept_loop(
     listener: TcpListener,
     svc: Arc<dyn Service>,
     alive: Arc<AtomicBool>,
     shared: Arc<Shared>,
+    opts: TcpOptions,
 ) {
+    let mut reserve = open_reserve_fd();
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
+                }
+                if opts.max_connections > 0
+                    && shared.conns.load(Ordering::Relaxed) >= opts.max_connections
+                {
+                    shed_connection(stream, &shared);
+                    continue;
                 }
                 let _ = stream.set_nodelay(true);
                 let _ = stream.set_read_timeout(shared.io_timeout);
@@ -347,23 +567,50 @@ fn accept_loop(
                 let svc = Arc::clone(&svc);
                 let alive = Arc::clone(&alive);
                 let shared = Arc::clone(&shared);
+                shared.conns.fetch_add(1, Ordering::Relaxed);
                 std::thread::spawn(move || serve_conn(stream, svc, alive, shared));
             }
-            Err(_) => {
+            Err(e) => {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                // Transient accept failure (EMFILE, aborted handshake):
-                // back off briefly so a persistent error condition does
-                // not busy-spin the accept thread at 100% CPU.
-                std::thread::sleep(Duration::from_millis(10));
+                if is_fd_exhaustion(&e) {
+                    // Shed the newest connection with a typed close: free
+                    // the reserve fd, accept the waiting connection, tell
+                    // it why, drop it, re-arm the reserve.
+                    drop(reserve.take());
+                    let shed = match listener.accept() {
+                        Ok((stream, _)) => {
+                            shed_connection(stream, &shared);
+                            true
+                        }
+                        Err(_) => false,
+                    };
+                    reserve = open_reserve_fd();
+                    if shed && reserve.is_some() {
+                        continue;
+                    }
+                }
+                // Persistent failure (couldn't even shed): back off so
+                // the accept thread does not spin at 100% CPU.
+                std::thread::sleep(Duration::from_millis(50));
             }
         }
     }
 }
 
-/// One connection's request loop: read a frame, dispatch, gather-write
-/// the response. Any read/decode failure or a dead node closes the
+/// RAII decrement of the established-connection gauge.
+struct ConnGauge(Arc<Shared>);
+
+impl Drop for ConnGauge {
+    fn drop(&mut self) {
+        self.0.conns.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// One connection's request loop (thread-per-connection regime): read a
+/// frame, dispatch, gather-write the response with the request's
+/// correlation id. Any read/decode failure or a dead node closes the
 /// connection — the peer sees EOF mid-conversation.
 fn serve_conn(
     mut stream: TcpStream,
@@ -371,8 +618,9 @@ fn serve_conn(
     alive: Arc<AtomicBool>,
     shared: Arc<Shared>,
 ) {
+    let _gauge = ConnGauge(Arc::clone(&shared));
     loop {
-        let (vt, frame, _) = match recv_frame(&mut stream) {
+        let (corr, vt, frame, _) = match recv_frame(&mut stream) {
             Ok(x) => x,
             // A timeout before any envelope byte arrived is just an idle
             // pooled connection between calls: re-arm the read. Mid-frame
@@ -395,7 +643,7 @@ fn serve_conn(
             return; // died during the call: no response
         }
         let gather = shared.gather.load(Ordering::Relaxed);
-        if send_frame(&mut stream, done, &resp, gather).is_err() {
+        if send_frame(&mut stream, corr, done, &resp, gather).is_err() {
             return;
         }
     }
@@ -403,25 +651,36 @@ fn serve_conn(
 
 /// A socket read/write timeout surfaces as `WouldBlock` or `TimedOut`
 /// depending on the platform.
-fn is_timeout(e: &io::Error) -> bool {
+pub(crate) fn is_timeout(e: &io::Error) -> bool {
     matches!(
         e.kind(),
         io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
     )
 }
 
-enum SendError {
+pub(crate) enum SendError {
     Io(io::Error),
     Codec(CodecError),
 }
 
-/// Write one frame: 18-byte header (`len`, `vt`, `method`, `body_len`)
-/// then the body. Gather mode hands the header plus every body segment
-/// to `write_vectored` in one slice list; flatten mode (ablation)
-/// materializes the body contiguously first — a metered copy. Returns
-/// the wire size.
-fn send_frame(
-    stream: &mut TcpStream,
+/// Encode the 26-byte wire head for a frame of `body_len` body bytes.
+pub(crate) fn encode_head(corr: u64, vt: u64, method: u16, body_len: usize) -> [u8; WIRE_HEAD] {
+    let mut head = [0u8; WIRE_HEAD];
+    head[0..4].copy_from_slice(&((ENVELOPE_FIXED + body_len) as u32).to_le_bytes());
+    head[4..12].copy_from_slice(&corr.to_le_bytes());
+    head[12..20].copy_from_slice(&vt.to_le_bytes());
+    head[20..22].copy_from_slice(&method.to_le_bytes());
+    head[22..26].copy_from_slice(&(body_len as u32).to_le_bytes());
+    head
+}
+
+/// Write one frame: the 26-byte head then the body. Gather mode hands
+/// the head plus every body segment to `write_vectored` in one slice
+/// list; flatten mode (ablation) materializes the body contiguously
+/// first — a metered copy. Returns the wire size.
+pub(crate) fn send_frame<W: Write>(
+    stream: &mut W,
+    corr: u64,
     vt: u64,
     frame: &Frame,
     gather: bool,
@@ -432,11 +691,7 @@ fn send_frame(
             declared: body_len as u64,
         }));
     }
-    let mut head = [0u8; ENVELOPE_LEN_BYTES + ENVELOPE_FIXED];
-    head[0..4].copy_from_slice(&((ENVELOPE_FIXED + body_len) as u32).to_le_bytes());
-    head[4..12].copy_from_slice(&vt.to_le_bytes());
-    head[12..14].copy_from_slice(&frame.method.to_le_bytes());
-    head[14..18].copy_from_slice(&(body_len as u32).to_le_bytes());
+    let head = encode_head(corr, vt, frame.method, body_len);
     if gather {
         let mut slices = frame.body.as_io_slices(&head);
         write_all_vectored(stream, &mut slices).map_err(SendError::Io)?;
@@ -450,7 +705,10 @@ fn send_frame(
 
 /// `write_all` over a vectored slice list, advancing across partial
 /// writes without ever copying payload bytes.
-fn write_all_vectored(stream: &mut TcpStream, bufs: &mut [IoSlice<'_>]) -> io::Result<()> {
+pub(crate) fn write_all_vectored<W: Write>(
+    stream: &mut W,
+    bufs: &mut [IoSlice<'_>],
+) -> io::Result<()> {
     let mut bufs = bufs;
     while !bufs.is_empty() {
         match stream.write_vectored(bufs) {
@@ -468,12 +726,12 @@ fn write_all_vectored(stream: &mut TcpStream, bufs: &mut [IoSlice<'_>]) -> io::R
     Ok(())
 }
 
-enum RecvError {
+pub(crate) enum RecvError {
     /// Clean close at a frame boundary.
     Closed,
     /// Read timeout at a frame boundary (no envelope byte yet): the
-    /// connection is idle, not stalled. Servers re-arm; clients waiting
-    /// on a response treat it as a timeout.
+    /// connection is idle, not stalled. Servers re-arm; client readers
+    /// with calls in flight treat it as a timeout.
     IdleTimeout,
     Io(io::Error),
     Codec(CodecError),
@@ -481,8 +739,8 @@ enum RecvError {
 
 /// Read one frame into a single receive buffer and decode it with
 /// [`Reader::from_buf`], so payloads are lent out of the buffer by
-/// refcount. Returns `(vt, frame, wire_size)`.
-fn recv_frame(stream: &mut TcpStream) -> Result<(u64, Frame, usize), RecvError> {
+/// refcount. Returns `(corr, vt, frame, wire_size)`.
+pub(crate) fn recv_frame<R: Read>(stream: &mut R) -> Result<(u64, u64, Frame, usize), RecvError> {
     let mut len4 = [0u8; ENVELOPE_LEN_BYTES];
     let mut got = 0usize;
     while got < len4.len() {
@@ -510,14 +768,55 @@ fn recv_frame(stream: &mut TcpStream) -> Result<(u64, Frame, usize), RecvError> 
     }
     let mut buf = vec![0u8; len];
     stream.read_exact(&mut buf).map_err(RecvError::Io)?;
-    // From here on the bytes are owned and immutable: decode lends
-    // payload ranges out of this allocation by refcount.
-    let buf = PageBuf::from_vec(buf);
+    decode_wire_body(buf).map(|(corr, vt, frame)| (corr, vt, frame, ENVELOPE_LEN_BYTES + len))
+}
+
+/// Decode an already-read wire body (everything after the length
+/// prefix): correlation id, virtual time, frame. The bytes are owned
+/// and immutable from here on, so payload ranges are lent out of this
+/// allocation by refcount.
+pub(crate) fn decode_wire_body(body: Vec<u8>) -> Result<(u64, u64, Frame), RecvError> {
+    let buf = PageBuf::from_vec(body);
     let mut r = Reader::from_buf(&buf);
+    let corr = u64::decode(&mut r).map_err(RecvError::Codec)?;
     let vt = u64::decode(&mut r).map_err(RecvError::Codec)?;
     let frame = Frame::decode(&mut r).map_err(RecvError::Codec)?;
     r.finish().map_err(RecvError::Codec)?;
-    Ok((vt, frame, ENVELOPE_LEN_BYTES + len))
+    Ok((corr, vt, frame))
+}
+
+/// Encode one whole wire frame (envelope v2 head + body) into a
+/// contiguous buffer. Support surface for fault tests and raw-socket
+/// benchmark drivers; the transport itself gather-writes instead.
+pub fn encode_wire_frame(corr: u64, vt: u64, frame: &Frame) -> Result<Vec<u8>, CodecError> {
+    let body_len = frame.body.len();
+    if body_len as u64 > MAX_FRAME_BODY {
+        return Err(CodecError::LengthOverflow {
+            declared: body_len as u64,
+        });
+    }
+    let mut out = Vec::with_capacity(WIRE_HEAD + body_len);
+    out.extend_from_slice(&encode_head(corr, vt, frame.method, body_len));
+    for seg in frame.body.segments() {
+        out.extend_from_slice(seg);
+    }
+    Ok(out)
+}
+
+/// Read and decode one whole wire frame from `r`, returning
+/// `(corr, vt, frame)`. Support surface for fault tests and raw-socket
+/// benchmark drivers — errors map exactly like the transport's own
+/// receive path.
+pub fn read_wire_frame<R: Read>(r: &mut R) -> Result<(u64, u64, Frame), BlobError> {
+    match recv_frame(r) {
+        Ok((corr, vt, frame, _)) => Ok((corr, vt, frame)),
+        Err(RecvError::Codec(c)) => Err(BlobError::Codec(c)),
+        Err(RecvError::IdleTimeout) => Err(BlobError::Unreachable("tcp recv timed out")),
+        Err(RecvError::Io(e)) if is_timeout(&e) => {
+            Err(BlobError::Unreachable("tcp recv timed out"))
+        }
+        Err(_) => Err(BlobError::Unreachable("tcp connection lost")),
+    }
 }
 
 #[cfg(test)]
@@ -556,6 +855,28 @@ mod tests {
         assert!(t.byte_count() > 0);
     }
 
+    #[cfg(unix)]
+    #[test]
+    fn reactor_is_the_default_regime() {
+        let (t, _, _) = setup();
+        assert_eq!(t.server_mode(), ServerMode::Reactor);
+    }
+
+    #[test]
+    fn thread_per_conn_ablation_still_serves() {
+        let t = Arc::new(TcpTransport::with_options(TcpOptions {
+            server_mode: ServerMode::ThreadPerConn,
+            ..TcpOptions::default()
+        }));
+        let c = t.add_node();
+        let s = t.add_node();
+        t.bind(s, Arc::new(Echo));
+        assert_eq!(t.server_mode(), ServerMode::ThreadPerConn);
+        let rpc = RpcClient::new(Arc::clone(&t) as _, c);
+        let resp: u64 = rpc.call(&mut Ctx::start(), s, 1, &41u64).unwrap();
+        assert_eq!(resp, 42);
+    }
+
     #[test]
     fn connections_are_pooled_and_reused() {
         let (t, c, s) = setup();
@@ -568,7 +889,38 @@ mod tests {
         assert_eq!(
             t.pooled_connections(s),
             1,
-            "sequential calls reuse one pooled connection"
+            "sequential calls multiplex over one connection"
+        );
+    }
+
+    #[test]
+    fn concurrent_calls_share_one_multiplexed_connection() {
+        // Cap the pool at one connection: all concurrency must be
+        // carried as in-flight calls on that single socket.
+        let t = Arc::new(TcpTransport::with_options(TcpOptions {
+            max_pooled_per_peer: 1,
+            ..TcpOptions::default()
+        }));
+        let c = t.add_node();
+        let s = t.add_node();
+        t.bind(s, Arc::new(Echo));
+        let rpc = Arc::new(RpcClient::new(Arc::clone(&t) as _, c));
+        let threads: Vec<_> = (0..8u64)
+            .map(|i| {
+                let rpc = Arc::clone(&rpc);
+                std::thread::spawn(move || {
+                    let r: u64 = rpc.call(&mut Ctx::start(), s, 1, &i).unwrap();
+                    assert_eq!(r, i + 1);
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(
+            t.pooled_connections(s),
+            1,
+            "a capped pool multiplexes, never queues on checkout"
         );
     }
 
@@ -647,5 +999,15 @@ mod tests {
             0,
             "payload leg must be copy-free: gather-write out, lend-on-receive back"
         );
+    }
+
+    #[test]
+    fn wire_frame_helpers_roundtrip() {
+        let f = Frame::from_msg(7, &99u64);
+        let bytes = encode_wire_frame(3, 11, &f).unwrap();
+        assert_eq!(bytes.len(), WIRE_HEAD + f.body.len());
+        let (corr, vt, back) = read_wire_frame(&mut &bytes[..]).unwrap();
+        assert_eq!((corr, vt), (3, 11));
+        assert_eq!(back, f);
     }
 }

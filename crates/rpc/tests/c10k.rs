@@ -1,0 +1,178 @@
+//! C10K acceptance: ten thousand concurrent established connections
+//! served by a **fixed** number of threads.
+//!
+//! The thread-per-connection regime would need ten thousand stacks for
+//! this load; the reactor serves it from `event_loops + dispatch_threads`
+//! threads, period. The client swarm runs in a re-executed child process
+//! (this test binary, filtered to [`c10k_client_swarm`]) so the parent's
+//! fd budget is spent only on the server side of each connection.
+//!
+//! Linux-only: the assertion reads `/proc/self/status`, and the reactor
+//! regime itself is the unix build.
+
+#![cfg(target_os = "linux")]
+
+use blobseer_rpc::{Frame, ServerMode, TcpOptions, TcpTransport, Transport};
+use blobseer_util::fdlimit;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Echo;
+impl blobseer_rpc::Service for Echo {
+    fn handle(&self, _ctx: &mut blobseer_rpc::ServerCtx, frame: &Frame) -> Frame {
+        blobseer_rpc::respond(frame, |x: u64| Ok(x))
+    }
+}
+
+/// Current thread count of this process, from `/proc/self/status`.
+fn thread_count() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").expect("procfs");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Threads: line")
+}
+
+/// Child entry point: dial the address in `BLOBSEER_C10K_ADDR` the
+/// requested number of times, hold every connection idle, report READY
+/// on stdout, and keep holding until stdin reaches EOF. A no-op in the
+/// normal test run (the env var is unset).
+#[test]
+fn c10k_client_swarm() {
+    let Ok(addr) = std::env::var("BLOBSEER_C10K_ADDR") else {
+        return;
+    };
+    let want: usize = std::env::var("BLOBSEER_C10K_CONNS")
+        .expect("conn count")
+        .parse()
+        .expect("numeric conn count");
+    let _ = fdlimit::raise_soft_to_hard();
+    let mut held: Vec<TcpStream> = Vec::with_capacity(want);
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while held.len() < want {
+        match TcpStream::connect(&addr) {
+            Ok(s) => held.push(s),
+            Err(e) => {
+                // Transient listen-backlog overflow: let the server
+                // drain its accept queue and retry.
+                assert!(
+                    Instant::now() < deadline,
+                    "swarm stalled at {} conns: {e}",
+                    held.len()
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+    println!("READY {}", held.len());
+    // Hold every connection until the parent closes our stdin.
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+    drop(held);
+}
+
+#[test]
+fn ten_thousand_connections_on_a_fixed_thread_count() {
+    let hard = fdlimit::raise_soft_to_hard().expect("raise fd limit");
+    // The parent holds only the server side of every connection (the
+    // swarm child owns the client side under its own fd budget); leave
+    // headroom for the harness's own fds.
+    let conns: usize = std::cmp::min(10_000, (hard as usize).saturating_sub(2_000));
+    assert!(
+        conns >= 1_000,
+        "fd hard limit {hard} too small to exercise connection scaling"
+    );
+
+    let t = Arc::new(TcpTransport::with_options(TcpOptions {
+        server_mode: ServerMode::Reactor,
+        ..TcpOptions::default()
+    }));
+    let client = t.add_node();
+    let server = t.add_node();
+    t.bind(server, Arc::new(Echo));
+    assert_eq!(t.server_mode(), ServerMode::Reactor);
+    let addr = t.addr(server).unwrap();
+
+    // Warm the client path (mux connection + its reader thread), then
+    // let the harness's sibling-test threads wind down before the
+    // thread-count baseline.
+    let (resp, _) = t
+        .call(client, server, 0, Frame::from_msg(1, &1u64))
+        .unwrap();
+    let x: u64 = blobseer_rpc::parse_response(&resp).unwrap();
+    assert_eq!(x, 1);
+    std::thread::sleep(Duration::from_millis(200));
+    let baseline = thread_count();
+
+    let exe = std::env::current_exe().expect("own test binary");
+    let mut child = std::process::Command::new(exe)
+        .args([
+            "c10k_client_swarm",
+            "--exact",
+            "--nocapture",
+            "--test-threads=1",
+        ])
+        .env("BLOBSEER_C10K_ADDR", addr.to_string())
+        .env("BLOBSEER_C10K_CONNS", conns.to_string())
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn client swarm");
+    let mut child_out = BufReader::new(child.stdout.take().expect("child stdout"));
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = child_out.read_line(&mut line).expect("child stdout line");
+        assert!(n > 0, "swarm exited before READY");
+        // The harness prints "test c10k_client_swarm ... " on the same
+        // line, so match anywhere in it.
+        if line.contains("READY") {
+            break;
+        }
+    }
+
+    // Every swarm connection must be *established server-side* (the
+    // gauge counts installed connections, not SYN backlog).
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while t.active_connections() < conns {
+        assert!(
+            Instant::now() < deadline,
+            "only {}/{conns} connections installed",
+            t.active_connections()
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // The load is ten thousand connections; the thread count is the
+    // same fixed handful it was at one connection.
+    let under_load = thread_count();
+    assert_eq!(
+        under_load, baseline,
+        "thread count must not scale with connections \
+         ({baseline} threads before, {under_load} at {conns} connections)"
+    );
+
+    // And the server still *serves* under that load.
+    let start = Instant::now();
+    let (resp, _) = t
+        .call(client, server, 0, Frame::from_msg(1, &99u64))
+        .unwrap();
+    let x: u64 = blobseer_rpc::parse_response(&resp).unwrap();
+    assert_eq!(x, 99);
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "a call under C10K load must not crawl"
+    );
+
+    // Release the swarm.
+    if let Some(stdin) = child.stdin.take() {
+        let mut stdin = stdin;
+        let _ = stdin.write_all(b"done\n");
+        drop(stdin);
+    }
+    let status = child.wait().expect("reap swarm");
+    assert!(status.success(), "swarm child failed: {status}");
+}

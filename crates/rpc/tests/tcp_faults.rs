@@ -1,24 +1,36 @@
 //! Transport fault injection for [`TcpTransport`]: every failure mode a
 //! real peer can inflict — connect refused, close mid-frame, reset under
-//! a large write, accept-then-silence, hostile length prefixes — must
-//! surface as a clean `TransportResult` error with no hang and no leaked
-//! pooled connection. The provider-death paths simnet already exercises
-//! (kill/revive) ride on the same machinery and are covered in
-//! `crates/rpc/src/tcp.rs` and the core `tcp_e2e` suite.
+//! a large write, accept-then-silence, hostile length prefixes, byte-at-
+//! a-time slow-loris trickles, stray correlation ids, overload shedding
+//! — must surface as a clean `TransportResult` error with no hang and no
+//! leaked pooled connection, in **both** server regimes (the event-driven
+//! reactor and the thread-per-connection ablation). The provider-death
+//! paths simnet already exercises (kill/revive) ride on the same
+//! machinery and are covered in `crates/rpc/src/tcp.rs` and the core
+//! `tcp_e2e` suite.
 
 use blobseer_proto::{BlobError, PageBuf};
-use blobseer_rpc::{Ctx, Frame, RpcClient, TcpOptions, TcpTransport, Transport};
+use blobseer_rpc::{
+    encode_wire_frame, read_wire_frame, Ctx, Frame, RpcClient, ServerMode, TcpOptions,
+    TcpTransport, Transport, CTRL_CORR, CTRL_SHED,
+};
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A transport with short timeouts so fault paths resolve in test time.
 fn transport() -> Arc<TcpTransport> {
+    transport_in(ServerMode::Reactor)
+}
+
+fn transport_in(mode: ServerMode) -> Arc<TcpTransport> {
     Arc::new(TcpTransport::with_options(TcpOptions {
         connect_timeout: Duration::from_millis(500),
         io_timeout: Some(Duration::from_millis(500)),
         max_pooled_per_peer: 8,
+        server_mode: mode,
+        ..TcpOptions::default()
     }))
 }
 
@@ -41,6 +53,14 @@ fn evil_peer(
         }
     });
     (addr, h)
+}
+
+/// An echo service used by the server-side fault tests.
+struct Echo;
+impl blobseer_rpc::Service for Echo {
+    fn handle(&self, _ctx: &mut blobseer_rpc::ServerCtx, frame: &Frame) -> Frame {
+        blobseer_rpc::respond(frame, |x: u64| Ok(x))
+    }
 }
 
 #[test]
@@ -112,7 +132,7 @@ fn silent_peer_times_out_instead_of_hanging() {
     let t = transport();
     let c = t.add_node();
     let peer = t.register_remote(addr);
-    let start = std::time::Instant::now();
+    let start = Instant::now();
     let err = t.call(c, peer, 0, Frame::from_msg(1, &1u64)).unwrap_err();
     assert!(matches!(err, BlobError::Unreachable(_)), "{err:?}");
     assert!(
@@ -148,10 +168,12 @@ fn garbage_response_bytes_are_codec_error() {
     let (addr, h) = evil_peer(|mut s| {
         let mut sink = [0u8; 4096];
         let _ = s.read(&mut sink);
-        // Envelope: len=20 (fixed 14 + 6 body), then 20 bytes where the
-        // frame's body-length prefix claims more than remains.
+        // Envelope v2: len=28 (fixed 22 + 6 body), correlation id 1 (the
+        // first call on a fresh connection), then a frame whose
+        // body-length prefix claims more than remains.
         let mut resp = Vec::new();
-        resp.extend_from_slice(&20u32.to_le_bytes());
+        resp.extend_from_slice(&28u32.to_le_bytes());
+        resp.extend_from_slice(&1u64.to_le_bytes()); // corr
         resp.extend_from_slice(&0u64.to_le_bytes()); // vt
         resp.extend_from_slice(&1u16.to_le_bytes()); // method
         resp.extend_from_slice(&1000u32.to_le_bytes()); // lies: body_len
@@ -167,14 +189,67 @@ fn garbage_response_bytes_are_codec_error() {
 }
 
 #[test]
-fn stalled_client_is_timed_out_by_the_server_but_idle_pools_survive() {
-    use blobseer_rpc::{respond, ServerCtx, Service};
-    struct Echo;
-    impl Service for Echo {
-        fn handle(&self, _ctx: &mut ServerCtx, frame: &Frame) -> Frame {
-            respond(frame, |x: u64| Ok(x))
-        }
+fn stray_correlation_id_is_codec_error_and_kills_the_connection() {
+    // The peer answers with a perfectly well-formed frame — for a call
+    // nobody made. Once the correlation stream lies, nothing on the
+    // connection can be trusted: typed codec error, connection dropped.
+    let (addr, h) = evil_peer(|mut s| {
+        let mut sink = [0u8; 4096];
+        let _ = s.read(&mut sink);
+        let resp = encode_wire_frame(999, 0, &Frame::from_msg(1, &42u64)).unwrap();
+        let _ = s.write_all(&resp);
+    });
+    let t = transport();
+    let c = t.add_node();
+    let peer = t.register_remote(addr);
+    let err = t.call(c, peer, 0, Frame::from_msg(1, &1u64)).unwrap_err();
+    assert!(matches!(err, BlobError::Codec(_)), "{err:?}");
+    assert_eq!(
+        t.pooled_connections(peer),
+        0,
+        "a connection with broken correlation framing must be dropped"
+    );
+    h.join().unwrap();
+}
+
+/// Byte-at-a-time slow loris against both server regimes: a client that
+/// trickles a *valid* request one byte at a time must still be served —
+/// each byte is activity, so the io timeout never fires — and the
+/// response must come back intact.
+fn slow_loris_request_is_served(mode: ServerMode) {
+    let t = transport_in(mode);
+    let server = t.add_node();
+    t.bind(server, Arc::new(Echo));
+    let addr = t.addr(server).unwrap();
+
+    let req = encode_wire_frame(5, 0, &Frame::from_msg(1, &7u64)).unwrap();
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_nodelay(true).unwrap();
+    for b in &req {
+        s.write_all(std::slice::from_ref(b)).unwrap();
+        s.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(3));
     }
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let (corr, _vt, resp) = read_wire_frame(&mut s).unwrap();
+    assert_eq!(corr, 5, "response must carry the request's correlation id");
+    let x: u64 = blobseer_rpc::parse_response(&resp).unwrap();
+    assert_eq!(x, 7);
+}
+
+#[cfg(unix)]
+#[test]
+fn slow_loris_request_is_served_by_the_reactor() {
+    slow_loris_request_is_served(ServerMode::Reactor);
+}
+
+#[test]
+fn slow_loris_request_is_served_by_thread_per_conn() {
+    slow_loris_request_is_served(ServerMode::ThreadPerConn);
+}
+
+#[test]
+fn stalled_client_is_timed_out_by_the_server_but_idle_pools_survive() {
     let t = transport(); // io timeout: 500 ms, applied server-side too
     let client = t.add_node();
     let server = t.add_node();
@@ -182,12 +257,12 @@ fn stalled_client_is_timed_out_by_the_server_but_idle_pools_survive() {
     let addr = t.addr(server).unwrap();
 
     // A client that sends two bytes of envelope and stalls must be
-    // closed by the worker's io timeout, not parked forever.
-    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    // closed by the server's io timeout, not parked forever.
+    let mut s = TcpStream::connect(addr).unwrap();
     s.write_all(&[1, 2]).unwrap();
     s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
     let mut buf = [0u8; 8];
-    let start = std::time::Instant::now();
+    let start = Instant::now();
     let n = s.read(&mut buf).unwrap();
     assert_eq!(n, 0, "server must close a mid-frame staller");
     assert!(start.elapsed() < Duration::from_secs(3));
@@ -209,17 +284,154 @@ fn stalled_client_is_timed_out_by_the_server_but_idle_pools_survive() {
 }
 
 #[test]
+fn half_readable_frame_then_stall_only_costs_that_connection() {
+    // A client delivers the envelope head and half the body, then goes
+    // quiet: the server must reap exactly that connection while a
+    // well-behaved caller sharing the same server stays serviced.
+    let t = transport();
+    let client = t.add_node();
+    let server = t.add_node();
+    t.bind(server, Arc::new(Echo));
+    let addr = t.addr(server).unwrap();
+
+    let req = encode_wire_frame(1, 0, &Frame::from_msg(1, &9u64)).unwrap();
+    let mut staller = TcpStream::connect(addr).unwrap();
+    staller.write_all(&req[..req.len() / 2]).unwrap();
+
+    // While the staller is mid-frame, a real call must go through.
+    let rpc = RpcClient::new(Arc::clone(&t) as _, client);
+    let mut ctx = Ctx::start();
+    let r: u64 = rpc.call(&mut ctx, server, 1, &11u64).unwrap();
+    assert_eq!(r, 11);
+
+    // The staller is closed by the io timeout (EOF on its next read).
+    staller
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut buf = [0u8; 8];
+    let n = staller.read(&mut buf).unwrap();
+    assert_eq!(n, 0, "server must close a half-frame staller");
+}
+
+#[cfg(unix)]
+#[test]
+fn interleaved_responses_share_one_multiplexed_socket() {
+    use blobseer_rpc::{respond, ServerCtx, Service};
+    // A service whose latency depends on the request: big values sleep.
+    struct SkewEcho;
+    impl Service for SkewEcho {
+        fn handle(&self, _ctx: &mut ServerCtx, frame: &Frame) -> Frame {
+            respond(frame, |x: u64| {
+                if x >= 100 {
+                    std::thread::sleep(Duration::from_millis(400));
+                }
+                Ok(x)
+            })
+        }
+    }
+    // One connection only: both calls MUST multiplex over it, and the
+    // reactor + dispatch pool must let the fast response overtake the
+    // slow one on the same socket.
+    let t = Arc::new(TcpTransport::with_options(TcpOptions {
+        connect_timeout: Duration::from_millis(500),
+        io_timeout: Some(Duration::from_secs(5)),
+        max_pooled_per_peer: 1,
+        ..TcpOptions::default()
+    }));
+    let client = t.add_node();
+    let server = t.add_node();
+    t.bind(server, Arc::new(SkewEcho));
+
+    let t_slow = Arc::clone(&t);
+    let slow = std::thread::spawn(move || {
+        let started = Instant::now();
+        let (resp, _) = t_slow
+            .call(client, server, 0, Frame::from_msg(1, &100u64))
+            .unwrap();
+        let x: u64 = blobseer_rpc::parse_response(&resp).unwrap();
+        (x, started.elapsed())
+    });
+    // Let the slow call win the race into the socket.
+    std::thread::sleep(Duration::from_millis(100));
+    let started = Instant::now();
+    let (resp, _) = t
+        .call(client, server, 0, Frame::from_msg(1, &1u64))
+        .unwrap();
+    let fast_elapsed = started.elapsed();
+    let x: u64 = blobseer_rpc::parse_response(&resp).unwrap();
+    assert_eq!(x, 1);
+    let (slow_x, slow_elapsed) = slow.join().unwrap();
+    assert_eq!(slow_x, 100);
+    assert_eq!(
+        t.pooled_connections(server),
+        1,
+        "both calls must share the single pooled connection"
+    );
+    assert!(
+        fast_elapsed < Duration::from_millis(300),
+        "the fast response must not queue behind the slow handler \
+         (took {fast_elapsed:?})"
+    );
+    assert!(slow_elapsed >= Duration::from_millis(300));
+}
+
+#[test]
+fn overloaded_server_sheds_newest_connections_with_a_typed_close() {
+    // Cap the server at 2 established connections. The shed path is the
+    // same one the EMFILE accept branch takes: accept, write a CTRL_SHED
+    // control frame, close — never silence, never a sleep-loop.
+    let t = Arc::new(TcpTransport::with_options(TcpOptions {
+        connect_timeout: Duration::from_millis(500),
+        io_timeout: Some(Duration::from_millis(500)),
+        max_connections: 2,
+        ..TcpOptions::default()
+    }));
+    let server = t.add_node();
+    t.bind(server, Arc::new(Echo));
+    let addr = t.addr(server).unwrap();
+
+    // Fill the cap with idle raw connections and give the server time to
+    // install them.
+    let _held: Vec<TcpStream> = (0..2).map(|_| TcpStream::connect(addr).unwrap()).collect();
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while t.active_connections() < 2 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(t.active_connections(), 2);
+
+    // The next raw connection is shed: it receives exactly one control
+    // frame on the reserved correlation id, then EOF.
+    let mut extra = TcpStream::connect(addr).unwrap();
+    extra
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let (corr, _vt, frame) = read_wire_frame(&mut extra).unwrap();
+    assert_eq!(corr, CTRL_CORR, "shed notice rides the control channel");
+    assert_eq!(frame.method, CTRL_SHED);
+    let mut buf = [0u8; 8];
+    assert_eq!(extra.read(&mut buf).unwrap(), 0, "shed ends in EOF");
+    assert!(t.shed_count() > 0);
+
+    // Through the client stack the shed surfaces as a typed Unreachable,
+    // never a hang.
+    let t2 = transport();
+    let c2 = t2.add_node();
+    let peer = t2.register_remote(addr);
+    let start = Instant::now();
+    let err = t2.call(c2, peer, 0, Frame::from_msg(1, &1u64)).unwrap_err();
+    assert!(
+        matches!(err, BlobError::Unreachable(msg) if msg.contains("shed")),
+        "{err:?}"
+    );
+    assert!(start.elapsed() < Duration::from_secs(3));
+    assert_eq!(t2.pooled_connections(peer), 0);
+}
+
+#[test]
 fn server_survives_corrupt_and_half_open_clients() {
     // The *server* side of the same coin: a client that sends garbage or
     // disconnects mid-frame must only cost its own connection; the
     // service keeps serving well-behaved callers.
-    use blobseer_rpc::{respond, ServerCtx, Service};
-    struct Echo;
-    impl Service for Echo {
-        fn handle(&self, _ctx: &mut ServerCtx, frame: &Frame) -> Frame {
-            respond(frame, |x: u64| Ok(x))
-        }
-    }
     let t = transport();
     let client = t.add_node();
     let server = t.add_node();
@@ -227,12 +439,12 @@ fn server_survives_corrupt_and_half_open_clients() {
     let addr = t.addr(server).unwrap();
 
     // Garbage envelope length.
-    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    let mut s = TcpStream::connect(addr).unwrap();
     s.write_all(&u32::MAX.to_le_bytes()).unwrap();
     s.write_all(&[0xFF; 32]).unwrap();
     drop(s);
     // Half a frame, then disconnect.
-    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    let mut s = TcpStream::connect(addr).unwrap();
     s.write_all(&100u32.to_le_bytes()).unwrap();
     s.write_all(&[1u8; 20]).unwrap();
     drop(s);

@@ -182,6 +182,24 @@ impl Condvar {
         guard.0 = Some(inner);
     }
 
+    /// Block until notified or `timeout` elapses, releasing the guarded
+    /// mutex while parked. Returns a result whose
+    /// [`timed_out`](WaitTimeoutResult::timed_out) distinguishes the
+    /// wakeup reason — same shape as the real crate.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard present");
+        let (inner, res) = match self.0.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(e) => e.into_inner(),
+        };
+        guard.0 = Some(inner);
+        WaitTimeoutResult(res.timed_out())
+    }
+
     /// Wake one parked waiter.
     pub fn notify_one(&self) {
         self.0.notify_one();
@@ -190,6 +208,17 @@ impl Condvar {
     /// Wake every parked waiter.
     pub fn notify_all(&self) {
         self.0.notify_all();
+    }
+}
+
+/// Whether a [`Condvar::wait_for`] returned because its timeout elapsed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait ended by timeout rather than a notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
     }
 }
 

@@ -43,11 +43,15 @@
 //! * [`testsync`] — the shared test-serialization lock guarding the
 //!   process-global ablation toggles against `cargo test`'s parallel
 //!   runner.
+//! * [`fdlimit`] — raise the soft `RLIMIT_NOFILE` to the hard ceiling,
+//!   so the C10K transport tests and benches can hold thousands of
+//!   sockets regardless of the environment's default `ulimit -n`.
 
 #![warn(missing_docs)]
 
 pub mod clockcache;
 pub mod copymeter;
+pub mod fdlimit;
 pub mod fxhash;
 pub mod interval_map;
 pub mod lockmeter;

@@ -114,6 +114,25 @@
 //! wire format and the full error taxonomy, and `bench/pr3_tcp`
 //! (`BENCH_PR3.json`) for the gather-write vs flatten ablation.
 //!
+//! The server side is an **event-driven reactor** ([`ServerMode::Reactor`],
+//! the default): a fixed set of nonblocking event loops owns every
+//! accepted connection and a bounded dispatch pool runs the service
+//! handlers, so ten thousand established connections are served by the
+//! same handful of threads as one (`crates/rpc/tests/c10k.rs` asserts
+//! exactly that). The client multiplexes: the wire envelope (v2)
+//! carries a **correlation id**, so one socket carries many in-flight
+//! calls, each completed through its own slot — connection errors fail
+//! every call in flight with a typed error, never a hang. The PR 3
+//! thread-per-connection regime survives as the
+//! [`ServerMode::ThreadPerConn`] ablation toggle
+//! ([`TcpOptions::server_mode`]); `bench/pr6_reactor`
+//! (`BENCH_PR6.json`) sweeps the two regimes' per-connection memory,
+//! thread counts, and accept-to-first-byte latency against each other.
+//! Overload is shed, not queued: past the fd budget (or
+//! [`TcpOptions::max_connections`]) the *newest* connection gets a
+//! typed control-frame close — established connections are never
+//! sacrificed for new ones.
+//!
 //! ## Persistent deployments
 //!
 //! Providers can keep their pages on a **persistent storage backend**
@@ -224,5 +243,5 @@ pub use blobseer_core::{
 };
 pub use blobseer_meta::ReferenceStore;
 pub use blobseer_proto::{BlobError, BlobId, Geometry, PageBuf, Segment, Version};
-pub use blobseer_rpc::{AggregationPolicy, Ctx, TcpOptions, TcpTransport};
+pub use blobseer_rpc::{AggregationPolicy, Ctx, ServerMode, TcpOptions, TcpTransport};
 pub use blobseer_simnet::{ClientCosts, CostModel, ServiceCosts};
