@@ -20,6 +20,18 @@
 //! mapping), plus [`Deployment::restart_storage`]: a killed provider
 //! re-opened on the directory it died with re-serves every page it
 //! acknowledged.
+//!
+//! Since PR 7 the **control plane** shares that guarantee: on the mmap
+//! backend every metadata provider journals its tree-node mutations
+//! (`meta-<i>/meta.g<N>.log`) and the version manager journals blob
+//! creations and publications (`version/version.g<N>.log`), all through
+//! the same record-then-commit engine as the page log, write-ahead of
+//! the acknowledgement. [`Deployment::restart_cluster`] is the
+//! whole-cluster cold restart: every node kind is killed, reopened from
+//! its logs, replayed, and re-served — acknowledged writes come back
+//! byte-identical, on either transport. [`Deployment::build_at`] pins
+//! the durable root so a *different process* can perform the same cold
+//! restart (the SIGKILL crash-injection lane).
 
 use crate::client::{BlobClient, MetaCache};
 use crate::vm_service::VersionManagerService;
@@ -32,7 +44,8 @@ use blobseer_rpc::{
     Transport,
 };
 use blobseer_simnet::{ClientCosts, CostModel, ServiceCosts, SimCluster};
-use blobseer_version::VersionRegistry;
+use blobseer_util::recordlog::RecordLogOptions;
+use blobseer_version::{VersionLog, VersionRegistry, DEFAULT_WINDOW};
 use parking_lot::RwLock;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -42,11 +55,13 @@ pub use blobseer_provider::{BackendKind, CompactReport, LogOptions};
 /// One storage node's two co-located services (paper: "each hosting one
 /// data provider and one metadata provider"), routed by method namespace.
 ///
-/// The data-provider half is swappable behind a lock so a *provider
-/// restart* can be modelled on a live node: the old service (and its
-/// in-memory index) is dropped, a fresh one — possibly replayed from a
-/// persistent backend — takes its slot, while the node identity, its
-/// listener, and the metadata half survive.
+/// Both halves are swappable behind locks so a *restart* can be
+/// modelled on a live node: the old service (and its in-memory index)
+/// is dropped, a fresh one — possibly replayed from a persistent
+/// backend — takes its slot, while the node identity and its listener
+/// survive. The data half swaps alone for a provider restart; a
+/// whole-cluster cold restart ([`Deployment::restart_cluster`]) swaps
+/// both.
 ///
 /// Deliberately an `RwLock`, not [`blobseer_util::RcuCell`]: RCU
 /// reclaims by retention, so it would pin every dropped incarnation's
@@ -57,8 +72,8 @@ pub use blobseer_provider::{BackendKind, CompactReport, LogOptions};
 pub struct StorageNodeService {
     /// The data-provider half (current incarnation).
     data: RwLock<Arc<DataProviderService>>,
-    /// The metadata-provider half.
-    pub meta: Arc<DhtNodeService>,
+    /// The metadata-provider half (current incarnation).
+    meta: RwLock<Arc<DhtNodeService>>,
 }
 
 impl StorageNodeService {
@@ -66,7 +81,7 @@ impl StorageNodeService {
     pub fn new(data: Arc<DataProviderService>, meta: Arc<DhtNodeService>) -> Self {
         Self {
             data: RwLock::new(data),
-            meta,
+            meta: RwLock::new(meta),
         }
     }
 
@@ -75,9 +90,19 @@ impl StorageNodeService {
         Arc::clone(&self.data.read())
     }
 
+    /// The current metadata-provider incarnation (white-box accessor).
+    pub fn meta(&self) -> Arc<DhtNodeService> {
+        Arc::clone(&self.meta.read())
+    }
+
     /// Swap in a fresh data-provider incarnation (provider restart).
     fn replace_data(&self, data: Arc<DataProviderService>) {
         *self.data.write() = data;
+    }
+
+    /// Swap in a fresh metadata-provider incarnation (cluster restart).
+    fn replace_meta(&self, meta: Arc<DhtNodeService>) {
+        *self.meta.write() = meta;
     }
 }
 
@@ -92,7 +117,10 @@ impl Service for StorageNodeService {
                 let data = self.data();
                 dispatch_frame(data.as_ref(), ctx, frame)
             }
-            0x03 => dispatch_frame(self.meta.as_ref(), ctx, frame),
+            0x03 => {
+                let meta = self.meta();
+                dispatch_frame(meta.as_ref(), ctx, frame)
+            }
             _ => blobseer_rpc::error_frame(
                 frame.method,
                 blobseer_proto::BlobError::Internal("method not served by storage node"),
@@ -391,16 +419,43 @@ pub struct Deployment {
     /// The metadata cache shared by every client of this deployment
     /// (`None` when `cache_nodes == 0`).
     pub meta_cache: Option<Arc<MetaCache>>,
-    /// Root of the per-provider page-log directories (`Some` only for
-    /// the mmap backend). Created under the system temp dir, removed
-    /// when the deployment drops.
+    /// Version manager handle (swappable internals, for
+    /// [`Deployment::restart_cluster`] and white-box assertions).
+    pub vm: Arc<VersionManagerService>,
+    /// Root of the per-node durable directories (`Some` only for the
+    /// mmap backend): `provider-<i>` page logs, `meta-<i>` metadata
+    /// journals, `version` the version-manager journal.
     data_root: Option<PathBuf>,
+    /// Whether the deployment created `data_root` itself (and thus
+    /// removes it on drop). [`Deployment::build_at`] adopts a
+    /// caller-owned root that must survive the deployment — that is the
+    /// whole point of a cold-restart harness.
+    owns_root: bool,
 }
 
 impl Deployment {
     /// Build the paper's topology on a fresh cluster of the configured
     /// transport kind.
     pub fn build(config: DeploymentConfig) -> Self {
+        Self::build_inner(config, None)
+    }
+
+    /// [`Deployment::build`], but every durable directory lives under
+    /// the caller-supplied `root`, which is **not** removed on drop.
+    /// Building twice on the same root is a whole-cluster cold restart
+    /// across processes: the second build replays every page log,
+    /// metadata journal and version journal found there. Mmap backend
+    /// only.
+    pub fn build_at(config: DeploymentConfig, root: &Path) -> Self {
+        assert_eq!(
+            config.backend,
+            BackendKind::Mmap,
+            "an explicit durable root needs the persistent backend"
+        );
+        Self::build_inner(config, Some(root.to_path_buf()))
+    }
+
+    fn build_inner(config: DeploymentConfig, root_override: Option<PathBuf>) -> Self {
         assert!(config.providers >= 1, "need at least one storage node");
         let cluster = match config.transport {
             TransportKind::Sim => ClusterHandle::Sim(Arc::new(SimCluster::new(config.cost))),
@@ -412,14 +467,28 @@ impl Deployment {
         let vm_node = cluster.add_node();
         let pm_node = cluster.add_node();
 
-        let registry = Arc::new(VersionRegistry::default());
-        cluster.bind(
-            vm_node,
-            Arc::new(VersionManagerService::new(
-                Arc::clone(&registry),
-                config.service_costs,
-            )),
-        );
+        // Per-node durable directories for the persistent backend.
+        let owns_root = root_override.is_none();
+        let data_root = match config.backend {
+            BackendKind::Memory => None,
+            BackendKind::Mmap => Some(root_override.unwrap_or_else(|| {
+                use std::sync::atomic::{AtomicU64, Ordering};
+                static NEXT: AtomicU64 = AtomicU64::new(0);
+                std::env::temp_dir().join(format!(
+                    "blobseer-deploy-{}-{}",
+                    std::process::id(),
+                    NEXT.fetch_add(1, Ordering::Relaxed)
+                ))
+            })),
+        };
+        if let Some(root) = &data_root {
+            std::fs::create_dir_all(root).expect("create deployment data root");
+        }
+
+        // The version manager: durable (journaled + replayed) when the
+        // deployment has a durable root, classic in-memory otherwise.
+        let (vm, registry) = build_version_service(&config, data_root.as_deref());
+        cluster.bind(vm_node, Arc::clone(&vm) as Arc<dyn Service>);
 
         let manager = Arc::new(ProviderManagerService::new(
             config.strategy,
@@ -428,22 +497,6 @@ impl Deployment {
         ));
         cluster.bind(pm_node, manager.clone() as Arc<dyn Service>);
 
-        // Per-provider page-log directories for the persistent backend.
-        let data_root = match config.backend {
-            BackendKind::Memory => None,
-            BackendKind::Mmap => {
-                use std::sync::atomic::{AtomicU64, Ordering};
-                static NEXT: AtomicU64 = AtomicU64::new(0);
-                let root = std::env::temp_dir().join(format!(
-                    "blobseer-deploy-{}-{}",
-                    std::process::id(),
-                    NEXT.fetch_add(1, Ordering::Relaxed)
-                ));
-                std::fs::create_dir_all(&root).expect("create deployment data root");
-                Some(root)
-            }
-        };
-
         // Storage nodes.
         let capacity = config.effective_capacity();
         let mut storage_nodes = Vec::with_capacity(config.providers);
@@ -451,10 +504,8 @@ impl Deployment {
         for i in 0..config.providers {
             let node = cluster.add_node();
             let data = build_data_service(&config, data_root.as_deref(), i);
-            let svc = Arc::new(StorageNodeService::new(
-                data,
-                Arc::new(DhtNodeService::new(config.service_costs)),
-            ));
+            let meta = build_meta_service(&config, data_root.as_deref(), i);
+            let svc = Arc::new(StorageNodeService::new(data, meta));
             cluster.bind(node, svc.clone() as Arc<dyn Service>);
             // Register with the provider manager (in a real run this is an
             // RPC from the provider at startup; the registration content is
@@ -474,7 +525,7 @@ impl Deployment {
         let meta_cache =
             (config.cache_nodes > 0).then(|| Arc::new(MetaCache::new(config.cache_nodes)));
 
-        Self {
+        let d = Self {
             cluster,
             config,
             vm_node,
@@ -485,8 +536,36 @@ impl Deployment {
             manager,
             ring,
             meta_cache,
+            vm,
             data_root,
+            owns_root,
+        };
+        // A build over pre-existing durable state (build_at on a used
+        // root) is a cold restart: the manager's soft write-id counter
+        // must move past every id the replayed state still references.
+        d.advance_write_floor();
+        d
+    }
+
+    /// Raise the provider manager's write-id allocator past every write
+    /// id visible in the replayed state (provider page indexes and the
+    /// recovered version histories), so fresh writes can never collide
+    /// with durable pages under a reused `PageKey`.
+    fn advance_write_floor(&self) {
+        let mut floor = 0u64;
+        for svc in &self.storage {
+            for key in svc.data().keys() {
+                floor = floor.max(key.write.0);
+            }
         }
+        for state in self.registry.states() {
+            for v in 1..=state.latest() {
+                if let Some(rec) = state.record(v) {
+                    floor = floor.max(rec.write.0);
+                }
+            }
+        }
+        self.manager.advance_write_ids(floor + 1);
     }
 
     /// Spawn a client on its own fresh node. All clients of one
@@ -537,10 +616,94 @@ impl Deployment {
         self.revive_storage(i);
     }
 
+    /// Whole-cluster **cold restart**: kill every node kind — data
+    /// providers, metadata providers, version manager, provider manager
+    /// — drop all their in-memory state, reopen each from its durable
+    /// directory, replay, and re-serve. Node identities, listeners and
+    /// client handles survive (services swap internally), so existing
+    /// clients keep working against the recovered cluster.
+    ///
+    /// On the mmap backend every acknowledged write is re-served
+    /// byte-identical: page logs replay into the data providers, the
+    /// metadata journals replay into the DHT nodes, and the version
+    /// journal replays into a fresh registry whose latest published
+    /// version is exactly the last durable one. The provider manager's
+    /// state is soft (rebuilt by re-registration, as in a real
+    /// deployment), except its write-id allocator, which is advanced
+    /// past every replayed id so recycled `PageKey`s cannot corrupt
+    /// recovered versions.
+    ///
+    /// On the memory backend this is the documented **negative
+    /// control**: there is nothing durable to replay, so the cluster
+    /// comes back *empty* — every previously acknowledged byte is gone.
+    /// The restart itself still succeeds cleanly and subsequent reads
+    /// fail with typed errors ([`blobseer_proto::BlobError::UnknownBlob`]),
+    /// never a hang or a panic; `crates/core/tests/matrix_e2e.rs`
+    /// asserts exactly that. This is the data-loss mode the durable
+    /// backend exists to prevent.
+    ///
+    /// Restarting twice is identical to restarting once (replay is
+    /// idempotent — the version journal checkpoints on open).
+    pub fn restart_cluster(&mut self) -> Result<(), blobseer_proto::BlobError> {
+        // Kill everything first: a cold restart has no surviving node.
+        self.cluster.kill(self.vm_node);
+        self.cluster.kill(self.pm_node);
+        for i in 0..self.storage_nodes.len() {
+            self.kill_storage(i);
+        }
+
+        // Reopen + replay each service from its durable directory (or
+        // fresh and empty on the volatile backend).
+        for (i, svc) in self.storage.iter().enumerate() {
+            svc.replace_data(build_data_service(
+                &self.config,
+                self.data_root.as_deref(),
+                i,
+            ));
+            svc.replace_meta(build_meta_service(
+                &self.config,
+                self.data_root.as_deref(),
+                i,
+            ));
+        }
+        let (registry, vlog) = reopen_version_state(&self.config, self.data_root.as_deref())?;
+        self.vm.replace(Arc::clone(&registry), vlog);
+        self.registry = registry;
+
+        // The shared client-side cache belongs to the old incarnation:
+        // on the volatile backend it could serve nodes the restarted
+        // cluster no longer stores.
+        self.meta_cache = (self.config.cache_nodes > 0)
+            .then(|| Arc::new(MetaCache::new(self.config.cache_nodes)));
+
+        self.advance_write_floor();
+
+        // Bring the nodes back; providers re-register exactly as their
+        // startup RPC would.
+        self.cluster.revive(self.vm_node);
+        self.cluster.revive(self.pm_node);
+        for i in 0..self.storage_nodes.len() {
+            self.revive_storage(i);
+        }
+        Ok(())
+    }
+
     /// The page-log directory of storage node `i` (`Some` only for the
     /// mmap backend).
     pub fn backend_dir(&self, i: usize) -> Option<PathBuf> {
         self.data_root.as_deref().map(|r| provider_dir(r, i))
+    }
+
+    /// The metadata-journal directory of storage node `i` (`Some` only
+    /// for the mmap backend).
+    pub fn meta_dir(&self, i: usize) -> Option<PathBuf> {
+        self.data_root.as_deref().map(|r| meta_dir(r, i))
+    }
+
+    /// The version-manager journal directory (`Some` only for the mmap
+    /// backend).
+    pub fn version_dir(&self) -> Option<PathBuf> {
+        self.data_root.as_deref().map(version_dir)
     }
 
     /// Compact storage node `i`'s page log: rewrite the live pages into
@@ -569,7 +732,7 @@ impl Deployment {
 
     /// Total metadata tree nodes stored across the cluster.
     pub fn total_tree_nodes(&self) -> usize {
-        self.storage.iter().map(|s| s.meta.len()).sum()
+        self.storage.iter().map(|s| s.meta().len()).sum()
     }
 }
 
@@ -580,6 +743,86 @@ impl Deployment {
 /// directory the original incarnation wrote.
 fn provider_dir(data_root: &Path, i: usize) -> PathBuf {
     data_root.join(format!("provider-{i}"))
+}
+
+/// Storage node `i`'s metadata-journal directory (same contract as
+/// [`provider_dir`]: builder and restart must agree).
+fn meta_dir(data_root: &Path, i: usize) -> PathBuf {
+    data_root.join(format!("meta-{i}"))
+}
+
+/// The version manager's journal directory.
+fn version_dir(data_root: &Path) -> PathBuf {
+    data_root.join("version")
+}
+
+/// The control-plane journals inherit the page log's durability knobs
+/// (fsync-on-commit, group-commit window); compaction thresholds do not
+/// apply — both journals checkpoint/rewrite on their own schedule.
+fn record_log_options(config: &DeploymentConfig) -> RecordLogOptions {
+    RecordLogOptions {
+        fsync_on_commit: config.log.fsync_on_commit,
+        group_commit_window: config.log.group_commit_window,
+    }
+}
+
+/// Build storage node `i`'s metadata half: journaled (and replayed)
+/// under `meta-<i>` when the deployment has a durable root, volatile
+/// otherwise.
+fn build_meta_service(
+    config: &DeploymentConfig,
+    data_root: Option<&Path>,
+    i: usize,
+) -> Arc<DhtNodeService> {
+    match data_root {
+        None => Arc::new(DhtNodeService::new(config.service_costs)),
+        Some(root) => Arc::new(
+            DhtNodeService::open_durable(
+                &meta_dir(root, i),
+                record_log_options(config),
+                config.service_costs,
+            )
+            .expect("open metadata journal"),
+        ),
+    }
+}
+
+/// Replay (or freshly create) the version manager's durable state.
+fn reopen_version_state(
+    config: &DeploymentConfig,
+    data_root: Option<&Path>,
+) -> Result<(Arc<VersionRegistry>, Option<Arc<VersionLog>>), blobseer_proto::BlobError> {
+    match data_root {
+        None => Ok((Arc::new(VersionRegistry::default()), None)),
+        Some(root) => {
+            let (vlog, registry) = VersionLog::open(
+                &version_dir(root),
+                record_log_options(config),
+                DEFAULT_WINDOW,
+            )?;
+            Ok((Arc::new(registry), Some(Arc::new(vlog))))
+        }
+    }
+}
+
+/// Build the version-manager service for the configured backend.
+fn build_version_service(
+    config: &DeploymentConfig,
+    data_root: Option<&Path>,
+) -> (Arc<VersionManagerService>, Arc<VersionRegistry>) {
+    let (registry, vlog) = reopen_version_state(config, data_root).expect("open version journal");
+    let vm = match vlog {
+        None => Arc::new(VersionManagerService::new(
+            Arc::clone(&registry),
+            config.service_costs,
+        )),
+        Some(log) => Arc::new(VersionManagerService::with_log(
+            Arc::clone(&registry),
+            log,
+            config.service_costs,
+        )),
+    };
+    (vm, registry)
 }
 
 /// Build storage node `i`'s data-provider service for the configured
@@ -612,6 +855,9 @@ fn build_data_service(
 
 impl Drop for Deployment {
     fn drop(&mut self) {
+        if !self.owns_root {
+            return;
+        }
         if let Some(root) = &self.data_root {
             // Unlinking while mapped is fine on unix: served PageBufs
             // keep their pages alive until the last slice drops.

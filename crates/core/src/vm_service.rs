@@ -12,6 +12,22 @@
 //! `VersionAssign` class, and `crates/core/tests/lock_free.rs` asserts a
 //! steady-state WRITE acquires it exactly once and acquires **no** other
 //! serializing lock anywhere in the stack.
+//!
+//! ## Durability (PR 7)
+//!
+//! When built [`with_log`](VersionManagerService::with_log), the service
+//! journals through a [`blobseer_version::VersionLog`] **write-ahead**:
+//! `CREATE_BLOB` logs the blob before its id is acknowledged, and
+//! `COMPLETE_WRITE` logs the publication *before* the version becomes
+//! observable in the publish window — so a reader that ever saw
+//! `latest >= v` is guaranteed to see `v` again after a cold restart.
+//! The registry/log pair is swappable
+//! ([`VersionManagerService::replace`]) so a cluster restart can replay
+//! into fresh state without rebinding the RPC endpoint. Log appends are
+//! positioned writes coordinated by the engine's group-commit machinery
+//! — durability plumbing, not data-plane serialization, so the
+//! steady-state lock budget (one `VersionAssign` lock per WRITE, zero
+//! serializing locks) is unchanged; the bench gate holds it to that.
 
 use blobseer_proto::messages::{
     method, CompleteWrite, CreateBlob, GcRequest, GetLatest, PublishState, RequestVersion,
@@ -19,24 +35,70 @@ use blobseer_proto::messages::{
 use blobseer_proto::{BlobError, Geometry};
 use blobseer_rpc::{error_frame, respond, Frame, ServerCtx, Service};
 use blobseer_simnet::ServiceCosts;
-use blobseer_version::VersionRegistry;
+use blobseer_version::{VersionLog, VersionRegistry};
+use parking_lot::RwLock;
 use std::sync::Arc;
 
 /// RPC facade over the version registry.
 pub struct VersionManagerService {
-    registry: Arc<VersionRegistry>,
+    /// Swap-read only: taken shared per request, exclusively only by
+    /// [`replace`](Self::replace) during a cluster restart. Not a
+    /// steady-state serialization point.
+    registry: RwLock<Arc<VersionRegistry>>,
+    log: RwLock<Option<Arc<VersionLog>>>,
     costs: ServiceCosts,
 }
 
 impl VersionManagerService {
-    /// Wrap a registry.
+    /// Wrap a registry (volatile: no journal, the pre-PR-7 behaviour).
     pub fn new(registry: Arc<VersionRegistry>, costs: ServiceCosts) -> Self {
-        Self { registry, costs }
+        Self {
+            registry: RwLock::new(registry),
+            log: RwLock::new(None),
+            costs,
+        }
+    }
+
+    /// Wrap a registry with a write-ahead journal: creations and
+    /// publications are logged before they are acknowledged.
+    pub fn with_log(
+        registry: Arc<VersionRegistry>,
+        log: Arc<VersionLog>,
+        costs: ServiceCosts,
+    ) -> Self {
+        Self {
+            registry: RwLock::new(registry),
+            log: RwLock::new(Some(log)),
+            costs,
+        }
     }
 
     /// The underlying registry (shared with tests/recovery tooling).
-    pub fn registry(&self) -> &Arc<VersionRegistry> {
-        &self.registry
+    pub fn registry(&self) -> Arc<VersionRegistry> {
+        Arc::clone(&self.registry.read())
+    }
+
+    /// The current journal, if durable.
+    fn log(&self) -> Option<Arc<VersionLog>> {
+        self.log.read().clone()
+    }
+
+    /// True when creations/publications are journaled.
+    pub fn is_durable(&self) -> bool {
+        self.log.read().is_some()
+    }
+
+    /// Journal size in bytes (0 when volatile).
+    pub fn log_bytes(&self) -> u64 {
+        self.log.read().as_ref().map_or(0, |l| l.log_bytes())
+    }
+
+    /// Swap in a freshly replayed registry/journal pair (cluster
+    /// restart). In-flight requests against the old registry finish
+    /// against the old state; new requests see the replayed one.
+    pub fn replace(&self, registry: Arc<VersionRegistry>, log: Option<Arc<VersionLog>>) {
+        *self.log.write() = log;
+        *self.registry.write() = registry;
     }
 }
 
@@ -51,31 +113,56 @@ impl Service for VersionManagerService {
                 ctx.charge(self.costs.manager_query_ns);
                 respond(frame, |m: CreateBlob| {
                     let geom = Geometry::new(m.total_size, m.page_size)?;
-                    let state = self.registry.create_blob(geom);
+                    let state = self.registry().create_blob(geom);
+                    // Write-ahead: the id escapes only through this ack,
+                    // so journaling before returning makes the creation
+                    // recoverable the moment any client learns of it.
+                    if let Some(log) = self.log() {
+                        log.record_create(state.blob, &state.geom)?;
+                    }
                     Ok(state.info())
                 })
             }
             method::GET_BLOB => {
                 ctx.charge(self.costs.manager_query_ns);
-                respond(frame, |m: GetLatest| Ok(self.registry.get(m.blob)?.info()))
+                respond(frame, |m: GetLatest| {
+                    Ok(self.registry().get(m.blob)?.info())
+                })
             }
             method::GET_LATEST => {
                 ctx.charge(self.costs.manager_query_ns);
                 respond(frame, |m: GetLatest| {
-                    Ok(self.registry.get(m.blob)?.latest())
+                    Ok(self.registry().get(m.blob)?.latest())
                 })
             }
             method::REQUEST_VERSION => {
                 ctx.charge(self.costs.version_assign_ns);
                 respond(frame, |m: RequestVersion| {
-                    let state = self.registry.get(m.blob)?;
+                    let state = self.registry().get(m.blob)?;
                     state.request_version(m.write, m.segment())
                 })
             }
             method::COMPLETE_WRITE => {
                 ctx.charge(self.costs.manager_query_ns);
                 respond(frame, |m: CompleteWrite| {
-                    let state = self.registry.get(m.blob)?;
+                    let state = self.registry().get(m.blob)?;
+                    // Write-ahead: journal the publication before the
+                    // version can become observable. A crash after the
+                    // append but before `complete_write` leaves a
+                    // harmless never-observed record (replay drops it
+                    // past the gap); a crash after `complete_write`
+                    // finds it durable — no observable version is ever
+                    // lost. Already-completed versions skip the journal
+                    // so duplicate completions stay errors without
+                    // bloating the log.
+                    if let Some(log) = self.log() {
+                        let rec = state
+                            .record(m.version)
+                            .ok_or(BlobError::Internal("completion for unassigned version"))?;
+                        if !rec.is_completed() {
+                            log.record_publish(m.blob, m.version, rec.write, &rec.seg)?;
+                        }
+                    }
                     Ok(PublishState {
                         latest: state.complete_write(m.version)?,
                     })
@@ -84,7 +171,7 @@ impl Service for VersionManagerService {
             method::GC_PLAN => {
                 ctx.charge(self.costs.version_assign_ns);
                 respond(frame, |m: GcRequest| {
-                    let state = self.registry.get(m.blob)?;
+                    let state = self.registry().get(m.blob)?;
                     Ok(state.gc_plan(m.keep_from))
                 })
             }

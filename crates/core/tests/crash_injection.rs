@@ -314,3 +314,264 @@ fn sigkill_mid_workload_loses_only_uncommitted_tails() {
         crash_iteration(iter);
     }
 }
+
+// ---------------------------------------------------------------------------
+// PR 7: whole-cluster kills — metadata and version nodes die too
+// ---------------------------------------------------------------------------
+
+const CLUSTER_PAGE: u64 = 1024;
+const CLUSTER_PAGES: u64 = 32;
+const CLUSTER_TOTAL: u64 = CLUSTER_PAGE * CLUSTER_PAGES;
+const CLUSTER_WRITERS: u64 = 3;
+
+/// Deterministic segment + fill for one logical write `w` — parent and
+/// child derive identical bytes from `w` alone.
+fn cluster_write_shape(w: u64) -> (blobseer_proto::Segment, u8) {
+    let mut state = w ^ 0xfeed_beef_0bad_cafe;
+    let start = splitmix64(&mut state) % CLUSTER_PAGES;
+    let len = 1 + splitmix64(&mut state) % (CLUSTER_PAGES - start).min(4);
+    let fill = splitmix64(&mut state) as u8;
+    (
+        blobseer_proto::Segment::new(start * CLUSTER_PAGE, len * CLUSTER_PAGE),
+        fill,
+    )
+}
+
+fn cluster_fill(fill: u8, size: u64) -> Vec<u8> {
+    (0..size).map(|j| fill.wrapping_add(j as u8)).collect()
+}
+
+fn cluster_cfg() -> DeploymentConfig {
+    DeploymentConfig::functional(PROVIDERS)
+        .with_transport(TransportKind::Tcp)
+        .with_backend(BackendKind::Mmap)
+}
+
+/// The whole-cluster child: a tcp × mmap deployment pinned at a root
+/// the parent knows (`build_at`), with concurrent writers publishing
+/// versions **through the full stack** — provider page logs, metadata
+/// journals, version journal — forever, until the parent's `SIGKILL`.
+/// A write is acked only after the client observed `latest >= v`: from
+/// that moment the version is *published*, and publication is exactly
+/// what the durable control plane promises to re-serve.
+#[test]
+fn crash_cluster_child() {
+    let Ok(dir) = std::env::var("BLOBSEER_CRASH_CLUSTER_DIR") else {
+        return;
+    };
+    run_cluster_child(Path::new(&dir));
+}
+
+fn run_cluster_child(harness_dir: &Path) -> ! {
+    let d = Deployment::build_at(cluster_cfg(), &harness_dir.join("root"));
+    let setup = d.client();
+    let mut ctx = Ctx::start();
+    let info = setup
+        .alloc(&mut ctx, CLUSTER_TOTAL, CLUSTER_PAGE)
+        .expect("alloc crash blob");
+
+    let acks = std::sync::Mutex::new(
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(harness_dir.join("acks.txt"))
+            .expect("open ack log"),
+    );
+    let ack = |line: String| {
+        let mut f = acks.lock().unwrap();
+        f.write_all(line.as_bytes()).expect("ack write");
+        f.flush().expect("ack flush");
+    };
+    // Publish the blob id last: once the parent sees it, acks may flow.
+    ack(format!("blob {}\n", info.blob.0));
+
+    std::thread::scope(|s| {
+        for t in 0..CLUSTER_WRITERS {
+            let d = &d;
+            let ack = &ack;
+            let blob = info.blob;
+            s.spawn(move || {
+                let c = d.client();
+                let mut ctx = Ctx::start();
+                // Disjoint w-spaces per writer; interleaving at the
+                // version manager is what the kill window fuzzes.
+                let mut w = 1 + t;
+                loop {
+                    let (seg, fill) = cluster_write_shape(w);
+                    let data = cluster_fill(fill, seg.size);
+                    if let Ok(v) = c.write(&mut ctx, blob, seg.offset, &data) {
+                        // Ack only once the version is *published* —
+                        // observable to any reader — not merely
+                        // completed out of order above a gap.
+                        while c.latest(&mut ctx, blob).unwrap_or(0) < v {
+                            std::thread::yield_now();
+                        }
+                        ack(format!("ok {v} {w}\n"));
+                    }
+                    w += CLUSTER_WRITERS;
+                }
+            });
+        }
+    });
+    unreachable!("writer threads never return");
+}
+
+struct ClusterAcks {
+    blob: u64,
+    /// version -> logical write `w`, complete lines only.
+    published: BTreeMap<u64, u64>,
+}
+
+fn parse_cluster_acks(path: &Path) -> ClusterAcks {
+    let raw = std::fs::read_to_string(path).expect("read ack log");
+    let mut out = ClusterAcks {
+        blob: 0,
+        published: BTreeMap::new(),
+    };
+    // The final line may be torn by the kill; `ends_with('\n')` decides
+    // whether it counts.
+    let complete: Vec<&str> = if raw.ends_with('\n') {
+        raw.lines().collect()
+    } else {
+        let mut all: Vec<&str> = raw.lines().collect();
+        all.pop();
+        all
+    };
+    for line in complete {
+        let mut parts = line.split_whitespace();
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some("blob"), Some(b), None) => out.blob = b.parse().expect("blob id"),
+            (Some("ok"), Some(v), Some(w)) => {
+                let (Ok(v), Ok(w)) = (v.parse::<u64>(), w.parse::<u64>()) else {
+                    continue;
+                };
+                out.published.insert(v, w);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// One fuzzed whole-cluster kill: SIGKILL takes down data providers,
+/// metadata providers, the version manager and the provider manager in
+/// one blow — possibly mid-publish, mid-meta-batch, or mid-checkpoint.
+/// The parent then performs the cold restart (`build_at` on the same
+/// root, a different process) and checks the control-plane contract:
+///
+/// * replay surfaces exactly a published prefix: `latest` after
+///   recovery is at least the highest version the child saw published;
+/// * every acked version re-serves its write's bytes byte-identical;
+/// * **no torn tree**: every recovered version 0..=latest is fully
+///   readable end to end;
+/// * restarting again (in-process `restart_cluster`) changes nothing.
+fn cluster_crash_iteration(iter: u64) {
+    let harness =
+        std::env::temp_dir().join(format!("blobseer-ccrash-{}-{iter}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&harness);
+    std::fs::create_dir_all(&harness).expect("create harness dir");
+
+    let exe = std::env::current_exe().expect("own test binary");
+    let stderr = std::fs::File::create(harness.join("child.stderr")).expect("stderr sink");
+    let mut child = std::process::Command::new(exe)
+        .args([
+            "crash_cluster_child",
+            "--exact",
+            "--nocapture",
+            "--test-threads=1",
+        ])
+        .env("BLOBSEER_CRASH_CLUSTER_DIR", &harness)
+        .stdout(std::process::Stdio::null())
+        .stderr(stderr)
+        .spawn()
+        .expect("spawn cluster crash child");
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let acks_path = harness.join("acks.txt");
+    // Wait until some publishes are acked, so the kill always lands on
+    // a cluster with recoverable state.
+    while !acks_path.metadata().map(|m| m.len() >= 64).unwrap_or(false) {
+        if let Some(status) = child.try_wait().expect("poll child") {
+            let err = std::fs::read_to_string(harness.join("child.stderr")).unwrap_or_default();
+            panic!("cluster crash child exited on its own ({status}); stderr:\n{err}");
+        }
+        assert!(
+            Instant::now() < deadline,
+            "cluster crash child never published"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let mut seed = 0xc1u64 * 0x5eed + iter;
+    let fuzz_ms = splitmix64(&mut seed) % 150;
+    std::thread::sleep(Duration::from_millis(fuzz_ms));
+    child.kill().expect("SIGKILL the cluster child");
+    child.wait().expect("reap the child");
+
+    let acks = parse_cluster_acks(&acks_path);
+    assert!(
+        !acks.published.is_empty(),
+        "iteration {iter}: no published version was acked"
+    );
+    let blob = BlobId(acks.blob);
+    let max_acked = *acks.published.keys().next_back().unwrap();
+
+    // The cold restart, in a different process than the one that died.
+    let mut d = Deployment::build_at(cluster_cfg(), &harness.join("root"));
+    let c = d.client();
+    let mut ctx = Ctx::start();
+    let latest = c.latest(&mut ctx, blob).expect("blob survives the crash");
+    assert!(
+        latest >= max_acked,
+        "iteration {iter}: published v{max_acked} lost (recovered latest {latest})"
+    );
+
+    let verify = |c: &blobseer_core::BlobClient, latest: u64| {
+        let mut ctx = Ctx::start();
+        // Never a torn tree: every surfaced version reads end to end.
+        for v in 0..=latest {
+            let (full, _) = c
+                .read(
+                    &mut ctx,
+                    blob,
+                    Some(v),
+                    blobseer_proto::Segment::new(0, CLUSTER_TOTAL),
+                )
+                .unwrap_or_else(|e| panic!("iteration {iter}: version {v} torn: {e}"));
+            assert_eq!(full.len() as u64, CLUSTER_TOTAL);
+        }
+        // Every acked publish re-serves its own bytes at its version.
+        for (&v, &w) in &acks.published {
+            let (seg, fill) = cluster_write_shape(w);
+            let (got, _) = c
+                .read(&mut ctx, blob, Some(v), seg)
+                .unwrap_or_else(|e| panic!("iteration {iter}: acked v{v} unreadable: {e}"));
+            assert_eq!(
+                got,
+                cluster_fill(fill, seg.size),
+                "iteration {iter}: acked v{v} (write {w}) not byte-identical"
+            );
+        }
+    };
+    verify(&c, latest);
+
+    // Restart idempotence: a second (in-process) cold restart of the
+    // recovered cluster changes nothing observable.
+    d.restart_cluster().expect("second cold restart");
+    let latest2 = c.latest(&mut ctx, blob).expect("blob survives again");
+    assert_eq!(latest, latest2, "iteration {iter}: restart not idempotent");
+    verify(&c, latest2);
+
+    drop(d);
+    let _ = std::fs::remove_dir_all(&harness);
+}
+
+/// The whole-cluster lane: several fuzzed kill offsets, each landing
+/// wherever the concurrent publish workload happens to be — including
+/// mid-publish at the version manager and mid-batch at the metadata
+/// journals.
+#[test]
+fn sigkill_whole_cluster_recovers_published_prefix() {
+    for iter in 0..4 {
+        cluster_crash_iteration(iter);
+    }
+}

@@ -17,7 +17,9 @@
 pub mod client;
 pub mod node;
 pub mod ring;
+pub mod wal;
 
 pub use client::DhtClient;
 pub use node::DhtNodeService;
 pub use ring::Ring;
+pub use wal::{MetaBackend, VolatileMeta, WalMeta};

@@ -5,7 +5,25 @@
 //! optimization (paper §V.A) talks to. Processing costs per node are
 //! charged through [`ServerCtx`] using [`ServiceCosts`], calibrated to
 //! BambooDHT-era behaviour.
+//!
+//! ## Durability
+//!
+//! Since PR 7 the node has a `StorageBackend`-style durability seam
+//! ([`crate::wal::MetaBackend`]): [`DhtNodeService::new`] keeps the
+//! classic volatile node, [`DhtNodeService::open_durable`] journals
+//! every put/remove through the shared record-then-commit log engine
+//! *before* applying or acknowledging it, and replays the journal into
+//! the serving index at open. The log format (put / remove records,
+//! batched puts under one group-commit marker) and the crash model
+//! (`SIGKILL` at any offset surfaces exactly the committed prefix,
+//! committed-but-undecodable bytes are a typed
+//! [`BlobError::Recovery`], never a panic) are documented in
+//! [`crate::wal`]. Serving reads never touches the journal — the
+//! steady-state read path is identical in both modes, and the journal's
+//! commit machinery is durability plumbing outside the lockmeter, so
+//! the zero-serialization discipline is unchanged.
 
+use crate::wal::{MetaBackend, MetaOp, VolatileMeta, WalMeta};
 use blobseer_proto::messages::{
     method, MetaGet, MetaGetBatch, MetaGetBatchResp, MetaPut, MetaPutBatch, MetaRemoveBatch,
 };
@@ -13,26 +31,72 @@ use blobseer_proto::tree::{NodeBody, NodeKey, TreeNode};
 use blobseer_proto::BlobError;
 use blobseer_rpc::{error_frame, respond, Frame, ServerCtx, Service};
 use blobseer_simnet::ServiceCosts;
+use blobseer_util::recordlog::RecordLogOptions;
 use blobseer_util::ShardedMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// In-memory metadata store of one DHT node.
+/// Metadata store of one DHT node (volatile or journal-backed — see
+/// the module docs).
 pub struct DhtNodeService {
     store: ShardedMap<NodeKey, NodeBody>,
+    backend: Box<dyn MetaBackend>,
     costs: ServiceCosts,
     puts: AtomicU64,
     gets: AtomicU64,
 }
 
 impl DhtNodeService {
-    /// Empty node with the given processing costs.
+    /// Empty volatile node with the given processing costs.
     pub fn new(costs: ServiceCosts) -> Self {
         Self {
             store: ShardedMap::with_shards(64),
+            backend: Box::new(VolatileMeta),
             costs,
             puts: AtomicU64::new(0),
             gets: AtomicU64::new(0),
         }
+    }
+
+    /// Open (or create) a journal-backed node under `dir`: the meta
+    /// log is replayed into the serving index, and every subsequent
+    /// put/remove is journaled before it is acknowledged.
+    pub fn open_durable(
+        dir: &Path,
+        opts: RecordLogOptions,
+        costs: ServiceCosts,
+    ) -> Result<Self, BlobError> {
+        let (wal, ops) = WalMeta::open(dir, opts)?;
+        let store = ShardedMap::with_shards(64);
+        for op in ops {
+            match op {
+                // Insert replaces: replaying puts in order gives
+                // last-record-wins, matching live idempotent puts.
+                MetaOp::Put(node) => {
+                    store.insert(node.key, node.body);
+                }
+                MetaOp::Remove(key) => {
+                    store.remove(&key);
+                }
+            }
+        }
+        Ok(Self {
+            store,
+            backend: Box::new(wal),
+            costs,
+            puts: AtomicU64::new(0),
+            gets: AtomicU64::new(0),
+        })
+    }
+
+    /// True when puts/removes are journaled (outlive the process).
+    pub fn is_durable(&self) -> bool {
+        self.backend.is_durable()
+    }
+
+    /// Journal size in bytes (0 for a volatile node).
+    pub fn log_bytes(&self) -> u64 {
+        self.backend.log_bytes()
     }
 
     /// Number of stored tree nodes.
@@ -58,11 +122,26 @@ impl DhtNodeService {
         self.store.contains_key(key)
     }
 
-    fn put(&self, node: TreeNode) {
+    /// Write-ahead: journal first, apply and acknowledge after — an
+    /// acknowledged put is recoverable by replay.
+    fn put(&self, node: TreeNode) -> Result<(), BlobError> {
+        self.backend.persist_puts(std::slice::from_ref(&node))?;
         self.puts.fetch_add(1, Ordering::Relaxed);
         // Tree nodes are immutable: double-put (replica repair, retried
         // writes) is idempotent.
         self.store.insert(node.key, node.body);
+        Ok(())
+    }
+
+    /// Batched write-ahead: the whole batch rides one commit marker
+    /// (the durability analogue of paying one RPC latency per batch).
+    fn put_batch(&self, nodes: Vec<TreeNode>) -> Result<(), BlobError> {
+        self.backend.persist_puts(&nodes)?;
+        for node in nodes {
+            self.puts.fetch_add(1, Ordering::Relaxed);
+            self.store.insert(node.key, node.body);
+        }
+        Ok(())
     }
 
     fn get(&self, key: &NodeKey) -> Option<TreeNode> {
@@ -83,10 +162,7 @@ impl Service for DhtNodeService {
             method::META_PUT => {
                 ctx.charge(self.costs.meta_store_cpu_ns);
                 ctx.charge_latency(self.costs.meta_store_ns);
-                respond(frame, |m: MetaPut| {
-                    self.put(m.node);
-                    Ok(())
-                })
+                respond(frame, |m: MetaPut| self.put(m.node))
             }
             method::META_GET => {
                 ctx.charge(self.costs.meta_fetch_ns);
@@ -101,10 +177,7 @@ impl Service for DhtNodeService {
                 let mut n = 0u64;
                 let resp = respond(frame, |m: MetaPutBatch| {
                     n = m.nodes.len() as u64;
-                    for node in m.nodes {
-                        self.put(node);
-                    }
-                    Ok(())
+                    self.put_batch(m.nodes)
                 });
                 // CPU per node serializes on this provider; the I/O
                 // acknowledgement latency is paid once per message — that
@@ -128,6 +201,7 @@ impl Service for DhtNodeService {
                 let mut n = 0u64;
                 let resp = respond(frame, |m: MetaRemoveBatch| {
                     n = m.keys.len() as u64;
+                    self.backend.persist_removes(&m.keys)?;
                     let mut removed = 0u64;
                     for k in &m.keys {
                         if self.store.remove(k).is_some() {
@@ -296,6 +370,64 @@ mod tests {
         }
         assert_eq!(svc.len(), 1);
         assert_eq!(svc.op_counts().0, 3);
+    }
+
+    #[test]
+    fn durable_node_replays_acknowledged_mutations() {
+        use std::sync::atomic::AtomicU64;
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "dht-durable-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let svc = DhtNodeService::open_durable(&dir, Default::default(), ServiceCosts::zero())
+                .unwrap();
+            assert!(svc.is_durable() && svc.is_empty());
+            let mut ctx = ServerCtx::new(0);
+            let nodes: Vec<TreeNode> = (0..4).map(|i| node(1, i * 4096)).collect();
+            let resp = svc.handle(
+                &mut ctx,
+                &Frame::from_msg(method::META_PUT_BATCH, &MetaPutBatch { nodes }),
+            );
+            parse_response::<()>(&resp).unwrap();
+            let resp = svc.handle(
+                &mut ctx,
+                &Frame::from_msg(
+                    method::META_REMOVE_BATCH,
+                    &MetaRemoveBatch {
+                        keys: vec![node(1, 0).key],
+                    },
+                ),
+            );
+            assert_eq!(parse_response::<u64>(&resp).unwrap(), 1);
+            assert!(svc.log_bytes() > 0);
+        }
+        // A fresh node on the same dir re-serves every acknowledged put
+        // minus the acknowledged remove.
+        let svc =
+            DhtNodeService::open_durable(&dir, Default::default(), ServiceCosts::zero()).unwrap();
+        assert_eq!(svc.len(), 3);
+        assert!(!svc.contains(&node(1, 0).key));
+        assert!(svc.contains(&node(1, 4096).key));
+        let mut ctx = ServerCtx::new(0);
+        let resp = svc.handle(
+            &mut ctx,
+            &Frame::from_msg(
+                method::META_GET,
+                &MetaGet {
+                    key: node(1, 8192).key,
+                },
+            ),
+        );
+        assert_eq!(
+            parse_response::<TreeNode>(&resp).unwrap(),
+            node(1, 8192),
+            "replayed node is byte-identical"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

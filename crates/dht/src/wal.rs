@@ -1,0 +1,287 @@
+//! The metadata provider's durability seam.
+//!
+//! Mirrors the data provider's `StorageBackend` split: the sharded
+//! in-memory index is the serving path either way; the backend behind
+//! it decides whether mutations outlive the process. [`VolatileMeta`]
+//! is the classic in-memory DHT node; [`WalMeta`] journals every put
+//! and remove through the shared record-then-commit engine
+//! ([`blobseer_util::recordlog`]) *before* the mutation is applied or
+//! acknowledged — write-ahead, group-committed, so "acknowledged means
+//! recoverable" holds for tree nodes exactly as it does for pages.
+//!
+//! ## Log format
+//!
+//! One generation file `meta.g<N>.log` of 48-byte-header records:
+//!
+//! * **put** (`BSMTPUT1`): payload is the wire-encoded [`TreeNode`].
+//!   Tree nodes are immutable and content-addressed by [`NodeKey`], so
+//!   replaying puts in order is idempotent — a double put (replica
+//!   repair, retried write) re-inserts the same body.
+//! * **remove** (`BSMTDEL1`): payload is the wire-encoded [`NodeKey`]
+//!   (GC executing a plan).
+//! * group-commit markers / tombstones as defined by the engine.
+//!
+//! A batched put (`META_PUT_BATCH`, the paper's aggregation
+//! optimization) appends all its records under **one** commit marker —
+//! the durability analogue of paying one RPC latency per batch.
+//!
+//! ## Crash model
+//!
+//! `SIGKILL` at any byte offset: replay surfaces exactly the committed
+//! prefix. A torn tail (crash mid-append or mid-commit) is silently
+//! dropped — those puts were never acknowledged. A *committed* record
+//! that fails to decode is a [`BlobError::Recovery`] with file + offset
+//! context, never a panic.
+
+use blobseer_proto::tree::{NodeKey, TreeNode};
+use blobseer_proto::wire::Wire;
+use blobseer_proto::BlobError;
+use blobseer_util::recordlog::{LogError, OwnedRecord, Record, RecordLog, RecordLogOptions};
+use std::path::Path;
+
+/// Magic of a put record ("BSMTPUT1"): payload is a wire-encoded
+/// [`TreeNode`].
+pub const META_PUT_MAGIC: u64 = 0x4253_4d54_5055_5431;
+
+/// Magic of a remove record ("BSMTDEL1"): payload is a wire-encoded
+/// [`NodeKey`].
+pub const META_REMOVE_MAGIC: u64 = 0x4253_4d54_4445_4c31;
+
+/// The durability seam of one DHT node (`StorageBackend`-style): the
+/// serving index stays in memory; implementations decide whether
+/// mutations are journaled before they are acknowledged.
+pub trait MetaBackend: Send + Sync {
+    /// Journal a batch of tree-node puts (one commit marker for the
+    /// whole batch). Must return before the puts are acknowledged.
+    fn persist_puts(&self, nodes: &[TreeNode]) -> Result<(), BlobError>;
+
+    /// Journal a batch of removes (GC executing a plan).
+    fn persist_removes(&self, keys: &[NodeKey]) -> Result<(), BlobError>;
+
+    /// True when mutations survive the process (`WalMeta`).
+    fn is_durable(&self) -> bool;
+
+    /// Journal size in bytes (0 for the volatile backend).
+    fn log_bytes(&self) -> u64;
+}
+
+/// The classic in-memory metadata node: nothing outlives the process.
+pub struct VolatileMeta;
+
+impl MetaBackend for VolatileMeta {
+    fn persist_puts(&self, _nodes: &[TreeNode]) -> Result<(), BlobError> {
+        Ok(())
+    }
+
+    fn persist_removes(&self, _keys: &[NodeKey]) -> Result<(), BlobError> {
+        Ok(())
+    }
+
+    fn is_durable(&self) -> bool {
+        false
+    }
+
+    fn log_bytes(&self) -> u64 {
+        0
+    }
+}
+
+/// One replayed metadata mutation, in append order.
+#[derive(Debug)]
+pub enum MetaOp {
+    /// Re-insert a tree node.
+    Put(TreeNode),
+    /// Remove a tree node (GC replay).
+    Remove(NodeKey),
+}
+
+/// Map an engine error onto the typed recovery error, carrying the log
+/// file for context.
+fn log_err(path: &Path, e: LogError) -> BlobError {
+    BlobError::Recovery {
+        file: path.display().to_string(),
+        offset: 0,
+        detail: match e {
+            LogError::Io(op) => op,
+            LogError::Poisoned => "meta log poisoned",
+            LogError::CommitFailed => "meta log commit failed",
+        },
+    }
+}
+
+/// The write-ahead metadata journal.
+#[derive(Debug)]
+pub struct WalMeta {
+    log: RecordLog,
+}
+
+impl WalMeta {
+    /// Open (or create) the metadata journal under `dir` and replay it:
+    /// returns the backend plus every committed mutation in append
+    /// order, ready to be applied to an empty index.
+    pub fn open(dir: &Path, opts: RecordLogOptions) -> Result<(Self, Vec<MetaOp>), BlobError> {
+        let (log, records) = RecordLog::open(dir, "meta", opts).map_err(|e| log_err(dir, e))?;
+        let mut ops = Vec::with_capacity(records.len());
+        for rec in records {
+            ops.push(decode_op(&rec, &log)?);
+        }
+        Ok((Self { log }, ops))
+    }
+}
+
+/// Decode one committed record; failures carry file + offset.
+fn decode_op(rec: &OwnedRecord, log: &RecordLog) -> Result<MetaOp, BlobError> {
+    let recovery = |detail: &'static str| BlobError::Recovery {
+        file: log.path().display().to_string(),
+        offset: rec.offset,
+        detail,
+    };
+    match rec.magic {
+        META_PUT_MAGIC => Ok(MetaOp::Put(
+            TreeNode::from_wire(&rec.payload).map_err(|_| recovery("undecodable tree node"))?,
+        )),
+        META_REMOVE_MAGIC => Ok(MetaOp::Remove(
+            NodeKey::from_wire(&rec.payload).map_err(|_| recovery("undecodable node key"))?,
+        )),
+        _ => Err(recovery("unknown meta record magic")),
+    }
+}
+
+impl MetaBackend for WalMeta {
+    fn persist_puts(&self, nodes: &[TreeNode]) -> Result<(), BlobError> {
+        let encoded: Vec<Vec<u8>> = nodes.iter().map(|n| n.to_wire()).collect();
+        let recs: Vec<Record<'_>> = encoded
+            .iter()
+            .map(|payload| Record {
+                magic: META_PUT_MAGIC,
+                a: 0,
+                b: 0,
+                c: 0,
+                payload,
+            })
+            .collect();
+        self.log
+            .append_batch(&recs)
+            .map_err(|e| log_err(self.log.path(), e))
+    }
+
+    fn persist_removes(&self, keys: &[NodeKey]) -> Result<(), BlobError> {
+        let encoded: Vec<Vec<u8>> = keys.iter().map(|k| k.to_wire()).collect();
+        let recs: Vec<Record<'_>> = encoded
+            .iter()
+            .map(|payload| Record {
+                magic: META_REMOVE_MAGIC,
+                a: 0,
+                b: 0,
+                c: 0,
+                payload,
+            })
+            .collect();
+        self.log
+            .append_batch(&recs)
+            .map_err(|e| log_err(self.log.path(), e))
+    }
+
+    fn is_durable(&self) -> bool {
+        true
+    }
+
+    fn log_bytes(&self) -> u64 {
+        self.log.log_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blobseer_proto::tree::NodeBody;
+    use blobseer_proto::BlobId;
+    use blobseer_util::recordlog::{encode_header, payload_digest, write_at, REC_HEADER};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "metawal-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn node(v: u64, offset: u64) -> TreeNode {
+        TreeNode {
+            key: NodeKey {
+                blob: BlobId(1),
+                version: v,
+                offset,
+                size: 4096,
+            },
+            body: NodeBody::Inner {
+                left_version: v,
+                right_version: v,
+            },
+        }
+    }
+
+    #[test]
+    fn puts_and_removes_replay_in_order() {
+        let dir = tmp_dir("order");
+        {
+            let (wal, ops) = WalMeta::open(&dir, RecordLogOptions::default()).unwrap();
+            assert!(ops.is_empty());
+            wal.persist_puts(&[node(1, 0), node(1, 4096), node(2, 0)])
+                .unwrap();
+            wal.persist_removes(&[node(1, 0).key]).unwrap();
+            assert!(wal.is_durable() && wal.log_bytes() > 0);
+        }
+        let (_, ops) = WalMeta::open(&dir, RecordLogOptions::default()).unwrap();
+        assert_eq!(ops.len(), 4);
+        assert!(matches!(&ops[0], MetaOp::Put(n) if n.key.version == 1));
+        assert!(matches!(&ops[3], MetaOp::Remove(k) if k.version == 1 && k.offset == 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn committed_garbage_is_typed_error_not_panic() {
+        let dir = tmp_dir("garbage");
+        // A validly checksummed, committed record whose payload is not
+        // a decodable TreeNode: replay must surface Recovery with the
+        // offending offset, never panic.
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("meta.g0.log");
+        let file = std::fs::File::create(&path).unwrap();
+        let payload = b"not a tree node";
+        let header = encode_header(
+            META_PUT_MAGIC,
+            0,
+            0,
+            0,
+            payload.len() as u64,
+            payload_digest(payload),
+        );
+        write_at(&file, &header, 0).unwrap();
+        write_at(&file, payload, REC_HEADER).unwrap();
+        let marker_at = REC_HEADER + payload.len() as u64;
+        let marker = encode_header(blobseer_util::recordlog::COMMIT_MAGIC, 0, 0, 0, 0, 0);
+        write_at(&file, &marker, marker_at).unwrap();
+        drop(file);
+        let err = WalMeta::open(&dir, RecordLogOptions::default()).unwrap_err();
+        assert!(
+            matches!(err, BlobError::Recovery { offset: 0, .. }),
+            "got {err:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn volatile_backend_is_a_noop() {
+        let v = VolatileMeta;
+        v.persist_puts(&[node(1, 0)]).unwrap();
+        v.persist_removes(&[node(1, 0).key]).unwrap();
+        assert!(!v.is_durable());
+        assert_eq!(v.log_bytes(), 0);
+    }
+}

@@ -41,6 +41,21 @@ pub enum BlobError {
     Unreachable(&'static str),
     /// Codec failure on a wire message.
     Codec(CodecError),
+    /// A durable log could not be opened or replayed: the on-disk bytes
+    /// under `file` are unusable at `offset`. Replay of a *torn tail*
+    /// (crash mid-append) is not an error — recovery stops at the last
+    /// commit marker; this variant means a **committed** record failed
+    /// to decode, or the log file itself could not be read — state that
+    /// was acknowledged and should have been recoverable.
+    Recovery {
+        /// The log file (or directory) that failed to recover.
+        file: String,
+        /// Byte offset of the offending record (0 when the failure is
+        /// file-level, e.g. the open itself failed).
+        offset: u64,
+        /// What went wrong.
+        detail: &'static str,
+    },
     /// Catch-all for internal invariant violations surfaced as errors.
     Internal(&'static str),
 }
@@ -64,6 +79,13 @@ impl fmt::Display for BlobError {
             }
             BlobError::Unreachable(who) => write!(f, "{who} unreachable"),
             BlobError::Codec(e) => write!(f, "codec error: {e}"),
+            BlobError::Recovery {
+                file,
+                offset,
+                detail,
+            } => {
+                write!(f, "recovery failed in {file} at offset {offset}: {detail}")
+            }
             BlobError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }

@@ -456,6 +456,16 @@ impl Wire for BlobError {
                 out.push(7);
                 msg.to_string().encode(out);
             }
+            BlobError::Recovery {
+                file,
+                offset,
+                detail,
+            } => {
+                out.push(8);
+                file.encode(out);
+                offset.encode(out);
+                detail.to_string().encode(out);
+            }
         }
     }
 
@@ -485,6 +495,11 @@ impl Wire for BlobError {
             5 => Ok(BlobError::Unreachable(intern(String::decode(r)?))),
             6 => Ok(BlobError::Internal("remote codec error")),
             7 => Ok(BlobError::Internal(intern(String::decode(r)?))),
+            8 => Ok(BlobError::Recovery {
+                file: String::decode(r)?,
+                offset: u64::decode(r)?,
+                detail: intern(String::decode(r)?),
+            }),
             tag => Err(CodecError::BadTag {
                 tag,
                 ty: "BlobError",

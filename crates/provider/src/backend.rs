@@ -88,6 +88,9 @@
 
 use blobseer_proto::tree::PageKey;
 use blobseer_proto::{BlobError, BlobId, WriteId};
+use blobseer_util::recordlog::{
+    check_word, encode_header, payload_digest, write_at, COMMIT_MAGIC, REC_HEADER, TOMBSTONE_MAGIC,
+};
 use blobseer_util::PageBuf;
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::BTreeMap;
@@ -377,25 +380,15 @@ impl StorageBackend for MemoryBackend {
 // ---------------------------------------------------------------------------
 // Mmap backend: log format primitives
 // ---------------------------------------------------------------------------
-
-/// Bytes of one log-record header: six little-endian `u64`s —
-/// `magic, a, b, c, len, check`.
-const REC_HEADER: u64 = 48;
+//
+// The header/check/tombstone/commit-marker format lives in
+// `blobseer_util::recordlog` since PR 7 — the control plane (metadata
+// tree, version history) journals through the same engine. Only the
+// page-record magic and the mmap-specific replay stay here.
 
 /// Page-record magic ("BSPGLOG2" — the commit-marker format; v1 logs
 /// without markers do not replay).
 const LOG_MAGIC: u64 = 0x4253_5047_4c4f_4732;
-
-/// Magic of a tombstone record: a reserved range whose write failed
-/// while later appenders had already reserved beyond it. Replay skips
-/// it instead of stopping, so the records committed *after* the
-/// failure stay recoverable.
-const LOG_TOMBSTONE: u64 = 0x4253_5047_4445_4144; // "BSPGDEAD"
-
-/// Magic of a commit marker ("BSPGCMT1"): field `a` is the marker's
-/// sequence number, `b` the offset the previous marker sealed up to;
-/// the marker commits every record between that offset and itself.
-const LOG_COMMIT: u64 = 0x4253_5047_434d_5431;
 
 /// One parsed log record.
 enum LogRecord {
@@ -406,62 +399,6 @@ enum LogRecord {
     /// A commit marker: sequence number + the durable offset it claims
     /// the previous marker sealed up to.
     Commit { seq: u64, covered_from: u64 },
-}
-
-/// Fast 64-bit digest of the payload bytes (8-byte chunks + tail),
-/// folded into the record check word so a torn record — valid header,
-/// partial payload — fails validation at replay instead of serving
-/// corrupt bytes.
-fn payload_digest(data: &[u8]) -> u64 {
-    let mut acc = 0x9e37_79b9_7f4a_7c15u64;
-    let mut chunks = data.chunks_exact(8);
-    for c in &mut chunks {
-        let w = u64::from_le_bytes(c.try_into().expect("8 bytes"));
-        acc = (acc ^ w)
-            .rotate_left(23)
-            .wrapping_mul(0x2545_f491_4f6c_dd1d);
-    }
-    for &b in chunks.remainder() {
-        acc = (acc ^ b as u64)
-            .rotate_left(9)
-            .wrapping_mul(0x100_0000_01b3);
-    }
-    acc
-}
-
-fn check_word(magic: u64, a: u64, b: u64, c: u64, len: u64, digest: u64) -> u64 {
-    let mut s = magic
-        ^ a.rotate_left(17)
-        ^ b.rotate_left(34)
-        ^ c.rotate_left(51)
-        ^ len
-        ^ digest.rotate_left(7);
-    blobseer_util::rng::splitmix64(&mut s)
-}
-
-fn encode_header(magic: u64, a: u64, b: u64, c: u64, len: u64, digest: u64) -> [u8; 48] {
-    let mut header = [0u8; REC_HEADER as usize];
-    for (i, word) in [magic, a, b, c, len, check_word(magic, a, b, c, len, digest)]
-        .into_iter()
-        .enumerate()
-    {
-        header[i * 8..i * 8 + 8].copy_from_slice(&word.to_le_bytes());
-    }
-    header
-}
-
-#[cfg(unix)]
-fn write_at(file: &File, buf: &[u8], off: u64) -> std::io::Result<()> {
-    use std::os::unix::fs::FileExt;
-    file.write_all_at(buf, off)
-}
-
-#[cfg(not(unix))]
-fn write_at(file: &File, buf: &[u8], off: u64) -> std::io::Result<()> {
-    use std::io::{Seek, SeekFrom, Write};
-    let mut f = file.try_clone()?;
-    f.seek(SeekFrom::Start(off))?;
-    f.write_all(buf)
 }
 
 /// `pages.g<n>.log`.
@@ -578,7 +515,7 @@ impl Generation {
             return None;
         }
         let magic = self.read_u64(off);
-        if magic != LOG_MAGIC && magic != LOG_TOMBSTONE && magic != LOG_COMMIT {
+        if magic != LOG_MAGIC && magic != TOMBSTONE_MAGIC && magic != COMMIT_MAGIC {
             return None;
         }
         let a = self.read_u64(off + 8);
@@ -591,7 +528,7 @@ impl Generation {
             return None;
         }
         match magic {
-            LOG_COMMIT => {
+            COMMIT_MAGIC => {
                 // A marker carries no payload; its check covers the
                 // header only.
                 (len == 0 && check == check_word(magic, a, b, c, len, 0)).then_some(
@@ -601,7 +538,7 @@ impl Generation {
                     },
                 )
             }
-            LOG_TOMBSTONE => {
+            TOMBSTONE_MAGIC => {
                 // Tombstone check covers the header only — its payload
                 // range is whatever the failed write left behind.
                 (check == check_word(magic, a, b, c, len, 0)).then_some(LogRecord::Skip(end))
@@ -712,14 +649,14 @@ impl Generation {
             debug_assert_eq!(st.frontier, marker_at, "marker slot is the frontier");
             (st.next_seq, st.durable)
         };
-        let header = encode_header(LOG_COMMIT, seq, covered_from, 0, 0, 0);
+        let header = encode_header(COMMIT_MAGIC, seq, covered_from, 0, 0, 0);
         if write_at(&self.file, &header, marker_at).is_err() {
             // The marker slot would be an un-skippable hole: a later
             // marker could commit records replay can never reach. Brand
             // the slot a tombstone so replay steps over it; if even
             // that fails, poison the generation — nothing further gets
             // acknowledged.
-            let tomb = encode_header(LOG_TOMBSTONE, 0, 0, 0, 0, 0);
+            let tomb = encode_header(TOMBSTONE_MAGIC, 0, 0, 0, 0, 0);
             let mut st = self.commit.lock();
             if write_at(&self.file, &tomb, marker_at).is_err() {
                 st.poisoned = true;
@@ -926,7 +863,7 @@ impl StorageBackend for MmapBackend {
                 .compare_exchange(start + rec, start, Ordering::Relaxed, Ordering::Relaxed)
                 .is_ok();
             if !rolled_back {
-                let tomb = encode_header(LOG_TOMBSTONE, 0, 0, 0, len, 0);
+                let tomb = encode_header(TOMBSTONE_MAGIC, 0, 0, 0, len, 0);
                 if write_at(&gen.file, &tomb, start).is_err() {
                     // Not even the tombstone landed: replay will stop at
                     // this hole, so nothing beyond it may be
@@ -1146,7 +1083,7 @@ impl MmapBackend {
             ranges.push((*key, (off + REC_HEADER) as usize, buf.len()));
             off += REC_HEADER + len;
         }
-        let marker = encode_header(LOG_COMMIT, 0, 0, 0, 0, 0);
+        let marker = encode_header(COMMIT_MAGIC, 0, 0, 0, 0, 0);
         write_at(&file, &marker, off).map_err(|_| BlobError::Internal("compaction seal failed"))?;
         let durable = off + REC_HEADER;
         file.sync_data()
@@ -1260,7 +1197,7 @@ impl MmapBackend {
             // Seal the catch-up batch with marker #1 covering from the
             // snapshot's durable point — exactly the shape recovery
             // replays — and make it durable before the swap.
-            let marker = encode_header(LOG_COMMIT, 1, sealed, 0, 0, 0);
+            let marker = encode_header(COMMIT_MAGIC, 1, sealed, 0, 0, 0);
             write_at(&file, &marker, off)
                 .map_err(|_| BlobError::Internal("compaction catch-up seal failed"))?;
             file.sync_data()
@@ -1512,11 +1449,11 @@ mod tests {
             write_at(&f, &ch, c_at).unwrap();
             write_at(&f, pc.as_slice(), c_at + REC_HEADER).unwrap();
             let tomb_at = c_at + rec(512);
-            let tomb = encode_header(LOG_TOMBSTONE, 0, 0, 0, 512, 0);
+            let tomb = encode_header(TOMBSTONE_MAGIC, 0, 0, 0, 512, 0);
             write_at(&f, &tomb, tomb_at).unwrap();
             let marker_at = tomb_at + rec(512);
             // seq 1: the ingest above already sealed marker 0.
-            let marker = encode_header(LOG_COMMIT, 1, tail, 0, 0, 0);
+            let marker = encode_header(COMMIT_MAGIC, 1, tail, 0, 0, 0);
             write_at(&f, &marker, marker_at).unwrap();
         }
         let b = MmapBackend::open(&dir, 1 << 16).unwrap();
@@ -1552,7 +1489,7 @@ mod tests {
             write_at(&f, &bh, tail).unwrap();
             write_at(&f, pb.as_slice(), tail + REC_HEADER).unwrap();
             // A checksum-valid marker with seq 7 (expected: 1).
-            let marker = encode_header(LOG_COMMIT, 7, tail, 0, 0, 0);
+            let marker = encode_header(COMMIT_MAGIC, 7, tail, 0, 0, 0);
             write_at(&f, &marker, tail + rec(512)).unwrap();
         }
         let b = MmapBackend::open(&dir, 1 << 16).unwrap();
@@ -1568,7 +1505,7 @@ mod tests {
         let bh = encode_header(LOG_MAGIC, 1, 9, 9, 512, payload_digest(pb.as_slice()));
         write_at(&f, &bh, tail).unwrap();
         write_at(&f, pb.as_slice(), tail + REC_HEADER).unwrap();
-        let marker = encode_header(LOG_COMMIT, 1, tail + 8, 0, 0, 0);
+        let marker = encode_header(COMMIT_MAGIC, 1, tail + 8, 0, 0, 0);
         write_at(&f, &marker, tail + rec(512)).unwrap();
         drop(f);
         drop(b);

@@ -258,6 +258,16 @@ impl ProviderManagerService {
         }
     }
 
+    /// Raise the write-id allocator to at least `floor`. Cold-restart
+    /// replay: write ids already present in replayed page logs or in
+    /// the recovered version history must never be handed out again —
+    /// a reused id would let a fresh write's pages collide with
+    /// durable pages under the same `PageKey`, corrupting published
+    /// versions that still reference them. Monotonic and wait-free.
+    pub fn advance_write_ids(&self, floor: u64) {
+        self.next_write.fetch_max(floor, Ordering::Relaxed);
+    }
+
     /// Diagnostic view of one provider's projected load.
     pub fn projection(&self, provider: ProviderId) -> Option<ProviderProjection> {
         let roster = self.roster.load();

@@ -34,6 +34,11 @@
 //!   (serializing / version-assign / sharded / shared), plus the
 //!   serialized-control-plane ablation flag. The zero-serialization
 //!   invariant is asserted by `crates/core/tests/lock_free.rs`.
+//! * [`recordlog`] — the shared record-then-commit append-only log
+//!   engine (48-byte checksummed headers, tombstones, group-commit
+//!   markers) extracted from the provider's page log, plus
+//!   [`recordlog::RecordLog`], the plain-file variant the durable
+//!   control plane (metadata tree, version history) journals through.
 //! * [`rcu`] — [`RcuCell`], wait-free reads of a rarely replaced
 //!   snapshot (retention-based reclamation); the substrate of the
 //!   provider manager's lock-free roster.
@@ -58,6 +63,7 @@ pub mod lockmeter;
 pub mod lru;
 pub mod pagebuf;
 pub mod rcu;
+pub mod recordlog;
 pub mod rng;
 pub mod sharded;
 pub mod stats;

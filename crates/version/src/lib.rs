@@ -8,7 +8,10 @@
 //! * [`publish`] — the lock-free publish window: out-of-order completions,
 //!   CAS-advanced watermark, global serializability of snapshots;
 //! * [`state`] — per-blob assignment state (the system's single, tiny
-//!   serialization point) and the blob registry.
+//!   serialization point) and the blob registry;
+//! * [`wal`] — the write-ahead journal making "acknowledged means
+//!   recoverable" hold for blob creation and version publication across
+//!   whole-cluster cold restarts.
 //!
 //! The paper's concurrency claims map onto this crate as follows: version
 //! assignment is `Mutex`-guarded for a few microseconds (§III.B concedes
@@ -24,8 +27,10 @@ pub mod history;
 pub mod publish;
 pub mod recovery;
 pub mod state;
+pub mod wal;
 
 pub use history::ConcurrentHistory;
 pub use publish::{PublishWindow, DEFAULT_WINDOW};
 pub use recovery::{restore, snapshot, BlobSnapshot};
 pub use state::{BlobState, VersionRegistry, WriteRecord};
+pub use wal::VersionLog;

@@ -14,6 +14,13 @@
 //! included: on a real failover they would never complete (their clients
 //! retry against the recovered manager), which is safe precisely because
 //! unpublished versions were never readable.
+//!
+//! Since PR 7 this module is the *checkpoint half* of the version
+//! manager's durability story: [`crate::wal::VersionLog`] journals
+//! creates and publishes write-ahead (incremental records), and on
+//! every open it replays then collapses the whole journal into a
+//! single [`snapshot`] record — snapshot + incremental log, the
+//! classic pairing. [`restore`] is what replay bootstraps from.
 
 use crate::state::VersionRegistry;
 use blobseer_proto::wire::{Reader, Wire, WireBuf};

@@ -213,17 +213,67 @@
 //! assert!(data.iter().all(|&b| b == 3));
 //! ```
 //!
+//! ## Whole-cluster cold restart
+//!
+//! Since PR 7 the *control plane* shares the page log's guarantee: on
+//! the mmap backend every storage node journals its metadata-tree
+//! mutations write-ahead (`meta.g<N>.log`) and the version manager
+//! journals blob creation and every publish before acknowledging it
+//! (`version.g<N>.log`) — all three logs ride the same
+//! record-then-commit engine (`blobseer_util::recordlog`). So the
+//! cluster doesn't just tolerate a provider crash; the *product can
+//! reboot*: [`Deployment::restart_cluster`] kills the version manager,
+//! the provider manager, and every storage node, replays every journal,
+//! and re-serves every acknowledged write byte-identical:
+//!
+//! ```
+//! use blobseer::{Ctx, Deployment, DeploymentConfig, Segment};
+//!
+//! let mut cluster = Deployment::build(DeploymentConfig::functional_mmap(4));
+//! let client = cluster.client();
+//! let mut ctx = Ctx::start();
+//! let blob = client.alloc(&mut ctx, 1 << 20, 4096).unwrap().blob;
+//! let v1 = client.write(&mut ctx, blob, 0, &vec![1u8; 8192]).unwrap();
+//! let v2 = client.write(&mut ctx, blob, 4096, &vec![2u8; 4096]).unwrap();
+//!
+//! // Kill EVERYTHING — version manager, provider manager, every
+//! // storage node — and replay the journals from disk.
+//! cluster.restart_cluster().unwrap();
+//!
+//! // Geometry, the version map, and every snapshot survived.
+//! let (old, latest) = client.read(&mut ctx, blob, Some(v1), Segment::new(4096, 4096)).unwrap();
+//! assert_eq!(latest, v2);
+//! assert!(old.iter().all(|&b| b == 1)); // v1 view, byte-identical
+//!
+//! // And the reborn cluster keeps counting where it left off.
+//! let v3 = client.write(&mut ctx, blob, 0, &vec![3u8; 4096]).unwrap();
+//! assert_eq!(v3, v2 + 1);
+//! ```
+//!
+//! The memory backend is the documented negative control: nothing
+//! persists, so `restart_cluster` yields a *clean, empty* cluster and
+//! reads of pre-restart blobs fail with a typed
+//! [`BlobError::UnknownBlob`] — never stale or torn state. Replay
+//! failures (truncated journals, hostile bytes) surface as
+//! [`BlobError::Recovery`] with file and offset context, never a
+//! panic.
+//!
 //! The `{Sim, Tcp} × {Memory, Mmap}` pairings are conformance-tested as
 //! a CI matrix (`crates/core/tests/matrix_e2e.rs`, including the
-//! write → drop → compact → restart scenario); crash recovery is
+//! write → drop → compact → restart scenario and the whole-cluster
+//! cold-restart scenario); crash recovery is
 //! exercised end to end in `crates/core/tests/backend_recovery.rs` and
-//! — with a real `SIGKILL` at fuzzed offsets mid-append and
-//! mid-compaction — in `crates/core/tests/crash_injection.rs`;
+//! — with a real `SIGKILL` at fuzzed offsets mid-append, mid-compaction
+//! and mid-publish, against single providers and the whole cluster —
+//! in `crates/core/tests/crash_injection.rs`;
 //! `bench/pr4_backend` (`BENCH_PR4.json`) sweeps both backends over TCP
 //! while asserting copies-per-op stays at exactly the sanctioned 1 MiB
-//! per 1 MiB operation, and `bench/pr5_durability` (`BENCH_PR5.json`)
+//! per 1 MiB operation, `bench/pr5_durability` (`BENCH_PR5.json`)
 //! sweeps the commit modes (buffered vs fsync-on-commit) and the
-//! compaction before/after under the same copy and lock gates.
+//! compaction before/after under the same copy and lock gates, and
+//! `bench/pr7_restart` (`BENCH_PR7.json`) times cold-restart replay
+//! against journal size while holding the steady-state parity gates
+//! with every journal on.
 
 pub use blobseer_baseline as baseline;
 pub use blobseer_core as core;
