@@ -22,6 +22,7 @@
 //! The `ablate_lock` bench drives identical mixed read/write workloads
 //! through all three.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 use blobseer_core::LocalEngine;

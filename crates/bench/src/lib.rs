@@ -26,6 +26,7 @@
 //!
 //! Criterion micro-benches live in `benches/micro.rs`.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod gate;

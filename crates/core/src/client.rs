@@ -144,6 +144,8 @@ impl BlobClient {
             dht,
             costs,
             cache,
+            // lint: allow(unmetered-lock) — construction only; every geometry-map
+            // acquisition below carries its Shared/Serializing charge
             geoms: RwLock::new(FxHashMap::default()),
             replication,
         }
@@ -612,6 +614,8 @@ impl BlobClient {
             let mut next = Vec::new();
             nodes_visited += frontier.len() as u64;
             for (key, body) in frontier.iter().zip(bodies) {
+                // lint: allow(panic-on-serving-path) — every missing index was
+                // filled by the fetch loop above; a hole is a local logic bug
                 let body = body.expect("filled above");
                 for visit in expand(&geom, key, &body, &seg)? {
                     match visit {

@@ -80,28 +80,34 @@ impl StorageNodeService {
     /// Compose a storage node from its two halves.
     pub fn new(data: Arc<DataProviderService>, meta: Arc<DhtNodeService>) -> Self {
         Self {
+            // lint: allow(unmetered-lock) — incarnation pointers, written only at restart
             data: RwLock::new(data),
+            // lint: allow(unmetered-lock) — incarnation pointer, written only at restart
             meta: RwLock::new(meta),
         }
     }
 
     /// The current data-provider incarnation (white-box accessor).
     pub fn data(&self) -> Arc<DataProviderService> {
+        // lint: allow(unmetered-lock) — uncontended Arc swap read; restart seam, not control plane
         Arc::clone(&self.data.read())
     }
 
     /// The current metadata-provider incarnation (white-box accessor).
     pub fn meta(&self) -> Arc<DhtNodeService> {
+        // lint: allow(unmetered-lock) — uncontended Arc swap read; restart seam, not control plane
         Arc::clone(&self.meta.read())
     }
 
     /// Swap in a fresh data-provider incarnation (provider restart).
     fn replace_data(&self, data: Arc<DataProviderService>) {
+        // lint: allow(unmetered-lock) — restart-only swap, never on a serving path
         *self.data.write() = data;
     }
 
     /// Swap in a fresh metadata-provider incarnation (cluster restart).
     fn replace_meta(&self, meta: Arc<DhtNodeService>) {
+        // lint: allow(unmetered-lock) — restart-only swap, never on a serving path
         *self.meta.write() = meta;
     }
 }
@@ -482,6 +488,8 @@ impl Deployment {
             })),
         };
         if let Some(root) = &data_root {
+            // lint: allow(panic-on-serving-path) — deployment construction at
+            // startup; failing fast beats serving with no data root
             std::fs::create_dir_all(root).expect("create deployment data root");
         }
 
@@ -515,6 +523,8 @@ impl Deployment {
             storage.push(svc);
         }
 
+        // lint: allow(unmetered-lock) — ring construction at deployment build; the
+        // client-side read locks carry their own sanction in dht::client
         let ring = Arc::new(RwLock::new(Ring::new(
             &storage_nodes,
             128,
@@ -782,6 +792,7 @@ fn build_meta_service(
                 record_log_options(config),
                 config.service_costs,
             )
+            // lint: allow(panic-on-serving-path) — deployment construction at startup
             .expect("open metadata journal"),
         ),
     }
@@ -810,6 +821,7 @@ fn build_version_service(
     config: &DeploymentConfig,
     data_root: Option<&Path>,
 ) -> (Arc<VersionManagerService>, Arc<VersionRegistry>) {
+    // lint: allow(panic-on-serving-path) — deployment construction at startup
     let (registry, vlog) = reopen_version_state(config, data_root).expect("open version journal");
     let vm = match vlog {
         None => Arc::new(VersionManagerService::new(
@@ -839,6 +851,8 @@ fn build_data_service(
             config.service_costs,
         )),
         BackendKind::Mmap => {
+            // lint: allow(panic-on-serving-path) — config invariant: the mmap
+            // backend always carries a data root (set in DeploymentConfig)
             let dir = provider_dir(data_root.expect("mmap backend has a data root"), i);
             Arc::new(
                 DataProviderService::open_mmap_with(
@@ -847,6 +861,7 @@ fn build_data_service(
                     config.log,
                     config.service_costs,
                 )
+                // lint: allow(panic-on-serving-path) — deployment construction at startup
                 .expect("open mmap provider backend"),
             )
         }

@@ -24,6 +24,7 @@
 //! assert!(data.iter().all(|&b| b == 7));
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;

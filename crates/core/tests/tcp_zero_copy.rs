@@ -85,6 +85,8 @@ fn tcp_payload_leg_meters_identically_to_in_process() {
     let mut cfg = DeploymentConfig::functional_tcp(4);
     cfg.replication = 2;
     let d = Deployment::build(cfg);
+    // lint: allow(unguarded-ablation) — per-transport toggle on a deployment
+    // owned by this test; no process-global state to restore
     d.cluster.tcp().unwrap().set_gather_write(false);
     let c = d.client();
     let mut ctx = Ctx::start();

@@ -12,6 +12,7 @@
 //!   processing costs);
 //! * [`client`] — replicated, batching client-side access with failover.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;

@@ -1,0 +1,347 @@
+//! Per-file analysis context shared by every rule: the token stream,
+//! `#[cfg(test)]` span tracking, the sanction table, and line-indexed
+//! token lookup.
+
+use crate::lexer::{lex, Comment, Lexed, TokKind, Token};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The sanction marker rules look for, e.g.
+/// `// lint: allow(unmetered-copy) — header bytes, not payload`.
+pub const SANCTION_PREFIX: &str = "lint:";
+
+/// One parsed sanction comment.
+#[derive(Debug, Clone)]
+pub struct Sanction {
+    /// Rule ids listed inside `allow(…)` (comma-separated).
+    pub rules: Vec<String>,
+    /// Whether a non-empty rationale followed the rule list.
+    pub has_rationale: bool,
+    /// Line of the comment itself.
+    pub line: u32,
+    /// Last source line the sanction covers: the end of the consecutive
+    /// comment block it belongs to (a rationale may wrap onto following
+    /// comment lines) plus the next code line.
+    pub end_line: u32,
+    /// Whether the `allow(…)` list itself parsed.
+    pub parsed: bool,
+}
+
+/// Everything a rule needs to know about one file.
+pub struct FileCtx {
+    /// Workspace-relative path with forward slashes, e.g.
+    /// `crates/proto/src/wire.rs`.
+    pub rel_path: String,
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+    /// Lines covered by `#[cfg(test)]` items (`mod tests { … }` bodies
+    /// and test fns), 1-based inclusive.
+    test_lines: BTreeSet<u32>,
+    /// line → token index range (first index with that line, one past
+    /// last). Tokens are line-sorted by construction.
+    line_index: BTreeMap<u32, (usize, usize)>,
+    /// Parsed sanctions, by the first code line they cover.
+    pub sanctions: Vec<Sanction>,
+}
+
+impl FileCtx {
+    pub fn new(rel_path: &str, src: &str) -> Self {
+        let Lexed { tokens, comments } = lex(src);
+        let test_lines = cfg_test_lines(&tokens);
+        let mut line_index: BTreeMap<u32, (usize, usize)> = BTreeMap::new();
+        for (i, t) in tokens.iter().enumerate() {
+            let e = line_index.entry(t.line).or_insert((i, i));
+            e.1 = i + 1;
+        }
+        // Coalesce consecutive comment lines into blocks so a sanction
+        // whose rationale wraps onto following comment lines still
+        // covers the code line after the block.
+        let mut block_ends = vec![0u32; comments.len()];
+        {
+            let mut i = 0;
+            while i < comments.len() {
+                let mut end = comments[i].end_line;
+                let mut j = i + 1;
+                while j < comments.len() && comments[j].line <= end + 1 {
+                    end = end.max(comments[j].end_line);
+                    j += 1;
+                }
+                for be in &mut block_ends[i..j] {
+                    *be = end;
+                }
+                i = j;
+            }
+        }
+        let sanctions = comments
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let mut s = parse_sanction(c)?;
+                s.end_line = block_ends[i] + 1;
+                Some(s)
+            })
+            .collect();
+        Self {
+            rel_path: rel_path.replace('\\', "/"),
+            tokens,
+            comments,
+            test_lines,
+            line_index,
+            sanctions,
+        }
+    }
+
+    /// Is this 1-based line inside a `#[cfg(test)]` item?
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test_lines.contains(&line)
+    }
+
+    /// Is `rule` sanctioned for code on `line`? A sanction covers the
+    /// line of its own comment (trailing form) and the next line
+    /// (preceding-line form). Bare or malformed sanctions cover
+    /// nothing — they are themselves violations (`bare-allow`).
+    pub fn sanctioned(&self, rule: &str, line: u32) -> bool {
+        self.sanctions.iter().any(|s| {
+            s.parsed
+                && s.has_rationale
+                && s.line <= line
+                && line <= s.end_line
+                && s.rules.iter().any(|r| r == rule)
+        })
+    }
+
+    /// Any token on `line` whose text is exactly `text`?
+    pub fn line_has_ident(&self, line: u32, text: &str) -> bool {
+        self.tokens_on(line).iter().any(|t| t.text == text)
+    }
+
+    /// Tokens on one line (empty slice if none).
+    pub fn tokens_on(&self, line: u32) -> &[Token] {
+        match self.line_index.get(&line) {
+            Some(&(a, b)) => &self.tokens[a..b],
+            None => &[],
+        }
+    }
+
+    /// Any identifier from `names` on a line in `[line-before, line+after]`?
+    pub fn nearby_ident(&self, line: u32, before: u32, after: u32, names: &[&str]) -> bool {
+        let lo = line.saturating_sub(before);
+        let hi = line + after;
+        self.line_index.range(lo..=hi).any(|(_, &(a, b))| {
+            self.tokens[a..b]
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && names.contains(&t.text.as_str()))
+        })
+    }
+
+    /// Is there a comment *block* containing any of `needles` that ends
+    /// on `line` or within `within` lines above it? Comments on
+    /// consecutive lines (a `///` doc block, a run of `//` lines)
+    /// coalesce into one block, so a marker anywhere in the block
+    /// counts as long as the block reaches the window.
+    pub fn comment_above(&self, line: u32, within: u32, needles: &[&str]) -> bool {
+        let lo = line.saturating_sub(within);
+        let mut i = 0;
+        while i < self.comments.len() {
+            // Grow the block while comments sit on consecutive lines.
+            let mut end = self.comments[i].end_line;
+            let mut hit = needles.iter().any(|n| self.comments[i].text.contains(n));
+            let mut j = i + 1;
+            while j < self.comments.len() && self.comments[j].line <= end + 1 {
+                end = self.comments[j].end_line.max(end);
+                hit |= needles.iter().any(|n| self.comments[j].text.contains(n));
+                j += 1;
+            }
+            if hit && end >= lo && end <= line {
+                return true;
+            }
+            i = j;
+        }
+        false
+    }
+}
+
+/// Parse a comment as a sanction. Returns `None` for ordinary comments;
+/// `Some` (possibly malformed — see [`Sanction::parsed`] /
+/// [`Sanction::has_rationale`]) for anything that starts with the
+/// `lint:` marker after stripping doc-comment furniture.
+fn parse_sanction(c: &Comment) -> Option<Sanction> {
+    let mut text = c.text.trim();
+    // Strip doc-comment introducers (`/` from `///`, `!` from `//!`) and
+    // nested `//` so sanctions inside doc examples still parse.
+    loop {
+        let t = text.trim_start_matches(['/', '!']).trim_start();
+        if t == text {
+            break;
+        }
+        text = t;
+    }
+    let rest = text.strip_prefix(SANCTION_PREFIX)?.trim_start();
+    let mut out = Sanction {
+        rules: Vec::new(),
+        has_rationale: false,
+        line: c.line,
+        end_line: c.end_line + 1,
+        parsed: false,
+    };
+    let Some(rest) = rest.strip_prefix("allow") else {
+        return Some(out);
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Some(out);
+    };
+    let Some(close) = rest.find(')') else {
+        return Some(out);
+    };
+    let list = &rest[..close];
+    out.rules = list
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    out.parsed = !out.rules.is_empty();
+    // Rationale: whatever follows the close paren, minus separator
+    // punctuation (`—`, `-`, `:`). Must contain a word character.
+    let after = rest[close + 1..]
+        .trim_start()
+        .trim_start_matches(['—', '–', '-', ':', ' ']);
+    out.has_rationale = after.chars().any(|ch| ch.is_alphanumeric());
+    Some(out)
+}
+
+/// Compute the set of lines covered by `#[cfg(test)]` items: the
+/// attribute may sit on a `mod` (the common `mod tests` shape) or
+/// directly on an `fn`/`impl`. Lines from the item's opening `{` to its
+/// matching `}` are excluded from serving-path rules.
+fn cfg_test_lines(tokens: &[Token]) -> BTreeSet<u32> {
+    let mut out = BTreeSet::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            // Find the body: first `{` at or after the item keyword,
+            // then its matching close brace. A `#[cfg(test)] mod x;`
+            // (out-of-line test module) has no body here; the file walk
+            // handles those files by name.
+            let mut j = i;
+            let mut open = None;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.kind == TokKind::Punct && t.text == "{" {
+                    open = Some(j);
+                    break;
+                }
+                if t.kind == TokKind::Punct && t.text == ";" {
+                    break;
+                }
+                j += 1;
+            }
+            if let Some(o) = open {
+                let mut depth = 0i64;
+                let mut k = o;
+                while k < tokens.len() {
+                    let t = &tokens[k];
+                    if t.kind == TokKind::Punct {
+                        if t.text == "{" {
+                            depth += 1;
+                        } else if t.text == "}" {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                    }
+                    k += 1;
+                }
+                let start = tokens[o].line;
+                let end = tokens[k.min(tokens.len() - 1)].line;
+                for l in start..=end {
+                    out.insert(l);
+                }
+                i = k.max(i + 1);
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Does a `#[cfg(test)]` / `#[cfg(all(test, …))]`-style attribute start
+/// at token `i`?
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    let txt = |k: usize| tokens.get(k).map(|t| t.text.as_str()).unwrap_or("");
+    if txt(i) != "#" || txt(i + 1) != "[" || txt(i + 2) != "cfg" || txt(i + 3) != "(" {
+        return false;
+    }
+    // Scan the attribute's token run (to the matching `]`) for the bare
+    // ident `test`.
+    let mut depth = 0i64;
+    let mut j = i + 1;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.kind == TokKind::Punct {
+            if t.text == "[" {
+                depth += 1;
+            } else if t.text == "]" {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+        } else if t.kind == TokKind::Ident && t.text == "test" {
+            return true;
+        }
+        j += 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_lines_are_marked() {
+        let src = "fn serving() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn also_serving() {}\n";
+        let ctx = FileCtx::new("crates/rpc/src/x.rs", src);
+        assert!(!ctx.in_test(1));
+        assert!(ctx.in_test(4));
+        assert!(!ctx.in_test(6));
+    }
+
+    #[test]
+    fn sanction_parsing() {
+        let good = "lint: allow(unmetered-copy) — header bytes only";
+        let bare = "lint: allow(unmetered-copy)";
+        let multi = "lint: allow(unmetered-copy, truncating-cast): both fine here";
+        let ctx = FileCtx::new(
+            "x.rs",
+            &format!("// {good}\nlet a = 1;\n// {bare}\nlet b = 2;\n// {multi}\nlet c = 3;\n"),
+        );
+        assert!(ctx.sanctioned("unmetered-copy", 2));
+        assert!(
+            !ctx.sanctioned("unmetered-copy", 4),
+            "bare allow must not sanction"
+        );
+        assert!(ctx.sanctioned("truncating-cast", 6));
+        assert!(ctx.sanctioned("unmetered-copy", 6));
+        assert!(!ctx.sanctioned("unmetered-copy", 3));
+    }
+
+    #[test]
+    fn wrapped_rationale_still_covers_next_code_line() {
+        let src = "// lint: allow(unmetered-lock) — a rationale long enough\n// that it wraps onto a second comment line\nlet g = m.lock();\n";
+        let ctx = FileCtx::new("x.rs", src);
+        assert!(ctx.sanctioned("unmetered-lock", 3));
+        assert!(!ctx.sanctioned("unmetered-lock", 4));
+    }
+
+    #[test]
+    fn trailing_sanction_covers_its_own_line() {
+        let ctx = FileCtx::new(
+            "x.rs",
+            "let v = s.to_vec(); // lint: allow(unmetered-copy) — test scaffolding\n",
+        );
+        assert!(ctx.sanctioned("unmetered-copy", 1));
+    }
+}

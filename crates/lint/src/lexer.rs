@@ -1,0 +1,375 @@
+//! A small, dependency-free Rust lexer for static invariant checks.
+//!
+//! The linter does not need a full parser — every rule keys on token
+//! shapes (`Ident("unwrap")` preceded by `.` and followed by `(`) plus
+//! comment text (`// SAFETY:`, `// lint: allow(...)`). What it *does*
+//! need is to never be fooled by lookalikes inside comments, string
+//! literals, raw strings, byte strings, or char literals, so the lexer
+//! handles all of Rust's literal forms:
+//!
+//! - line comments (`//`, `///`, `//!`) and **nested** block comments
+//! - string / byte-string literals with escapes, spanning lines
+//! - raw (byte) strings `r"…"`, `r#"…"#`, `br##"…"##` with any guard depth
+//! - char literals vs. lifetimes (`'a'` vs `'a`)
+//!
+//! Output is a flat token stream with 1-based line numbers plus the
+//! comment list (the rules read comments for `SAFETY:` markers and
+//! sanctions).
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `unwrap`, `Mutex`, …).
+    Ident,
+    /// Numeric literal (only the leading run; suffixes lex as idents).
+    Number,
+    /// Single punctuation character (`.`, `(`, `:`, `!`, …).
+    Punct,
+    /// Any string-like literal (string, raw string, byte string).
+    Str,
+    /// Char literal (`'x'`).
+    Char,
+    /// Lifetime (`'a`) or loop label.
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// One comment (line or block) with the line span it covers.
+///
+/// `text` is the comment body without the `//` / `/*` introducer; block
+/// comment bodies keep their interior newlines.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub end_line: u32,
+    pub text: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lex `src` into tokens and comments. Never fails: unterminated
+/// literals simply consume to end of file (the compiler, not the
+/// linter, is the authority on well-formedness).
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    macro_rules! bump_lines {
+        ($slice:expr) => {
+            line += $slice.iter().filter(|&&c| c == b'\n').count() as u32
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i + 2;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    end_line: line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let end = if i >= 2 { i - 2 } else { i };
+                out.comments.push(Comment {
+                    line: start_line,
+                    end_line: line,
+                    text: src[start..end.max(start)].to_string(),
+                });
+            }
+            b'r' | b'b' if is_raw_or_byte_literal(b, i) => {
+                // r"…" / r#"…"# / b"…" / br#"…"# / rb is not a thing but
+                // br is; consume the whole literal.
+                let start_line = line;
+                let mut j = i;
+                while j < b.len() && (b[j] == b'r' || b[j] == b'b') {
+                    j += 1;
+                }
+                let mut guards = 0usize;
+                while j < b.len() && b[j] == b'#' {
+                    guards += 1;
+                    j += 1;
+                }
+                debug_assert!(j < b.len() && b[j] == b'"');
+                j += 1; // opening quote
+                let raw = guards > 0 || b[i] == b'r' || (b[i] == b'b' && b[i + 1] == b'r');
+                let body_start = j;
+                if raw {
+                    // Raw: ends at `"` followed by `guards` hashes; no escapes.
+                    'raw: while j < b.len() {
+                        if b[j] == b'"' {
+                            let mut k = 0;
+                            while k < guards && j + 1 + k < b.len() && b[j + 1 + k] == b'#' {
+                                k += 1;
+                            }
+                            if k == guards {
+                                break 'raw;
+                            }
+                        }
+                        j += 1;
+                    }
+                    bump_lines!(&b[body_start..j.min(b.len())]);
+                    j = (j + 1 + guards).min(b.len());
+                } else {
+                    // b"…": escapes apply.
+                    while j < b.len() && b[j] != b'"' {
+                        if b[j] == b'\\' {
+                            j += 1;
+                        }
+                        j += 1;
+                    }
+                    bump_lines!(&b[body_start..j.min(b.len())]);
+                    j = (j + 1).min(b.len());
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line: start_line,
+                });
+                i = j;
+            }
+            b'"' => {
+                let start_line = line;
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && b[j] != b'"' {
+                    if b[j] == b'\\' {
+                        j += 1;
+                    }
+                    j += 1;
+                }
+                bump_lines!(&b[start..j.min(b.len())]);
+                out.tokens.push(Token {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line: start_line,
+                });
+                i = (j + 1).min(b.len());
+            }
+            b'\'' => {
+                // Char literal or lifetime. `'\…'` and `'x'` are chars;
+                // `'ident` not followed by a closing quote is a lifetime.
+                if i + 1 < b.len() && b[i + 1] == b'\\' {
+                    let mut j = i + 2;
+                    while j < b.len() && b[j] != b'\'' {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Char,
+                        text: String::new(),
+                        line,
+                    });
+                    i = (j + 1).min(b.len());
+                } else if i + 2 < b.len() && b[i + 2] == b'\'' && b[i + 1] != b'\'' {
+                    out.tokens.push(Token {
+                        kind: TokKind::Char,
+                        text: String::new(),
+                        line,
+                    });
+                    i += 3;
+                } else {
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: src[start..j].to_string(),
+                        line,
+                    });
+                    i = j.max(i + 1);
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                // Numbers may contain `_`, hex digits, `.`, exponents and
+                // type suffixes; for lint purposes a coarse munch of
+                // [0-9a-zA-Z_.] is fine *except* trailing `..`/method
+                // calls: stop a `.` that is not followed by a digit.
+                while i < b.len() {
+                    let d = b[i];
+                    if d == b'.' {
+                        if i + 1 < b.len() && b[i + 1].is_ascii_digit() {
+                            i += 2;
+                            continue;
+                        }
+                        break;
+                    }
+                    if d == b'_' || d.is_ascii_alphanumeric() {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Number,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Is position `i` the start of a raw string / byte string literal
+/// (`r"`, `r#`, `b"`, `br"`, `br#`)? A bare identifier that merely
+/// starts with `r`/`b` (e.g. `buf`) is not.
+fn is_raw_or_byte_literal(b: &[u8], i: usize) -> bool {
+    // Must not be in the middle of an identifier: caller dispatches on
+    // the first byte, so check the prefix shape only.
+    let rest = &b[i..];
+    let shapes: [&[u8]; 4] = [b"r\"", b"b\"", b"br\"", b"rb\""];
+    for s in shapes {
+        if rest.starts_with(s) {
+            // `rb"` is not valid Rust; accept anyway (lexes as junk
+            // either way, and being lenient never hides a violation).
+            return true;
+        }
+    }
+    // r#"… / br#"… / r#ident (raw identifier) — only a literal if the
+    // hashes end in a quote.
+    let mut j = 0;
+    while j < rest.len() && (rest[j] == b'r' || rest[j] == b'b') && j < 2 {
+        j += 1;
+    }
+    if j == 0 || j >= rest.len() || rest[j] != b'#' {
+        return false;
+    }
+    while j < rest.len() && rest[j] == b'#' {
+        j += 1;
+    }
+    j < rest.len() && rest[j] == b'"'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_tokens() {
+        let src = r##"
+// unsafe in a comment
+/* unwrap() in a block /* nested unsafe */ still comment */
+let s = "unsafe { unwrap() }";
+let r = r#"Mutex::new"#;
+let b = b"panic!";
+let c = 'u';
+fn real_unsafe() {}
+"##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_unsafe".to_string()));
+        assert!(!ids.contains(&"unsafe".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"Mutex".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+    }
+
+    #[test]
+    fn lines_survive_multiline_literals() {
+        let src = "let a = \"one\ntwo\";\nunsafe {}\n";
+        let lexed = lex(src);
+        let uns = lexed
+            .tokens
+            .iter()
+            .find(|t| t.text == "unsafe")
+            .expect("unsafe token");
+        assert_eq!(uns.line, 3);
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokKind::Char));
+    }
+
+    #[test]
+    fn raw_guards_of_any_depth() {
+        let src = "let x = r##\"quote \"# inside\"##; unsafe_marker();";
+        assert!(idents(src).contains(&"unsafe_marker".to_string()));
+        assert!(!idents(src).contains(&"inside".to_string()));
+    }
+
+    #[test]
+    fn comment_text_is_captured() {
+        let lexed = lex("// SAFETY: fine\nlet x = 1; // trailing\n");
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("SAFETY:"));
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+}

@@ -1,0 +1,114 @@
+//! CLI for `blobseer-lint`. See the crate docs for usage; CI runs
+//! `cargo run -p blobseer-lint -- --workspace` as the `invariant-lint`
+//! job and hard-fails the PR on any unsanctioned violation.
+
+#![deny(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: blobseer-lint [--workspace | --root DIR] [--rule RULE]... [PATHS...]\n\
+         \n\
+         --workspace   lint every .rs file under the enclosing cargo workspace\n\
+         --root DIR    treat DIR as the workspace root (rule scoping is\n\
+         \x20             computed from paths relative to it)\n\
+         --rule RULE   run only this rule (repeatable)\n\
+         --list-rules  print the rule catalog and exit\n\
+         \n\
+         exit status: 0 clean, 1 violations, 2 usage/IO error"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut workspace = false;
+    let mut only: Vec<String> = Vec::new();
+    let mut paths: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => match args.next() {
+                Some(d) => root = Some(PathBuf::from(d)),
+                None => usage(),
+            },
+            "--rule" => match args.next() {
+                Some(r) => {
+                    if !blobseer_lint::rules::known_rule(&r) {
+                        eprintln!("blobseer-lint: unknown rule `{r}` (see --list-rules)");
+                        return ExitCode::from(2);
+                    }
+                    only.push(r);
+                }
+                None => usage(),
+            },
+            "--list-rules" => {
+                for (id, summary) in blobseer_lint::rules::RULES {
+                    println!("{id:24} {summary}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => usage(),
+            _ if a.starts_with('-') => usage(),
+            _ => paths.push(PathBuf::from(a)),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            if !workspace && paths.is_empty() {
+                usage();
+            }
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("blobseer-lint: cannot determine cwd: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match blobseer_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "blobseer-lint: no [workspace] Cargo.toml above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let only = if only.is_empty() {
+        None
+    } else {
+        Some(only.as_slice())
+    };
+    let violations = match blobseer_lint::lint_root(&root, &paths, only) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("blobseer-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        println!("blobseer-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "blobseer-lint: {} violation(s); sanction deliberate ones with \
+             `// lint: allow(<rule>) — <rationale>` on the preceding line",
+            violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,4 @@
+//! Fixture: raw ablation toggle outside the RAII guards.
+pub fn flip() {
+    blobseer_proto::wire::set_zero_copy(false);
+}

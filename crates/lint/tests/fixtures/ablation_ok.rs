@@ -1,0 +1,5 @@
+//! Fixture: guard internals carry sanctions.
+pub fn flip_guarded() {
+    // lint: allow(unguarded-ablation) — fixture: RAII guard body
+    blobseer_proto::wire::set_zero_copy(false);
+}

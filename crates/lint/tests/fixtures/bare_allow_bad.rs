@@ -1,0 +1,10 @@
+//! Fixture: allow without a rationale, and an unknown rule.
+pub fn head(v: &[u8]) -> u8 {
+    // lint: allow(panic-on-serving-path)
+    *v.first().unwrap()
+}
+
+// lint: allow(not-a-rule) — rationale present but the rule is unknown
+pub fn two() -> u8 {
+    2
+}

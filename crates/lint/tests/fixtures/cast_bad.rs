@@ -1,0 +1,4 @@
+//! Fixture: silent length truncation.
+pub fn prefix(len: usize) -> u32 {
+    len as u32
+}

@@ -1,0 +1,9 @@
+//! Fixture: checked or sanctioned narrowing is clean.
+pub fn prefix(len: usize) -> Option<u32> {
+    u32::try_from(len).ok()
+}
+
+pub fn bounded(len: usize) -> u32 {
+    // lint: allow(truncating-cast) — fixture: caller bounds len ≤ 1 GiB
+    len as u32
+}

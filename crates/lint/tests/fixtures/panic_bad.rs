@@ -1,0 +1,4 @@
+//! Fixture: panic on a serving path.
+pub fn head(v: &[u8]) -> u8 {
+    *v.first().unwrap()
+}

@@ -1,0 +1,15 @@
+//! Fixture: sanctioned invariant unwrap, and test-code unwrap.
+pub fn head(v: &[u8]) -> u8 {
+    // lint: allow(panic-on-serving-path) — fixture: caller checks non-empty
+    *v.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::head(&[7u8]), 7u8);
+        let v: Option<u8> = Some(1);
+        v.unwrap();
+    }
+}

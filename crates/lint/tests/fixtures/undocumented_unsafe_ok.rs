@@ -1,0 +1,15 @@
+//! Fixture: SAFETY-documented unsafe is clean.
+pub fn peek(p: *const u8) -> u8 {
+    // SAFETY: fixture — caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}
+
+/// Reads a byte.
+///
+/// # Safety
+///
+/// `p` must be valid for reads.
+pub unsafe fn peek_raw(p: *const u8) -> u8 {
+    // SAFETY: forwarded obligation, see `# Safety` above.
+    unsafe { *p }
+}

@@ -1,0 +1,12 @@
+//! Fixture: raw payload copies outside the metered entry points.
+pub fn flatten(segments: &[&[u8]]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for s in segments {
+        out.extend_from_slice(s);
+    }
+    out
+}
+
+pub fn own(s: &[u8]) -> Vec<u8> {
+    s.to_vec()
+}

@@ -1,0 +1,20 @@
+//! Fixture: metered, fixed-width, and sanctioned copies are clean.
+use blobseer_util::copymeter;
+
+pub fn flatten(segments: &[&[u8]]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for s in segments {
+        copymeter::record_copy(s.len());
+        out.extend_from_slice(s);
+    }
+    out
+}
+
+pub fn header(out: &mut Vec<u8>, len: u32) {
+    out.extend_from_slice(&len.to_le_bytes());
+}
+
+pub fn own(s: &[u8]) -> Vec<u8> {
+    // lint: allow(unmetered-copy) — fixture: cold-path snapshot
+    s.to_vec()
+}

@@ -1,0 +1,20 @@
+//! Fixture: control-plane locks with no meter charge and no sanction.
+use parking_lot::{Mutex, RwLock};
+
+pub struct Table {
+    map: RwLock<Vec<u32>>,
+    gate: Mutex<()>,
+}
+
+impl Table {
+    pub fn new() -> Self {
+        Self {
+            map: RwLock::new(Vec::new()),
+            gate: Mutex::new(()),
+        }
+    }
+
+    pub fn snapshot(&self) -> Vec<u32> {
+        self.map.read().clone()
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: metered and sanctioned locks are clean.
+use blobseer_util::lockmeter;
+use parking_lot::Mutex;
+
+pub fn make() -> Mutex<()> {
+    // lint: allow(unmetered-lock) — fixture: initialization-only lock
+    Mutex::new(())
+}
+
+pub fn charged(m: &Mutex<()>) {
+    lockmeter::record_serializing();
+    let _g = m.lock();
+}

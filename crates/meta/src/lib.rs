@@ -28,6 +28,7 @@
 //!   correctness oracle by tests across the workspace and usable as an
 //!   embedded (non-distributed) mode of the library.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod read;

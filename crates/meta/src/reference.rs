@@ -145,6 +145,8 @@ impl ReferenceStore {
         }
         let mut buf = self.read(self.latest(), envelope)?;
         let start = (seg.offset - envelope.offset) as usize;
+        // lint: allow(unmetered-copy) — single-process reference oracle; the
+        // distributed engine is the metered data path
         buf[start..start + data.len()].copy_from_slice(data);
         self.write(envelope, &buf)
     }

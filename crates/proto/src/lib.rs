@@ -9,6 +9,7 @@
 //! This crate is deliberately free of I/O and concurrency so that every
 //! other crate can depend on it without layering cycles.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod error;

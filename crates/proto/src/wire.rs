@@ -76,12 +76,15 @@ pub struct ZeroCopyAblation {
 pub fn zero_copy_ablation(enabled: bool) -> ZeroCopyAblation {
     let lock = blobseer_util::testsync::ablation_exclusive();
     let prev = zero_copy();
+    // lint: allow(unguarded-ablation) — this IS the RAII guard; the exclusive
+    // testsync lock is held and `prev` restores on drop
     set_zero_copy(enabled);
     ZeroCopyAblation { prev, _lock: lock }
 }
 
 impl Drop for ZeroCopyAblation {
     fn drop(&mut self) {
+        // lint: allow(unguarded-ablation) — guard drop restoring the saved value
         set_zero_copy(self.prev);
     }
 }
@@ -148,6 +151,7 @@ impl ByteChain {
         match self.chunks.len() {
             0 => PageBuf::new(),
             1 => self.chunks[0].clone(),
+            // lint: allow(unmetered-copy) — delegates to to_vec, which records the copy
             _ => PageBuf::from_vec(self.to_vec()),
         }
     }
@@ -307,6 +311,8 @@ impl WireBuf {
     /// Append a small byte slice (copied into the contiguous tail).
     #[inline]
     pub fn extend_from_slice(&mut self, s: &[u8]) {
+        // lint: allow(unmetered-copy) — builder tail holds header/control bytes;
+        // payload pages ride PageBuf segments un-copied
         self.tail.extend_from_slice(s);
     }
 
@@ -325,6 +331,8 @@ impl WireBuf {
             // never let these bytes out.
             self.tail.extend_from_slice(&u32::MAX.to_le_bytes());
         } else {
+            // lint: allow(truncating-cast) — guarded: the branch above bounds
+            // len ≤ MAX_LEN (1 GiB), far below u32::MAX
             self.tail.extend_from_slice(&(len as u32).to_le_bytes());
         }
     }
@@ -576,6 +584,8 @@ impl<'a> Reader<'a> {
                         }
                         let seg = &chain.segments()[*chunk];
                         let take = (seg.len() - *off).min(left);
+                        // lint: allow(unmetered-copy) — metered once for the whole
+                        // gather below via record_copy(n)
                         v.extend_from_slice(&seg.as_slice()[*off..*off + take]);
                         *off += take;
                         left -= take;
@@ -680,7 +690,10 @@ pub trait Wire: Sized {
             // Single owned segment: the chain's vector *is* the wire
             // encoding of a payload-free message; avoid double-counting
             // a copy for the common tiny-message case.
+            // lint: allow(unmetered-copy) — payload-free tiny-message flatten;
+            // multi-segment chains go through the metered to_vec below
             [only] => only.as_slice().to_vec(),
+            // lint: allow(unmetered-copy) — Chain::to_vec records the copy internally
             _ => chain.to_vec(),
         }
     }
@@ -726,6 +739,8 @@ macro_rules! wire_int {
             #[inline]
             fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
                 let b = r.take($n)?;
+                // lint: allow(panic-on-serving-path) — take($n) returned exactly
+                // $n bytes; the conversion cannot fail
                 Ok(<$ty>::from_le_bytes(b.try_into().unwrap()))
             }
 
@@ -814,12 +829,14 @@ impl<T: Wire> Wire for Option<T> {
 impl Wire for String {
     fn encode(&self, out: &mut WireBuf) {
         out.put_len_prefix(self.len());
+        // lint: allow(unmetered-copy) — message field strings (names/paths), not payload
         out.extend_from_slice(self.as_bytes());
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         let n = decode_len(r)?;
         let b = r.take(n)?;
+        // lint: allow(unmetered-copy) — message field strings (names/paths), not payload
         String::from_utf8(b.to_vec()).map_err(|_| CodecError::BadUtf8)
     }
 

@@ -504,6 +504,7 @@ impl Generation {
 
     fn read_u64(&self, off: u64) -> u64 {
         let s = &self.map.as_slice()[off as usize..off as usize + 8];
+        // lint: allow(panic-on-serving-path) — the slice above is exactly 8 bytes
         u64::from_le_bytes(s.try_into().expect("8 bytes"))
     }
 
@@ -1104,6 +1105,8 @@ impl MmapBackend {
             durable,
             ranges,
             map,
+            // lint: allow(unmetered-copy) — live-record index snapshot for compaction
+            // planning, not payload bytes
             snapshot: live.to_vec(),
             old_number: old.number,
         })

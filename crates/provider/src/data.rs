@@ -121,6 +121,7 @@ impl DataProviderService {
             std::thread::Builder::new()
                 .name("provider-maint".into())
                 .spawn(move || inner.maintenance_loop())
+                // lint: allow(panic-on-serving-path) — service construction at startup
                 .expect("spawn provider maintenance thread")
         });
         Self {

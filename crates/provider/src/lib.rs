@@ -13,6 +13,7 @@
 //!   heartbeats, and load-balanced page placement (round-robin /
 //!   least-loaded / random strategies), plus write-id issuance.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod backend;

@@ -185,6 +185,8 @@ impl ProviderManagerService {
             rng_state: AtomicU64::new(seed | 1),
             strategy,
             page_size_hint: AtomicU64::new(64 * 1024),
+            // lint: allow(unmetered-lock) — serialized-control-plane ablation mutex;
+            // record_serializing is charged at the lock() site when engaged
             serial: Mutex::new(()),
             costs,
         }

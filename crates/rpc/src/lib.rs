@@ -18,6 +18,7 @@
 //! flatten) and inbound payloads are lent out of the receive buffer by
 //! refcount — see [`tcp`] for the frame discipline and error taxonomy.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;

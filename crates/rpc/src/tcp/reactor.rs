@@ -484,6 +484,8 @@ fn dispatch_event(
         Some(Slot::Conn(_)) => {
             let verdict = {
                 let Slot::Conn(conn) = &mut slots[token] else {
+                    // lint: allow(panic-on-serving-path) — the outer match just
+                    // proved this slot is a Conn; nothing reindexes in between
                     unreachable!()
                 };
                 conn_event(env, conn, token, ev.readable, ev.writable)
@@ -617,11 +619,16 @@ fn read_conn(env: &LoopEnv, conn: &mut Conn, token: usize) -> Verdict {
                     Err(_) => return Verdict::Close,
                 }
             }
-            let len = u32::from_le_bytes(conn.head) as usize;
-            if len < ENVELOPE_FIXED || len as u64 > MAX_WIRE_FRAME {
+            // Validate the peer-controlled length in the u64 domain,
+            // then narrow with a checked conversion — never a cast.
+            let declared = u64::from(u32::from_le_bytes(conn.head));
+            if declared < ENVELOPE_FIXED as u64 || declared > MAX_WIRE_FRAME {
                 // Hostile or corrupt length: close before allocating.
                 return Verdict::Close;
             }
+            let Ok(len) = usize::try_from(declared) else {
+                return Verdict::Close;
+            };
             conn.body = vec![0u8; len];
             conn.body_got = 0;
             conn.reading_body = true;
@@ -723,7 +730,8 @@ fn complete(
             let body = if env.shared.gather.load(Ordering::Relaxed) {
                 OutBody::Chain(frame.body)
             } else {
-                OutBody::Flat(frame.body.to_vec()) // the ablated flatten (metered)
+                // lint: allow(unmetered-copy) — the ablated flatten; Chain::to_vec records it
+                OutBody::Flat(frame.body.to_vec())
             };
             conn.out.push_back(Outgoing { head, body });
             let v = flush_conn(conn);

@@ -83,6 +83,8 @@ impl InProcTransport {
     pub fn add_node(&self) -> NodeId {
         let mut g = self.services.write();
         g.push(None);
+        // lint: allow(truncating-cast) — node registry is deployment-scale
+        // (hundreds of slots), nowhere near u32::MAX
         NodeId(g.len() as u32 - 1)
     }
 

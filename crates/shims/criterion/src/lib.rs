@@ -6,6 +6,8 @@
 //! a trimmed mean — this exists so `cargo bench` produces usable
 //! numbers in an offline build, not to replace criterion's analysis.
 
+#![deny(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

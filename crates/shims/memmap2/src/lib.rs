@@ -59,6 +59,8 @@ pub struct Mmap {
 // shared `&[u8]` views, which are as thread-safe as any shared slice.
 #[cfg(unix)]
 unsafe impl Send for Mmap {}
+// SAFETY: same argument as Send above — the mapped bytes are immutable
+// through this type, so concurrent shared access is sound.
 #[cfg(unix)]
 unsafe impl Sync for Mmap {}
 
@@ -105,6 +107,11 @@ impl Mmap {
 
     /// Map `file` by reading a snapshot of its contents (non-unix
     /// fallback — later file writes are **not** visible).
+    ///
+    /// # Safety
+    /// Nothing is actually mapped, so this is trivially safe; the
+    /// signature stays `unsafe` to mirror the unix path and the real
+    /// crate, and callers must uphold the same no-mutation contract.
     #[cfg(not(unix))]
     pub unsafe fn map(file: &File) -> io::Result<Mmap> {
         use std::io::Read;
@@ -177,6 +184,7 @@ mod tests {
         let path = temp_path("basic");
         std::fs::write(&path, b"hello mapping").unwrap();
         let file = File::open(&path).unwrap();
+        // SAFETY: the file is never written while the map is live.
         let map = unsafe { Mmap::map(&file) }.unwrap();
         assert_eq!(&map[..], b"hello mapping");
         assert_eq!(map.len(), 13);
@@ -188,6 +196,7 @@ mod tests {
         let path = temp_path("empty");
         std::fs::write(&path, b"").unwrap();
         let file = File::open(&path).unwrap();
+        // SAFETY: the file is never written while the map is live.
         let map = unsafe { Mmap::map(&file) }.unwrap();
         assert!(map.is_empty());
         let _ = std::fs::remove_file(&path);
@@ -206,6 +215,9 @@ mod tests {
             .open(&path)
             .unwrap();
         file.set_len(4096).unwrap();
+        // SAFETY: the fd writes below only fill previously-unread holes
+        // past the read offset — the append-only-log contract this shim
+        // documents (and this test exists to verify).
         let map = unsafe { Mmap::map(&file) }.unwrap();
         assert_eq!(map[100], 0);
         file.write_all_at(b"appended later", 100).unwrap();

@@ -6,6 +6,8 @@
 //! normally, which matches parking_lot semantics closely enough for this
 //! codebase's short critical sections).
 
+#![deny(unsafe_code)]
+
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::TryLockError;

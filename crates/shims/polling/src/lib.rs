@@ -101,13 +101,16 @@ unsafe impl Sync for Poller {}
 impl Poller {
     /// Create an epoll instance with its wakeup eventfd registered.
     pub fn new() -> io::Result<Poller> {
+        // SAFETY: no pointers cross this call; it returns a fresh fd.
         let epfd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
         if epfd < 0 {
             return Err(io::Error::last_os_error());
         }
+        // SAFETY: no pointers cross this call; it returns a fresh fd.
         let efd = unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) };
         if efd < 0 {
             let e = io::Error::last_os_error();
+            // SAFETY: epfd was just created above and is owned here.
             unsafe { sys::close(epfd) };
             return Err(e);
         }
@@ -128,6 +131,8 @@ impl Poller {
             events,
             data: key as u64,
         };
+        // SAFETY: `ev` is a live `#[repr(C)]` EpollEvent; the kernel
+        // reads it within this call only.
         let rc = unsafe { sys::epoll_ctl(self.epfd, op, fd, &mut ev) };
         if rc < 0 {
             return Err(io::Error::last_os_error());
@@ -160,6 +165,8 @@ impl Poller {
         };
         let mut raw = [sys::EpollEvent { events: 0, data: 0 }; 256];
         let n = loop {
+            // SAFETY: `raw` holds 256 `#[repr(C)]` events and 256 is
+            // the maxevents passed; the kernel writes only within it.
             let rc = unsafe { sys::epoll_wait(self.epfd, raw.as_mut_ptr(), 256, ms) };
             if rc >= 0 {
                 break rc as usize;
@@ -176,6 +183,8 @@ impl Poller {
             if key == NOTIFY_KEY {
                 // Drain the eventfd so the next wait blocks again.
                 let mut buf = 0u64;
+                // SAFETY: reads exactly 8 bytes into a live u64 — the
+                // eventfd counter width.
                 unsafe {
                     sys::read(self.eventfd, &mut buf as *mut u64 as *mut _, 8);
                 }
@@ -197,6 +206,7 @@ impl Poller {
     /// Wake a concurrent [`Poller::wait`] from any thread.
     pub fn notify(&self) -> io::Result<()> {
         let one = 1u64;
+        // SAFETY: writes exactly the 8 live bytes of `one`.
         let rc = unsafe { sys::write(self.eventfd, &one as *const u64 as *const _, 8) };
         // A full eventfd counter still wakes the waiter; ignore EAGAIN.
         if rc < 0 {
@@ -212,6 +222,7 @@ impl Poller {
 #[cfg(all(unix, target_os = "linux"))]
 impl Drop for Poller {
     fn drop(&mut self) {
+        // SAFETY: both fds are owned by this Poller and closed once.
         unsafe {
             sys::close(self.eventfd);
             sys::close(self.epfd);
@@ -261,11 +272,14 @@ mod fallback {
     impl PollTable {
         pub fn new() -> io::Result<PollTable> {
             let mut fds = [0 as c_int; 2];
+            // SAFETY: `fds` is a live 2-slot c_int array, exactly what
+            // pipe(2) writes.
             if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
                 return Err(io::Error::last_os_error());
             }
             // O_NONBLOCK on both ends (F_SETFL = 4, O_NONBLOCK = 4 on
             // the BSDs/macOS this fallback targets).
+            // SAFETY: no pointers cross fcntl with integer args.
             unsafe {
                 fcntl(fds[0], 4, 4);
                 fcntl(fds[1], 4, 4);
@@ -318,6 +332,8 @@ mod fallback {
                 None => -1,
                 Some(t) => t.as_millis().min(c_int::MAX as u128) as c_int,
             };
+            // SAFETY: `fds` is a live Vec of `#[repr(C)]` PollFd and the
+            // nfds passed is its exact length.
             let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, ms) };
             if rc < 0 {
                 let e = io::Error::last_os_error();
@@ -333,6 +349,8 @@ mod fallback {
                 }
                 if keys[i] == NOTIFY_KEY {
                     let mut buf = [0u8; 64];
+                    // SAFETY: reads at most 64 bytes into a live
+                    // 64-byte buffer.
                     unsafe {
                         read(self.pipe_r, buf.as_mut_ptr() as *mut _, 64);
                     }
@@ -351,6 +369,7 @@ mod fallback {
 
         pub fn notify(&self) -> io::Result<()> {
             let one = [1u8];
+            // SAFETY: writes exactly the 1 live byte of `one`.
             unsafe {
                 write(self.pipe_w, one.as_ptr() as *const _, 1);
             }
@@ -360,6 +379,7 @@ mod fallback {
 
     impl Drop for PollTable {
         fn drop(&mut self) {
+            // SAFETY: both pipe fds are owned here and closed once.
             unsafe {
                 close(self.pipe_r);
                 close(self.pipe_w);

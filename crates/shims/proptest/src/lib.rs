@@ -10,6 +10,8 @@
 //! number and seed so it can be replayed), and generation is plain
 //! uniform sampling. Set `PROPTEST_SEED` to replay a specific run.
 
+#![deny(unsafe_code)]
+
 use std::fmt;
 use std::ops::{Range, RangeInclusive};
 

@@ -7,6 +7,8 @@
 //! targets, chosen here for statistical quality, not compatibility of
 //! exact streams.
 
+#![deny(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Low-level generator core.

@@ -6,6 +6,8 @@
 //! output — the observable semantics of rayon's indexed parallel
 //! iterators for this usage pattern.
 
+#![deny(unsafe_code)]
+
 use std::num::NonZeroUsize;
 
 /// The traits users import.

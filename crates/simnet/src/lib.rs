@@ -13,6 +13,7 @@
 //!   virtual time; includes fault injection (node kill/revive), multi-site
 //!   latency, and global/per-node traffic metrics.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cluster;

@@ -13,6 +13,7 @@
 //!   embedded engine or the simulated cluster, with recall/precision
 //!   scoring against the injected ground truth.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod detect;

@@ -38,6 +38,8 @@ pub fn raise_soft_to_hard() -> io::Result<u64> {
             rlim_cur: 0,
             rlim_max: 0,
         };
+        // SAFETY: `lim` is a valid, live `#[repr(C)]` RLimit out-param;
+        // getrlimit only writes within it.
         if unsafe { sys::getrlimit(sys::RLIMIT_NOFILE, &mut lim) } != 0 {
             return Err(io::Error::last_os_error());
         }
@@ -46,6 +48,8 @@ pub fn raise_soft_to_hard() -> io::Result<u64> {
                 rlim_cur: lim.rlim_max,
                 rlim_max: lim.rlim_max,
             };
+            // SAFETY: `want` is a valid `#[repr(C)]` RLimit read by the
+            // kernel; setrlimit has no memory effects in this process.
             if unsafe { sys::setrlimit(sys::RLIMIT_NOFILE, &want) } != 0 {
                 // Keep whatever we had; the caller scales to the return.
                 return Ok(lim.rlim_cur);
@@ -71,6 +75,7 @@ mod tests {
             rlim_cur: 0,
             rlim_max: 0,
         };
+        // SAFETY: valid out-param, as in raise_soft_to_hard.
         assert_eq!(unsafe { sys::getrlimit(sys::RLIMIT_NOFILE, &mut lim) }, 0);
         assert_eq!(soft, lim.rlim_cur);
         assert_eq!(lim.rlim_cur, lim.rlim_max);

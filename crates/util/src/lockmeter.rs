@@ -230,12 +230,15 @@ pub struct SerializedAblation {
 pub fn serialized_ablation(enabled: bool) -> SerializedAblation {
     let lock = crate::testsync::ablation_exclusive();
     let prev = serialized_control_plane();
+    // lint: allow(unguarded-ablation) — this IS the RAII guard; the exclusive
+    // testsync lock is held and `prev` restores on drop
     set_serialized_control_plane(enabled);
     SerializedAblation { prev, _lock: lock }
 }
 
 impl Drop for SerializedAblation {
     fn drop(&mut self) {
+        // lint: allow(unguarded-ablation) — guard drop restoring the saved value
         set_serialized_control_plane(self.prev);
     }
 }

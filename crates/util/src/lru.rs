@@ -78,10 +78,13 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     }
 
     fn entry(&self, idx: u32) -> &Entry<K, V> {
+        // lint: allow(panic-on-serving-path) — indices come only from the map or
+        // the intrusive list, both of which reference live slots
         self.slab[idx as usize].as_ref().expect("live slot")
     }
 
     fn entry_mut(&mut self, idx: u32) -> &mut Entry<K, V> {
+        // lint: allow(panic-on-serving-path) — same slot-liveness invariant as `entry`
         self.slab[idx as usize].as_mut().expect("live slot")
     }
 
@@ -163,6 +166,8 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             let tail = self.tail;
             debug_assert_ne!(tail, NIL, "non-empty cache must have a tail");
             self.unlink(tail);
+            // lint: allow(panic-on-serving-path) — a full cache has a live tail
+            // (debug-asserted above)
             let old = self.slab[tail as usize].take().expect("live tail");
             self.map.remove(&old.key);
             self.free.push(tail);
@@ -191,6 +196,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     pub fn remove(&mut self, key: &K) -> Option<V> {
         let idx = self.map.remove(key)?;
         self.unlink(idx);
+        // lint: allow(panic-on-serving-path) — the map only references live slots
         let e = self.slab[idx as usize].take().expect("live slot");
         self.free.push(idx);
         Some(e.value)

@@ -55,6 +55,7 @@ pub fn payload_digest(data: &[u8]) -> u64 {
     let mut acc = 0x9e37_79b9_7f4a_7c15u64;
     let mut chunks = data.chunks_exact(8);
     for c in &mut chunks {
+        // lint: allow(panic-on-serving-path) — chunks_exact(8) yields exactly 8 bytes
         let w = u64::from_le_bytes(c.try_into().expect("8 bytes"));
         acc = (acc ^ w)
             .rotate_left(23)
@@ -284,7 +285,10 @@ enum Parsed {
 }
 
 fn read_word(buf: &[u8], off: u64) -> u64 {
+    // lint: allow(truncating-cast) — parse_record checks off + REC_HEADER ≤
+    // buf.len() (itself a usize) before every read_word call
     let s = &buf[off as usize..off as usize + 8];
+    // lint: allow(panic-on-serving-path) — the slice above is exactly 8 bytes
     u64::from_le_bytes(s.try_into().expect("8 bytes"))
 }
 
@@ -322,6 +326,8 @@ fn parse_record(buf: &[u8], off: u64) -> Option<Parsed> {
             (check == check_word(magic, a, b, c, len, 0)).then_some(Parsed::Skip(end))
         }
         _ => {
+            // lint: allow(truncating-cast) — end ≤ limit = buf.len() (a usize)
+            // was checked above; both bounds fit
             let payload = &buf[(off + REC_HEADER) as usize..end as usize];
             if check != check_word(magic, a, b, c, len, payload_digest(payload)) {
                 return None;
@@ -332,6 +338,8 @@ fn parse_record(buf: &[u8], off: u64) -> Option<Parsed> {
                     a,
                     b,
                     c,
+                    // lint: allow(unmetered-copy) — replay materializes owned records
+                    // at recovery time, not on the steady-state path
                     payload: payload.to_vec(),
                     offset: off,
                 },
@@ -520,6 +528,8 @@ impl RecordLog {
         let mut bytes: Vec<u8> = Vec::new();
         for r in recs {
             debug_assert!(r.magic != COMMIT_MAGIC && r.magic != TOMBSTONE_MAGIC);
+            // lint: allow(unmetered-copy) — compaction rewrite buffers the new log
+            // image; maintenance path, not per-op
             bytes.extend_from_slice(&encode_header(
                 r.magic,
                 r.a,
@@ -528,9 +538,11 @@ impl RecordLog {
                 r.payload.len() as u64,
                 payload_digest(r.payload),
             ));
+            // lint: allow(unmetered-copy) — compaction rewrite, see above
             bytes.extend_from_slice(r.payload);
         }
         let marker_at = bytes.len() as u64;
+        // lint: allow(unmetered-copy) — commit marker append on the maintenance path
         bytes.extend_from_slice(&encode_header(COMMIT_MAGIC, 0, 0, 0, 0, 0));
         let durable = marker_at + REC_HEADER;
         std::fs::write(&tmp, &bytes).map_err(|_| LogError::Io("write rewritten log"))?;

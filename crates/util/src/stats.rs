@@ -123,6 +123,8 @@ impl Samples {
         }
         if !self.sorted {
             self.data
+                // lint: allow(panic-on-serving-path) — samples are finite durations
+                // and ratios; NaN is never recorded
                 .sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
             self.sorted = true;
         }

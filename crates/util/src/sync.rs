@@ -93,6 +93,8 @@ impl<T> OnceSlot<T> {
         loop {
             if self.state.load(Ordering::Acquire) == READY {
                 drop(g);
+                // lint: allow(panic-on-serving-path) — READY is published with
+                // release ordering only after the value is set
                 return self.value.get().expect("READY implies set");
             }
             self.cond.wait(&mut g);

@@ -21,6 +21,7 @@
 //! is what lets any number of concurrent writers weave metadata without
 //! ever observing each other.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod history;

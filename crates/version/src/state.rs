@@ -64,6 +64,8 @@ impl BlobState {
         Self {
             blob,
             geom,
+            // lint: allow(unmetered-lock) — the paper-sanctioned VersionAssign mutex;
+            // charged via record_version_assign at every acquisition in request_version
             assign: Mutex::new(AssignState {
                 next_version: 1,
                 index: IntervalMap::new(),

@@ -181,7 +181,10 @@ fn replay(
                 if rec.payload.len() != 16 {
                     return Err(recovery(rec.offset, "malformed publish payload"));
                 }
+                // lint: allow(panic-on-serving-path) — payload length was checked
+                // to be exactly 16 just above
                 let offset = u64::from_le_bytes(rec.payload[..8].try_into().unwrap());
+                // lint: allow(panic-on-serving-path) — same 16-byte check as above
                 let size = u64::from_le_bytes(rec.payload[8..].try_into().unwrap());
                 // Creates are logged before their id escapes, so a
                 // committed publish for an unknown blob is corruption.

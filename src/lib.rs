@@ -274,6 +274,22 @@
 //! `bench/pr7_restart` (`BENCH_PR7.json`) times cold-restart replay
 //! against journal size while holding the steady-state parity gates
 //! with every journal on.
+//!
+//! ## Static invariant enforcement
+//!
+//! The meters only see paths the tests and benches exercise, so the
+//! invariants above are *also* enforced statically: `blobseer-lint`
+//! (`crates/lint`, a dependency-free offline pass, gated hard in CI)
+//! checks every Rust source in the workspace for unmetered
+//! control-plane locks, unmetered payload copies, undocumented
+//! `unsafe`, panics on serving paths, raw ablation toggles, and
+//! silently truncating length casts. Run it locally with
+//! `cargo run -p blobseer-lint -- --workspace`; deliberate exceptions
+//! carry a `// lint: allow(<rule>) — <rationale>` sanction at the
+//! site. The rule catalog lives in the `blobseer_lint::rules` rustdoc
+//! and ROADMAP.md ("Static invariant enforcement").
+
+#![deny(unsafe_code)]
 
 pub use blobseer_baseline as baseline;
 pub use blobseer_core as core;
