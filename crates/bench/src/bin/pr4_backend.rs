@@ -42,7 +42,10 @@ struct Sample {
 }
 
 fn deployment(backend: BackendKind) -> Deployment {
-    let mut cfg = DeploymentConfig::functional_tcp(PROVIDERS).with_backend(backend);
+    let mut cfg = DeploymentConfig::functional_tcp(PROVIDERS)
+        .tune()
+        .backend(backend)
+        .build();
     cfg.provider_capacity = u64::MAX; // mmap clamps to its log cap
     Deployment::build(cfg)
 }

@@ -58,8 +58,10 @@ struct Sample {
 
 fn deployment(fsync: bool) -> Deployment {
     let mut cfg = DeploymentConfig::functional_tcp(PROVIDERS)
-        .with_backend(BackendKind::Mmap)
-        .with_fsync_on_commit(fsync);
+        .tune()
+        .backend(BackendKind::Mmap)
+        .fsync_on_commit(fsync)
+        .build();
     cfg.provider_capacity = u64::MAX; // mmap clamps to its log cap
     Deployment::build(cfg)
 }
@@ -179,7 +181,10 @@ struct CompactionOutcome {
 
 /// Write → GC ¾ of the versions → read → compact → read.
 fn run_compaction_leg() -> CompactionOutcome {
-    let mut cfg = DeploymentConfig::functional_tcp(PROVIDERS).with_backend(BackendKind::Mmap);
+    let mut cfg = DeploymentConfig::functional_tcp(PROVIDERS)
+        .tune()
+        .backend(BackendKind::Mmap)
+        .build();
     cfg.provider_capacity = u64::MAX;
     // The sweep measures the *explicit* before/after; disable the
     // automatic trigger so GC's removes don't compact under us.

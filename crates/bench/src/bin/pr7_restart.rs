@@ -50,7 +50,10 @@ struct Sample {
 }
 
 fn deployment() -> Arc<Deployment> {
-    let mut cfg = DeploymentConfig::functional_tcp(PROVIDERS).with_backend(BackendKind::Mmap);
+    let mut cfg = DeploymentConfig::functional_tcp(PROVIDERS)
+        .tune()
+        .backend(BackendKind::Mmap)
+        .build();
     cfg.provider_capacity = u64::MAX; // mmap clamps to its log cap
     Arc::new(Deployment::build(cfg))
 }
@@ -105,7 +108,10 @@ fn run_write(n: usize) -> Sample {
 /// freshly *restarted* cluster — the replayed serving path must meter
 /// exactly like the original one.
 fn run_read_after_restart() -> Sample {
-    let mut cfg = DeploymentConfig::functional_tcp(PROVIDERS).with_backend(BackendKind::Mmap);
+    let mut cfg = DeploymentConfig::functional_tcp(PROVIDERS)
+        .tune()
+        .backend(BackendKind::Mmap)
+        .build();
     cfg.provider_capacity = u64::MAX;
     let mut d = Deployment::build(cfg);
     let setup = d.client();
@@ -170,7 +176,10 @@ struct RestartSample {
 /// time the whole-cluster kill + reopen + replay, and verify the
 /// recovered latest end to end.
 fn run_restart(versions: u64) -> RestartSample {
-    let mut cfg = DeploymentConfig::functional_tcp(PROVIDERS).with_backend(BackendKind::Mmap);
+    let mut cfg = DeploymentConfig::functional_tcp(PROVIDERS)
+        .tune()
+        .backend(BackendKind::Mmap)
+        .build();
     cfg.provider_capacity = u64::MAX;
     let mut d = Deployment::build(cfg);
     let c = d.client();

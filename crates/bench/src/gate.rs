@@ -77,9 +77,15 @@ pub fn is_invariant_key(key: &str) -> bool {
     key == "bytes_copied_per_op" || key.ends_with("locks_per_op")
 }
 
-/// Is `key` an advisory throughput column?
+/// Is `key` an advisory column? Throughput, plus the PR 9 latency
+/// percentiles (`*_p50_ms` / `*_p99_ms` / `*_p999_ms`): wall-clock
+/// measures drift with the host, so they are reported, not gated.
 pub fn is_advisory_key(key: &str) -> bool {
-    key == "mib_s" || key.ends_with("_mib_s")
+    key == "mib_s"
+        || key.ends_with("_mib_s")
+        || key.ends_with("_p50_ms")
+        || key.ends_with("_p99_ms")
+        || key.ends_with("_p999_ms")
 }
 
 /// Compare `fresh` against `baseline`, collecting violations and

@@ -294,7 +294,12 @@ mod tests {
     fn parses_committed_baselines() {
         // The real committed baselines must parse (this is what the CI
         // gate reads).
-        for name in ["BENCH_PR1.json", "BENCH_PR2.json", "BENCH_PR3.json"] {
+        for name in [
+            "BENCH_PR1.json",
+            "BENCH_PR2.json",
+            "BENCH_PR3.json",
+            "BENCH_PR9.json",
+        ] {
             let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
                 .join("../..")
                 .join(name);

@@ -16,8 +16,10 @@
 //! | `sky_e2e` | the supernova pipeline on the simulated cluster |
 //!
 //! PR-acceptance sweeps (`pr1_zero_copy`, `pr2_lockfree`, `pr3_tcp`,
-//! `pr4_backend`, `pr5_durability`) emit `BENCH_PR*.json` at the repo
-//! root; the
+//! `pr4_backend`, `pr5_durability`, `pr6_reactor`, `pr7_restart`,
+//! `pr9_workload` — the [`workload`]-driven open-loop overload storm
+//! and hot-page fan-out ablation, with p50/p99/p999 latency columns)
+//! emit `BENCH_PR*.json` at the repo root; the
 //! [`gate`] module (driven by the `bench_gate` binary) compares fresh
 //! smoke runs against those committed baselines and hard-fails CI when
 //! an invariant column — bytes-copied-per-op or locks-per-op —
@@ -32,5 +34,6 @@
 pub mod gate;
 pub mod harness;
 pub mod json;
+pub mod workload;
 
 pub use harness::*;

@@ -1,0 +1,267 @@
+//! Skewed **open-loop** workload generation with first-class latency
+//! percentiles — the traffic shapes of §V run the way production
+//! clients actually arrive.
+//!
+//! Three pieces, composable and all deterministic from a seed:
+//!
+//! * [`Zipf`] — Zipfian popularity over `n` items (blob pages, blobs,
+//!   keys). At `s = 1.0` the head item draws ~`1/H(n)` of all traffic,
+//!   which is what makes *hot-page* fan-out measurable at all.
+//! * [`OpenLoop`] — an arrival schedule at a fixed offered rate.
+//!   Unlike a closed loop (next request waits for the previous
+//!   response), the schedule does not slow down when the server does;
+//!   latency is measured **from the scheduled send time**, so a late
+//!   generator charges the lateness to the server (coordinated-
+//!   omission-corrected percentiles).
+//! * [`Mix`] — the read-mostly operation mix, one Bernoulli draw per
+//!   arrival.
+//!
+//! [`LatencyRecorder`] folds per-request latencies into the
+//! p50/p99/p999 columns the `BENCH_PR9.json` schema exposes next to
+//! copies/op and locks/op (the percentile columns are advisory in the
+//! gate — wall-clock drifts with the host; the copy/lock columns stay
+//! hard).
+
+use blobseer_util::rng::splitmix64;
+use blobseer_util::stats::Samples;
+use std::time::Duration;
+
+/// Zipfian sampler over ranks `0..n` (rank 0 hottest): rank `k` is
+/// drawn with probability proportional to `1 / (k+1)^s`. Sampling is
+/// one uniform draw + one binary search over the precomputed CDF.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    state: u64,
+}
+
+impl Zipf {
+    /// Build a sampler over `n ≥ 1` ranks with exponent `s ≥ 0`
+    /// (`s = 0` is uniform; the paper-style skew is `s = 1.0`).
+    pub fn new(n: usize, s: f64, seed: u64) -> Self {
+        assert!(n >= 1, "zipf needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        for c in &mut cdf {
+            *c /= acc;
+        }
+        Zipf {
+            cdf,
+            state: seed ^ 0x51ab_7be1_c0de_f00d,
+        }
+    }
+
+    /// Draw one rank.
+    pub fn sample(&mut self) -> usize {
+        let u = uniform(&mut self.state);
+        // partition_point: first rank whose CDF covers the draw.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// The probability mass of rank `k` (for reporting expected skew).
+    pub fn mass(&self, k: usize) -> f64 {
+        let lo = if k == 0 { 0.0 } else { self.cdf[k - 1] };
+        self.cdf[k] - lo
+    }
+}
+
+/// An open-loop arrival schedule: request `i` is *due* at
+/// `i / rate_per_s` after the storm starts, whether or not earlier
+/// requests have completed.
+#[derive(Clone, Copy, Debug)]
+pub struct OpenLoop {
+    /// Offered load, requests per second.
+    pub rate_per_s: f64,
+}
+
+impl OpenLoop {
+    /// The scheduled send time of request `i`.
+    pub fn due(&self, i: usize) -> Duration {
+        Duration::from_secs_f64(i as f64 / self.rate_per_s)
+    }
+
+    /// The latency to record for request `i`: completion time measured
+    /// on the storm clock, minus the scheduled send time. A generator
+    /// running late does **not** forgive the server the wait
+    /// (coordinated-omission correction).
+    pub fn latency(&self, i: usize, completed_at: Duration) -> Duration {
+        completed_at.saturating_sub(self.due(i))
+    }
+}
+
+/// A read-mostly operation mix: one Bernoulli draw per arrival.
+#[derive(Clone, Debug)]
+pub struct Mix {
+    read_fraction: f64,
+    state: u64,
+}
+
+impl Mix {
+    /// `read_fraction` in `[0, 1]`; the §V-style read-mostly mix is
+    /// 0.9–0.95.
+    pub fn new(read_fraction: f64, seed: u64) -> Self {
+        Mix {
+            read_fraction: read_fraction.clamp(0.0, 1.0),
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// True when arrival `i` should be a read.
+    pub fn is_read(&mut self) -> bool {
+        uniform(&mut self.state) < self.read_fraction
+    }
+}
+
+/// Latency percentile summary, in milliseconds — the `*_p50_ms` /
+/// `*_p99_ms` / `*_p999_ms` BENCH columns.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencySummary {
+    /// Samples folded in.
+    pub count: usize,
+    /// Median, milliseconds.
+    pub p50_ms: f64,
+    /// 99th percentile, milliseconds.
+    pub p99_ms: f64,
+    /// 99.9th percentile, milliseconds.
+    pub p999_ms: f64,
+}
+
+/// Accumulates per-request latencies and reports percentiles.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyRecorder {
+    samples: Samples,
+}
+
+impl LatencyRecorder {
+    /// Empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one request latency.
+    pub fn record(&mut self, latency: Duration) {
+        self.samples.push(latency.as_secs_f64() * 1e3);
+    }
+
+    /// Fold another recorder in (merge per-worker recorders).
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        // Samples keeps raw data, so merging is re-pushing.
+        for x in other.samples.iter() {
+            self.samples.push(x);
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean latency in milliseconds; zero when empty (capacity
+    /// estimation for sizing an overload storm, not a headline stat).
+    pub fn mean_ms(&self) -> f64 {
+        self.samples.mean().unwrap_or(0.0)
+    }
+
+    /// The p50/p99/p999 summary; zeros when empty.
+    pub fn summary(&mut self) -> LatencySummary {
+        if self.samples.is_empty() {
+            return LatencySummary::default();
+        }
+        LatencySummary {
+            count: self.samples.len(),
+            // lint: allow(panic-on-serving-path) — non-empty by the guard above
+            p50_ms: self.samples.percentile(50.0).expect("non-empty"),
+            p99_ms: self.samples.percentile(99.0).expect("non-empty"),
+            p999_ms: self.samples.percentile(99.9).expect("non-empty"),
+        }
+    }
+}
+
+/// One uniform draw in `[0, 1)` from a splitmix64 stream.
+fn uniform(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_head_dominates_at_s1() {
+        let mut z = Zipf::new(64, 1.0, 42);
+        let mut counts = vec![0u64; 64];
+        for _ in 0..20_000 {
+            counts[z.sample()] += 1;
+        }
+        // Rank 0 carries ~21% of the mass at n=64, s=1; the tail rank
+        // carries ~0.3%. A loose factor-10 check is noise-proof.
+        assert!(counts[0] > 10 * counts[63].max(1));
+        // And the empirical head frequency tracks the analytic mass.
+        let head = counts[0] as f64 / 20_000.0;
+        assert!((head - z.mass(0)).abs() < 0.05, "head {head}");
+    }
+
+    #[test]
+    fn zipf_s0_is_uniform() {
+        let mut z = Zipf::new(16, 0.0, 7);
+        let mut counts = vec![0u64; 16];
+        for _ in 0..16_000 {
+            counts[z.sample()] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 1000.0).abs() < 250.0, "uniform-ish: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_is_deterministic_per_seed() {
+        let mut a = Zipf::new(32, 1.0, 9);
+        let mut b = Zipf::new(32, 1.0, 9);
+        let sa: Vec<usize> = (0..100).map(|_| a.sample()).collect();
+        let sb: Vec<usize> = (0..100).map(|_| b.sample()).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn open_loop_charges_lateness_to_the_server() {
+        let ol = OpenLoop { rate_per_s: 1000.0 };
+        assert_eq!(ol.due(10), Duration::from_millis(10));
+        // Request 10 due at 10 ms, completed at 17 ms on the storm
+        // clock → 7 ms latency even if it was *sent* late at 16 ms.
+        assert_eq!(
+            ol.latency(10, Duration::from_millis(17)),
+            Duration::from_millis(7)
+        );
+        // Completed before due (never with a correct driver): clamps.
+        assert_eq!(ol.latency(10, Duration::from_millis(3)), Duration::ZERO);
+    }
+
+    #[test]
+    fn mix_tracks_read_fraction() {
+        let mut m = Mix::new(0.9, 1234);
+        let reads = (0..10_000).filter(|_| m.is_read()).count();
+        assert!((8_700..=9_300).contains(&reads), "read-mostly: {reads}");
+    }
+
+    #[test]
+    fn recorder_percentiles_order() {
+        let mut r = LatencyRecorder::new();
+        for i in 1..=1000u64 {
+            r.record(Duration::from_micros(i * 100));
+        }
+        let s = r.summary();
+        assert_eq!(s.count, 1000);
+        assert!(s.p50_ms <= s.p99_ms && s.p99_ms <= s.p999_ms);
+        assert!((s.p50_ms - 50.0).abs() < 2.0, "p50 {}", s.p50_ms);
+        assert!(s.p999_ms > 99.0, "p999 {}", s.p999_ms);
+    }
+}

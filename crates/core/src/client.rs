@@ -17,6 +17,8 @@
 //! "the main limiting factor is actually the performance of the client's
 //! processing power", and reproducing Figure 3(a) depends on it.
 
+use crate::heat::HeatTracker;
+use crate::options::{ReadOptions, WriteOptions};
 use blobseer_dht::{DhtClient, Ring};
 use blobseer_meta::read::{assemble_read, assemble_read_into, expand, root_key, Visit};
 use blobseer_meta::shape::align_to_pages;
@@ -25,13 +27,15 @@ use blobseer_proto::messages::{
     method, BlobInfo, CompleteWrite, CreateBlob, GcRequest, GetLatest, GetPage, PlanWrite,
     PublishState, PutPage, RemovePage, RequestVersion, WriteTicket,
 };
-use blobseer_proto::tree::{NodeBody, NodeKey, PageKey, PageLoc};
+use blobseer_proto::tree::{NodeBody, NodeKey, PageKey, PageLoc, TreeNode};
 use blobseer_proto::{BlobError, BlobId, Geometry, NodeId, PageBuf, ProviderId, Segment, Version};
-use blobseer_rpc::{Ctx, RpcClient};
+use blobseer_rpc::{Ctx, RetryPolicy, RpcClient};
 use blobseer_simnet::ClientCosts;
 use blobseer_util::{lockmeter, ClockCache, FxHashMap};
 use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// The client-side metadata-tree cache: a sharded concurrent CLOCK cache
 /// of refcounted tree-node bodies. One instance may be shared by any
@@ -121,6 +125,10 @@ pub struct BlobClient {
     cache: Option<Arc<MetaCache>>,
     geoms: RwLock<FxHashMap<BlobId, Geometry>>,
     replication: u32,
+    retry: RetryPolicy,
+    heat: Option<Arc<HeatTracker>>,
+    // Round-robin cursor spreading multi-replica page reads.
+    rr: AtomicU64,
 }
 
 impl BlobClient {
@@ -148,7 +156,65 @@ impl BlobClient {
             // acquisition below carries its Shared/Serializing charge
             geoms: RwLock::new(FxHashMap::default()),
             replication,
+            retry: RetryPolicy::none(),
+            heat: None,
+            rr: AtomicU64::new(0),
         }
+    }
+
+    /// Set the client-wide default [`RetryPolicy`], applied to
+    /// idempotent operations when a call's options don't override it.
+    /// The default is [`RetryPolicy::none`] (fail fast).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Attach a shared [`HeatTracker`]: page fetches are counted and
+    /// hot pages are promoted onto extra providers (read fan-out).
+    pub fn with_heat(mut self, heat: Arc<HeatTracker>) -> Self {
+        self.heat = Some(heat);
+        self
+    }
+
+    /// The client-wide default retry policy.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// The shared heat tracker, when fan-out is enabled.
+    pub fn heat(&self) -> Option<&Arc<HeatTracker>> {
+        self.heat.as_ref()
+    }
+
+    /// Back off before retry `attempt`, spending the delay on both
+    /// clocks: the virtual clock (so sim benches see queueing delay)
+    /// and the wall clock (so TCP peers actually get air). Returns
+    /// `None` — ending the retry loop — once the policy or the caller's
+    /// `deadline_ms` budget (measured in virtual time since `t0`) is
+    /// exhausted, or the error is not retryable.
+    fn backoff(
+        &self,
+        ctx: &mut Ctx,
+        policy: &RetryPolicy,
+        deadline_ms: Option<u64>,
+        t0: u64,
+        attempt: u32,
+        err: &BlobError,
+    ) -> Option<()> {
+        let delay = policy.backoff_for(attempt, err)?;
+        let delay_ns = u64::try_from(delay.as_nanos()).unwrap_or(u64::MAX);
+        if let Some(ms) = deadline_ms {
+            let budget_ns = ms.saturating_mul(1_000_000);
+            if (ctx.vt - t0).saturating_add(delay_ns) > budget_ns {
+                return None;
+            }
+        }
+        ctx.advance(delay_ns);
+        if delay > Duration::ZERO {
+            std::thread::sleep(delay);
+        }
+        Some(())
     }
 
     /// `(hits, misses)` of the metadata cache, if enabled. When the cache
@@ -245,6 +311,33 @@ impl BlobClient {
         Ok(self.write_buf_with_stats(ctx, blob, offset, data)?.0)
     }
 
+    /// Canonical `WRITE` entry point: zero-copy buffer plus
+    /// [`WriteOptions`] (retry override for the idempotent page puts,
+    /// admission deadline). The other write methods are thin forwards.
+    pub fn write_buf_with(
+        &self,
+        ctx: &mut Ctx,
+        blob: BlobId,
+        offset: u64,
+        data: PageBuf,
+        opts: &WriteOptions,
+    ) -> Result<Version, BlobError> {
+        Ok(self.write_buf_stats_with(ctx, blob, offset, data, opts)?.0)
+    }
+
+    /// [`BlobClient::write_buf_with`] for a borrowed slice (one metered
+    /// copy into a shared [`PageBuf`], like [`BlobClient::write`]).
+    pub fn write_with(
+        &self,
+        ctx: &mut Ctx,
+        blob: BlobId,
+        offset: u64,
+        data: &[u8],
+        opts: &WriteOptions,
+    ) -> Result<Version, BlobError> {
+        self.write_buf_with(ctx, blob, offset, PageBuf::copy_from_slice(data), opts)
+    }
+
     /// [`BlobClient::write`] with per-phase virtual-time breakdown — the
     /// instrument behind Figure 3(b), which reports the *metadata* share
     /// of a write.
@@ -265,6 +358,20 @@ impl BlobClient {
         blob: BlobId,
         offset: u64,
         data: PageBuf,
+    ) -> Result<(Version, WriteStats), BlobError> {
+        self.write_buf_stats_with(ctx, blob, offset, data, &WriteOptions::default())
+    }
+
+    /// The full write pipeline: plan → page puts (idempotent, retried
+    /// under `opts`) → version ticket → metadata → publish (never
+    /// retried), with the per-phase breakdown.
+    pub fn write_buf_stats_with(
+        &self,
+        ctx: &mut Ctx,
+        blob: BlobId,
+        offset: u64,
+        data: PageBuf,
+        opts: &WriteOptions,
     ) -> Result<(Version, WriteStats), BlobError> {
         let t0 = ctx.vt;
         let seg = Segment::new(offset, data.len() as u64);
@@ -293,44 +400,66 @@ impl BlobClient {
         // page (shared slices of the one write buffer), and every replica
         // of a page shares the same allocation: the fan-out moves
         // refcounts, not bytes.
+        //
+        // Page puts are the idempotent prefix of the pipeline (pages are
+        // immutable: re-putting a key re-stores identical bytes), so
+        // pages that collected zero acks — shed or unreachable replicas —
+        // are retried under the policy before the write gives up. The
+        // version-publish legs below never retry.
         ctx.advance(self.costs.write_page_ns * n_pages);
-        let mut calls: Vec<(NodeId, u16, PutPage)> = Vec::new();
-        let mut call_page: Vec<usize> = Vec::new();
-        for (i, page_idx) in range.iter().enumerate() {
-            let key = PageKey {
-                blob,
-                write: plan.write,
-                index: page_idx,
-            };
-            let start = i * geom.page_size as usize;
-            let page_data = data.slice(start..start + geom.page_size as usize);
-            for &target in &plan.targets[i] {
-                calls.push((
-                    NodeId(target.0),
-                    method::PUT_PAGE,
-                    PutPage {
-                        key,
-                        data: page_data.clone(),
-                    },
-                ));
-                call_page.push(i);
-            }
-        }
-        let put_results = self.rpc.fan_out::<PutPage, ()>(ctx, &calls);
-
-        // A page is durable on the replicas that acknowledged; require at
-        // least one per page.
+        let policy = opts.retry.unwrap_or(self.retry);
+        let t_retry0 = ctx.vt;
         let mut ok_replicas: Vec<Vec<ProviderId>> = vec![Vec::new(); n_pages as usize];
-        let mut first_err = None;
-        for (slot, res) in put_results.into_iter().enumerate() {
-            let page_i = call_page[slot];
-            match res {
-                Ok(()) => ok_replicas[page_i].push(ProviderId(calls[slot].0 .0)),
-                Err(e) => first_err = Some(e),
+        let mut attempt = 0u32;
+        loop {
+            let mut calls: Vec<(NodeId, u16, PutPage)> = Vec::new();
+            let mut call_page: Vec<usize> = Vec::new();
+            for (i, page_idx) in range.iter().enumerate() {
+                if !ok_replicas[i].is_empty() {
+                    continue; // acked on a previous attempt
+                }
+                let key = PageKey {
+                    blob,
+                    write: plan.write,
+                    index: page_idx,
+                };
+                let start = i * geom.page_size as usize;
+                let page_data = data.slice(start..start + geom.page_size as usize);
+                for &target in &plan.targets[i] {
+                    calls.push((
+                        NodeId(target.0),
+                        method::PUT_PAGE,
+                        PutPage {
+                            key,
+                            data: page_data.clone(),
+                        },
+                    ));
+                    call_page.push(i);
+                }
             }
-        }
-        if ok_replicas.iter().any(|r| r.is_empty()) {
-            return Err(first_err.unwrap_or(BlobError::Internal("page put failed")));
+            let put_results = self.rpc.fan_out::<PutPage, ()>(ctx, &calls);
+
+            // A page is durable on the replicas that acknowledged;
+            // require at least one per page.
+            let mut last_err = None;
+            for (slot, res) in put_results.into_iter().enumerate() {
+                let page_i = call_page[slot];
+                match res {
+                    Ok(()) => ok_replicas[page_i].push(ProviderId(calls[slot].0 .0)),
+                    Err(e) => last_err = Some(e),
+                }
+            }
+            if ok_replicas.iter().all(|r| !r.is_empty()) {
+                break;
+            }
+            let err = last_err.unwrap_or(BlobError::Internal("page put failed"));
+            if self
+                .backoff(ctx, &policy, opts.deadline_ms, t_retry0, attempt, &err)
+                .is_none()
+            {
+                return Err(err);
+            }
+            attempt += 1;
         }
         let locs: Vec<PageLoc> = range
             .iter()
@@ -443,7 +572,24 @@ impl BlobClient {
         version: Option<Version>,
         seg: Segment,
     ) -> Result<(Vec<u8>, Version), BlobError> {
-        let (data, latest, _) = self.read_with_stats(ctx, blob, version, seg)?;
+        let opts = ReadOptions {
+            version,
+            ..ReadOptions::default()
+        };
+        self.read_with(ctx, blob, seg, &opts)
+    }
+
+    /// Canonical `READ` entry point: segment plus [`ReadOptions`]
+    /// (version pin, retry override, admission deadline). The other
+    /// read methods are thin forwards.
+    pub fn read_with(
+        &self,
+        ctx: &mut Ctx,
+        blob: BlobId,
+        seg: Segment,
+        opts: &ReadOptions,
+    ) -> Result<(Vec<u8>, Version), BlobError> {
+        let (data, latest, _) = self.read_stats_with(ctx, blob, seg, opts)?;
         Ok((data, latest))
     }
 
@@ -458,13 +604,29 @@ impl BlobClient {
         seg: Segment,
         out: &mut [u8],
     ) -> Result<Version, BlobError> {
+        let opts = ReadOptions {
+            version,
+            ..ReadOptions::default()
+        };
+        self.read_into_with(ctx, blob, seg, out, &opts)
+    }
+
+    /// [`BlobClient::read_into`] with [`ReadOptions`].
+    pub fn read_into_with(
+        &self,
+        ctx: &mut Ctx,
+        blob: BlobId,
+        seg: Segment,
+        out: &mut [u8],
+        opts: &ReadOptions,
+    ) -> Result<Version, BlobError> {
         if out.len() as u64 != seg.size {
             return Err(BlobError::BadSegment {
                 segment: seg,
                 reason: "buffer size mismatch",
             });
         }
-        let plan = self.read_plan(ctx, blob, version, seg)?;
+        let plan = self.read_plan_with(ctx, blob, seg, opts)?;
         match plan.pieces {
             None => out.fill(0),
             Some((zeros, pages)) => {
@@ -487,7 +649,22 @@ impl BlobClient {
         version: Option<Version>,
         seg: Segment,
     ) -> Result<(PageBuf, Version), BlobError> {
-        let plan = self.read_plan(ctx, blob, version, seg)?;
+        let opts = ReadOptions {
+            version,
+            ..ReadOptions::default()
+        };
+        self.read_buf_with(ctx, blob, seg, &opts)
+    }
+
+    /// [`BlobClient::read_buf`] with [`ReadOptions`].
+    pub fn read_buf_with(
+        &self,
+        ctx: &mut Ctx,
+        blob: BlobId,
+        seg: Segment,
+        opts: &ReadOptions,
+    ) -> Result<(PageBuf, Version), BlobError> {
+        let plan = self.read_plan_with(ctx, blob, seg, opts)?;
         let geom = plan.geom;
         match plan.pieces {
             None => Ok((PageBuf::zeroed(seg.size as usize), plan.latest)),
@@ -518,7 +695,22 @@ impl BlobClient {
         version: Option<Version>,
         seg: Segment,
     ) -> Result<(Vec<u8>, Version, ReadStats), BlobError> {
-        let plan = self.read_plan(ctx, blob, version, seg)?;
+        let opts = ReadOptions {
+            version,
+            ..ReadOptions::default()
+        };
+        self.read_stats_with(ctx, blob, seg, &opts)
+    }
+
+    /// [`BlobClient::read_with_stats`] with [`ReadOptions`].
+    pub fn read_stats_with(
+        &self,
+        ctx: &mut Ctx,
+        blob: BlobId,
+        seg: Segment,
+        opts: &ReadOptions,
+    ) -> Result<(Vec<u8>, Version, ReadStats), BlobError> {
+        let plan = self.read_plan_with(ctx, blob, seg, opts)?;
         let stats = plan.stats;
         let latest = plan.latest;
         match plan.pieces {
@@ -527,6 +719,37 @@ impl BlobClient {
                 let geom = plan.geom;
                 let buf = assemble_read(&geom, &seg, &zeros, &pages)?;
                 Ok((buf, latest, stats))
+            }
+        }
+    }
+
+    /// [`BlobClient::read_plan`] under the retry loop: reads are
+    /// idempotent end to end, so a shed or unreachable attempt is
+    /// replayed whole under the effective policy (per-call override,
+    /// else the client default) until it succeeds, the policy caps out,
+    /// or the `deadline_ms` budget is spent.
+    fn read_plan_with(
+        &self,
+        ctx: &mut Ctx,
+        blob: BlobId,
+        seg: Segment,
+        opts: &ReadOptions,
+    ) -> Result<ReadPlan, BlobError> {
+        let policy = opts.retry.unwrap_or(self.retry);
+        let t0 = ctx.vt;
+        let mut attempt = 0u32;
+        loop {
+            match self.read_plan(ctx, blob, opts.version, seg) {
+                Ok(plan) => return Ok(plan),
+                Err(e) => {
+                    if self
+                        .backoff(ctx, &policy, opts.deadline_ms, t0, attempt, &e)
+                        .is_none()
+                    {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                }
             }
         }
     }
@@ -579,7 +802,7 @@ impl BlobClient {
         let mut nodes_visited = 0u64;
         let mut frontier = vec![root_key(&geom, blob, v)];
         let mut zeros: Vec<Segment> = Vec::new();
-        let mut leaves: Vec<(PageLoc, Segment)> = Vec::new();
+        let mut leaves: Vec<(NodeKey, PageLoc, Segment)> = Vec::new();
         while !frontier.is_empty() {
             let mut bodies: Vec<Option<Arc<NodeBody>>> = vec![None; frontier.len()];
             let mut missing_idx = Vec::new();
@@ -621,7 +844,7 @@ impl BlobClient {
                     match visit {
                         Visit::Descend(k) => next.push(k),
                         Visit::Zeros(z) => zeros.push(z),
-                        Visit::Page { page, blob_range } => leaves.push((page, blob_range)),
+                        Visit::Page { page, blob_range } => leaves.push((*key, page, blob_range)),
                     }
                 }
             }
@@ -646,62 +869,169 @@ impl BlobClient {
         })
     }
 
-    /// Fetch every leaf's page, primary replica first, failing over to the
-    /// remaining replicas.
+    /// Fetch every leaf's page. Single-replica pages go to their
+    /// primary; multi-replica (fanned-out or replicated) pages rotate
+    /// the starting replica round-robin so a hot page's read load
+    /// spreads over every holder. On failure the remaining replicas are
+    /// tried in rotation order; if every replica fails, a typed
+    /// `Overload` among the failures wins over `MissingPage` (the page
+    /// exists — the system is shedding, and the caller's retry policy
+    /// should see that).
+    ///
+    /// Successful fetches feed the shared [`HeatTracker`] (when
+    /// enabled); a page crossing the promotion threshold is fanned out
+    /// onto one more provider right here, best-effort.
     fn fetch_pages(
         &self,
         ctx: &mut Ctx,
-        leaves: &[(PageLoc, Segment)],
+        leaves: &[(NodeKey, PageLoc, Segment)],
     ) -> Result<Vec<(PageLoc, Segment, PageBuf)>, BlobError> {
         if leaves.is_empty() {
             return Ok(Vec::new());
         }
+        let starts: Vec<usize> = leaves
+            .iter()
+            .map(|(_, loc, _)| {
+                if loc.replicas.len() > 1 {
+                    (self.rr.fetch_add(1, Ordering::Relaxed) % loc.replicas.len() as u64) as usize
+                } else {
+                    0
+                }
+            })
+            .collect();
         let calls: Vec<(NodeId, u16, GetPage)> = leaves
             .iter()
-            .map(|(loc, _)| {
+            .zip(&starts)
+            .map(|((_, loc, _), &start)| {
                 // Well-formed leaves always carry at least one replica; a
                 // malformed one routes to an impossible node and surfaces
                 // as MissingPage through the normal failover path.
-                let primary = loc
+                let first = loc
                     .replicas
-                    .first()
+                    .get(start)
                     .copied()
                     .unwrap_or(ProviderId(u32::MAX));
-                (
-                    NodeId(primary.0),
-                    method::GET_PAGE,
-                    GetPage { key: loc.key },
-                )
+                (NodeId(first.0), method::GET_PAGE, GetPage { key: loc.key })
             })
             .collect();
         let results = self.rpc.fan_out::<GetPage, PageBuf>(ctx, &calls);
         let mut out = Vec::with_capacity(leaves.len());
-        for ((loc, range), res) in leaves.iter().zip(results) {
+        for (((leaf_key, loc, range), res), start) in leaves.iter().zip(results).zip(&starts) {
             let data = match res {
                 Ok(data) => data,
-                Err(_primary_err) => {
-                    // Failover: try the remaining replicas one by one.
+                Err(first_err) => {
+                    // Failover: the remaining replicas, in rotation order.
                     let mut found = None;
-                    for &replica in loc.replicas.iter().skip(1) {
+                    let mut last_shed = first_err.retry_after_hint_ms();
+                    let n = loc.replicas.len();
+                    for k in 1..n {
+                        let replica = loc.replicas[(start + k) % n];
                         let r: Result<PageBuf, BlobError> = self.rpc.call(
                             ctx,
                             NodeId(replica.0),
                             method::GET_PAGE,
                             &GetPage { key: loc.key },
                         );
-                        if let Ok(data) = r {
-                            found = Some(data);
-                            break;
+                        match r {
+                            Ok(data) => {
+                                found = Some(data);
+                                break;
+                            }
+                            Err(e) => {
+                                if let Some(hint) = e.retry_after_hint_ms() {
+                                    last_shed = Some(last_shed.unwrap_or(0).max(hint));
+                                }
+                            }
                         }
                     }
-                    found.ok_or_else(|| BlobError::MissingPage {
-                        tried: loc.replicas.clone(),
-                    })?
+                    match (found, last_shed) {
+                        (Some(data), _) => data,
+                        // Every replica failed and at least one shed:
+                        // the page is there, the system is overloaded —
+                        // keep the typed Overload so retry policies see
+                        // it (never demote to MissingPage/Unreachable).
+                        (None, Some(hint)) => {
+                            return Err(BlobError::Overload {
+                                retry_after_hint: hint,
+                            })
+                        }
+                        (None, None) => {
+                            return Err(BlobError::MissingPage {
+                                tried: loc.replicas.clone(),
+                            })
+                        }
+                    }
                 }
             };
+            if let Some(heat) = &self.heat {
+                if heat.record_read(loc.key) && loc.replicas.len() < heat.options().max_replicas {
+                    self.promote_page(ctx, *leaf_key, loc, &data);
+                }
+            }
             out.push((loc.clone(), *range, data));
         }
         Ok(out)
+    }
+
+    /// Fan a hot page out onto one more provider: reserve placement via
+    /// the provider manager, store the already-fetched bytes there
+    /// (refcount, no copy), and re-put the metadata leaf with the
+    /// extended replica list — the publisher/subscriber split: the
+    /// original writer's primary publishes, promoted providers
+    /// subscribe by joining the leaf's `replicas`. Replica extension is
+    /// additive, so stale cached leaves stay valid (they just name
+    /// fewer replicas). Best-effort: any failure leaves the previous
+    /// state intact and the next threshold crossing tries again.
+    fn promote_page(&self, ctx: &mut Ctx, leaf: NodeKey, loc: &PageLoc, data: &PageBuf) {
+        let outcome = (|| -> Result<bool, BlobError> {
+            let plan: blobseer_proto::messages::WritePlan = self.rpc.call(
+                ctx,
+                self.pm,
+                method::PLAN_WRITE,
+                &PlanWrite {
+                    blob: loc.key.blob,
+                    pages: 1,
+                    replication: 1,
+                },
+            )?;
+            let Some(&target) = plan.targets.first().and_then(|t| t.first()) else {
+                return Ok(false);
+            };
+            if loc.replicas.contains(&target) {
+                // Placement chose an existing holder; skip this round.
+                return Ok(false);
+            }
+            self.rpc.call::<PutPage, ()>(
+                ctx,
+                NodeId(target.0),
+                method::PUT_PAGE,
+                &PutPage {
+                    key: loc.key,
+                    data: data.clone(),
+                },
+            )?;
+            let mut replicas = loc.replicas.clone();
+            replicas.push(target);
+            let node = TreeNode {
+                key: leaf,
+                body: NodeBody::Leaf {
+                    page: PageLoc {
+                        key: loc.key,
+                        replicas,
+                    },
+                },
+            };
+            self.dht.put_nodes(ctx, std::slice::from_ref(&node))?;
+            if let Some(cache) = &self.cache {
+                cache.insert(node.key, Arc::new(node.body));
+            }
+            Ok(true)
+        })();
+        if matches!(outcome, Ok(true)) {
+            if let Some(heat) = &self.heat {
+                heat.record_promotion();
+            }
+        }
     }
 
     // ------------------------------------------------------------------

@@ -34,14 +34,15 @@
 //! restart (the SIGKILL crash-injection lane).
 
 use crate::client::{BlobClient, MetaCache};
+use crate::heat::{FanOutOptions, HeatTracker};
 use crate::vm_service::VersionManagerService;
 use blobseer_dht::{DhtNodeService, Ring};
 use blobseer_proto::messages::ProviderStats;
 use blobseer_proto::{NodeId, ProviderId};
 use blobseer_provider::{DataProviderService, ProviderManagerService, Strategy};
 use blobseer_rpc::{
-    dispatch_frame, AggregationPolicy, Frame, RpcClient, ServerCtx, Service, TcpTransport,
-    Transport,
+    dispatch_frame, AdmissionControlled, AdmissionGate, AdmissionOptions, AggregationPolicy, Frame,
+    RetryPolicy, RpcClient, ServerCtx, Service, TcpOptions, TcpTransport, Transport,
 };
 use blobseer_simnet::{ClientCosts, CostModel, ServiceCosts, SimCluster};
 use blobseer_util::recordlog::RecordLogOptions;
@@ -294,6 +295,27 @@ pub struct DeploymentConfig {
     /// durability knob, the group-commit window, and the dead-bytes
     /// thresholds that trigger online compaction. Ignored by `Memory`.
     pub log: LogOptions,
+    /// Bounded per-storage-node admission: `Some` wraps every storage
+    /// node's dispatch in an [`AdmissionGate`] (`max_inflight` permits,
+    /// `max_queue` waiters, typed [`blobseer_proto::BlobError::Overload`]
+    /// past either bound — never an unbounded buffer, never a hang).
+    /// `None` (the default) serves every frame immediately, the
+    /// pre-PR 9 behavior.
+    pub admission: Option<AdmissionOptions>,
+    /// Retry policy every spawned client starts with, applied only on
+    /// idempotent paths (reads and page puts; the version-publish leg
+    /// never retries). Defaults to [`RetryPolicy::none`] so fault tests
+    /// observe first errors undisturbed; per-call
+    /// [`crate::ReadOptions`]/[`crate::WriteOptions`] can override it.
+    pub retry: RetryPolicy,
+    /// Hot-page read fan-out: `Some` gives the deployment one shared
+    /// [`HeatTracker`], and clients promote pages whose read count
+    /// crosses the threshold onto extra providers. `None` (the
+    /// default) leaves replica lists exactly as written.
+    pub fan_out: Option<FanOutOptions>,
+    /// Transport tunables for [`TransportKind::Tcp`] (reactor sizing,
+    /// connection caps, timeouts). Ignored by the simulated transport.
+    pub tcp: TcpOptions,
 }
 
 /// Upper bound on one provider's page-log size (the file is extended
@@ -320,6 +342,10 @@ impl DeploymentConfig {
             transport: TransportKind::Sim,
             backend: BackendKind::Memory,
             log: LogOptions::default(),
+            admission: None,
+            retry: RetryPolicy::none(),
+            fan_out: None,
+            tcp: TcpOptions::default(),
         }
     }
 
@@ -341,6 +367,10 @@ impl DeploymentConfig {
             transport: TransportKind::Sim,
             backend: BackendKind::Memory,
             log: LogOptions::default(),
+            admission: None,
+            retry: RetryPolicy::none(),
+            fan_out: None,
+            tcp: TcpOptions::default(),
         }
     }
 
@@ -364,31 +394,50 @@ impl DeploymentConfig {
         }
     }
 
+    /// Enter the typed builder: tune any subset of knobs off a named
+    /// baseline, then [`DeploymentConfigBuilder::build`] back into a
+    /// config. This is the one coherent way to configure a deployment
+    /// (the historical `with_*` setters are deprecated forwards).
+    ///
+    /// ```
+    /// use blobseer_core::{AdmissionOptions, DeploymentConfig, RetryPolicy, TransportKind};
+    ///
+    /// let cfg = DeploymentConfig::functional(4)
+    ///     .tune()
+    ///     .transport(TransportKind::Tcp)
+    ///     .admission(AdmissionOptions::default())
+    ///     .retry(RetryPolicy::default())
+    ///     .build();
+    /// assert_eq!(cfg.transport, TransportKind::Tcp);
+    /// assert!(cfg.admission.is_some() && cfg.retry.retries());
+    /// ```
+    pub fn tune(self) -> DeploymentConfigBuilder {
+        DeploymentConfigBuilder { config: self }
+    }
+
     /// Select the storage backend (builder style, keeps the rest).
-    pub fn with_backend(mut self, backend: BackendKind) -> Self {
-        self.backend = backend;
-        self
+    #[deprecated(note = "use `config.tune().backend(..).build()`")]
+    pub fn with_backend(self, backend: BackendKind) -> Self {
+        self.tune().backend(backend).build()
     }
 
     /// Select the transport (builder style, keeps the rest).
-    pub fn with_transport(mut self, transport: TransportKind) -> Self {
-        self.transport = transport;
-        self
+    #[deprecated(note = "use `config.tune().transport(..).build()`")]
+    pub fn with_transport(self, transport: TransportKind) -> Self {
+        self.tune().transport(transport).build()
     }
 
     /// Replace the page-log tuning wholesale (builder style).
-    pub fn with_log(mut self, log: LogOptions) -> Self {
-        self.log = log;
-        self
+    #[deprecated(note = "use `config.tune().log(..).build()`")]
+    pub fn with_log(self, log: LogOptions) -> Self {
+        self.tune().log(log).build()
     }
 
     /// The durability knob: `fdatasync` the page log on every commit
-    /// marker, so an acknowledged append survives power loss, not just
-    /// a process crash. One sync per *group* commit — concurrent
-    /// appenders share it.
-    pub fn with_fsync_on_commit(mut self, fsync: bool) -> Self {
-        self.log.fsync_on_commit = fsync;
-        self
+    /// marker.
+    #[deprecated(note = "use `config.tune().fsync_on_commit(..).build()`")]
+    pub fn with_fsync_on_commit(self, fsync: bool) -> Self {
+        self.tune().fsync_on_commit(fsync).build()
     }
 
     /// The capacity each provider actually registers and enforces:
@@ -399,6 +448,136 @@ impl DeploymentConfig {
             BackendKind::Memory => self.provider_capacity,
             BackendKind::Mmap => self.provider_capacity.min(MMAP_LOG_CAP),
         }
+    }
+}
+
+/// The typed builder behind [`DeploymentConfig::tune`]: one coherent
+/// surface over every deployment knob — transport, backend, page-log
+/// tuning, and the PR 9 traffic-shape options (admission, retry,
+/// fan-out) — replacing the accreted `with_*` setters.
+///
+/// Sub-configs stay typed ([`TransportKind`], [`BackendKind`],
+/// [`LogOptions`], [`AdmissionOptions`], [`RetryPolicy`],
+/// [`FanOutOptions`]); each method overwrites exactly one field and the
+/// builder is `Copy`, so partially tuned configs can be forked for
+/// ablation matrices.
+#[derive(Clone, Copy, Debug)]
+pub struct DeploymentConfigBuilder {
+    config: DeploymentConfig,
+}
+
+impl DeploymentConfigBuilder {
+    /// Which transport carries the frames.
+    pub fn transport(mut self, transport: TransportKind) -> Self {
+        self.config.transport = transport;
+        self
+    }
+
+    /// Which storage backend providers keep their pages on.
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
+    /// Replace the page-log tuning wholesale.
+    pub fn log(mut self, log: LogOptions) -> Self {
+        self.config.log = log;
+        self
+    }
+
+    /// The durability knob: `fdatasync` the page log on every commit
+    /// marker, so an acknowledged append survives power loss, not just
+    /// a process crash. One sync per *group* commit — concurrent
+    /// appenders share it.
+    pub fn fsync_on_commit(mut self, fsync: bool) -> Self {
+        self.config.log.fsync_on_commit = fsync;
+        self
+    }
+
+    /// Transport tunables for the TCP transport (reactor sizing,
+    /// connection caps, timeouts). Ignored by the simulated transport.
+    pub fn tcp(mut self, tcp: TcpOptions) -> Self {
+        self.config.tcp = tcp;
+        self
+    }
+
+    /// Bound every storage node's dispatch with an [`AdmissionGate`].
+    pub fn admission(mut self, opts: AdmissionOptions) -> Self {
+        self.config.admission = Some(opts);
+        self
+    }
+
+    /// Serve every frame immediately (the default; undoes
+    /// [`DeploymentConfigBuilder::admission`]).
+    pub fn no_admission(mut self) -> Self {
+        self.config.admission = None;
+        self
+    }
+
+    /// The retry policy every spawned client starts with (idempotent
+    /// paths only).
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.config.retry = policy;
+        self
+    }
+
+    /// Enable hot-page read fan-out with the given promotion policy.
+    pub fn fan_out(mut self, opts: FanOutOptions) -> Self {
+        self.config.fan_out = Some(opts);
+        self
+    }
+
+    /// Disable hot-page fan-out (the default).
+    pub fn no_fan_out(mut self) -> Self {
+        self.config.fan_out = None;
+        self
+    }
+
+    /// Page replica count written by every client.
+    pub fn replication(mut self, replication: u32) -> Self {
+        self.config.replication = replication;
+        self
+    }
+
+    /// Metadata (DHT) replica count.
+    pub fn meta_replication(mut self, meta_replication: usize) -> Self {
+        self.config.meta_replication = meta_replication;
+        self
+    }
+
+    /// Page placement strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.config.strategy = strategy;
+        self
+    }
+
+    /// RAM capacity per data provider, bytes.
+    pub fn provider_capacity(mut self, bytes: u64) -> Self {
+        self.config.provider_capacity = bytes;
+        self
+    }
+
+    /// RPC aggregation policy.
+    pub fn aggregation(mut self, aggregation: AggregationPolicy) -> Self {
+        self.config.aggregation = aggregation;
+        self
+    }
+
+    /// Metadata cache capacity in tree nodes (0 disables).
+    pub fn cache_nodes(mut self, cache_nodes: usize) -> Self {
+        self.config.cache_nodes = cache_nodes;
+        self
+    }
+
+    /// Placement/ring seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Finish tuning.
+    pub fn build(self) -> DeploymentConfig {
+        self.config
     }
 }
 
@@ -425,6 +604,13 @@ pub struct Deployment {
     /// The metadata cache shared by every client of this deployment
     /// (`None` when `cache_nodes == 0`).
     pub meta_cache: Option<Arc<MetaCache>>,
+    /// Per-storage-node admission gates, in `storage_nodes` order
+    /// (empty when `config.admission` is `None`). White-box access for
+    /// shed/queue counters in benches and tests.
+    pub gates: Vec<Arc<AdmissionGate>>,
+    /// The read-heat tracker shared by every client of this deployment
+    /// (`None` when `config.fan_out` is `None`).
+    pub heat: Option<Arc<HeatTracker>>,
     /// Version manager handle (swappable internals, for
     /// [`Deployment::restart_cluster`] and white-box assertions).
     pub vm: Arc<VersionManagerService>,
@@ -465,7 +651,9 @@ impl Deployment {
         assert!(config.providers >= 1, "need at least one storage node");
         let cluster = match config.transport {
             TransportKind::Sim => ClusterHandle::Sim(Arc::new(SimCluster::new(config.cost))),
-            TransportKind::Tcp => ClusterHandle::Tcp(Arc::new(TcpTransport::new())),
+            TransportKind::Tcp => {
+                ClusterHandle::Tcp(Arc::new(TcpTransport::with_options(config.tcp)))
+            }
         };
 
         // Dedicated manager nodes (paper: "deployed on separate,
@@ -509,12 +697,28 @@ impl Deployment {
         let capacity = config.effective_capacity();
         let mut storage_nodes = Vec::with_capacity(config.providers);
         let mut storage = Vec::with_capacity(config.providers);
+        let mut gates = Vec::new();
         for i in 0..config.providers {
             let node = cluster.add_node();
             let data = build_data_service(&config, data_root.as_deref(), i);
             let meta = build_meta_service(&config, data_root.as_deref(), i);
             let svc = Arc::new(StorageNodeService::new(data, meta));
-            cluster.bind(node, svc.clone() as Arc<dyn Service>);
+            // With admission configured, the bound service is the gated
+            // wrapper around the same `Arc` the white-box handle keeps:
+            // restarts still swap incarnations inside `svc`, and the
+            // gate sits at the dispatch layer on either transport.
+            match config.admission {
+                None => cluster.bind(node, svc.clone() as Arc<dyn Service>),
+                Some(opts) => {
+                    let gate = Arc::new(AdmissionGate::new(opts));
+                    cluster.bind(
+                        node,
+                        Arc::new(AdmissionControlled::new(svc.clone(), Arc::clone(&gate)))
+                            as Arc<dyn Service>,
+                    );
+                    gates.push(gate);
+                }
+            }
             // Register with the provider manager (in a real run this is an
             // RPC from the provider at startup; the registration content is
             // identical).
@@ -534,6 +738,7 @@ impl Deployment {
 
         let meta_cache =
             (config.cache_nodes > 0).then(|| Arc::new(MetaCache::new(config.cache_nodes)));
+        let heat = config.fan_out.map(|opts| Arc::new(HeatTracker::new(opts)));
 
         let d = Self {
             cluster,
@@ -546,6 +751,8 @@ impl Deployment {
             manager,
             ring,
             meta_cache,
+            gates,
+            heat,
             vm,
             data_root,
             owns_root,
@@ -579,12 +786,14 @@ impl Deployment {
     }
 
     /// Spawn a client on its own fresh node. All clients of one
-    /// deployment share the same concurrent metadata cache.
+    /// deployment share the same concurrent metadata cache, the same
+    /// default [`RetryPolicy`], and (when fan-out is configured) the
+    /// same [`HeatTracker`].
     pub fn client(&self) -> BlobClient {
         let node = self.cluster.add_node();
         let rpc = RpcClient::new(self.cluster.transport(), node)
             .with_aggregation(self.config.aggregation);
-        BlobClient::new(
+        let mut client = BlobClient::new(
             rpc,
             self.vm_node,
             self.pm_node,
@@ -593,6 +802,11 @@ impl Deployment {
             self.meta_cache.clone(),
             self.config.replication,
         )
+        .with_retry_policy(self.config.retry);
+        if let Some(heat) = &self.heat {
+            client = client.with_heat(Arc::clone(heat));
+        }
+        client
     }
 
     /// Kill storage node `i` (both of its services become unreachable).
@@ -685,6 +899,12 @@ impl Deployment {
         // cluster no longer stores.
         self.meta_cache = (self.config.cache_nodes > 0)
             .then(|| Arc::new(MetaCache::new(self.config.cache_nodes)));
+        // Read heat is an in-memory popularity signal, not durable
+        // state: a cold restart starts counting from zero.
+        self.heat = self
+            .config
+            .fan_out
+            .map(|opts| Arc::new(HeatTracker::new(opts)));
 
         self.advance_write_floor();
 
@@ -936,6 +1156,66 @@ mod tests {
         let root = d.backend_dir(0).unwrap().parent().unwrap().to_path_buf();
         drop(d);
         assert!(!root.exists(), "data root removed on drop");
+    }
+
+    #[test]
+    #[allow(deprecated)] // the compat contract under test
+    fn deprecated_setters_forward_to_the_builder() {
+        let a = DeploymentConfig::functional(1)
+            .with_transport(TransportKind::Tcp)
+            .with_backend(BackendKind::Mmap)
+            .with_fsync_on_commit(true);
+        let b = DeploymentConfig::functional(1)
+            .tune()
+            .transport(TransportKind::Tcp)
+            .backend(BackendKind::Mmap)
+            .fsync_on_commit(true)
+            .build();
+        assert_eq!(a.transport, b.transport);
+        assert_eq!(a.backend, b.backend);
+        assert_eq!(a.log.fsync_on_commit, b.log.fsync_on_commit);
+    }
+
+    #[test]
+    fn admission_gates_wire_into_dispatch_and_serve_under_capacity() {
+        let cfg = DeploymentConfig::functional(2)
+            .tune()
+            .admission(blobseer_rpc::AdmissionOptions::default())
+            .build();
+        let d = Deployment::build(cfg);
+        assert_eq!(d.gates.len(), 2, "one gate per storage node");
+        let c = d.client();
+        let mut ctx = blobseer_rpc::Ctx::start();
+        let info = c.alloc(&mut ctx, 1 << 20, 4096).unwrap();
+        let v = c.write(&mut ctx, info.blob, 0, &[3u8; 8192]).unwrap();
+        let (data, _) = c
+            .read(
+                &mut ctx,
+                info.blob,
+                Some(v),
+                blobseer_proto::Segment::new(0, 8192),
+            )
+            .unwrap();
+        assert!(data.iter().all(|&b| b == 3));
+        let admitted: u64 = d.gates.iter().map(|g| g.stats().admitted).sum();
+        let shed: u64 = d.gates.iter().map(|g| g.stats().shed).sum();
+        assert!(admitted > 0, "traffic flowed through the gates");
+        assert_eq!(shed, 0, "an unloaded deployment sheds nothing");
+    }
+
+    #[test]
+    fn fan_out_config_builds_a_shared_heat_tracker() {
+        let cfg = DeploymentConfig::functional(1)
+            .tune()
+            .fan_out(crate::FanOutOptions::default())
+            .build();
+        let d = Deployment::build(cfg);
+        let heat = d.heat.as_ref().expect("fan-out implies a tracker");
+        let c = d.client();
+        assert!(
+            Arc::ptr_eq(heat, c.heat().expect("clients share the tracker")),
+            "every client pools heat in the deployment tracker"
+        );
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Hot-page read tracking and fan-out promotion policy.
+//!
+//! The write path already shares one `PageBuf` across N replicas for
+//! free; this module makes that pay off on *reads*. A [`HeatTracker`]
+//! counts page fetches per [`PageKey`] (shared per deployment, like the
+//! metadata cache, so co-located readers pool their heat); every time a
+//! page's read count crosses a multiple of
+//! [`FanOutOptions::promote_after_reads`], the reading client **promotes**
+//! the page — stores one more replica on a fresh provider and re-puts
+//! the metadata leaf with the extended replica list — until
+//! [`FanOutOptions::max_replicas`] is reached. Promotion is modeled on
+//! dsf-core's publisher/subscriber split: the primary written by the
+//! original writer is the publisher, promoted replicas are subscribers
+//! registered in the leaf's `replicas` list.
+//!
+//! Extending a leaf's replica list is *additive*, so the tree-node
+//! immutability contract survives in the way that matters: a stale
+//! cached leaf still names valid replicas (fewer of them), and readers
+//! holding it simply miss the new fan-out until their cache turns over.
+//!
+//! Readers then rotate across the replica list
+//! (`BlobClient::fetch_pages`) instead of hammering the primary, so a
+//! hot page's read load spreads over every holder.
+
+use blobseer_proto::tree::PageKey;
+use blobseer_util::ShardedMap;
+
+/// Policy knobs for hot-page read fan-out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FanOutOptions {
+    /// Reads of one page between promotions: each time a page's fetch
+    /// count reaches a multiple of this, one more replica is added.
+    pub promote_after_reads: u64,
+    /// Replica-count cap per page, primary included.
+    pub max_replicas: usize,
+}
+
+impl Default for FanOutOptions {
+    fn default() -> Self {
+        FanOutOptions {
+            promote_after_reads: 64,
+            max_replicas: 3,
+        }
+    }
+}
+
+/// Shared per-deployment read-heat accounting (the data-plane sharded
+/// store is deliberately outside the lockmeter, like the page tables).
+pub struct HeatTracker {
+    opts: FanOutOptions,
+    counts: ShardedMap<PageKey, u64>,
+    promotions: std::sync::atomic::AtomicU64,
+}
+
+impl HeatTracker {
+    /// Build a tracker with the given policy.
+    pub fn new(opts: FanOutOptions) -> Self {
+        HeatTracker {
+            opts: FanOutOptions {
+                promote_after_reads: opts.promote_after_reads.max(1),
+                max_replicas: opts.max_replicas.max(1),
+            },
+            counts: ShardedMap::with_shards(64),
+            promotions: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// The policy the tracker enforces.
+    pub fn options(&self) -> &FanOutOptions {
+        &self.opts
+    }
+
+    /// Count one fetch of `key`; true exactly when the count crosses a
+    /// promotion threshold (the calling reader is elected to promote).
+    pub fn record_read(&self, key: PageKey) -> bool {
+        let count = self.counts.with_or_insert(
+            key,
+            || 0u64,
+            |c| {
+                *c += 1;
+                *c
+            },
+        );
+        count.is_multiple_of(self.opts.promote_after_reads)
+    }
+
+    /// Reads recorded for `key` so far.
+    pub fn reads(&self, key: &PageKey) -> u64 {
+        self.counts.get_cloned(key).unwrap_or(0)
+    }
+
+    /// Count one successful promotion (for benches and tests).
+    pub fn record_promotion(&self) {
+        self.promotions
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Successful promotions so far.
+    pub fn promotions(&self) -> u64 {
+        self.promotions.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blobseer_proto::{BlobId, WriteId};
+
+    fn key(i: u64) -> PageKey {
+        PageKey {
+            blob: BlobId(1),
+            write: WriteId(2),
+            index: i,
+        }
+    }
+
+    #[test]
+    fn crossing_elects_exactly_one_promotion_per_threshold() {
+        let t = HeatTracker::new(FanOutOptions {
+            promote_after_reads: 4,
+            max_replicas: 3,
+        });
+        let crossings: Vec<bool> = (0..9).map(|_| t.record_read(key(7))).collect();
+        assert_eq!(
+            crossings,
+            vec![false, false, false, true, false, false, false, true, false]
+        );
+        assert_eq!(t.reads(&key(7)), 9);
+    }
+
+    #[test]
+    fn distinct_pages_count_independently() {
+        let t = HeatTracker::new(FanOutOptions::default());
+        t.record_read(key(1));
+        t.record_read(key(1));
+        t.record_read(key(2));
+        assert_eq!(t.reads(&key(1)), 2);
+        assert_eq!(t.reads(&key(2)), 1);
+        assert_eq!(t.reads(&key(3)), 0);
+    }
+}

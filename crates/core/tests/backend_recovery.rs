@@ -22,8 +22,10 @@ fn seg(o: u64, s: u64) -> Segment {
 /// on its directory, verify the replayed index byte-for-byte.
 fn crash_recovery_scenario(transport: TransportKind) {
     let mut cfg = DeploymentConfig::functional(4)
-        .with_transport(transport)
-        .with_backend(BackendKind::Mmap);
+        .tune()
+        .transport(transport)
+        .backend(BackendKind::Mmap)
+        .build();
     cfg.replication = 2;
     cfg.meta_replication = 2;
     let d = Deployment::build(cfg);

@@ -78,8 +78,10 @@ fn crash_child() {
 
 fn run_child(harness_dir: &Path) -> ! {
     let mut cfg = DeploymentConfig::functional(PROVIDERS)
-        .with_transport(TransportKind::Tcp)
-        .with_backend(BackendKind::Mmap);
+        .tune()
+        .transport(TransportKind::Tcp)
+        .backend(BackendKind::Mmap)
+        .build();
     // Aggressive compaction thresholds so the workload swaps
     // generations every few removes — the kill timer lands
     // mid-compaction often.
@@ -343,8 +345,10 @@ fn cluster_fill(fill: u8, size: u64) -> Vec<u8> {
 
 fn cluster_cfg() -> DeploymentConfig {
     DeploymentConfig::functional(PROVIDERS)
-        .with_transport(TransportKind::Tcp)
-        .with_backend(BackendKind::Mmap)
+        .tune()
+        .transport(TransportKind::Tcp)
+        .backend(BackendKind::Mmap)
+        .build()
 }
 
 /// The whole-cluster child: a tcp × mmap deployment pinned at a root

@@ -41,8 +41,10 @@ fn matrix_cell() -> (TransportKind, BackendKind) {
 fn cfg(providers: usize) -> DeploymentConfig {
     let (transport, backend) = matrix_cell();
     DeploymentConfig::functional(providers)
-        .with_transport(transport)
-        .with_backend(backend)
+        .tune()
+        .transport(transport)
+        .backend(backend)
+        .build()
 }
 
 #[test]

@@ -26,8 +26,10 @@ const SEG: u64 = 8 * PAGE;
 /// leg.
 fn measure(transport: TransportKind, backend: BackendKind) -> (u64, u64, u64) {
     let mut cfg = DeploymentConfig::functional(4)
-        .with_transport(transport)
-        .with_backend(backend);
+        .tune()
+        .transport(transport)
+        .backend(backend)
+        .build();
     cfg.replication = 2; // replica fan-out shares one buffer on both paths
     let d = Deployment::build(cfg);
     let c = d.client();

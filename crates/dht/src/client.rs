@@ -233,9 +233,12 @@ impl DhtClient {
             // from transport failure via last_err.
             if attempt + 1 == replication && !pending.is_empty() {
                 if let Some(e) = last_err.take() {
-                    // Only report failure if something was unreachable;
-                    // pure misses are a legitimate None.
-                    if matches!(e, BlobError::Unreachable(_)) {
+                    // Only report failure if a replica was unreachable or
+                    // shedding; pure misses are a legitimate None. An
+                    // Overload must survive here — decaying it into the
+                    // caller's "missing metadata" would erase the backoff
+                    // hint (and lie: the node has the key, it shed us).
+                    if e.is_retryable() {
                         return Err(e);
                     }
                 }

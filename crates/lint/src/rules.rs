@@ -73,6 +73,36 @@
 //! genuinely bounded casts carry a sanction saying *why* they are
 //! bounded.
 //!
+//! ## `overload-erasure`
+//! Serving and conversion code may not construct
+//! `BlobError::Unreachable` behind a catch-all — a wildcard match arm
+//! (`_ =>`, `Err(_) =>`) or an error-discarding closure
+//! (`map_err(|_| …)`). Such a conversion silently demotes
+//! `Overload { retry_after_hint }` to a connectivity error, erasing
+//! the backpressure signal clients back off on (and `Unreachable` is
+//! retried *immediately* on idempotent paths — the opposite of what an
+//! overloaded server needs). Match the source error explicitly so
+//! `Overload` passes through; a conversion whose source type genuinely
+//! cannot carry `Overload` (an `io::Error`, a codec error) is
+//! sanctioned with that reason.
+//!
+//! A catch-all whose statement *also* names `Overload` is not flagged —
+//! an explicit `Overload` arm above the wildcard is exactly the fix.
+//!
+//! ```text
+//! // BAD: the storm's typed sheds vanish into "peer dead"
+//! resp.map_err(|_| BlobError::Unreachable("provider gone"))?;
+//!
+//! // GOOD: overload survives to the retry policy…
+//! resp.map_err(|e| match e {
+//!     o @ BlobError::Overload { .. } => o,
+//!     _ => BlobError::Unreachable("provider gone"),
+//! })?;
+//! // …or the conversion provably cannot see one
+//! // lint: allow(overload-erasure) — io::Error source, Overload cannot occur
+//! stream.map_err(|_| BlobError::Unreachable("tcp connect failed"))?;
+//! ```
+//!
 //! ## `bare-allow`
 //! A sanction that does not parse, names an unknown rule, or omits the
 //! rationale.
@@ -105,6 +135,7 @@ pub const UNDOCUMENTED_UNSAFE: &str = "undocumented-unsafe";
 pub const PANIC_ON_SERVING_PATH: &str = "panic-on-serving-path";
 pub const UNGUARDED_ABLATION: &str = "unguarded-ablation";
 pub const TRUNCATING_CAST: &str = "truncating-cast";
+pub const OVERLOAD_ERASURE: &str = "overload-erasure";
 pub const BARE_ALLOW: &str = "bare-allow";
 
 /// Every rule id this linter knows, with a one-line summary.
@@ -132,6 +163,10 @@ pub const RULES: &[(&str, &str)] = &[
     (
         TRUNCATING_CAST,
         "`as u16/u32/usize` on a length/offset-named value (use checked try_into)",
+    ),
+    (
+        OVERLOAD_ERASURE,
+        "Unreachable constructed behind a catch-all arm/closure, erasing a possible Overload",
     ),
     (
         BARE_ALLOW,
@@ -222,6 +257,9 @@ pub fn check_file(ctx: &FileCtx, only: Option<&[String]>, out: &mut Vec<Violatio
     }
     if enabled(TRUNCATING_CAST) && in_scope(&ctx.rel_path, CAST_SCOPE) {
         truncating_cast(ctx, out);
+    }
+    if enabled(OVERLOAD_ERASURE) && in_scope(&ctx.rel_path, SERVING) {
+        overload_erasure(ctx, out);
     }
     if enabled(BARE_ALLOW) {
         bare_allow(ctx, out);
@@ -570,6 +608,90 @@ fn cast_subject_matches(toks: &[Token], close: usize, open: &str, close_ch: &str
     toks[o..close]
         .iter()
         .any(|t| t.kind == TokKind::Ident && lengthy(&t.text))
+}
+
+// ---------------------------------------------------------------------------
+// overload-erasure
+// ---------------------------------------------------------------------------
+
+/// How many tokens behind an `Unreachable` construction a catch-all
+/// introducer may sit (its own match arm's arrow, or the adapter call
+/// whose closure builds it — never a whole other statement, hence the
+/// `;` boundary in the scan).
+const ERASURE_WINDOW: usize = 20;
+
+/// Combinators whose closure rewrites an error value; a discarded
+/// binding (`|_|`, `|_e|`) inside one throws the source — Overload
+/// included — away.
+const ERASING_ADAPTERS: &[&str] = &["map_err", "or_else", "unwrap_or_else", "map_or_else"];
+
+/// Does `w` (the tokens between the statement boundary and the
+/// `Unreachable` ident) end in a match arm whose pattern has a
+/// wildcard? The *last* arrow in the window is the construction's own
+/// arm; a `_` among the few tokens before it (`_ =>`, `Err(_) =>`,
+/// `Err(RecvError::Io(_)) =>`) makes that arm a catch-all.
+fn wildcard_arm(w: &[Token]) -> bool {
+    let arrow = (1..w.len()).rev().find(|&j| {
+        w[j].kind == TokKind::Punct
+            && w[j].text == ">"
+            && w[j - 1].kind == TokKind::Punct
+            && w[j - 1].text == "="
+    });
+    let Some(arrow) = arrow else { return false };
+    w[arrow.saturating_sub(9)..arrow - 1]
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text.starts_with('_'))
+}
+
+/// Does `w` contain an erasing-adapter call whose closure discards its
+/// error (`map_err(|_| …)`, `unwrap_or_else(|_e| …)`)?
+fn erasing_closure(w: &[Token]) -> bool {
+    (0..w.len().saturating_sub(4)).any(|j| {
+        w[j].kind == TokKind::Ident
+            && ERASING_ADAPTERS.contains(&w[j].text.as_str())
+            && w[j + 1].text == "("
+            && w[j + 2].text == "|"
+            && w[j + 3].kind == TokKind::Ident
+            && w[j + 3].text.starts_with('_')
+            && w[j + 4].text == "|"
+    })
+}
+
+fn overload_erasure(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    let toks = &ctx.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || t.text != "Unreachable" || ctx.in_test(t.line) {
+            continue;
+        }
+        // The statement being scanned: back from the construction to the
+        // nearest `;` (or the window bound).
+        let lo = i.saturating_sub(ERASURE_WINDOW);
+        let start = (lo..i)
+            .rev()
+            .find(|&j| toks[j].kind == TokKind::Punct && toks[j].text == ";")
+            .map_or(lo, |j| j + 1);
+        let w = &toks[start..i];
+        // An explicit `Overload` mention in the same statement means the
+        // author routed it before falling through — the sanctioned fix.
+        if !(wildcard_arm(w) || erasing_closure(w))
+            || w.iter()
+                .any(|t| t.kind == TokKind::Ident && t.text == "Overload")
+            || ctx.sanctioned(OVERLOAD_ERASURE, t.line)
+        {
+            continue;
+        }
+        out.push(Violation {
+            rule: OVERLOAD_ERASURE,
+            rel_path: ctx.rel_path.clone(),
+            line: t.line,
+            msg: "`Unreachable` built behind a catch-all arm/closure erases a possible \
+                  `Overload { retry_after_hint }`; match the source explicitly so overload \
+                  survives to the retry policy, or sanction with why the source cannot \
+                  carry Overload"
+                .into(),
+        });
+    }
 }
 
 // ---------------------------------------------------------------------------

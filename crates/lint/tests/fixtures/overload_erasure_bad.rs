@@ -1,0 +1,21 @@
+//! Catch-all conversions that erase a possible `Overload`.
+
+use std::io;
+
+pub fn dial(r: Result<(), io::Error>) -> Result<(), BlobError> {
+    r.map_err(|_| BlobError::Unreachable("connect failed"))
+}
+
+pub fn relay(r: Result<u32, BlobError>) -> Result<u32, BlobError> {
+    match r {
+        Ok(v) => Ok(v),
+        Err(_) => Err(BlobError::Unreachable("peer gone")),
+    }
+}
+
+pub fn read_loop(r: Result<Frame, RecvError>) -> BlobError {
+    match r {
+        Err(RecvError::Io(_)) => BlobError::Unreachable("stream lost"),
+        _ => BlobError::Unreachable("unknown failure"),
+    }
+}

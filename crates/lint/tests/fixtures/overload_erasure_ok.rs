@@ -1,0 +1,21 @@
+//! The same conversions, Overload-aware or sanctioned.
+
+pub fn dial(r: Result<(), std::io::Error>) -> Result<(), BlobError> {
+    // lint: allow(overload-erasure) — io::Error source, Overload cannot occur
+    r.map_err(|_| BlobError::Unreachable("connect failed"))
+}
+
+pub fn relay(r: Result<u32, BlobError>) -> Result<u32, BlobError> {
+    r.map_err(|e| match e {
+        o @ BlobError::Overload { .. } => o,
+        _ => BlobError::Unreachable("peer gone"),
+    })
+}
+
+pub fn named_binding(r: Result<u32, RecvError>) -> Result<u32, BlobError> {
+    match r {
+        Err(RecvError::Closed) => Err(BlobError::Unreachable("closed")),
+        Err(e) => Err(codec(e)),
+        Ok(v) => Ok(v),
+    }
+}

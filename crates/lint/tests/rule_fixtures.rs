@@ -136,6 +136,35 @@ fn truncating_cast_fixture_pair() {
 }
 
 #[test]
+fn overload_erasure_fixture_pair() {
+    let bad = run(
+        "overload-erasure",
+        "crates/rpc/src/tcp.rs",
+        include_str!("fixtures/overload_erasure_bad.rs"),
+    );
+    assert_hits(&bad, "overload-erasure", &[6, 12, 18, 19]);
+    let ok = run(
+        "overload-erasure",
+        "crates/rpc/src/tcp.rs",
+        include_str!("fixtures/overload_erasure_ok.rs"),
+    );
+    assert!(
+        ok.is_empty(),
+        "overload-aware/sanctioned sites flagged: {ok:?}"
+    );
+    // Outside serving scope (the bench harness fakes whatever it likes).
+    let bench = run(
+        "overload-erasure",
+        "crates/bench/src/lib.rs",
+        include_str!("fixtures/overload_erasure_bad.rs"),
+    );
+    assert!(
+        bench.is_empty(),
+        "rule engaged outside its scope: {bench:?}"
+    );
+}
+
+#[test]
 fn bare_allow_fixture() {
     let src = include_str!("fixtures/bare_allow_bad.rs");
     let bare = run("bare-allow", "crates/rpc/src/server.rs", src);

@@ -5,6 +5,26 @@ use crate::ids::{BlobId, ProviderId, Version};
 use std::fmt;
 
 /// Errors surfaced by the public blob API (`ALLOC` / `READ` / `WRITE`).
+///
+/// # Error taxonomy
+///
+/// Every variant names one failure domain; serving paths must preserve
+/// the variant they received (in particular, [`BlobError::Overload`]
+/// must never be demoted to [`BlobError::Unreachable`] — the static
+/// lint rule `overload-erasure` enforces this on serving code).
+///
+/// | Variant | Domain | Retryable? |
+/// |---|---|---|
+/// | [`UnknownBlob`](BlobError::UnknownBlob) | caller asked about a blob the version manager never allocated | no |
+/// | [`BadSegment`](BlobError::BadSegment) | request geometry invalid (misaligned / out of bounds) | no |
+/// | [`VersionNotPublished`](BlobError::VersionNotPublished) | snapshot isolation: the requested version is not published yet | later, after publish |
+/// | [`MissingMetadata`](BlobError::MissingMetadata) | metadata tree node absent (corruption or GC raced the reader) | no |
+/// | [`MissingPage`](BlobError::MissingPage) | no replica could serve the page | no |
+/// | [`Unreachable`](BlobError::Unreachable) | connectivity: peer dead, refused, timed out | yes (idempotent ops) |
+/// | [`Overload`](BlobError::Overload) | admission control shed the request; capacity exists but is busy | yes — honor `retry_after_hint` |
+/// | [`Codec`](BlobError::Codec) | wire bytes undecodable | no |
+/// | [`Recovery`](BlobError::Recovery) | committed durable state failed to replay | no |
+/// | [`Internal`](BlobError::Internal) | invariant violation surfaced as an error | no |
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BlobError {
     /// The blob id is not known to the version manager.
@@ -39,6 +59,19 @@ pub enum BlobError {
     },
     /// The remote node is dead or unreachable (fault injection).
     Unreachable(&'static str),
+    /// The request was **shed by admission control**: the node is alive
+    /// but its bounded admission queue is full (or the connection slot
+    /// table overflowed). Unlike [`Unreachable`](BlobError::Unreachable)
+    /// this is a *typed, deliberate* rejection — the caller should back
+    /// off and retry after roughly `retry_after_hint` milliseconds of
+    /// virtual time. Serving paths must never rewrite this variant into
+    /// `Unreachable` (lint rule `overload-erasure`).
+    Overload {
+        /// Server-suggested backoff before retrying, in milliseconds
+        /// (derived from queue occupancy; 0 = retry at the caller's
+        /// discretion).
+        retry_after_hint: u64,
+    },
     /// Codec failure on a wire message.
     Codec(CodecError),
     /// A durable log could not be opened or replayed: the on-disk bytes
@@ -78,6 +111,9 @@ impl fmt::Display for BlobError {
                 write!(f, "page unavailable on all {} replica(s)", tried.len())
             }
             BlobError::Unreachable(who) => write!(f, "{who} unreachable"),
+            BlobError::Overload { retry_after_hint } => {
+                write!(f, "overloaded: retry after {retry_after_hint} ms")
+            }
             BlobError::Codec(e) => write!(f, "codec error: {e}"),
             BlobError::Recovery {
                 file,
@@ -87,6 +123,25 @@ impl fmt::Display for BlobError {
                 write!(f, "recovery failed in {file} at offset {offset}: {detail}")
             }
             BlobError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl BlobError {
+    /// True when retrying the *same* request may succeed: connectivity
+    /// failures ([`Unreachable`](BlobError::Unreachable)) and typed
+    /// admission sheds ([`Overload`](BlobError::Overload)). Callers must
+    /// additionally ensure the operation is idempotent before retrying.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, BlobError::Unreachable(_) | BlobError::Overload { .. })
+    }
+
+    /// The server-suggested backoff in milliseconds, when the error
+    /// carries one ([`Overload`](BlobError::Overload)).
+    pub fn retry_after_hint_ms(&self) -> Option<u64> {
+        match self {
+            BlobError::Overload { retry_after_hint } => Some(*retry_after_hint),
+            _ => None,
         }
     }
 }

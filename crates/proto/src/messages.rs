@@ -466,6 +466,10 @@ impl Wire for BlobError {
                 offset.encode(out);
                 detail.to_string().encode(out);
             }
+            BlobError::Overload { retry_after_hint } => {
+                out.push(9);
+                retry_after_hint.encode(out);
+            }
         }
     }
 
@@ -499,6 +503,9 @@ impl Wire for BlobError {
                 file: String::decode(r)?,
                 offset: u64::decode(r)?,
                 detail: intern(String::decode(r)?),
+            }),
+            9 => Ok(BlobError::Overload {
+                retry_after_hint: u64::decode(r)?,
             }),
             tag => Err(CodecError::BadTag {
                 tag,
@@ -682,6 +689,10 @@ mod tests {
         roundtrip(err);
         let err: Result<(), BlobError> = Err(BlobError::MissingPage {
             tried: vec![ProviderId(1), ProviderId(2)],
+        });
+        roundtrip(err);
+        let err: Result<u64, BlobError> = Err(BlobError::Overload {
+            retry_after_hint: 40,
         });
         roundtrip(err);
     }

@@ -21,19 +21,26 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod client;
 pub mod frame;
+pub mod retry;
 pub mod service;
 pub mod tcp;
 pub mod transport;
 
+pub use admission::{
+    AdmissionControlled, AdmissionGate, AdmissionMode, AdmissionOptions, AdmissionStats,
+    OwnedPermit,
+};
 pub use client::{AggregationPolicy, RpcClient};
 pub use frame::{Frame, FRAME_HEADER_BYTES, MAX_FRAME_BODY, METHOD_BATCH};
+pub use retry::RetryPolicy;
 pub use service::{
     dispatch_frame, error_frame, ok_frame, parse_response, respond, ServerCtx, Service,
 };
 pub use tcp::{
     encode_wire_frame, read_wire_frame, ServerMode, TcpOptions, TcpTransport, CTRL_CORR, CTRL_SHED,
-    MAX_WIRE_FRAME,
+    MAX_WIRE_FRAME, SHED_RETRY_HINT_MS,
 };
 pub use transport::{Ctx, InProcTransport, Transport, TransportResult};

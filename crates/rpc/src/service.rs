@@ -23,7 +23,6 @@ use blobseer_proto::BlobError;
 ///   overlaps freely with concurrent requests — the distinction that
 ///   keeps a single expensive-but-pipelined service (like a DHT put)
 ///   from becoming a false aggregate bottleneck.
-#[derive(Debug, Clone, Copy)]
 pub struct ServerCtx {
     /// Arrival virtual time (ns).
     pub vt: u64,
@@ -31,6 +30,22 @@ pub struct ServerCtx {
     pub charged: u64,
     /// Accumulated response-latency cost (ns) charged by the handler.
     pub charged_latency: u64,
+    /// Owned state pinned to this request past the handler's return
+    /// (admission permits). Transports drain it with
+    /// [`ServerCtx::take_held`] and drop it once the response has left
+    /// the server.
+    held: Vec<Box<dyn std::any::Any + Send>>,
+}
+
+impl std::fmt::Debug for ServerCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerCtx")
+            .field("vt", &self.vt)
+            .field("charged", &self.charged)
+            .field("charged_latency", &self.charged_latency)
+            .field("held", &self.held.len())
+            .finish()
+    }
 }
 
 impl ServerCtx {
@@ -40,7 +55,25 @@ impl ServerCtx {
             vt,
             charged: 0,
             charged_latency: 0,
+            held: Vec::new(),
         }
+    }
+
+    /// Pin owned state to this request: it outlives the handler and is
+    /// dropped only after the transport has finished sending the
+    /// response (or the connection died). Admission permits ride here,
+    /// so a request occupies its gate slot for its full server
+    /// residency — response transmission included — not just the
+    /// handler's CPU burst.
+    pub fn hold(&mut self, state: Box<dyn std::any::Any + Send>) {
+        self.held.push(state);
+    }
+
+    /// Transport hook: detach the pinned state, to be dropped when the
+    /// response leaves the server. Transports that deliver the response
+    /// by returning (in-process, simulated) simply drop the context.
+    pub fn take_held(&mut self) -> Vec<Box<dyn std::any::Any + Send>> {
+        std::mem::take(&mut self.held)
     }
 
     /// Charge `ns` of server CPU to this request (serializing).
@@ -62,6 +95,19 @@ pub trait Service: Send + Sync {
     /// Human-readable name for diagnostics.
     fn name(&self) -> &'static str {
         "service"
+    }
+}
+
+/// Shared services dispatch through the pointer, so wrappers like
+/// [`crate::AdmissionControlled`] can gate an `Arc`'d service while the
+/// owner keeps its white-box handle.
+impl<S: Service + ?Sized> Service for std::sync::Arc<S> {
+    fn handle(&self, ctx: &mut ServerCtx, frame: &Frame) -> Frame {
+        (**self).handle(ctx, frame)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
     }
 }
 

@@ -132,9 +132,16 @@ pub const MAX_WIRE_FRAME: u64 = MAX_FRAME_BODY + ENVELOPE_FIXED as u64;
 pub const CTRL_CORR: u64 = 0;
 /// Control method: the server is shedding this connection (fd
 /// exhaustion or the [`TcpOptions::max_connections`] cap). Sent with
-/// [`CTRL_CORR`] and an empty body; clients surface it as
-/// [`BlobError::Unreachable`].
+/// [`CTRL_CORR`] and an empty body; the envelope's `vt` field carries
+/// the retry-after hint in milliseconds (envelope-compatible — old
+/// peers sent 0 there). Clients surface it as [`BlobError::Overload`].
 pub const CTRL_SHED: u16 = 0xFF01;
+
+/// Retry-after hint (milliseconds) carried in the `vt` field of a
+/// connection-level [`CTRL_SHED`] frame. Dispatch-level admission sheds
+/// compute a hint from queue occupancy instead; this constant covers
+/// the cruder connection-slot shed where no queue exists to inspect.
+pub const SHED_RETRY_HINT_MS: u64 = 20;
 
 /// How the server side of a [`TcpTransport`] serves connections.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -538,7 +545,7 @@ fn is_fd_exhaustion(e: &io::Error) -> bool {
 pub(crate) fn shed_connection(stream: TcpStream, shared: &Shared) {
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
-    let head = encode_head(CTRL_CORR, 0, CTRL_SHED, 0);
+    let head = encode_head(CTRL_CORR, SHED_RETRY_HINT_MS, CTRL_SHED, 0);
     let _ = (&stream).write_all(&head);
     shared.sheds.fetch_add(1, Ordering::Relaxed);
 }
@@ -833,6 +840,8 @@ pub fn read_wire_frame<R: Read>(r: &mut R) -> Result<(u64, u64, Frame), BlobErro
         Err(RecvError::Io(e)) if is_timeout(&e) => {
             Err(BlobError::Unreachable("tcp recv timed out"))
         }
+        // lint: allow(overload-erasure) — RecvError is pure I/O; a shed arrives
+        // as a decoded Overload response frame, not here
         Err(_) => Err(BlobError::Unreachable("tcp connection lost")),
     }
 }

@@ -105,6 +105,8 @@ impl MuxConn {
         shared: Arc<Shared>,
     ) -> Result<Arc<MuxConn>, BlobError> {
         let stream = TcpStream::connect_timeout(&addr, opts.connect_timeout)
+            // lint: allow(overload-erasure) — io::Error source, a connect failure
+            // cannot carry Overload
             .map_err(|_| BlobError::Unreachable("tcp connect failed"))?;
         let _ = stream.set_nodelay(true);
         let _ = stream.set_read_timeout(opts.io_timeout);
@@ -223,7 +225,12 @@ fn read_loop(conn: &Arc<MuxConn>, shared: &Shared) -> BlobError {
             Ok((corr, vt, frame, wire)) => {
                 if corr == CTRL_CORR {
                     if frame.method == CTRL_SHED {
-                        return BlobError::Unreachable("tcp connection shed by server");
+                        // A typed admission shed, not a dead peer: the
+                        // server is alive and chose to reject. The
+                        // envelope's vt field carries its retry hint.
+                        return BlobError::Overload {
+                            retry_after_hint: vt,
+                        };
                     }
                     // Unknown control frame: the stream cannot be trusted.
                     return BlobError::Codec(CodecError::StrayCorrelation { corr });
@@ -264,6 +271,8 @@ fn read_loop(conn: &Arc<MuxConn>, shared: &Shared) -> BlobError {
                 return BlobError::Unreachable("tcp recv timed out");
             }
             Err(RecvError::Closed) | Err(RecvError::Io(_)) => {
+                // lint: allow(overload-erasure) — RecvError is pure I/O; a shed
+                // arrives as a decoded Overload response frame, not here
                 return BlobError::Unreachable("tcp connection lost");
             }
         }

@@ -67,6 +67,10 @@ pub(crate) enum Cmd {
         corr: u64,
         vt: u64,
         frame: Frame,
+        /// Request state pinned past the handler (admission permits);
+        /// dropped when the response has been fully written — or the
+        /// connection dies first.
+        held: Vec<Box<dyn std::any::Any + Send>>,
     },
     Close {
         token: usize,
@@ -189,6 +193,7 @@ impl Job {
                 corr: self.corr,
                 vt: done,
                 frame: resp,
+                held: sctx.take_held(),
             }
         } else {
             // Node died before the handler ran: close without response.
@@ -322,6 +327,10 @@ impl OutBody {
 struct Outgoing {
     head: [u8; WIRE_HEAD],
     body: OutBody,
+    /// Dropped when this response has been fully written (see
+    /// [`Cmd::Complete::held`]) — the admission permit's release point.
+    /// Never read; it exists for its `Drop`.
+    _held: Vec<Box<dyn std::any::Any + Send>>,
 }
 
 struct Conn {
@@ -381,7 +390,10 @@ fn run_loop(env: LoopEnv) {
                     corr,
                     vt,
                     frame,
-                } => complete(&env, &mut slots, &mut free, token, epoch, corr, vt, frame),
+                    held,
+                } => complete(
+                    &env, &mut slots, &mut free, token, epoch, corr, vt, frame, held,
+                ),
                 Cmd::Close { token, epoch } => {
                     if conn_epoch(&slots, token) == Some(epoch) {
                         close_conn(&env, &mut slots, &mut free, token);
@@ -711,6 +723,7 @@ fn complete(
     corr: u64,
     vt: u64,
     frame: Frame,
+    held: Vec<Box<dyn std::any::Any + Send>>,
 ) {
     let verdict = {
         let Some(Slot::Conn(conn)) = slots.get_mut(token) else {
@@ -733,7 +746,11 @@ fn complete(
                 // lint: allow(unmetered-copy) — the ablated flatten; Chain::to_vec records it
                 OutBody::Flat(frame.body.to_vec())
             };
-            conn.out.push_back(Outgoing { head, body });
+            conn.out.push_back(Outgoing {
+                head,
+                body,
+                _held: held,
+            });
             let v = flush_conn(conn);
             if matches!(v, Verdict::Keep) {
                 retry_pending(env, conn, token);

@@ -405,22 +405,32 @@ fn overloaded_server_sheds_newest_connections_with_a_typed_close() {
     extra
         .set_read_timeout(Some(Duration::from_secs(5)))
         .unwrap();
-    let (corr, _vt, frame) = read_wire_frame(&mut extra).unwrap();
+    let (corr, vt, frame) = read_wire_frame(&mut extra).unwrap();
     assert_eq!(corr, CTRL_CORR, "shed notice rides the control channel");
     assert_eq!(frame.method, CTRL_SHED);
+    assert_eq!(
+        vt,
+        blobseer_rpc::SHED_RETRY_HINT_MS,
+        "the shed notice carries a retry-after hint in its vt field"
+    );
     let mut buf = [0u8; 8];
     assert_eq!(extra.read(&mut buf).unwrap(), 0, "shed ends in EOF");
     assert!(t.shed_count() > 0);
 
-    // Through the client stack the shed surfaces as a typed Unreachable,
-    // never a hang.
+    // Through the client stack the shed surfaces as a typed Overload
+    // carrying the server's hint, never a hang.
     let t2 = transport();
     let c2 = t2.add_node();
     let peer = t2.register_remote(addr);
     let start = Instant::now();
     let err = t2.call(c2, peer, 0, Frame::from_msg(1, &1u64)).unwrap_err();
     assert!(
-        matches!(err, BlobError::Unreachable(msg) if msg.contains("shed")),
+        matches!(
+            err,
+            BlobError::Overload {
+                retry_after_hint: blobseer_rpc::SHED_RETRY_HINT_MS
+            }
+        ),
         "{err:?}"
     );
     assert!(start.elapsed() < Duration::from_secs(3));
@@ -455,4 +465,62 @@ fn server_survives_corrupt_and_half_open_clients() {
         let r: u64 = rpc.call(&mut ctx, server, 1, &i).unwrap();
         assert_eq!(r, i, "service must keep serving after hostile clients");
     }
+}
+
+#[test]
+fn shed_then_backoff_then_admitted_succeeds_under_retry_policy() {
+    // The client half of the overload contract end to end: a
+    // connection-capped server sheds the first attempt with a typed
+    // `Overload` carrying its retry hint; the retry policy backs off;
+    // by the retry the congestion has cleared and the call succeeds.
+    let t = Arc::new(TcpTransport::with_options(TcpOptions {
+        connect_timeout: Duration::from_millis(500),
+        io_timeout: Some(Duration::from_millis(500)),
+        max_connections: 1,
+        ..TcpOptions::default()
+    }));
+    let server = t.add_node();
+    t.bind(server, Arc::new(Echo));
+    let addr = t.addr(server).unwrap();
+
+    // Occupy the single connection slot so the next caller is shed.
+    let held = TcpStream::connect(addr).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while t.active_connections() < 1 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(t.active_connections(), 1);
+
+    let t2 = transport();
+    let c2 = t2.add_node();
+    let peer = t2.register_remote(addr);
+
+    let policy = blobseer_rpc::RetryPolicy::default();
+    let mut held = Some(held);
+    let sheds = std::cell::Cell::new(0u32);
+    let t_sleep = Arc::clone(&t);
+    let result = policy.run_with(
+        |d| {
+            std::thread::sleep(d);
+            // Congestion clears during the backoff: wait for the server
+            // to reap the closed connection before the retry lands.
+            let deadline = Instant::now() + Duration::from_secs(2);
+            while t_sleep.active_connections() > 0 && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        },
+        |_attempt| {
+            let r = t2.call(c2, peer, 0, Frame::from_msg(1, &7u64));
+            if let Err(BlobError::Overload { retry_after_hint }) = &r {
+                assert_eq!(*retry_after_hint, blobseer_rpc::SHED_RETRY_HINT_MS);
+                sheds.set(sheds.get() + 1);
+                // Free the slot so the retry can be admitted.
+                held.take();
+            }
+            let (frame, _vt) = r?;
+            blobseer_rpc::parse_response::<u64>(&frame)
+        },
+    );
+    assert_eq!(result.unwrap(), 7, "retry after shed must succeed");
+    assert!(sheds.get() >= 1, "the first attempt was shed");
 }

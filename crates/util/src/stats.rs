@@ -116,6 +116,12 @@ impl Samples {
         self.data.is_empty()
     }
 
+    /// The raw samples, in insertion or sorted order (order is an
+    /// implementation detail; use for merging sample sets).
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.data.iter().copied()
+    }
+
     /// The `p`-th percentile (0.0..=100.0) by nearest-rank; `None` if empty.
     pub fn percentile(&mut self, p: f64) -> Option<f64> {
         if self.data.is_empty() {

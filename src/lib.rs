@@ -304,8 +304,9 @@ pub use blobseer_util as util;
 pub use blobseer_version as version;
 
 pub use blobseer_core::{
-    BackendKind, BlobClient, ClusterHandle, Deployment, DeploymentConfig, LocalEngine,
-    TransportKind,
+    AdmissionMode, AdmissionOptions, BackendKind, BlobClient, ClusterHandle, Deployment,
+    DeploymentConfig, FanOutOptions, LocalEngine, ReadOptions, RetryPolicy, TransportKind,
+    WriteOptions,
 };
 pub use blobseer_meta::ReferenceStore;
 pub use blobseer_proto::{BlobError, BlobId, Geometry, PageBuf, Segment, Version};
