@@ -414,9 +414,11 @@ fn main() {
         "write parity: {} serializing locks/op on the lock-free plane",
         w.ser_per_op
     );
+    // At most one sanctioned acquisition per write: the PR 10 grant
+    // protocol may batch concurrent assignments below 1, never above.
     assert!(
-        (w.va_per_op - 1.0).abs() < 0.5,
-        "write parity: {} VersionAssign locks/op (sanctioned: 1)",
+        w.va_per_op > 0.0 && w.va_per_op <= 1.01,
+        "write parity: {} VersionAssign locks/op (sanctioned: <= 1)",
         w.va_per_op
     );
     println!(

@@ -234,9 +234,12 @@ fn assert_invariants(name: &str, samples: &[Sample], writes: bool) {
             s.ser_per_op
         );
         if writes {
+            // At most one sanctioned acquisition per write: the PR 10
+            // grant protocol may batch concurrent assignments below 1,
+            // never above.
             assert!(
-                (s.va_per_op - 1.0).abs() < 0.5,
-                "{name}@{} clients: {} VersionAssign locks/op (sanctioned: 1)",
+                s.va_per_op > 0.0 && s.va_per_op <= 1.01,
+                "{name}@{} clients: {} VersionAssign locks/op (sanctioned: <= 1)",
                 s.clients,
                 s.va_per_op
             );

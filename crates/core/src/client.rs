@@ -29,7 +29,7 @@ use blobseer_proto::messages::{
 };
 use blobseer_proto::tree::{NodeBody, NodeKey, PageKey, PageLoc, TreeNode};
 use blobseer_proto::{BlobError, BlobId, Geometry, NodeId, PageBuf, ProviderId, Segment, Version};
-use blobseer_rpc::{Ctx, RetryPolicy, RpcClient};
+use blobseer_rpc::{Ctx, RetryPolicy, RpcClient, ShardRouter};
 use blobseer_simnet::ClientCosts;
 use blobseer_util::{lockmeter, ClockCache, FxHashMap};
 use parking_lot::RwLock;
@@ -118,7 +118,7 @@ struct ReadPlan {
 /// `crates/core/tests/lock_free.rs` for the measured invariant).
 pub struct BlobClient {
     rpc: RpcClient,
-    vm: NodeId,
+    vms: ShardRouter,
     pm: NodeId,
     dht: DhtClient,
     costs: ClientCosts,
@@ -129,6 +129,9 @@ pub struct BlobClient {
     heat: Option<Arc<HeatTracker>>,
     // Round-robin cursor spreading multi-replica page reads.
     rr: AtomicU64,
+    // Round-robin cursor spreading key-less version-manager requests
+    // (blob creation) across shards.
+    vm_rr: AtomicU64,
 }
 
 impl BlobClient {
@@ -147,7 +150,7 @@ impl BlobClient {
         let dht = DhtClient::new(rpc.clone(), ring);
         Self {
             rpc,
-            vm,
+            vms: ShardRouter::new(vec![vm]),
             pm,
             dht,
             costs,
@@ -159,7 +162,23 @@ impl BlobClient {
             retry: RetryPolicy::none(),
             heat: None,
             rr: AtomicU64::new(0),
+            vm_rr: AtomicU64::new(0),
         }
+    }
+
+    /// Route version-manager traffic across sharded manager nodes:
+    /// `nodes[s]` must serve the registry shard owning blob ids
+    /// `≡ s (mod nodes.len())`. Blob-keyed requests route by one modulo
+    /// (`vm_for`); creation round-robins, since any shard may
+    /// allocate (each hands out ids from its own residue class).
+    pub fn with_version_nodes(mut self, nodes: Vec<NodeId>) -> Self {
+        self.vms = ShardRouter::new(nodes);
+        self
+    }
+
+    /// The version-manager shard owning `blob`.
+    fn vm_for(&self, blob: BlobId) -> NodeId {
+        self.vms.route(blob.0)
     }
 
     /// Set the client-wide default [`RetryPolicy`], applied to
@@ -243,9 +262,12 @@ impl BlobClient {
         total_size: u64,
         page_size: u64,
     ) -> Result<BlobInfo, BlobError> {
+        let shard = self
+            .vms
+            .round_robin(self.vm_rr.fetch_add(1, Ordering::Relaxed));
         let info: BlobInfo = self.rpc.call(
             ctx,
-            self.vm,
+            shard,
             method::CREATE_BLOB,
             &CreateBlob {
                 total_size,
@@ -258,17 +280,24 @@ impl BlobClient {
 
     /// Blob descriptor (geometry + latest published version).
     pub fn info(&self, ctx: &mut Ctx, blob: BlobId) -> Result<BlobInfo, BlobError> {
-        let info: BlobInfo = self
-            .rpc
-            .call(ctx, self.vm, method::GET_BLOB, &GetLatest { blob })?;
+        let info: BlobInfo = self.rpc.call(
+            ctx,
+            self.vm_for(blob),
+            method::GET_BLOB,
+            &GetLatest { blob },
+        )?;
         self.remember_geometry(info.blob, info.geometry());
         Ok(info)
     }
 
     /// Latest published version.
     pub fn latest(&self, ctx: &mut Ctx, blob: BlobId) -> Result<Version, BlobError> {
-        self.rpc
-            .call(ctx, self.vm, method::GET_LATEST, &GetLatest { blob })
+        self.rpc.call(
+            ctx,
+            self.vm_for(blob),
+            method::GET_LATEST,
+            &GetLatest { blob },
+        )
     }
 
     fn geometry(&self, ctx: &mut Ctx, blob: BlobId) -> Result<Geometry, BlobError> {
@@ -478,7 +507,7 @@ impl BlobClient {
         // Step 3: version number + precomputed border links.
         let ticket: WriteTicket = self.rpc.call(
             ctx,
-            self.vm,
+            self.vm_for(blob),
             method::REQUEST_VERSION,
             &RequestVersion {
                 blob,
@@ -508,7 +537,7 @@ impl BlobClient {
         // Step 5: report success; the version manager publishes in order.
         let _publish: PublishState = self.rpc.call(
             ctx,
-            self.vm,
+            self.vm_for(blob),
             method::COMPLETE_WRITE,
             &CompleteWrite {
                 blob,
@@ -1052,7 +1081,7 @@ impl BlobClient {
     ) -> Result<(u64, u64), BlobError> {
         let plan: blobseer_proto::messages::GcPlan = self.rpc.call(
             ctx,
-            self.vm,
+            self.vm_for(blob),
             method::GC_PLAN,
             &GcRequest { blob, keep_from },
         )?;

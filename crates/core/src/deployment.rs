@@ -46,10 +46,11 @@ use blobseer_rpc::{
 };
 use blobseer_simnet::{ClientCosts, CostModel, ServiceCosts, SimCluster};
 use blobseer_util::recordlog::RecordLogOptions;
-use blobseer_version::{VersionLog, VersionRegistry, DEFAULT_WINDOW};
+use blobseer_version::{RegistryConfig, VersionLog, VersionRegistry, DEFAULT_WINDOW};
 use parking_lot::RwLock;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Duration;
 
 pub use blobseer_provider::{BackendKind, CompactReport, LogOptions};
 
@@ -316,6 +317,22 @@ pub struct DeploymentConfig {
     /// Transport tunables for [`TransportKind::Tcp`] (reactor sizing,
     /// connection caps, timeouts). Ignored by the simulated transport.
     pub tcp: TcpOptions,
+    /// Number of version-manager shard nodes. Shard `s` of `S` owns the
+    /// blob ids `≡ s (mod S)` (residue-class allocation), clients route
+    /// by one modulo, and each shard journals/replays independently
+    /// under its own directory. `1` (the default) is the classic
+    /// single-manager topology, bit-for-bit.
+    pub version_shards: usize,
+    /// Batch version assignment through the grant protocol (one
+    /// `VersionAssign` acquisition per grant group — the default).
+    /// `false` is the per-op ablation: every writer pays its own
+    /// acquisition, the pre-PR-10 behaviour.
+    pub version_batched: bool,
+    /// How long a grant leader lingers so concurrent writers can join
+    /// its grant (the assignment analogue of the record log's
+    /// `group_commit_window`). Zero still batches whatever queued
+    /// naturally during the previous drain.
+    pub version_grant_window: Duration,
 }
 
 /// Upper bound on one provider's page-log size (the file is extended
@@ -346,6 +363,9 @@ impl DeploymentConfig {
             retry: RetryPolicy::none(),
             fan_out: None,
             tcp: TcpOptions::default(),
+            version_shards: 1,
+            version_batched: true,
+            version_grant_window: Duration::ZERO,
         }
     }
 
@@ -371,6 +391,9 @@ impl DeploymentConfig {
             retry: RetryPolicy::none(),
             fan_out: None,
             tcp: TcpOptions::default(),
+            version_shards: 1,
+            version_batched: true,
+            version_grant_window: Duration::ZERO,
         }
     }
 
@@ -575,6 +598,34 @@ impl DeploymentConfigBuilder {
         self
     }
 
+    /// Replace the service processing costs wholesale (ablation knob —
+    /// e.g. stressing the version-assignment critical section).
+    pub fn service_costs(mut self, costs: ServiceCosts) -> Self {
+        self.config.service_costs = costs;
+        self
+    }
+
+    /// Number of version-manager shard nodes (blob ids route by
+    /// `id % shards`; each shard journals independently).
+    pub fn version_shards(mut self, shards: usize) -> Self {
+        self.config.version_shards = shards;
+        self
+    }
+
+    /// Toggle grant-batched version assignment (`false` = the per-op
+    /// ablation: every writer pays its own `VersionAssign` acquisition).
+    pub fn version_batched(mut self, batched: bool) -> Self {
+        self.config.version_batched = batched;
+        self
+    }
+
+    /// How long a grant leader lingers so concurrent writers can join
+    /// its version grant.
+    pub fn version_grant_window(mut self, window: Duration) -> Self {
+        self.config.version_grant_window = window;
+        self
+    }
+
     /// Finish tuning.
     pub fn build(self) -> DeploymentConfig {
         self.config
@@ -587,14 +638,21 @@ pub struct Deployment {
     pub cluster: ClusterHandle,
     /// Configuration used to build it.
     pub config: DeploymentConfig,
-    /// Version manager node.
+    /// Version manager node (shard 0 — the only shard in the classic
+    /// single-manager topology).
     pub vm_node: NodeId,
+    /// All version-manager shard nodes, in residue order
+    /// (`vm_nodes[0] == vm_node`). Clients route `blob_id % shards`.
+    pub vm_nodes: Vec<NodeId>,
     /// Provider manager node.
     pub pm_node: NodeId,
     /// Storage nodes, in creation order.
     pub storage_nodes: Vec<NodeId>,
-    /// The version registry (for white-box assertions in tests).
+    /// Shard 0's version registry (for white-box assertions in tests).
     pub registry: Arc<VersionRegistry>,
+    /// Every shard's version registry, in residue order
+    /// (`registries[0] == registry`).
+    pub registries: Vec<Arc<VersionRegistry>>,
     /// Storage node service handles (for white-box assertions).
     pub storage: Vec<Arc<StorageNodeService>>,
     /// Provider manager handle.
@@ -611,9 +669,12 @@ pub struct Deployment {
     /// The read-heat tracker shared by every client of this deployment
     /// (`None` when `config.fan_out` is `None`).
     pub heat: Option<Arc<HeatTracker>>,
-    /// Version manager handle (swappable internals, for
+    /// Shard 0's version manager handle (swappable internals, for
     /// [`Deployment::restart_cluster`] and white-box assertions).
     pub vm: Arc<VersionManagerService>,
+    /// Every shard's version manager handle, in residue order
+    /// (`vms[0] == vm`).
+    pub vms: Vec<Arc<VersionManagerService>>,
     /// Root of the per-node durable directories (`Some` only for the
     /// mmap backend): `provider-<i>` page logs, `meta-<i>` metadata
     /// journals, `version` the version-manager journal.
@@ -649,6 +710,10 @@ impl Deployment {
 
     fn build_inner(config: DeploymentConfig, root_override: Option<PathBuf>) -> Self {
         assert!(config.providers >= 1, "need at least one storage node");
+        assert!(
+            config.version_shards >= 1,
+            "need at least one version-manager shard"
+        );
         let cluster = match config.transport {
             TransportKind::Sim => ClusterHandle::Sim(Arc::new(SimCluster::new(config.cost))),
             TransportKind::Tcp => {
@@ -657,9 +722,15 @@ impl Deployment {
         };
 
         // Dedicated manager nodes (paper: "deployed on separate,
-        // dedicated nodes").
+        // dedicated nodes"). Extra version-manager shards come right
+        // after the classic two, so the single-shard node layout is
+        // untouched.
         let vm_node = cluster.add_node();
         let pm_node = cluster.add_node();
+        let mut vm_nodes = vec![vm_node];
+        for _ in 1..config.version_shards {
+            vm_nodes.push(cluster.add_node());
+        }
 
         // Per-node durable directories for the persistent backend.
         let owns_root = root_override.is_none();
@@ -681,10 +752,20 @@ impl Deployment {
             std::fs::create_dir_all(root).expect("create deployment data root");
         }
 
-        // The version manager: durable (journaled + replayed) when the
-        // deployment has a durable root, classic in-memory otherwise.
-        let (vm, registry) = build_version_service(&config, data_root.as_deref());
-        cluster.bind(vm_node, Arc::clone(&vm) as Arc<dyn Service>);
+        // The version-manager shards: durable (journaled + replayed)
+        // when the deployment has a durable root, classic in-memory
+        // otherwise. Each shard owns its residue class of blob ids and
+        // its own journal directory.
+        let mut vms = Vec::with_capacity(config.version_shards);
+        let mut registries = Vec::with_capacity(config.version_shards);
+        for (s, node) in vm_nodes.iter().enumerate() {
+            let (svc, reg) = build_version_service(&config, data_root.as_deref(), s);
+            cluster.bind(*node, Arc::clone(&svc) as Arc<dyn Service>);
+            vms.push(svc);
+            registries.push(reg);
+        }
+        let vm = Arc::clone(&vms[0]);
+        let registry = Arc::clone(&registries[0]);
 
         let manager = Arc::new(ProviderManagerService::new(
             config.strategy,
@@ -744,9 +825,11 @@ impl Deployment {
             cluster,
             config,
             vm_node,
+            vm_nodes,
             pm_node,
             storage_nodes,
             registry,
+            registries,
             storage,
             manager,
             ring,
@@ -754,6 +837,7 @@ impl Deployment {
             gates,
             heat,
             vm,
+            vms,
             data_root,
             owns_root,
         };
@@ -775,10 +859,12 @@ impl Deployment {
                 floor = floor.max(key.write.0);
             }
         }
-        for state in self.registry.states() {
-            for v in 1..=state.latest() {
-                if let Some(rec) = state.record(v) {
-                    floor = floor.max(rec.write.0);
+        for registry in &self.registries {
+            for state in registry.states() {
+                for v in 1..=state.latest() {
+                    if let Some(rec) = state.record(v) {
+                        floor = floor.max(rec.write.0);
+                    }
                 }
             }
         }
@@ -802,6 +888,7 @@ impl Deployment {
             self.meta_cache.clone(),
             self.config.replication,
         )
+        .with_version_nodes(self.vm_nodes.clone())
         .with_retry_policy(self.config.retry);
         if let Some(heat) = &self.heat {
             client = client.with_heat(Arc::clone(heat));
@@ -870,7 +957,9 @@ impl Deployment {
     /// idempotent — the version journal checkpoints on open).
     pub fn restart_cluster(&mut self) -> Result<(), blobseer_proto::BlobError> {
         // Kill everything first: a cold restart has no surviving node.
-        self.cluster.kill(self.vm_node);
+        for node in &self.vm_nodes {
+            self.cluster.kill(*node);
+        }
         self.cluster.kill(self.pm_node);
         for i in 0..self.storage_nodes.len() {
             self.kill_storage(i);
@@ -890,9 +979,14 @@ impl Deployment {
                 i,
             ));
         }
-        let (registry, vlog) = reopen_version_state(&self.config, self.data_root.as_deref())?;
-        self.vm.replace(Arc::clone(&registry), vlog);
-        self.registry = registry;
+        // Replay every shard's journal into a fresh registry/log pair.
+        for (s, svc) in self.vms.iter().enumerate() {
+            let (registry, vlog) =
+                reopen_version_state(&self.config, self.data_root.as_deref(), s)?;
+            svc.replace(Arc::clone(&registry), vlog);
+            self.registries[s] = registry;
+        }
+        self.registry = Arc::clone(&self.registries[0]);
 
         // The shared client-side cache belongs to the old incarnation:
         // on the volatile backend it could serve nodes the restarted
@@ -910,7 +1004,9 @@ impl Deployment {
 
         // Bring the nodes back; providers re-register exactly as their
         // startup RPC would.
-        self.cluster.revive(self.vm_node);
+        for node in &self.vm_nodes {
+            self.cluster.revive(*node);
+        }
         self.cluster.revive(self.pm_node);
         for i in 0..self.storage_nodes.len() {
             self.revive_storage(i);
@@ -930,10 +1026,18 @@ impl Deployment {
         self.data_root.as_deref().map(|r| meta_dir(r, i))
     }
 
-    /// The version-manager journal directory (`Some` only for the mmap
-    /// backend).
+    /// Shard 0's version-manager journal directory (`Some` only for the
+    /// mmap backend).
     pub fn version_dir(&self) -> Option<PathBuf> {
-        self.data_root.as_deref().map(version_dir)
+        self.version_shard_dir(0)
+    }
+
+    /// Version-manager shard `s`'s journal directory (`Some` only for
+    /// the mmap backend). Shard 0 keeps the classic `version` directory
+    /// so single-shard layouts are unchanged on disk; shard `s > 0`
+    /// journals under `version-<s>`.
+    pub fn version_shard_dir(&self, s: usize) -> Option<PathBuf> {
+        self.data_root.as_deref().map(|r| version_shard_dir(r, s))
     }
 
     /// Compact storage node `i`'s page log: rewrite the live pages into
@@ -981,9 +1085,27 @@ fn meta_dir(data_root: &Path, i: usize) -> PathBuf {
     data_root.join(format!("meta-{i}"))
 }
 
-/// The version manager's journal directory.
-fn version_dir(data_root: &Path) -> PathBuf {
-    data_root.join("version")
+/// Version-manager shard `s`'s journal directory. Shard 0 keeps the
+/// pre-sharding name `version` (so existing single-shard layouts replay
+/// unchanged); later shards get `version-<s>`.
+fn version_shard_dir(data_root: &Path, s: usize) -> PathBuf {
+    if s == 0 {
+        data_root.join("version")
+    } else {
+        data_root.join(format!("version-{s}"))
+    }
+}
+
+/// The [`RegistryConfig`] for version-manager shard `s` of this
+/// deployment: residue-class membership plus the grant-protocol knobs.
+fn registry_config(config: &DeploymentConfig, s: usize) -> RegistryConfig {
+    RegistryConfig {
+        window: DEFAULT_WINDOW,
+        batched: config.version_batched,
+        grant_window: config.version_grant_window,
+        shard: s as u32,
+        shards: config.version_shards as u32,
+    }
 }
 
 /// The control-plane journals inherit the page log's durability knobs
@@ -1018,31 +1140,35 @@ fn build_meta_service(
     }
 }
 
-/// Replay (or freshly create) the version manager's durable state.
+/// Replay (or freshly create) version-manager shard `s`'s durable state.
 fn reopen_version_state(
     config: &DeploymentConfig,
     data_root: Option<&Path>,
+    s: usize,
 ) -> Result<(Arc<VersionRegistry>, Option<Arc<VersionLog>>), blobseer_proto::BlobError> {
+    let reg_config = registry_config(config, s);
     match data_root {
-        None => Ok((Arc::new(VersionRegistry::default()), None)),
+        None => Ok((Arc::new(VersionRegistry::with_config(reg_config)), None)),
         Some(root) => {
-            let (vlog, registry) = VersionLog::open(
-                &version_dir(root),
+            let (vlog, registry) = VersionLog::open_with(
+                &version_shard_dir(root, s),
                 record_log_options(config),
-                DEFAULT_WINDOW,
+                reg_config,
             )?;
             Ok((Arc::new(registry), Some(Arc::new(vlog))))
         }
     }
 }
 
-/// Build the version-manager service for the configured backend.
+/// Build version-manager shard `s`'s service for the configured backend.
 fn build_version_service(
     config: &DeploymentConfig,
     data_root: Option<&Path>,
+    s: usize,
 ) -> (Arc<VersionManagerService>, Arc<VersionRegistry>) {
+    let opened = reopen_version_state(config, data_root, s);
     // lint: allow(panic-on-serving-path) — deployment construction at startup
-    let (registry, vlog) = reopen_version_state(config, data_root).expect("open version journal");
+    let (registry, vlog) = opened.expect("open version journal");
     let vm = match vlog {
         None => Arc::new(VersionManagerService::new(
             Arc::clone(&registry),

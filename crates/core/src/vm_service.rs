@@ -9,9 +9,14 @@
 //!
 //! Since PR 2 that claim is measured, not asserted: the assignment mutex
 //! is charged to `blobseer_util::lockmeter` under its own
-//! `VersionAssign` class, and `crates/core/tests/lock_free.rs` asserts a
-//! steady-state WRITE acquires it exactly once and acquires **no** other
-//! serializing lock anywhere in the stack.
+//! `VersionAssign` class. Since PR 10 the charge is per **grant**, not
+//! per write: a grant leader pays one acquisition for its whole group
+//! (`crates/version` grant protocol), so a solo WRITE still records
+//! exactly one `VersionAssign` while a hot-blob storm records `1/group`
+//! per op — strictly below 1.0 under contention, which the CI bench
+//! gate enforces. The simulated cost mirrors the meter: the handler
+//! charges `version_assign_ns` times the acquisitions *this call*
+//! performed, so followers riding a grant are free on both meters.
 //!
 //! ## Durability (PR 7)
 //!
@@ -148,10 +153,16 @@ impl Service for VersionManagerService {
                 })
             }
             method::REQUEST_VERSION => {
-                ctx.charge(self.costs.version_assign_ns);
+                // Charged after the grant resolves: the leader pays
+                // `version_assign_ns` per acquisition it performed for
+                // the group, followers pay nothing — the simulated cost
+                // mirrors the lock meter exactly.
+                let costs = self.costs;
                 respond(frame, |m: RequestVersion| {
                     let state = self.registry().get(m.blob)?;
-                    state.request_version(m.write, m.segment())
+                    let grant = state.request_version_grant(m.write, m.segment())?;
+                    ctx.charge(costs.version_assign_ns * u64::from(grant.acquired));
+                    Ok(grant.ticket)
                 })
             }
             method::COMPLETE_WRITE => {
@@ -172,7 +183,12 @@ impl Service for VersionManagerService {
                             .record(m.version)
                             .ok_or(BlobError::Internal("completion for unassigned version"))?;
                         if !rec.is_completed() {
-                            log.record_publish(m.blob, m.version, rec.write, &rec.seg)?;
+                            // Grouped append: concurrent publishers from
+                            // one grant flush as a single BSVRPUB1 batch
+                            // under one commit marker. Still write-ahead
+                            // — this returns only once the caller's
+                            // record is covered by a durable marker.
+                            log.record_publish_grouped(m.blob, m.version, rec.write, &rec.seg)?;
                         }
                     }
                     Ok(PublishState {

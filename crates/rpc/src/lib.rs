@@ -25,6 +25,7 @@ pub mod admission;
 pub mod client;
 pub mod frame;
 pub mod retry;
+pub mod route;
 pub mod service;
 pub mod tcp;
 pub mod transport;
@@ -36,6 +37,7 @@ pub use admission::{
 pub use client::{AggregationPolicy, RpcClient};
 pub use frame::{Frame, FRAME_HEADER_BYTES, MAX_FRAME_BODY, METHOD_BATCH};
 pub use retry::RetryPolicy;
+pub use route::ShardRouter;
 pub use service::{
     dispatch_frame, error_frame, ok_frame, parse_response, respond, ServerCtx, Service,
 };

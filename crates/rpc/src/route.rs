@@ -1,0 +1,95 @@
+//! Static key-based routing across a set of peer service nodes.
+//!
+//! PR 10 shards the version manager by blob id: shard `s` of `S` owns
+//! exactly the blob ids congruent to `s` modulo `S`, so a client can
+//! route any request with one modulo and **no directory service** — the
+//! same directoryless discipline the DHT ring gives the data plane,
+//! specialized to the residue-class id allocation the sharded
+//! `VersionRegistry` performs. The router is immutable after
+//! construction: routing is a pure function of the key, so it can be
+//! shared freely across client threads without any synchronization.
+
+use blobseer_proto::NodeId;
+
+/// Routes keys to one of a fixed set of shard nodes by residue class.
+///
+/// Shard membership never changes after construction (a deployment
+/// spawns its version-manager shards once), so lookups are lock-free
+/// array indexing.
+#[derive(Clone, Debug)]
+pub struct ShardRouter {
+    nodes: Vec<NodeId>,
+}
+
+impl ShardRouter {
+    /// A router over `nodes`, where `nodes[s]` serves residue class `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty — a router with nothing to route to is
+    /// a deployment bug, not a runtime condition.
+    pub fn new(nodes: Vec<NodeId>) -> Self {
+        assert!(!nodes.is_empty(), "ShardRouter needs at least one node");
+        Self { nodes }
+    }
+
+    /// The node owning `key` (`key % shards`).
+    pub fn route(&self, key: u64) -> NodeId {
+        self.nodes[(key % self.shards() as u64) as usize]
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All shard nodes, in residue order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The `n`-th node round-robin — for key-less requests (e.g. blob
+    /// creation, where *any* shard may allocate) spread by an external
+    /// counter.
+    pub fn round_robin(&self, n: u64) -> NodeId {
+        self.nodes[(n % self.shards() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_by_residue_class() {
+        let r = ShardRouter::new(vec![NodeId(10), NodeId(11), NodeId(12)]);
+        assert_eq!(r.shards(), 3);
+        assert_eq!(r.route(0), NodeId(10));
+        assert_eq!(r.route(1), NodeId(11));
+        assert_eq!(r.route(2), NodeId(12));
+        assert_eq!(r.route(3), NodeId(10));
+        assert_eq!(r.route(7), NodeId(11));
+    }
+
+    #[test]
+    fn single_node_routes_everything_to_it() {
+        let r = ShardRouter::new(vec![NodeId(5)]);
+        for key in [0u64, 1, 99, u64::MAX] {
+            assert_eq!(r.route(key), NodeId(5));
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let r = ShardRouter::new(vec![NodeId(1), NodeId(2)]);
+        assert_eq!(r.round_robin(0), NodeId(1));
+        assert_eq!(r.round_robin(1), NodeId(2));
+        assert_eq!(r.round_robin(2), NodeId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_router_is_a_bug() {
+        let _ = ShardRouter::new(Vec::new());
+    }
+}

@@ -22,7 +22,7 @@
 //! single [`snapshot`] record — snapshot + incremental log, the
 //! classic pairing. [`restore`] is what replay bootstraps from.
 
-use crate::state::VersionRegistry;
+use crate::state::{RegistryConfig, VersionRegistry};
 use blobseer_proto::wire::{Reader, Wire, WireBuf};
 use blobseer_proto::{BlobError, CodecError, Geometry, Segment, Version, WriteId};
 
@@ -93,6 +93,18 @@ pub fn snapshot(registry: &VersionRegistry) -> Vec<u8> {
 /// watermark, the version index (hence border links for subsequent
 /// writes), and GC planning state.
 pub fn restore(bytes: &[u8], window: usize) -> Result<VersionRegistry, BlobError> {
+    restore_with(
+        bytes,
+        RegistryConfig {
+            window,
+            ..RegistryConfig::default()
+        },
+    )
+}
+
+/// [`restore`] into a registry under an explicit [`RegistryConfig`]
+/// (shard membership, grant batching, publish window).
+pub fn restore_with(bytes: &[u8], config: RegistryConfig) -> Result<VersionRegistry, BlobError> {
     let mut r = Reader::new(bytes);
     let magic = u32::decode(&mut r).map_err(BlobError::Codec)?;
     if magic != MAGIC {
@@ -105,7 +117,7 @@ pub fn restore(bytes: &[u8], window: usize) -> Result<VersionRegistry, BlobError
     let blobs: Vec<BlobSnapshot> = Vec::decode(&mut r).map_err(BlobError::Codec)?;
     r.finish().map_err(BlobError::Codec)?;
 
-    let registry = VersionRegistry::new(window);
+    let registry = VersionRegistry::with_config(config);
     for b in blobs {
         let geom = Geometry::new(b.total_size, b.page_size)?;
         let state = registry.create_blob_with_id(blobseer_proto::BlobId(b.blob), geom);

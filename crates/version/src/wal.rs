@@ -40,12 +40,14 @@
 //! Committed-but-undecodable bytes are a typed
 //! [`BlobError::Recovery`] carrying file + offset, never a panic.
 
-use crate::recovery::{restore, snapshot};
-use crate::state::VersionRegistry;
+use crate::recovery::{restore_with, snapshot};
+use crate::state::{RegistryConfig, VersionRegistry};
 use blobseer_proto::{BlobError, BlobId, Geometry, Segment, Version, WriteId};
 use blobseer_util::recordlog::{LogError, OwnedRecord, Record, RecordLog, RecordLogOptions};
+use parking_lot::{Condvar, Mutex};
 use std::collections::BTreeMap;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Magic of a blob-create record ("BSVRCRE1").
 pub const VERSION_CREATE_MAGIC: u64 = 0x4253_5652_4352_4531;
@@ -69,27 +71,84 @@ fn log_err(path: &Path, e: LogError) -> BlobError {
     }
 }
 
+/// One publish to journal: `(blob, version, write, segment)`.
+#[derive(Clone, Copy, Debug)]
+pub struct PublishEntry {
+    /// The blob the write patched.
+    pub blob: BlobId,
+    /// The version being published.
+    pub version: Version,
+    /// The write id its pages were stored under.
+    pub write: WriteId,
+    /// The patched segment.
+    pub seg: Segment,
+}
+
+/// One parked publisher in the WAL's grant-batching queue.
+struct PublishCell {
+    entry: PublishEntry,
+    slot: Mutex<Option<Result<(), BlobError>>>,
+    done: Condvar,
+}
+
+/// The publish combiner queue (same leading-flag discipline as the
+/// version grant queue in [`crate::state`]).
+struct PublishQueue {
+    pending: Vec<Arc<PublishCell>>,
+    leading: bool,
+}
+
 /// The version manager's write-ahead journal. See the module docs for
 /// the record format and replay rules.
-#[derive(Debug)]
 pub struct VersionLog {
     log: RecordLog,
+    /// Combine concurrent publish appends into one `BSVRPUB1` batch
+    /// under one commit marker (off in the per-op ablation).
+    batched: bool,
+    publishers: Mutex<PublishQueue>,
+}
+
+impl std::fmt::Debug for VersionLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VersionLog")
+            .field("log", &self.log)
+            .field("batched", &self.batched)
+            .finish_non_exhaustive()
+    }
 }
 
 impl VersionLog {
-    /// Open (or create) the journal under `dir`, replay it into a fresh
-    /// [`VersionRegistry`] with the given publish `window`, then
-    /// checkpoint: the on-disk log is rewritten to a single snapshot of
-    /// the surfaced state (making replay idempotent and version-number
-    /// reuse safe — see module docs).
+    /// [`open_with`](Self::open_with) under a default-config registry
+    /// with the given publish `window`.
     pub fn open(
         dir: &Path,
         opts: RecordLogOptions,
         window: usize,
     ) -> Result<(Self, VersionRegistry), BlobError> {
+        Self::open_with(
+            dir,
+            opts,
+            RegistryConfig {
+                window,
+                ..RegistryConfig::default()
+            },
+        )
+    }
+
+    /// Open (or create) the journal under `dir`, replay it into a fresh
+    /// [`VersionRegistry`] under `config` (one shard of a sharded
+    /// version manager replays only its own journal), then checkpoint:
+    /// the on-disk log is rewritten to a single snapshot of the surfaced
+    /// state (making replay idempotent and version-number reuse safe —
+    /// see module docs).
+    pub fn open_with(
+        dir: &Path,
+        opts: RecordLogOptions,
+        config: RegistryConfig,
+    ) -> Result<(Self, VersionRegistry), BlobError> {
         let (mut log, records) =
             RecordLog::open(dir, "version", opts).map_err(|e| log_err(dir, e))?;
-        let registry = replay(&log, &records, window)?;
+        let registry = replay(&log, &records, config)?;
         // Checkpoint-on-open: collapse history to one snapshot record.
         let snap = snapshot(&registry);
         log.rewrite(&[Record {
@@ -100,7 +159,20 @@ impl VersionLog {
             payload: &snap,
         }])
         .map_err(|e| log_err(dir, e))?;
-        Ok((Self { log }, registry))
+        Ok((
+            Self {
+                log,
+                batched: config.batched,
+                // lint: allow(unmetered-lock) — publish-combiner plumbing: held
+                // for queue push/take only, never across the append or fsync;
+                // the durable append itself is the engine's metered seam
+                publishers: Mutex::new(PublishQueue {
+                    pending: Vec::new(),
+                    leading: false,
+                }),
+            },
+            registry,
+        ))
     }
 
     /// Journal a blob creation. Must return before the blob id is
@@ -126,18 +198,138 @@ impl VersionLog {
         write: WriteId,
         seg: &Segment,
     ) -> Result<(), BlobError> {
-        let mut payload = [0u8; 16];
-        payload[..8].copy_from_slice(&seg.offset.to_le_bytes());
-        payload[8..].copy_from_slice(&seg.size.to_le_bytes());
-        self.log
-            .append(Record {
-                magic: VERSION_PUBLISH_MAGIC,
-                a: blob.0,
-                b: version,
-                c: write.0,
-                payload: &payload,
+        self.record_publish_batch(&[PublishEntry {
+            blob,
+            version,
+            write,
+            seg: *seg,
+        }])
+    }
+
+    /// Journal a batch of publications contiguously under **one** commit
+    /// marker (one optional fsync): the durability half of a version
+    /// grant. All-or-nothing — on error no entry is durable, so no
+    /// member of the grant may be acknowledged.
+    pub fn record_publish_batch(&self, entries: &[PublishEntry]) -> Result<(), BlobError> {
+        if entries.is_empty() {
+            return Ok(());
+        }
+        let payloads: Vec<[u8; 16]> = entries
+            .iter()
+            .map(|e| {
+                let mut p = [0u8; 16];
+                p[..8].copy_from_slice(&e.seg.offset.to_le_bytes());
+                p[8..].copy_from_slice(&e.seg.size.to_le_bytes());
+                p
             })
+            .collect();
+        let records: Vec<Record<'_>> = entries
+            .iter()
+            .zip(&payloads)
+            .map(|(e, p)| Record {
+                magic: VERSION_PUBLISH_MAGIC,
+                a: e.blob.0,
+                b: e.version,
+                c: e.write.0,
+                payload: p,
+            })
+            .collect();
+        self.log
+            .append_batch(&records)
             .map_err(|e| log_err(self.log.path(), e))
+    }
+
+    /// Journal one publication through the **publish combiner**: callers
+    /// that arrive while another append is in flight park on a queue,
+    /// and the leader flushes the whole group as one
+    /// [`record_publish_batch`](Self::record_publish_batch) — one commit
+    /// marker, one fsync, for N publications. The durability guarantee
+    /// is unchanged: this returns only once a commit marker covers the
+    /// caller's record (or with the batch's error, in which case nothing
+    /// in the batch is durable and no member may ack). With batching
+    /// disabled (the per-op ablation) this is plain
+    /// [`record_publish`](Self::record_publish).
+    pub fn record_publish_grouped(
+        &self,
+        blob: BlobId,
+        version: Version,
+        write: WriteId,
+        seg: &Segment,
+    ) -> Result<(), BlobError> {
+        let entry = PublishEntry {
+            blob,
+            version,
+            write,
+            seg: *seg,
+        };
+        if !self.batched {
+            return self.record_publish_batch(&[entry]);
+        }
+        let cell = {
+            // lint: allow(unmetered-lock) — publish-combiner queue push/leader
+            // election only, never held across the durable append
+            let mut q = self.publishers.lock();
+            if q.leading {
+                let cell = Arc::new(PublishCell {
+                    entry,
+                    // lint: allow(unmetered-lock) — parked publisher's handoff
+                    // slot; the durable work is metered at the engine's seam
+                    slot: Mutex::new(None),
+                    done: Condvar::new(),
+                });
+                q.pending.push(Arc::clone(&cell));
+                Some(cell)
+            } else {
+                q.leading = true;
+                None
+            }
+        };
+        if let Some(cell) = cell {
+            // lint: allow(unmetered-lock) — parked publisher's own handoff slot;
+            // the durable work is the leader's single batched append
+            let mut slot = cell.slot.lock();
+            while slot.is_none() {
+                cell.done.wait(&mut slot);
+            }
+            // lint: allow(panic-on-serving-path) — the wait loop above exits only
+            // once the slot is `Some`, so the take can never observe `None`
+            return slot.take().expect("slot filled before notify");
+        }
+        // Leader: flush rounds of (own entry + everyone queued) until
+        // the queue drains; release leadership only under the queue lock
+        // after an empty check, so no parked cell is stranded.
+        let mut own: Option<Result<(), BlobError>> = None;
+        loop {
+            let batch: Vec<Arc<PublishCell>> = {
+                // lint: allow(unmetered-lock) — combiner-queue drain/leadership
+                // release only, never held across the durable append
+                let mut q = self.publishers.lock();
+                if own.is_some() && q.pending.is_empty() {
+                    q.leading = false;
+                    break;
+                }
+                std::mem::take(&mut q.pending)
+            };
+            let mut entries: Vec<PublishEntry> = Vec::with_capacity(batch.len() + 1);
+            if own.is_none() {
+                entries.push(entry);
+            }
+            entries.extend(batch.iter().map(|c| c.entry));
+            let result = self.record_publish_batch(&entries);
+            if own.is_none() {
+                own = Some(result.clone());
+            }
+            for cell in &batch {
+                // lint: allow(unmetered-lock) — publisher handoff slot fill +
+                // notify; the durable work was the one batched append above
+                let mut slot = cell.slot.lock();
+                *slot = Some(result.clone());
+                cell.done.notify_one();
+            }
+        }
+        // lint: allow(panic-on-serving-path) — the loop cannot break until `own`
+        // is `Some` (the first flush always covers the leader's own entry)
+        own.expect("leader flushed its own entry")
     }
 
     /// Journal size in bytes.
@@ -152,21 +344,21 @@ impl VersionLog {
 fn replay(
     log: &RecordLog,
     records: &[OwnedRecord],
-    window: usize,
+    config: RegistryConfig,
 ) -> Result<VersionRegistry, BlobError> {
     let recovery = |offset: u64, detail: &'static str| BlobError::Recovery {
         file: log.path().display().to_string(),
         offset,
         detail,
     };
-    let mut registry = VersionRegistry::new(window);
+    let mut registry = VersionRegistry::with_config(config);
     // blob -> version -> (write, segment), sorted by version.
     let mut pending: BTreeMap<u64, BTreeMap<u64, (u64, Segment)>> = BTreeMap::new();
     for rec in records {
         match rec.magic {
             VERSION_SNAPSHOT_MAGIC => {
                 // A snapshot resets everything before it.
-                registry = restore(&rec.payload, window)
+                registry = restore_with(&rec.payload, config)
                     .map_err(|_| recovery(rec.offset, "undecodable registry snapshot"))?;
                 pending.clear();
             }
@@ -475,6 +667,209 @@ mod tests {
         }
         let (_, reg) = VersionLog::open(&dir, opts(), DEFAULT_WINDOW).unwrap();
         assert_eq!(reg.get(blob).unwrap().latest(), 16);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batched_publishes_replay_like_singles() {
+        let dir = tmp_dir("batch");
+        let blob;
+        {
+            let (wal, registry) = VersionLog::open(&dir, opts(), DEFAULT_WINDOW).unwrap();
+            let state = registry.create_blob(geom());
+            blob = state.blob;
+            wal.record_create(state.blob, &state.geom).unwrap();
+            let entries: Vec<PublishEntry> = (1..=4u64)
+                .map(|w| {
+                    let t = state
+                        .request_version(WriteId(w), Segment::new(0, 1024))
+                        .unwrap();
+                    PublishEntry {
+                        blob: state.blob,
+                        version: t.version,
+                        write: WriteId(w),
+                        seg: Segment::new(0, 1024),
+                    }
+                })
+                .collect();
+            // One grant, one WAL batch, one commit marker.
+            wal.record_publish_batch(&entries).unwrap();
+            for e in &entries {
+                state.complete_write(e.version).unwrap();
+            }
+        }
+        let (_, reg) = VersionLog::open(&dir, opts(), DEFAULT_WINDOW).unwrap();
+        let b = reg.get(blob).unwrap();
+        assert_eq!(b.latest(), 4);
+        for v in 1..=4u64 {
+            assert_eq!(b.record(v).unwrap().write, WriteId(v));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn leader_crash_between_grant_and_wal_commit_acks_nothing() {
+        // A grant leader assigned versions 1..=3 and appended their
+        // BSVRPUB1 batch, but the process died before the batch's commit
+        // marker reached disk. No follower may have acked — and indeed
+        // replay must surface none of the batch.
+        let dir = tmp_dir("grantcrash");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("version.g0.log");
+        let file = std::fs::File::create(&path).unwrap();
+        let mut off = 0u64;
+        let mut put = |magic: u64, a: u64, b: u64, c: u64, payload: &[u8], commit: bool| {
+            let digest = if commit { 0 } else { payload_digest(payload) };
+            let h = encode_header(magic, a, b, c, payload.len() as u64, digest);
+            write_at(&file, &h, off).unwrap();
+            write_at(&file, payload, off + 48).unwrap();
+            off += 48 + payload.len() as u64;
+        };
+        put(VERSION_CREATE_MAGIC, 7, 8192, 1024, &[], false);
+        // Marker: the create is durable (the blob id was acknowledged).
+        put(COMMIT_MAGIC, 0, 0, 0, &[], true);
+        let mut seg = [0u8; 16];
+        seg[8..].copy_from_slice(&1024u64.to_le_bytes());
+        for v in 1..=3u64 {
+            put(VERSION_PUBLISH_MAGIC, 7, v, 40 + v, &seg, false);
+        }
+        // Crash: no commit marker for the publish batch.
+        drop(file);
+        let (_, reg) = VersionLog::open(&dir, opts(), DEFAULT_WINDOW).unwrap();
+        let b = reg.get(BlobId(7)).unwrap();
+        assert_eq!(b.latest(), 0, "uncommitted grant batch must not replay");
+        assert!(b.record(1).is_none());
+        // The whole version run is handed out afresh.
+        let t = b
+            .request_version(WriteId(9), Segment::new(0, 1024))
+            .unwrap();
+        assert_eq!(t.version, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn grant_spanning_restart_drops_the_unused_ticket_tail() {
+        // A grant handed out versions 1..=4; only v1 and v2 published
+        // (write-ahead + ack) before the whole cluster restarted. The
+        // unused tail of the ticket run (v3, v4) must not resurrect —
+        // the same gap-drop rule as in-flight writes, extended to grant
+        // runs — and the recovered shard reuses the numbers.
+        let dir = tmp_dir("grantspan");
+        let blob;
+        {
+            let (wal, registry) = VersionLog::open(&dir, opts(), DEFAULT_WINDOW).unwrap();
+            let state = registry.create_blob(geom());
+            blob = state.blob;
+            wal.record_create(state.blob, &state.geom).unwrap();
+            // The grant: four tickets assigned in one batch.
+            let tickets: Vec<u64> = (1..=4u64)
+                .map(|w| {
+                    state
+                        .request_version(WriteId(w), Segment::new(0, 1024))
+                        .unwrap()
+                        .version
+                })
+                .collect();
+            assert_eq!(tickets, vec![1, 2, 3, 4]);
+            // Only the first two writers got to the publish step.
+            wal.record_publish_batch(&[
+                PublishEntry {
+                    blob,
+                    version: 1,
+                    write: WriteId(1),
+                    seg: Segment::new(0, 1024),
+                },
+                PublishEntry {
+                    blob,
+                    version: 2,
+                    write: WriteId(2),
+                    seg: Segment::new(0, 1024),
+                },
+            ])
+            .unwrap();
+            state.complete_write(1).unwrap();
+            state.complete_write(2).unwrap();
+        }
+        let (_, reg) = VersionLog::open(&dir, opts(), DEFAULT_WINDOW).unwrap();
+        let b = reg.get(blob).unwrap();
+        assert_eq!(b.latest(), 2, "acked prefix survives");
+        assert!(b.record(3).is_none(), "unused ticket tail dropped");
+        let t = b
+            .request_version(WriteId(9), Segment::new(0, 1024))
+            .unwrap();
+        assert_eq!(t.version, 3, "dropped run is reissued");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn grouped_publish_combines_concurrent_callers() {
+        let dir = tmp_dir("grouped");
+        let blob;
+        {
+            let (wal, registry) = VersionLog::open(&dir, opts(), DEFAULT_WINDOW).unwrap();
+            let state = registry.create_blob(geom());
+            blob = state.blob;
+            wal.record_create(state.blob, &state.geom).unwrap();
+            let state = &state;
+            let wal = &wal;
+            std::thread::scope(|s| {
+                for w in 1..=16u64 {
+                    s.spawn(move || {
+                        let t = state
+                            .request_version(WriteId(w), Segment::new(0, 1024))
+                            .unwrap();
+                        wal.record_publish_grouped(
+                            state.blob,
+                            t.version,
+                            WriteId(w),
+                            &Segment::new(0, 1024),
+                        )
+                        .unwrap();
+                        state.complete_write(t.version).unwrap();
+                    });
+                }
+            });
+            assert_eq!(state.latest(), 16);
+        }
+        let (_, reg) = VersionLog::open(&dir, opts(), DEFAULT_WINDOW).unwrap();
+        assert_eq!(reg.get(blob).unwrap().latest(), 16);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_journal_replays_under_its_own_config() {
+        // Shard 1 of 2 journals its residue-class blobs and replays them
+        // under the same config: ids and state round-trip, and fresh
+        // allocations stay in the shard's class.
+        let cfg = RegistryConfig {
+            shard: 1,
+            shards: 2,
+            ..RegistryConfig::default()
+        };
+        let dir = tmp_dir("shardwal");
+        let ids: Vec<u64>;
+        {
+            let (wal, registry) = VersionLog::open_with(&dir, opts(), cfg).unwrap();
+            ids = (0..3)
+                .map(|_| {
+                    let b = registry.create_blob(geom());
+                    wal.record_create(b.blob, &b.geom).unwrap();
+                    let t = b
+                        .request_version(WriteId(1), Segment::new(0, 1024))
+                        .unwrap();
+                    wal.record_publish(b.blob, t.version, WriteId(1), &Segment::new(0, 1024))
+                        .unwrap();
+                    b.complete_write(t.version).unwrap();
+                    b.blob.0
+                })
+                .collect();
+            assert_eq!(ids, vec![1, 3, 5]);
+        }
+        let (_, reg) = VersionLog::open_with(&dir, opts(), cfg).unwrap();
+        for id in &ids {
+            assert_eq!(reg.get(BlobId(*id)).unwrap().latest(), 1);
+        }
+        assert_eq!(reg.create_blob(geom()).blob.0, 7);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -47,6 +47,22 @@
 //! assert!(new.iter().all(|&b| b == 9)); // v2 view
 //! ```
 //!
+//! Version assignment is grant-batched (one metered acquisition of the
+//! per-blob mutex serves a whole queue of concurrent writers), and the
+//! version manager itself can be sharded across nodes by blob id:
+//!
+//! ```
+//! use blobseer::{Deployment, DeploymentConfig};
+//!
+//! // Three version-manager shards: blob ids route by `id % 3`, each
+//! // shard journals (and replays) independently. `version_shards: 1`
+//! // — the default — is bit-identical to the classic singleton.
+//! let cluster = Deployment::build(
+//!     DeploymentConfig::functional(4).tune().version_shards(3).build(),
+//! );
+//! assert_eq!(cluster.registries.len(), 3);
+//! ```
+//!
 //! ## Zero-copy data path
 //!
 //! Pages are immutable once written, so they travel the whole system as
